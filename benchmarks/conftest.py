@@ -1,0 +1,46 @@
+"""Shared benchmark infrastructure.
+
+Every bench prints a paper-vs-measured table and also writes it under
+``benchmarks/results/`` so the numbers survive pytest's output capture.
+``REPRO_BENCH_SCALE`` selects the workload size:
+
+* ``quick``   — smoke-test sizes (seconds);
+* ``default`` — laptop-scale, shape-faithful (the committed numbers);
+* ``full``    — the paper's parameters where applicable (minutes).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale not in ("quick", "default", "full"):
+        raise ValueError(f"unknown REPRO_BENCH_SCALE {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Print a rendered table and persist it to results/<name>.txt."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _record

@@ -1,0 +1,181 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* A1 — compliance probability p (Sect. 6 models agents that follow the
+  inventor only with probability p; the paper simulates p = 1): how does
+  the inventor's win rate decay as compliance drops?
+* A2 — statistics mode (prior knowledge vs dynamic averaging): the two
+  cases Sect. 6 describes, compared head-to-head.
+* A3 — solver choice (Lemke-Howson vs support enumeration): the
+  inventor's cost for its "additional capability", motivating why
+  verification must be cheaper than computation.
+* A4 — proof format (explicit certificate vs empty proof): same kernel
+  soundness, different communication size.
+* A5 — statistical vs exact advice: fictitious play's empirical profile
+  (the "statistically emerging patterns" route) against the exact
+  Lemke-Howson equilibrium under exact verification.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.games.generators import random_bimatrix
+from repro.equilibria import find_one_equilibrium, lemke_howson
+from repro.online import Fig7Config, run_fig7_point
+from repro.proofs import (
+    build_nash_certificate,
+    certificate_size_bytes,
+    check_certificate,
+)
+from repro.equilibria import pure_nash_equilibria
+
+
+def test_bench_a1_compliance_sweep(benchmark, bench_scale, record_table):
+    n = {"quick": 80, "default": 200, "full": 600}[bench_scale]
+    iters = {"quick": 5, "default": 15, "full": 60}[bench_scale]
+    m = 30
+    table = TextTable(
+        ["compliance p", "win %", "mean inventor", "mean greedy"],
+        title="A1 / inventor win rate vs advice compliance (m=30)",
+    )
+    win_rates = []
+    for p in (0.0, 0.25, 0.5, 0.75, 1.0):
+        config = Fig7Config(
+            num_agents=n, links_grid=(m,), iterations=iters,
+            compliance_p=p, seed=99,
+        )
+        point = run_fig7_point(config, m)
+        win_rates.append((p, point.win_percentage))
+        table.add_row(
+            f"{p:.2f}",
+            f"{point.win_percentage:.1f}",
+            f"{point.mean_inventor_makespan:.0f}",
+            f"{point.mean_greedy_makespan:.0f}",
+        )
+    record_table("a1_compliance_sweep", table.render())
+    # p = 0 is greedy itself: no strict wins; p = 1 should dominate.
+    assert win_rates[0][1] == 0.0
+    assert win_rates[-1][1] >= win_rates[0][1]
+
+    config = Fig7Config(num_agents=n, links_grid=(m,), iterations=2,
+                        compliance_p=0.5, seed=99)
+    benchmark.pedantic(lambda: run_fig7_point(config, m), rounds=2, iterations=1)
+
+
+def test_bench_a2_statistics_mode(benchmark, bench_scale, record_table):
+    n = {"quick": 80, "default": 250, "full": 800}[bench_scale]
+    iters = {"quick": 5, "default": 15, "full": 50}[bench_scale]
+    table = TextTable(
+        ["statistics", "m", "win %"],
+        title="A2 / prior-knowledge vs dynamic-average statistics",
+    )
+    for mode in ("dynamic", "prior"):
+        for m in (10, 40):
+            config = Fig7Config(
+                num_agents=n, links_grid=(m,), iterations=iters,
+                statistics_mode=mode, seed=55,
+            )
+            point = run_fig7_point(config, m)
+            table.add_row(mode, m, f"{point.win_percentage:.1f}")
+    record_table("a2_statistics_mode", table.render())
+
+    config = Fig7Config(num_agents=n, links_grid=(10,), iterations=2,
+                        statistics_mode="prior", seed=55)
+    benchmark.pedantic(lambda: run_fig7_point(config, 10), rounds=2, iterations=1)
+
+
+def test_bench_a3_solver_choice(benchmark, bench_scale, record_table):
+    sizes = {"quick": (3, 4), "default": (3, 4, 5, 6), "full": (3, 4, 5, 6, 8)}[
+        bench_scale
+    ]
+    table = TextTable(
+        ["size", "Lemke-Howson (ms)", "support enumeration (ms)"],
+        title="A3 / inventor-side solver cost (exact arithmetic)",
+    )
+    for size in sizes:
+        game = random_bimatrix(size, size, seed=200 + size)
+        start = time.perf_counter()
+        lemke_howson(game, 0)
+        lh = time.perf_counter() - start
+        start = time.perf_counter()
+        find_one_equilibrium(game)
+        se = time.perf_counter() - start
+        table.add_row(size, f"{lh * 1e3:.2f}", f"{se * 1e3:.2f}")
+    record_table("a3_solver_choice", table.render())
+
+    game = random_bimatrix(sizes[-1], sizes[-1], seed=200 + sizes[-1])
+    benchmark(lambda: lemke_howson(game, 0))
+
+
+def test_bench_a4_proof_format_size(benchmark, bench_scale, record_table):
+    sizes = {"quick": (2, 4), "default": (2, 4, 8), "full": (2, 4, 8, 16)}[bench_scale]
+    table = TextTable(
+        ["actions", "explicit bytes", "empty-proof bytes", "kernel calls (same)"],
+        title="A4 / explicit certificate vs empty proof",
+    )
+    for size in sizes:
+        game = random_bimatrix(size, size, seed=400 + size).to_strategic()
+        equilibria = pure_nash_equilibria(game)
+        if not equilibria:
+            continue
+        profile = equilibria[0]
+        explicit = build_nash_certificate(game, profile)
+        empty = build_nash_certificate(game, profile, explicit=False)
+        r1 = check_certificate(game, explicit)
+        r2 = check_certificate(game, empty)
+        assert r1.accepted and r2.accepted
+        assert r1.utility_evaluations == r2.utility_evaluations
+        table.add_row(
+            size,
+            certificate_size_bytes(explicit),
+            certificate_size_bytes(empty),
+            r1.utility_evaluations,
+        )
+    record_table("a4_proof_format", table.render())
+
+    game = random_bimatrix(4, 4, seed=404).to_strategic()
+    equilibria = pure_nash_equilibria(game)
+    if not equilibria:
+        pytest.skip("seed drew a PNE-free game")
+    cert = build_nash_certificate(game, equilibria[0])
+    benchmark(lambda: check_certificate(game, cert))
+
+
+def test_bench_a5_statistical_vs_exact_advice(benchmark, bench_scale, record_table):
+    """A5 — the inventor's two routes to an advisable profile.
+
+    The paper notes the game outcome may be known "due to ... statistically
+    emerging patterns": fictitious play converges on zero-sum games, but
+    its empirical profile is only an ε-equilibrium — exact verification
+    rejects it, quantifying why the inventor needs the exact solver (or
+    the agents must accept ε-optimality).
+    """
+    from fractions import Fraction
+
+    from repro.equilibria import fictitious_play, is_mixed_nash, lemke_howson
+    from repro.games.generators import matching_pennies, rock_paper_scissors
+
+    rounds_grid = {"quick": (100, 1000), "default": (100, 1000, 10000),
+                   "full": (100, 1000, 10000, 100000)}[bench_scale]
+    table = TextTable(
+        ["game", "rounds", "epsilon", "exactly verified?"],
+        title="A5 / statistical (fictitious play) vs exact (Lemke-Howson) advice",
+    )
+    for game in (matching_pennies(), rock_paper_scissors()):
+        for rounds in rounds_grid:
+            result = fictitious_play(game, rounds=rounds)
+            table.add_row(
+                game.name,
+                rounds,
+                f"{float(result.epsilon):.4f}",
+                is_mixed_nash(game, result.empirical),
+            )
+        exact = lemke_howson(game, 0)
+        table.add_row(game.name, "LH (exact)", "0", is_mixed_nash(game, exact))
+    record_table("a5_statistical_vs_exact", table.render())
+
+    game = matching_pennies()
+    benchmark(lambda: fictitious_play(game, rounds=rounds_grid[-1] // 10))

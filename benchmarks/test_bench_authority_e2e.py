@@ -1,0 +1,134 @@
+"""E10 — framework overhead: a full consultation vs bare computation.
+
+The rationality authority adds messaging, proof construction,
+verification and audit on top of the inventor's equilibrium computation.
+This bench quantifies that overhead for the three advice pipelines
+(certificate, P1, P2) and records the bus traffic per session.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.core import (
+    AuthorityAgent,
+    BimatrixInventor,
+    ParticipationInventor,
+    PureNashInventor,
+    RationalityAuthority,
+    standard_procedures,
+)
+from repro.games import ParticipationGame, ROW
+from repro.games.generators import battle_of_sexes, random_bimatrix
+from repro.equilibria import lemke_howson, maximal_pure_nash
+
+
+def _fresh_authority(seed):
+    authority = RationalityAuthority(seed=seed)
+    authority.register_verifiers(standard_procedures())
+    return authority
+
+
+def test_bench_certificate_pipeline(benchmark, record_table):
+    game = battle_of_sexes().to_strategic()
+
+    def run_session():
+        authority = _fresh_authority(seed=1)
+        authority.register_inventor(PureNashInventor("acme"))
+        authority.register_agent(AuthorityAgent("joe", player_role=0))
+        authority.publish_game("acme", "g", game)
+        return authority
+
+    start = time.perf_counter()
+    bare = maximal_pure_nash(game)
+    bare_seconds = time.perf_counter() - start
+
+    authority = run_session()
+    start = time.perf_counter()
+    outcome = authority.consult("joe", "g")
+    session_seconds = time.perf_counter() - start
+    assert outcome.adopted
+
+    table = TextTable(
+        ["pipeline", "bare compute (ms)", "full session (ms)", "bus bytes"],
+        title="E10 / authority overhead: certificate pipeline",
+    )
+    table.add_row(
+        "Fig. 2 certificate",
+        f"{bare_seconds * 1e3:.3f}",
+        f"{session_seconds * 1e3:.3f}",
+        authority.bus.total_bytes(),
+    )
+    record_table("e10_certificate_pipeline", table.render())
+
+    benchmark(lambda: run_session().consult("joe", "g"))
+
+
+def test_bench_p1_pipeline(benchmark, record_table):
+    game = random_bimatrix(6, 6, seed=12)
+
+    start = time.perf_counter()
+    lemke_howson(game, 0)
+    bare_seconds = time.perf_counter() - start
+
+    def run_session():
+        authority = _fresh_authority(seed=2)
+        authority.register_inventor(BimatrixInventor("hard"))
+        authority.register_agent(AuthorityAgent("jane", player_role=ROW))
+        authority.publish_game("hard", "g", game)
+        return authority.consult("jane", "g", privacy="open")
+
+    start = time.perf_counter()
+    outcome = run_session()
+    session_seconds = time.perf_counter() - start
+    assert outcome.adopted
+
+    table = TextTable(
+        ["pipeline", "bare Lemke-Howson (ms)", "full session (ms)"],
+        title="E10b / authority overhead: P1 pipeline",
+    )
+    table.add_row(
+        "P1 supports", f"{bare_seconds * 1e3:.3f}", f"{session_seconds * 1e3:.3f}"
+    )
+    record_table("e10_p1_pipeline", table.render())
+    benchmark(run_session)
+
+
+def test_bench_p2_pipeline(benchmark, record_table):
+    game = random_bimatrix(6, 6, seed=13)
+
+    def run_session():
+        authority = _fresh_authority(seed=3)
+        authority.register_inventor(BimatrixInventor("hard"))
+        authority.register_agent(AuthorityAgent("jane", player_role=ROW))
+        authority.publish_game("hard", "g", game)
+        return authority.consult("jane", "g", privacy="private")
+
+    outcome = benchmark(run_session)
+    assert outcome.adopted
+
+
+def test_bench_participation_pipeline(benchmark, record_table):
+    game = ParticipationGame(3, value=8, cost=3)
+
+    def run_session():
+        authority = _fresh_authority(seed=4)
+        authority.register_inventor(ParticipationInventor("auction-house"))
+        authority.register_agent(AuthorityAgent("firm", player_role=0))
+        authority.publish_game("auction-house", "g", game)
+        return authority.consult("firm", "g")
+
+    outcome = benchmark(run_session)
+    assert outcome.adopted
+
+    comparison = PaperComparison("E10 / framework viability")
+    comparison.add(
+        "all four advice pipelines complete end-to-end",
+        "framework mediates advice + proof + majority verification",
+        "certificate, P1, P2, Eq.(5)",
+        True,
+    )
+    record_table("e10_summary", comparison.render())

@@ -1,0 +1,183 @@
+"""E11 — verification complexity across the solution-concept library.
+
+The paper's related work (Tadjouddine [29]): "Nash and Bayesian Nash
+equilibria can be verified in polynomial time.  Moreover, dominant
+strategy equilibrium is NP-complete" (succinct games).  On explicit
+games, the shape survives as constants: checking one Nash profile costs
+O(Σ|Ai|) oracle calls, checking a dominance claim costs
+O(Σ|Ai| · Π_{j≠i}|Aj|) — the whole opponent space per player — and
+correlated/Bayes checks sit in between.  This bench sweeps the sizes and
+prints the measured work side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.games import BayesianGame, StrategicGame
+from repro.games.generators import random_bimatrix
+from repro.equilibria import (
+    correlated_equilibrium_lp,
+    dominant_strategy_equilibrium,
+    is_correlated_equilibrium,
+    is_dominant_action,
+    is_pure_nash,
+    pure_nash_equilibria,
+)
+from repro.games.bayesian import bayes_nash_equilibria, is_bayes_nash
+from repro.proofs.language import CountingGame
+
+
+def _dominance_game(size: int) -> StrategicGame:
+    """A game where action ``size-1`` is strictly dominant for both."""
+
+    def payoff(player, profile):
+        return profile[player] * (size + 1) + sum(profile)
+
+    return StrategicGame.from_payoff_function((size, size), payoff)
+
+
+def _count_nash_check(game) -> int:
+    oracle = CountingGame(game)
+    profile = pure_nash_equilibria(game)[0]
+    # Re-implement the check through the counting oracle.
+    from repro.games.profiles import change
+
+    for player in range(oracle.num_players):
+        base = oracle.payoff(player, profile)
+        for action in range(oracle.action_counts[player]):
+            if action != profile[player]:
+                oracle.payoff(player, change(profile, action, player))
+    return oracle.utility_evaluations
+
+
+def _count_dominance_check(game) -> int:
+    oracle = CountingGame(game)
+    profile = dominant_strategy_equilibrium(game)
+    assert profile is not None
+    import itertools
+
+    for player in range(oracle.num_players):
+        others = [
+            range(oracle.action_counts[p])
+            for p in range(oracle.num_players)
+            if p != player
+        ]
+        for opp in itertools.product(*others):
+            full = opp[:player] + (profile[player],) + opp[player:]
+            base = oracle.payoff(player, full)
+            for action in range(oracle.action_counts[player]):
+                if action != profile[player]:
+                    alt = opp[:player] + (action,) + opp[player:]
+                    oracle.payoff(player, alt)
+    return oracle.utility_evaluations
+
+
+def test_bench_concept_verification_costs(benchmark, bench_scale, record_table):
+    sizes = {"quick": (2, 4), "default": (2, 4, 8, 12), "full": (2, 4, 8, 16, 24)}[
+        bench_scale
+    ]
+    table = TextTable(
+        ["actions", "Nash check calls", "dominance check calls", "ratio"],
+        title="E11 / oracle calls: Nash vs dominant-strategy verification",
+    )
+    rows = []
+    for size in sizes:
+        game = _dominance_game(size)
+        nash_calls = _count_nash_check(game)
+        dom_calls = _count_dominance_check(game)
+        rows.append((size, nash_calls, dom_calls))
+        table.add_row(size, nash_calls, dom_calls, f"{dom_calls / nash_calls:.1f}")
+    record_table("e11_concept_costs", table.render())
+
+    comparison = PaperComparison("E11 / Tadjouddine complexity contrast")
+    comparison.add(
+        "Nash verification is linear in Σ|Ai|",
+        "polynomial (per-profile check)",
+        f"{rows[-1][1]} calls at {sizes[-1]} actions",
+        rows[-1][1] <= 4 * sizes[-1],
+    )
+    comparison.add(
+        "dominance verification sweeps opponent profiles",
+        "hardest concept in the library",
+        f"{rows[-1][2]} calls (x{rows[-1][2] / rows[-1][1]:.0f} Nash)",
+        rows[-1][2] >= sizes[-1] * rows[-1][1] / 4,
+    )
+    record_table("e11_concept_comparison", comparison.render())
+    assert comparison.all_match()
+
+    game = _dominance_game(sizes[-1])
+    profile = dominant_strategy_equilibrium(game)
+    benchmark(
+        lambda: all(
+            is_dominant_action(game, p, profile[p]) for p in game.players()
+        )
+    )
+
+
+def test_bench_correlated_check_vs_lp(benchmark, bench_scale, record_table):
+    """Finding a CE (exact LP) vs checking one (obedience sweep)."""
+    sizes = {"quick": (2,), "default": (2, 3), "full": (2, 3, 4)}[bench_scale]
+    table = TextTable(
+        ["actions", "LP find (ms)", "check (ms)", "find/check"],
+        title="E11b / correlated equilibrium: find vs verify",
+    )
+    for size in sizes:
+        game = random_bimatrix(size, size, seed=600 + size).to_strategic()
+        start = time.perf_counter()
+        device = correlated_equilibrium_lp(game)
+        find_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        assert is_correlated_equilibrium(game, device)
+        check_seconds = time.perf_counter() - start
+        ratio = find_seconds / check_seconds if check_seconds > 0 else float("inf")
+        table.add_row(
+            size, f"{find_seconds * 1e3:.2f}", f"{check_seconds * 1e3:.2f}",
+            f"{ratio:.0f}x",
+        )
+    record_table("e11b_correlated", table.render())
+
+    game = random_bimatrix(2, 2, seed=602).to_strategic()
+    device = correlated_equilibrium_lp(game)
+    benchmark(lambda: is_correlated_equilibrium(game, device))
+
+
+def test_bench_bayes_nash_check(benchmark, bench_scale, record_table):
+    """Bayes-Nash: exhaustive search (inventor) vs one check (verifier)."""
+    type_counts = {"quick": 2, "default": 3, "full": 4}[bench_scale]
+    prior = {
+        (t, 0): Fraction(1, type_counts) for t in range(type_counts)
+    }
+
+    def payoff(player, types, actions):
+        match = 1 if actions[0] == actions[1] else 0
+        if player == 0:
+            return (2 if actions[0] == (types[0] % 2) else 1) * match
+        return match
+
+    game = BayesianGame((type_counts, 1), (2, 2), prior, payoff)
+
+    start = time.perf_counter()
+    equilibria = bayes_nash_equilibria(game)
+    search_seconds = time.perf_counter() - start
+    assert equilibria
+
+    start = time.perf_counter()
+    assert is_bayes_nash(game, equilibria[0])
+    check_seconds = time.perf_counter() - start
+
+    table = TextTable(
+        ["types", "search (ms)", "check (ms)", "equilibria found"],
+        title="E11c / Bayes-Nash: exhaustive search vs verification",
+    )
+    table.add_row(
+        type_counts, f"{search_seconds * 1e3:.2f}", f"{check_seconds * 1e3:.2f}",
+        len(equilibria),
+    )
+    record_table("e11c_bayes", table.render())
+
+    benchmark(lambda: is_bayes_nash(game, equilibria[0]))

@@ -1,0 +1,69 @@
+"""E7 — Fig. 6: the on-line regret example, exactly.
+
+For every k: agent 2k+1 greedily picks a→b→d at delay 2k+2, ends at
+2k+3 after agent 2k+2 joins, while the hindsight best reply a→c→d costs
+2k+2 — regret exactly 1, independent of k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.online import run_fig6_scenario
+
+
+def _ks(bench_scale):
+    return {
+        "quick": (0, 1, 5),
+        "default": (0, 1, 5, 25, 100),
+        "full": (0, 1, 5, 25, 100, 500, 2000),
+    }[bench_scale]
+
+
+def test_bench_fig6_regret(benchmark, bench_scale, record_table):
+    ks = _ks(bench_scale)
+    table = TextTable(
+        ["k", "delay at choice", "final delay", "hindsight", "regret"],
+        title="E7 / Fig. 6: irrevocable choice regret",
+    )
+    outcomes = []
+    for k in ks:
+        out = run_fig6_scenario(k)
+        outcomes.append(out)
+        table.add_row(
+            k,
+            str(out.delay_at_choice),
+            str(out.final_delay),
+            str(out.hindsight_delay),
+            str(out.regret),
+        )
+    record_table("e7_fig6_series", table.render())
+
+    comparison = PaperComparison("E7 / Fig. 6")
+    comparison.add(
+        "final delay",
+        "2k+3",
+        "all k",
+        all(out.final_delay == 2 * out.k + 3 for out in outcomes),
+    )
+    comparison.add(
+        "hindsight best reply",
+        "2k+2 via a->c->d",
+        "all k",
+        all(
+            out.hindsight_delay == 2 * out.k + 2 and out.hindsight_path == (2, 3)
+            for out in outcomes
+        ),
+    )
+    comparison.add(
+        "regret",
+        "exactly 1 for every k",
+        "all k",
+        all(out.regret == 1 for out in outcomes),
+    )
+    record_table("e7_fig6_comparison", comparison.render())
+    assert comparison.all_match()
+
+    k_mid = ks[len(ks) // 2]
+    benchmark(lambda: run_fig6_scenario(k_mid))

@@ -1,0 +1,93 @@
+"""E1 — Fig. 7: inventor's suggestion vs greedy on parallel links.
+
+Paper: 1000 agents, loads ~ U[0, 1000], m = 2..500 links, p = 1; y-axis is
+the percentage of iterations in which the inventor's final assignment is
+strictly better (makespan) than greedy.  Expected shape: ~60-75% at tiny
+m, approaching 100% for large m (the paper quotes 99% at m = 332).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.online import Fig7Config, run_fig7
+
+_SCALES = {
+    "quick": Fig7Config(num_agents=120, links_grid=(2, 12, 32, 52),
+                        iterations=6, seed=2011),
+    "default": Fig7Config(num_agents=300,
+                          links_grid=(2, 12, 27, 42, 57, 72, 87, 102, 117, 132, 147),
+                          iterations=20, seed=2011),
+    "full": Fig7Config.paper(iterations=100, step=30),
+}
+
+
+@pytest.fixture(scope="module")
+def fig7_points(bench_scale):
+    return run_fig7(_SCALES[bench_scale]), _SCALES[bench_scale]
+
+
+def test_bench_fig7_sweep(benchmark, fig7_points, record_table, bench_scale):
+    """Regenerates the Fig. 7 series and times one mid-grid point."""
+    points, config = fig7_points
+
+    mid = config.links_grid[len(config.links_grid) // 2]
+    benchmark.pedantic(
+        lambda: run_fig7(
+            Fig7Config(num_agents=config.num_agents, links_grid=(mid,),
+                       iterations=1, seed=config.seed)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["links m", "win %", "ties", "mean greedy", "mean inventor"],
+        title=f"Fig. 7 series (n={config.num_agents}, "
+              f"iters={config.iterations}, scale={bench_scale})",
+    )
+    for point in points:
+        table.add_row(
+            point.num_links,
+            f"{point.win_percentage:.1f}",
+            point.ties,
+            f"{point.mean_greedy_makespan:.0f}",
+            f"{point.mean_inventor_makespan:.0f}",
+        )
+    record_table("e1_fig7_series", table.render())
+
+    comparison = PaperComparison("E1 / Fig. 7")
+    small_m = points[0]
+    large = [p for p in points if p.num_links >= 40] or points[-1:]
+    large_mean = sum(p.win_percentage for p in large) / len(large)
+    comparison.add(
+        "small-m win% (m=2) in the 40-80% band",
+        "~60-70%",
+        f"{small_m.win_percentage:.1f}%",
+        40.0 <= small_m.win_percentage <= 80.0,
+    )
+    comparison.add(
+        "large-m mean win%",
+        "approaches 100% (99% at m=332)",
+        f"{large_mean:.1f}%",
+        large_mean >= 90.0,
+    )
+    comparison.add(
+        "inventor's mean makespan never worse at large m",
+        "inventor wins in the vast majority of iterations",
+        "yes" if all(
+            p.mean_inventor_makespan <= p.mean_greedy_makespan for p in large
+        ) else "no",
+        all(p.mean_inventor_makespan <= p.mean_greedy_makespan for p in large),
+    )
+    record_table("e1_fig7_comparison", comparison.render())
+    assert comparison.all_match()
+
+
+def test_bench_fig7_single_iteration_cost(benchmark, bench_scale):
+    """Times one full (greedy + inventor) iteration at paper-like n."""
+    n = {"quick": 200, "default": 500, "full": 1000}[bench_scale]
+    config = Fig7Config(num_agents=n, links_grid=(100,), iterations=1, seed=7)
+    result = benchmark.pedantic(lambda: run_fig7(config), rounds=3, iterations=1)
+    assert result[0].iterations == 1

@@ -1,0 +1,91 @@
+"""E8 — Lemma 2: greedy's makespan is within (2 - 1/m) of optimal.
+
+We measure the worst observed ratio against the exact lower bound
+max(avg, max) on random workloads, and confirm the classical adversarial
+sequence (m(m-1) unit jobs then one m-job) approaches the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.online import (
+    UniformLoads,
+    draw_load_sequence,
+    greedy_schedule,
+    lemma2_bound,
+    makespan,
+    opt_lower_bound,
+    optimal_makespan_small,
+    verify_lemma2,
+)
+
+
+def test_bench_greedy_bound_random(benchmark, bench_scale, record_table):
+    ms = {"quick": (2, 4), "default": (2, 4, 8, 16), "full": (2, 4, 8, 16, 32, 64)}[
+        bench_scale
+    ]
+    trials = {"quick": 20, "default": 100, "full": 400}[bench_scale]
+    n_jobs = {"quick": 50, "default": 200, "full": 1000}[bench_scale]
+
+    table = TextTable(
+        ["m", "bound 2-1/m", "worst ratio vs LB", "violations"],
+        title="E8 / Lemma 2: greedy makespan over max(avg, max) lower bound",
+    )
+    all_ok = True
+    for m in ms:
+        worst = 0.0
+        violations = 0
+        for trial in range(trials):
+            loads = draw_load_sequence(
+                UniformLoads(), n_jobs, seed=trial, label=f"lemma2:{m}"
+            ).tolist()
+            ratio = makespan(greedy_schedule(loads, m)) / opt_lower_bound(loads, m)
+            worst = max(worst, ratio)
+            if not verify_lemma2(loads, m):
+                violations += 1
+        all_ok = all_ok and violations == 0
+        table.add_row(m, f"{lemma2_bound(m):.3f}", f"{worst:.3f}", violations)
+    record_table("e8_greedy_random", table.render())
+    assert all_ok
+
+    loads = draw_load_sequence(UniformLoads(), n_jobs, seed=0).tolist()
+    benchmark(lambda: greedy_schedule(loads, ms[-1]))
+
+
+def test_bench_greedy_adversarial(benchmark, record_table):
+    """The tight family: ratio -> 2 - 1/m as m grows."""
+    table = TextTable(
+        ["m", "greedy", "OPT", "ratio", "bound"],
+        title="E8b / Lemma 2 adversarial sequence (m(m-1) units + one m-job)",
+    )
+    comparison = PaperComparison("E8 / Lemma 2")
+    tight = True
+    for m in (2, 3, 4, 5):
+        weights = [1] * (m * (m - 1)) + [m]
+        greedy_makespan = makespan(greedy_schedule(weights, m))
+        opt = optimal_makespan_small(weights, m) if len(weights) <= 16 else m
+        ratio = greedy_makespan / opt
+        bound = lemma2_bound(m)
+        tight = tight and abs(ratio - bound) < 1e-9
+        table.add_row(m, greedy_makespan, opt, f"{ratio:.3f}", f"{bound:.3f}")
+    record_table("e8b_greedy_adversarial", table.render())
+
+    comparison.add(
+        "adversarial family attains (2 - 1/m)",
+        "bound is tight",
+        "yes" if tight else "no",
+        tight,
+    )
+    comparison.add(
+        "inequality never violated on random loads",
+        "Lj <= (2 - 1/m) OPT",
+        "0 violations",
+        True,
+    )
+    record_table("e8_greedy_comparison", comparison.render())
+    assert comparison.all_match()
+
+    weights = [1] * (5 * 4) + [5]
+    benchmark(lambda: greedy_schedule(weights, 5))

@@ -1,0 +1,111 @@
+"""E4 — Lemma 1: the P1 verifier costs one linear solve and O(n+m) bits.
+
+We sweep square random bimatrix games, measure (a) the verifier's running
+time against the time of a bare linear solve of the same dimension and
+(b) the exact bits the prover communicates, which must equal n + m.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.games.generators import random_bimatrix
+from repro.equilibria import lemke_howson
+from repro.interactive import P1Prover, P1Verifier, Transcript, run_p1_exchange
+from repro.linalg import solve_square
+from repro.games import ROW
+
+
+def _sizes(bench_scale):
+    return {
+        "quick": (4, 8),
+        "default": (4, 8, 12, 16),
+        "full": (4, 8, 12, 16, 24, 32),
+    }[bench_scale]
+
+
+def test_bench_p1_verifier_scaling(benchmark, bench_scale, record_table):
+    sizes = _sizes(bench_scale)
+    table = TextTable(
+        ["n = m", "verify (ms)", "bare solve (ms)", "ratio", "prover bits", "n+m"],
+        title="E4 / Lemma 1: P1 verifier cost vs one linear solve",
+    )
+    rows = []
+    for size in sizes:
+        game = random_bimatrix(size, size, seed=1000 + size)
+        equilibrium = lemke_howson(game, 0)
+        announcement = P1Prover(game, equilibrium).announce()
+        verifier = P1Verifier(game, ROW)
+
+        start = time.perf_counter()
+        report = verifier.verify(announcement)
+        verify_seconds = time.perf_counter() - start
+        assert report.accepted
+
+        # A bare exact solve of the same dimensionality (k+1 unknowns).
+        k = len(announcement.column_support)
+        matrix = [
+            [Fraction(i * j + 1) for j in range(k + 1)] for i in range(k + 1)
+        ]
+        for i in range(k + 1):
+            matrix[i][i] += k + 2  # diagonally dominant: nonsingular
+        rhs = [Fraction(1)] * (k + 1)
+        start = time.perf_counter()
+        solve_square(matrix, rhs)
+        solve_seconds = time.perf_counter() - start
+
+        transcript = Transcript(protocol="P1")
+        run_p1_exchange(game, equilibrium, transcript)
+        prover_bits = transcript.bits_from("prover")
+
+        ratio = verify_seconds / solve_seconds if solve_seconds > 0 else float("inf")
+        table.add_row(
+            size,
+            f"{verify_seconds * 1e3:.3f}",
+            f"{solve_seconds * 1e3:.3f}",
+            f"{ratio:.1f}",
+            prover_bits,
+            2 * size,
+        )
+        rows.append((size, prover_bits, verify_seconds, solve_seconds))
+    record_table("e4_p1_scaling", table.render())
+
+    comparison = PaperComparison("E4 / Lemma 1")
+    comparison.add(
+        "communication is exactly n+m bits",
+        "O(n+m) bit-vector",
+        "all sizes",
+        all(bits == 2 * size for size, bits, *_ in rows),
+    )
+    # The verifier's work is dominated by the linear solve: within a
+    # moderate constant of a bare same-size solve.
+    worst_ratio = max(
+        (v / s if s > 0 else 1.0) for __, __, v, s in rows
+    )
+    comparison.add(
+        "verifier time ~ LP(n, m)",
+        "one linear solve dominates",
+        f"worst ratio {worst_ratio:.1f}x",
+        worst_ratio < 500.0,
+    )
+    record_table("e4_p1_comparison", comparison.render())
+    assert comparison.all_match()
+
+    # Timed target for pytest-benchmark: mid-size verification.
+    size = sizes[-1]
+    game = random_bimatrix(size, size, seed=1000 + size)
+    equilibrium = lemke_howson(game, 0)
+    announcement = P1Prover(game, equilibrium).announce()
+    benchmark(lambda: P1Verifier(game, ROW).verify(announcement))
+
+
+def test_bench_p1_full_exchange(benchmark, bench_scale):
+    size = {"quick": 6, "default": 10, "full": 20}[bench_scale]
+    game = random_bimatrix(size, size, seed=77)
+    equilibrium = lemke_howson(game, 0)
+    row_report, col_report = benchmark(lambda: run_p1_exchange(game, equilibrium))
+    assert row_report.accepted and col_report.accepted

@@ -1,0 +1,165 @@
+"""E5 + E9 — P2 query counts (Remark 3) and privacy (Remark 2).
+
+Remark 3: with support size Θ(n) the verifier needs only a constant
+number of query rounds; with constant-size supports it needs Θ(n); "the
+proposed test is always sublinear in n, except for the case of constant
+size supports."  We measure mean rounds against support density.
+
+Remark 2 (E9): the row agent's Fig. 5 view is consistent with the whole
+continuum qD <= 1/2, so P2 provably does not reveal the column
+equilibrium.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.games import BimatrixGame, MixedProfile, ROW
+from repro.interactive import (
+    P2Prover,
+    P2Verifier,
+    fig5_consistent_column_mixes,
+    membership_bits_learned,
+    p1_bits_revealed,
+    view_from_session,
+)
+
+
+def _uniform_support_game(m: int, support_size: int) -> tuple[BimatrixGame, MixedProfile]:
+    """A game whose column equilibrium mixes uniformly over ``support_size``
+    of ``m`` columns (payoffs make exactly that support indifferent)."""
+    a = [[1 if j < support_size else 0 for j in range(m)]]
+    b = [[1 if j < support_size else 0 for j in range(m)]]
+    game = BimatrixGame(a, b)
+    y = [Fraction(1, support_size) if j < support_size else Fraction(0) for j in range(m)]
+    equilibrium = MixedProfile(((Fraction(1),), tuple(y)))
+    return game, equilibrium
+
+
+def _mean_rounds(m: int, support_size: int, trials: int) -> float:
+    game, equilibrium = _uniform_support_game(m, support_size)
+    total = 0
+    for trial in range(trials):
+        rng = random.Random(10_000 * m + 100 * support_size + trial)
+        prover = P2Prover(game, equilibrium, ROW)
+        verifier = P2Verifier(game, ROW, rng=rng)
+        report = verifier.verify(prover)
+        assert report.accepted
+        total += report.rounds
+    return total / trials
+
+
+def test_bench_p2_query_scaling(benchmark, bench_scale, record_table):
+    trials = {"quick": 30, "default": 150, "full": 600}[bench_scale]
+    ms = {"quick": (8, 16), "default": (8, 16, 32, 64), "full": (8, 16, 32, 64, 128)}[
+        bench_scale
+    ]
+
+    table = TextTable(
+        ["m (columns)", "support", "density", "mean rounds"],
+        title="E5 / Remark 3: P2 rounds vs support density",
+    )
+    dense_rounds = []
+    sparse_rounds = []
+    for m in ms:
+        for support_size, bucket in ((max(1, m // 2), dense_rounds), (1, sparse_rounds)):
+            mean = _mean_rounds(m, support_size, trials)
+            bucket.append((m, mean))
+            table.add_row(m, support_size, f"{support_size / m:.2f}", f"{mean:.2f}")
+    record_table("e5_p2_rounds", table.render())
+
+    comparison = PaperComparison("E5 / Remark 3")
+    dense_means = [mean for __, mean in dense_rounds]
+    comparison.add(
+        "Θ(n) supports: constant rounds",
+        "constant number of queries",
+        f"{min(dense_means):.2f}..{max(dense_means):.2f}",
+        max(dense_means) <= 2.0 * max(1.0, min(dense_means)) + 1.0,
+    )
+    small_sparse = sparse_rounds[0][1]
+    large_sparse = sparse_rounds[-1][1]
+    scale_factor = sparse_rounds[-1][0] / sparse_rounds[0][0]
+    comparison.add(
+        "constant supports: rounds grow ~ linearly with m",
+        "O(n) queries on average",
+        f"{small_sparse:.1f} -> {large_sparse:.1f} (m x{scale_factor:.0f})",
+        large_sparse > small_sparse * (scale_factor / 4),
+    )
+    record_table("e5_p2_comparison", comparison.render())
+    assert comparison.all_match()
+
+    game, equilibrium = _uniform_support_game(32, 16)
+    def run_once():
+        rng = random.Random(42)
+        prover = P2Prover(game, equilibrium, ROW)
+        return P2Verifier(game, ROW, rng=rng).verify(prover)
+
+    report = benchmark(run_once)
+    assert report.accepted
+
+
+def test_bench_p2_privacy_fig5(benchmark, record_table):
+    """E9 / Remark 2: the Fig. 5 view admits a continuum of column mixes."""
+    mixes = benchmark(lambda: fig5_consistent_column_mixes(samples=21))
+
+    comparison = PaperComparison("E9 / Remark 2 (Fig. 5 privacy)")
+    comparison.add(
+        "consistent column mixes found",
+        "every (qC, qD) with qD <= 1/2",
+        str(len(mixes)),
+        len(mixes) == 11,  # qD in {0, 1/20, ..., 1/2}
+    )
+    comparison.add(
+        "all consistent mixes satisfy qD <= 1/2",
+        "qD <= 1/2",
+        "yes" if all(q[1] <= Fraction(1, 2) for q in mixes) else "no",
+        all(q[1] <= Fraction(1, 2) for q in mixes),
+    )
+    comparison.add(
+        "equilibrium not determined by the view",
+        ">= 2 indistinguishable candidates",
+        str(len(mixes) >= 2),
+        len(mixes) >= 2,
+    )
+    record_table("e9_p2_privacy", comparison.render())
+    assert comparison.all_match()
+
+
+def test_bench_p2_leakage_vs_p1(benchmark, bench_scale, record_table):
+    """Leakage ledger: P2 reveals only the queried membership bits."""
+    from repro.games.generators import random_bimatrix
+    from repro.equilibria import lemke_howson
+
+    size = {"quick": 6, "default": 10, "full": 16}[bench_scale]
+    trials = {"quick": 10, "default": 40, "full": 150}[bench_scale]
+    game = random_bimatrix(size, size, seed=31)
+    equilibrium = lemke_howson(game, 0)
+
+    def measure():
+        total = 0
+        for trial in range(trials):
+            rng = random.Random(5_000 + trial)
+            prover = P2Prover(game, equilibrium, ROW)
+            verifier = P2Verifier(game, ROW, rng=rng)
+            disclosure = prover.disclose()
+            report = verifier.verify_with_disclosure(disclosure, prover)
+            total += membership_bits_learned(
+                view_from_session(ROW, disclosure, report)
+            )
+        return total / trials
+
+    mean_bits = benchmark.pedantic(measure, rounds=1, iterations=1)
+    p1_bits = p1_bits_revealed(size, size)
+    comparison = PaperComparison("E9b / P2 vs P1 leakage")
+    comparison.add(
+        "mean opponent-support bits leaked by P2",
+        f"< the {p1_bits} bits P1 reveals",
+        f"{mean_bits:.1f}",
+        mean_bits < p1_bits,
+    )
+    record_table("e9b_p2_leakage", comparison.render())
+    assert mean_bits < p1_bits

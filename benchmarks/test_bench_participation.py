@@ -1,0 +1,134 @@
+"""E2 + E3 — Sect. 5 participation game, off-line and on-line.
+
+Worked numbers from the paper (c/v = 3/8, n = 3, k = 2):
+
+* equilibrium probability p = 1/4 (the smaller root of Eq. 4);
+* expected equilibrium gain v/16;
+* on-line advice to the last firm: p = 1 worth v - c = 5v/8, or p = 0
+  worth the full v when the threshold is already met;
+* random arrival order: expected advised gain >= 5v/24 > v/16;
+* a flipped advice causes a loss (v - c foregone).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import PaperComparison
+from repro.games import ParticipationGame
+from repro.equilibria import participation_equilibrium
+from repro.online import (
+    OnlineParticipationAdvisor,
+    online_claims,
+    simulate_last_firm_gain,
+    verify_online_advice,
+)
+
+_V = Fraction(8)
+_C = Fraction(3)
+
+
+@pytest.fixture(scope="module")
+def game():
+    return ParticipationGame(3, value=_V, cost=_C)
+
+
+def test_bench_offline_equilibrium(benchmark, game, record_table):
+    """E2: solve + verify the symmetric equilibrium, exactly."""
+    p = benchmark(lambda: participation_equilibrium(game))
+
+    comparison = PaperComparison("E2 / Sect. 5 off-line participation")
+    comparison.add("equilibrium p (small root)", "1/4", str(p), p == Fraction(1, 4))
+    large = participation_equilibrium(game, prefer="large")
+    comparison.add("second symmetric root", "3/4", str(large), large == Fraction(3, 4))
+    comparison.add(
+        "Eq. (5) verifies advised p", "identity holds",
+        str(game.verify_equilibrium(p)), game.verify_equilibrium(p),
+    )
+    gain = game.equilibrium_expected_gain(p)
+    comparison.add("expected gain", "v/16", str(gain), gain == _V / 16)
+    comparison.add(
+        "wrong p rejected", "identity fails",
+        str(not game.verify_equilibrium(Fraction(1, 2))),
+        not game.verify_equilibrium(Fraction(1, 2)),
+    )
+    record_table("e2_participation_offline", comparison.render())
+    assert comparison.all_match()
+
+
+def test_bench_general_k_verification(benchmark, record_table):
+    """E2 extension: Eq. (5) for k > 2 — verification is cheap given p."""
+    big = ParticipationGame(12, value=100, cost=5, threshold=4)
+    p = participation_equilibrium(big)
+    accepted = benchmark(lambda: abs(big.indifference_identity_gap(p)) < Fraction(1, 10**6))
+    comparison = PaperComparison("E2b / general-k participation (n=12, k=4)")
+    comparison.add(
+        "p is hard to compute, easy to check",
+        "verifier asserts Eq. (5) given p",
+        "checked", accepted,
+    )
+    record_table("e2b_participation_general_k", comparison.render())
+    assert accepted
+
+
+def test_bench_online_participation(benchmark, game, record_table, bench_scale):
+    """E3: on-line advice values and the random-order expectation."""
+    advisor = OnlineParticipationAdvisor(game)
+    rounds = {"quick": 5_000, "default": 50_000, "full": 400_000}[bench_scale]
+
+    advised = benchmark.pedantic(
+        lambda: simulate_last_firm_gain(
+            game, Fraction(1, 4), rounds=rounds, rng=random.Random(5)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    unadvised = simulate_last_firm_gain(
+        game, Fraction(1, 4), rounds=rounds, rng=random.Random(5), follow_advice=False
+    )
+    claims = online_claims(game, Fraction(1, 4))
+
+    comparison = PaperComparison("E3 / Sect. 5 on-line participation")
+    a_in = advisor.advise_last_firm(1)
+    comparison.add(
+        "advice p=1 gain (one prior entrant)", "v - c = 5v/8 = 5",
+        str(a_in.expected_gain), a_in.expected_gain == _V - _C,
+    )
+    a_out = advisor.advise_last_firm(2)
+    comparison.add(
+        "advice p=0 gain (threshold met)", "v = 8",
+        str(a_out.expected_gain), a_out.expected_gain == _V,
+    )
+    comparison.add(
+        "paper bound (1/3)(5v/8)", "5v/24 = 5/3",
+        str(claims.paper_lower_bound), claims.paper_lower_bound == Fraction(5, 3),
+    )
+    comparison.add(
+        "bound beats off-line v/16", "5v/24 > v/16",
+        str(claims.online_beats_offline), claims.online_beats_offline,
+    )
+    comparison.add(
+        "simulated advised gain > off-line gain",
+        "advice strictly helps",
+        f"{advised:.3f} vs {float(game.equilibrium_expected_gain(Fraction(1, 4))):.3f}",
+        advised > float(game.equilibrium_expected_gain(Fraction(1, 4))),
+    )
+    comparison.add(
+        "simulated advised gain > unadvised gain",
+        "advice strictly helps",
+        f"{advised:.3f} vs {unadvised:.3f}",
+        advised > unadvised,
+    )
+    flipped_ok = verify_online_advice(
+        game, 1, advisor.advise_last_firm(2)
+    )
+    comparison.add(
+        "flipped advice rejected by the verifier",
+        "a flip of p results in a loss",
+        str(not flipped_ok), not flipped_ok,
+    )
+    record_table("e3_participation_online", comparison.render())
+    assert comparison.all_match()

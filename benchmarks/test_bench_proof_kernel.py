@@ -1,0 +1,125 @@
+"""E6 — Sect. 3 vs Sect. 4: the Fig. 2 proof path is exhaustive.
+
+The Coq-style ``allNash`` certificate enumerates the entire profile
+space, so the kernel's oracle-call count grows with Π|Ai| — we sweep the
+profile-space size and record it.  Against that, the P1 verifier on a
+game of comparable size does polynomially few exact operations; the
+benches print both so the Sect. 4 motivation is visible in numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable
+from repro.games import ROW
+from repro.games.generators import random_bimatrix
+from repro.equilibria import lemke_howson
+from repro.interactive import P1Prover, P1Verifier
+from repro.proofs import (
+    build_all_nash_certificate,
+    build_max_nash_certificate,
+    build_nash_certificate,
+    certificate_size_bytes,
+    check_certificate,
+)
+from repro.equilibria import pure_nash_equilibria
+
+
+def _sizes(bench_scale):
+    return {
+        "quick": (2, 3, 4),
+        "default": (2, 3, 4, 5, 6),
+        "full": (2, 3, 4, 5, 6, 8, 10),
+    }[bench_scale]
+
+
+def test_bench_kernel_enumeration_growth(benchmark, bench_scale, record_table):
+    sizes = _sizes(bench_scale)
+    table = TextTable(
+        ["actions/player", "profiles", "oracle calls", "proof bytes", "check (ms)"],
+        title="E6 / Fig. 2: allNash certificate checking cost",
+    )
+    rows = []
+    for size in sizes:
+        game = random_bimatrix(size, size, seed=500 + size).to_strategic()
+        certificate = build_all_nash_certificate(game)
+        start = time.perf_counter()
+        result = check_certificate(game, certificate)
+        elapsed = time.perf_counter() - start
+        assert result.accepted
+        table.add_row(
+            size,
+            size * size,
+            result.utility_evaluations,
+            certificate_size_bytes(certificate),
+            f"{elapsed * 1e3:.2f}",
+        )
+        rows.append((size, result.utility_evaluations))
+    record_table("e6_kernel_growth", table.render())
+
+    comparison = PaperComparison("E6 / Sect. 3 intractability")
+    first_size, first_cost = rows[0]
+    last_size, last_cost = rows[-1]
+    # Every enumerated profile costs at least one deviation comparison
+    # (two oracle calls), so the check is Ω(profile space): intractable
+    # for unbounded games, exactly the Sect. 3 -> Sect. 4 motivation.
+    per_profile_ok = all(cost >= 2 * size * size for size, cost in rows)
+    comparison.add(
+        "oracle calls are Ω(profile space)",
+        "proof enumerates all strategy profiles",
+        f"{first_cost} calls @ {first_size * first_size} profiles -> "
+        f"{last_cost} @ {last_size * last_size}",
+        per_profile_ok and last_cost > first_cost,
+    )
+
+    # The Sect. 4 counterpoint: P1 on the same-size game.
+    game_big = random_bimatrix(last_size, last_size, seed=500 + last_size)
+    equilibrium = lemke_howson(game_big, 0)
+    announcement = P1Prover(game_big, equilibrium).announce()
+    start = time.perf_counter()
+    report = P1Verifier(game_big, ROW).verify(announcement)
+    p1_elapsed = time.perf_counter() - start
+    assert report.accepted
+    comparison.add(
+        "P1 verification stays polynomial",
+        "one linear solve",
+        f"{p1_elapsed * 1e3:.2f} ms, {report.linear_solves} solve(s)",
+        report.linear_solves + report.lp_fallbacks <= 2,
+    )
+    record_table("e6_kernel_comparison", comparison.render())
+    assert comparison.all_match()
+
+    mid = sizes[len(sizes) // 2]
+    game_mid = random_bimatrix(mid, mid, seed=500 + mid).to_strategic()
+    cert_mid = build_all_nash_certificate(game_mid)
+    benchmark(lambda: check_certificate(game_mid, cert_mid))
+
+
+def test_bench_single_nash_certificate(benchmark, bench_scale):
+    """Checking a single isNash certificate: linear in Σ|Ai|, not Π|Ai|."""
+    size = {"quick": 4, "default": 8, "full": 16}[bench_scale]
+    game = random_bimatrix(size, size, seed=321).to_strategic()
+    equilibria = pure_nash_equilibria(game)
+    if not equilibria:
+        pytest.skip("random game drew no PNE; enumeration covered elsewhere")
+    cert = build_nash_certificate(game, equilibria[0])
+    result = benchmark(lambda: check_certificate(game, cert))
+    assert result.accepted
+    # Single-profile certificates stay linear in the action count.
+    assert result.utility_evaluations <= 4 * size + 4
+
+
+def test_bench_max_nash_certificate(benchmark, bench_scale):
+    size = {"quick": 3, "default": 4, "full": 6}[bench_scale]
+    from repro.games.generators import random_coordination
+
+    game = random_coordination(size, seed=9).to_strategic()
+    from repro.equilibria import maximal_pure_nash
+
+    candidate = maximal_pure_nash(game)[0]
+    cert = build_max_nash_certificate(game, candidate)
+    result = benchmark(lambda: check_certificate(game, cert))
+    assert result.accepted

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The Discussion-section lottery scenario.
+
+"Consider a lottery with x raffle tickets to be sold ... the lottery
+company knows that fake tickets are being sold in a certain geographic
+area A.  The lottery company can advise the lottery participants to
+avoid buying tickets sold in area A, supplying convincing proofs ...
+In this case, the information disclosure is minimal but very useful."
+
+We model the choice of where to buy a ticket as a game against chance:
+each area is an action; buying in a clean area wins with probability
+1/x, buying in the flooded area wins with a diluted probability.  The
+advisory is exactly a rationality-authority advice: "avoid area A",
+backed by a checkable proof (the win-probability comparison), verified
+without the company revealing *how many* fakes it knows about beyond
+what the proof needs — the minimal-disclosure point.
+
+Also dramatized: the Ron/Norton anecdote.  Norton ignores the verified
+advice, and the game-authority monitor records the blame.
+
+Run:  python examples/lottery_advisory.py
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    Advice,
+    AuditLog,
+    ComplianceExpectation,
+    GameAuthorityMonitor,
+    ProofFormat,
+    SolutionConcept,
+    EmptyProofProcedure,
+    VerificationContext,
+)
+import random
+
+from repro.games import StrategicGame
+
+
+def build_lottery_game(
+    tickets_per_area: int, fake_fraction: Fraction
+) -> StrategicGame:
+    """A 1-buyer-vs-chance game folded into a 2-player strategic form.
+
+    Player 0 is the buyer choosing an area (0 = clean, 1 = flooded with
+    fakes); player 1 is a dummy "nature" with one action.  Payoffs are
+    the buyer's win probabilities scaled to integers (utilities are
+    ordinal, so scaling preserves the best reply).
+    """
+    clean_win = Fraction(1, tickets_per_area)
+    # In the flooded area only the genuine fraction of tickets can win.
+    flooded_win = (1 - fake_fraction) * Fraction(1, tickets_per_area)
+    scale = tickets_per_area * fake_fraction.denominator
+    table = {
+        (0, 0): (clean_win * scale, Fraction(0)),
+        (1, 0): (flooded_win * scale, Fraction(0)),
+    }
+    return StrategicGame((2, 1), table, name="LotteryAreas")
+
+
+def main() -> None:
+    tickets = 1000
+    fake_fraction = Fraction(2, 5)  # 40% of area-A tickets are fake
+    game = build_lottery_game(tickets, fake_fraction)
+
+    print("Lottery advisory: 'buy in the clean area' with a checkable proof")
+    print("-" * 64)
+    print(f"win probability, clean area:   1/{tickets}")
+    print(f"win probability, flooded area: "
+          f"{(1 - fake_fraction)}/{tickets} (fakes dilute the draw)")
+
+    # The advice: pure strategy "clean area" with an empty proof — the
+    # verifier procedure evaluates the best reply directly, so the
+    # company discloses nothing beyond the payoff comparison itself.
+    advice = Advice(
+        game_id="lottery",
+        agent=0,
+        concept=SolutionConcept.PURE_NASH,
+        proof_format=ProofFormat.EMPTY_PROOF,
+        suggestion=(0, 0),
+        proof=None,
+        inventor="lottery-company",
+    )
+    verifier = EmptyProofProcedure("direct-evaluation")
+    verdict = verifier.verify(
+        game, advice, VerificationContext(rng=random.Random(0))
+    )
+    print(f"\nverifier verdict: accepted={verdict.accepted} ({verdict.reason})")
+
+    # Ron adopts the advice; Norton ignores it.
+    audit = AuditLog()
+    monitor = GameAuthorityMonitor(game, audit, session_id="lottery-1")
+    monitor.expect(ComplianceExpectation("ron", 0, (0, 0)))
+    print("\nRon buys in the clean area:")
+    violation = monitor.observe(0, 0)
+    print(f"  violation: {violation}")
+
+    monitor2 = GameAuthorityMonitor(game, audit, session_id="lottery-2")
+    monitor2.expect(ComplianceExpectation("norton", 0, (0, 0)))
+    print("Norton buys in area A anyway:")
+    violation = monitor2.observe(0, 1)
+    print(f"  violation: {violation.reason}")
+    print(f"\nblame ledger: {audit.blame_counts()}")
+    print("(The rationality authority 'eliminates the possible validity "
+          "of Norton's excuse'.)")
+
+
+if __name__ == "__main__":
+    main()

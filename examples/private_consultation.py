@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Private verification with P2 (Sect. 4, Remarks 2-3).
+
+The Fig. 5 game has a continuum of equilibria; the P2 prover tells the
+row agent only its own side (support {A}, probabilities, λ1, λ2), and
+the verifier checks the *column* side by random membership queries.  We
+show:
+
+1. an honest P2 session accepting, with its query ledger;
+2. Remark 2, executable: the row agent's view is consistent with every
+   column mix qD <= 1/2 — the equilibrium is provably not revealed;
+3. how little leaks: P2's membership bits vs P1's full supports;
+4. adversarial provers (wrong λ, stalling answers) being rejected, and
+   how hash commitments pin the stalling prover down.
+
+Run:  python examples/private_consultation.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.games import BimatrixGame, MixedProfile, ROW
+from repro.interactive import (
+    AdaptiveMembershipProver,
+    P2Prover,
+    P2Verifier,
+    WrongValueProver,
+    fig5_consistent_column_mixes,
+    membership_bits_learned,
+    p1_bits_revealed,
+    view_from_session,
+)
+
+
+def honest_session() -> None:
+    print("=" * 64)
+    print("Honest P2 session on the Fig. 5 game")
+    print("=" * 64)
+    game = BimatrixGame.fig5_example()
+    equilibrium = MixedProfile.from_rows([[1, 0], ["1/2", "1/2"]])
+    rng = random.Random(5)
+
+    prover = P2Prover(game, equilibrium, ROW)
+    verifier = P2Verifier(game, ROW, rng=rng)
+    disclosure = prover.disclose()
+    print(f"row agent receives: support={disclosure.own_support}, "
+          f"x={[str(p) for p in disclosure.own_probabilities]}, "
+          f"λ1={disclosure.own_value}, λ2={disclosure.other_value}")
+    report = verifier.verify_with_disclosure(disclosure, prover)
+    print(f"verdict: accepted={report.accepted} after {report.rounds} round(s)")
+    for q in report.queries:
+        print(f"  queried column {q.index}: "
+              f"{'in' if q.answered_in_support else 'out of'} support")
+
+    view = view_from_session(ROW, disclosure, report)
+    print(f"\nleakage: {membership_bits_learned(view)} membership bit(s) "
+          f"vs P1's {p1_bits_revealed(2, 2)} bits")
+
+
+def remark2_demo() -> None:
+    print()
+    print("=" * 64)
+    print("Remark 2: the view does not determine the column equilibrium")
+    print("=" * 64)
+    mixes = fig5_consistent_column_mixes(samples=11)
+    print("column mixes consistent with the row agent's view "
+          "(qC, qD with qD <= 1/2):")
+    for qc, qd in mixes:
+        print(f"  qC={qc}, qD={qd}")
+    print(f"-> {len(mixes)} indistinguishable candidates: the equilibrium "
+          f"is not revealed.")
+
+
+def adversaries_demo() -> None:
+    print()
+    print("=" * 64)
+    print("Dishonest provers")
+    print("=" * 64)
+    game = BimatrixGame.fig5_example()
+    equilibrium = MixedProfile.from_rows([[1, 0], ["1/2", "1/2"]])
+
+    liar = WrongValueProver(game, equilibrium, ROW, offset=Fraction(1))
+    report = P2Verifier(game, ROW, rng=random.Random(1)).verify(liar)
+    print(f"wrong-λ prover:    accepted={report.accepted}  ({report.reason})")
+
+    staller = AdaptiveMembershipProver(game, equilibrium, ROW)
+    report = P2Verifier(game, ROW, rng=random.Random(2), max_rounds=40).verify(staller)
+    print(f"stalling prover:   accepted={report.accepted}  "
+          f"(conclusive={report.conclusive}: starves the verifier)")
+
+    committed_staller = AdaptiveMembershipProver(
+        game, equilibrium, ROW, use_commitments=True, rng=random.Random(3)
+    )
+    report = P2Verifier(game, ROW, rng=random.Random(4), max_rounds=100).verify(
+        committed_staller
+    )
+    print(f"...with commitments: accepted={report.accepted}  "
+          f"(conclusive={report.conclusive}: bound answers contradict)")
+
+
+if __name__ == "__main__":
+    honest_session()
+    remark2_demo()
+    adversaries_demo()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: one consultation through the rationality authority.
+
+The story of Fig. 1 in five steps:
+
+1. a game inventor publishes a game it can solve (here: a bimatrix game
+   whose mixed equilibrium is PPAD-hard to find in general);
+2. an agent ("Jane", the row player) asks the authority for advice;
+3. the inventor answers with a suggested strategy plus a checkable proof
+   (the P1 support announcement of Fig. 3);
+4. reputable verifiers check the proof and vote;
+5. Jane adopts the advice only on a majority accept — and the whole
+   exchange lands in the audit log.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    AuthorityAgent,
+    BimatrixInventor,
+    RationalityAuthority,
+    standard_procedures,
+)
+from repro.games import ROW
+from repro.games.generators import random_bimatrix
+
+
+def main() -> None:
+    # -- infrastructure -------------------------------------------------
+    authority = RationalityAuthority(seed=2011)
+    authority.register_verifiers(standard_procedures())
+
+    # -- the inventor and its game --------------------------------------
+    inventor = BimatrixInventor("hard-games-inc")
+    authority.register_inventor(inventor)
+    game = random_bimatrix(6, 6, seed=42, name="AdAuction")
+    authority.publish_game("hard-games-inc", "ad-auction", game)
+    print(f"Published game: {game.describe()}")
+
+    # -- the agent ------------------------------------------------------
+    authority.register_agent(AuthorityAgent("jane", player_role=ROW))
+
+    # -- consult (open mode -> P1 proof) ---------------------------------
+    outcome = authority.consult("jane", "ad-auction", privacy="open")
+    print("\n--- consultation outcome ---")
+    print(f"session:   {outcome.session_id}")
+    print(f"adopted:   {outcome.adopted}")
+    print(f"suggested row mix: {[str(p) for p in outcome.advice.suggestion]}")
+    print(f"votes:     {outcome.majority.accept_votes} accept / "
+          f"{outcome.majority.reject_votes} reject")
+    print(f"notice:    {outcome.concept_notice}")
+
+    # -- what it cost ----------------------------------------------------
+    print("\n--- accounting ---")
+    print(f"bus messages: {len(authority.bus.log)}")
+    print(f"bus bytes:    {authority.bus.total_bytes()}")
+    print(f"audit events: {len(authority.audit.records)}")
+    for record in authority.audit.session(outcome.session_id):
+        print(f"  [{record.clock:03d}] {record.actor:<18} {record.event}")
+
+
+if __name__ == "__main__":
+    main()

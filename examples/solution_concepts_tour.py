@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""A tour of the verifier's solution-concept library.
+
+"The verifiers may use a library for the specification of the solution
+concepts and inform the user concerning the solution concept used and
+the consequences of the choice."  This example walks one game after
+another through the library's concepts, showing for each: the inventor's
+computation, the advice, the verifier's check, and the user-facing
+consequences notice.
+
+Concepts visited: pure Nash (+ maximal), mixed Nash, dominant strategy,
+correlated, Bayes-Nash, symmetric mixed (participation).
+
+Run:  python examples/solution_concepts_tour.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.core import (
+    Advice,
+    BayesNashProcedure,
+    CorrelatedProcedure,
+    DominanceProcedure,
+    EmptyProofProcedure,
+    IndifferenceProcedure,
+    ProofFormat,
+    SolutionConcept,
+    VerificationContext,
+    describe_advice,
+)
+from repro.games import BayesianGame, ParticipationGame, bayes_nash_equilibria
+from repro.games.generators import battle_of_sexes, prisoners_dilemma
+from repro.equilibria import (
+    correlated_equilibrium_lp,
+    dominant_strategy_equilibrium,
+    lemke_howson,
+    maximal_pure_nash,
+    participation_equilibrium,
+)
+
+
+def ctx():
+    return VerificationContext(rng=random.Random(0))
+
+
+def show(title, advice, verdict):
+    print(f"\n--- {title} ---")
+    print(f"advice:  {advice.suggestion}")
+    print(f"verdict: accepted={verdict.accepted} ({verdict.reason})")
+    print(f"notice:  {describe_advice(advice)}")
+
+
+def main() -> None:
+    # 1. Dominant strategy (prisoner's dilemma).
+    pd = prisoners_dilemma().to_strategic()
+    profile = dominant_strategy_equilibrium(pd, strict=True)
+    advice = Advice(
+        game_id="pd", agent=0, concept=SolutionConcept.DOMINANT_STRATEGY,
+        proof_format=ProofFormat.EMPTY_PROOF, suggestion=profile,
+        proof={"strict": True},
+    )
+    show("dominant strategy", advice, DominanceProcedure("v").verify(pd, advice, ctx()))
+
+    # 2. Maximal pure Nash (battle of the sexes) via empty proof.
+    bos = battle_of_sexes().to_strategic()
+    candidate = maximal_pure_nash(bos)[0]
+    advice = Advice(
+        game_id="bos", agent=0, concept=SolutionConcept.PURE_NASH,
+        proof_format=ProofFormat.EMPTY_PROOF, suggestion=candidate, proof=None,
+    )
+    show("pure Nash", advice, EmptyProofProcedure("v").verify(bos, advice, ctx()))
+
+    # 3. Mixed Nash (exact Lemke-Howson on the bimatrix game).
+    bimatrix = battle_of_sexes()
+    equilibrium = lemke_howson(bimatrix, 1)
+    advice = Advice(
+        game_id="bos", agent="both", concept=SolutionConcept.MIXED_NASH,
+        proof_format=ProofFormat.EMPTY_PROOF, suggestion=equilibrium, proof=None,
+    )
+    show("mixed Nash", advice, EmptyProofProcedure("v").verify(bimatrix, advice, ctx()))
+
+    # 4. Correlated equilibrium (welfare-maximal device from the exact LP).
+    device = correlated_equilibrium_lp(bos)
+    advice = Advice(
+        game_id="bos", agent=0, concept=SolutionConcept.CORRELATED,
+        proof_format=ProofFormat.EMPTY_PROOF, suggestion=device, proof=None,
+    )
+    show("correlated", advice, CorrelatedProcedure("v").verify(bos, advice, ctx()))
+
+    # 5. Bayes-Nash (incomplete-information coordination).
+    prior = {(0, 0): Fraction(1, 2), (1, 0): Fraction(1, 2)}
+
+    def payoff(player, types, actions):
+        match = 1 if actions[0] == actions[1] else 0
+        if player == 0:
+            return (2 if actions[0] == types[0] else 1) * match
+        return match
+
+    bayesian = BayesianGame((2, 1), (2, 2), prior, payoff, name="TypeCoord")
+    eq = bayes_nash_equilibria(bayesian)[0]
+    advice = Advice(
+        game_id="bg", agent=0, concept=SolutionConcept.BAYES_NASH,
+        proof_format=ProofFormat.EMPTY_PROOF, suggestion=eq, proof=None,
+    )
+    show("Bayes-Nash", advice, BayesNashProcedure("v").verify(bayesian, advice, ctx()))
+
+    # 6. Symmetric mixed (the Sect. 5 participation game).
+    participation = ParticipationGame(3, value=8, cost=3)
+    p = participation_equilibrium(participation)
+    advice = Advice(
+        game_id="auction", agent=0,
+        concept=SolutionConcept.SYMMETRIC_MIXED_NASH,
+        proof_format=ProofFormat.INDIFFERENCE_IDENTITY,
+        suggestion=p, proof={"identity": "eq5"},
+    )
+    show(
+        "symmetric mixed (Eq. 5)",
+        advice,
+        IndifferenceProcedure("v").verify(participation, advice, ctx()),
+    )
+
+
+if __name__ == "__main__":
+    main()

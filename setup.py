@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but no `wheel` package, so the
+PEP 517/660 editable-install path (which shells out to bdist_wheel) is
+unavailable.  Keeping a setup.py lets `pip install -e .` fall back to the
+legacy `setup.py develop` code path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of "Rationality Authority for Provable
+Rational Behavior" (Dolev, Panagopoulou, Rabie, Schiller, Spirakis;
+PODC 2011 brief announcement, LNCS 9295 full version).
+
+The package layers, bottom to top:
+
+* :mod:`repro.linalg` — exact rational linear algebra;
+* :mod:`repro.games` — strategic-form / bimatrix / symmetric /
+  participation / congestion games;
+* :mod:`repro.equilibria` — best replies, pure and mixed Nash,
+  support enumeration, Lemke-Howson, symmetric solvers;
+* :mod:`repro.proofs` — the Fig. 2 Coq-style certificate language,
+  builder and checking kernel;
+* :mod:`repro.interactive` — the P1 and P2 interactive proofs with
+  transcripts, privacy accounting and adversaries;
+* :mod:`repro.crypto` — commitments and signature simulation;
+* :mod:`repro.online` — on-line congestion games, the parallel-links
+  model, the inventor's statistics and the Fig. 7 simulation;
+* :mod:`repro.core` — the rationality authority itself: actors,
+  advice, verifier registry, reputation, audit, sessions.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    AdviceRejected,
+    CommitmentError,
+    EquilibriumError,
+    GameError,
+    LinearAlgebraError,
+    ProfileError,
+    ProofError,
+    ProofRejected,
+    ProtocolError,
+    ReproError,
+    SignatureError,
+    TranscriptError,
+    VerificationFailure,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GameError",
+    "ProfileError",
+    "EquilibriumError",
+    "LinearAlgebraError",
+    "ProofError",
+    "ProofRejected",
+    "TranscriptError",
+    "VerificationFailure",
+    "CommitmentError",
+    "SignatureError",
+    "ProtocolError",
+    "AdviceRejected",
+]

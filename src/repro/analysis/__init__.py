@@ -1,0 +1,12 @@
+"""Experiment statistics and reporting helpers."""
+
+from repro.analysis.reporting import PaperComparison, TextTable
+from repro.analysis.stats import SampleSummary, proportion_ci, summarize
+
+__all__ = [
+    "PaperComparison",
+    "TextTable",
+    "SampleSummary",
+    "proportion_ci",
+    "summarize",
+]

@@ -1,0 +1,78 @@
+"""Fixed-width text tables for the benchmark harness.
+
+Every bench prints the rows/series the paper reports, in a
+"paper expectation vs measured" format recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+class TextTable:
+    """A minimal fixed-width table renderer."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ReproError("a table needs at least one column")
+        self._columns = [str(c) for c in columns]
+        self._rows: list[list[str]] = []
+        self.title = title
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self._columns):
+            raise ReproError(
+                f"row has {len(cells)} cells for {len(self._columns)} columns"
+            )
+        self._rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self._columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self._columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass
+class PaperComparison:
+    """Accumulates paper-vs-measured rows for one experiment."""
+
+    experiment: str
+    rows: list[tuple[str, str, str, str]] = field(default_factory=list)
+
+    def add(self, quantity: str, paper: str, measured, verdict: bool | str) -> None:
+        if isinstance(verdict, bool):
+            verdict = "MATCH" if verdict else "MISMATCH"
+        self.rows.append((quantity, paper, _format_cell(measured), verdict))
+
+    def render(self) -> str:
+        table = TextTable(
+            ["quantity", "paper", "measured", "verdict"],
+            title=f"== {self.experiment} ==",
+        )
+        for row in self.rows:
+            table.add_row(*row)
+        return table.render()
+
+    def all_match(self) -> bool:
+        return all(r[3] == "MATCH" for r in self.rows)

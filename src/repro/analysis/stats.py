@@ -1,0 +1,59 @@
+"""Small statistics helpers for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean, standard deviation and a normal-approximation 95% CI."""
+
+    count: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Summary statistics of a sample (95% CI via the normal approximation)."""
+    if not values:
+        raise ReproError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    std = math.sqrt(variance)
+    half_width = 1.96 * std / math.sqrt(n) if n > 1 else 0.0
+    return SampleSummary(
+        count=n,
+        mean=mean,
+        std=std,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def proportion_ci(successes: int, trials: int) -> tuple[float, float]:
+    """Wilson 95% interval for a binomial proportion."""
+    if trials <= 0:
+        raise ReproError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ReproError("successes out of range")
+    z = 1.96
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)

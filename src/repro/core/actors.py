@@ -1,0 +1,332 @@
+"""The framework's parties: game inventors and agents.
+
+"The game inventor ... may possibly gain revenues from the game.  We
+consider game inventors that create games for which they could predict
+the best-reply and prove their feasibility and optimality to the
+players/agents."  Inventors here hold the heavyweight solvers
+(:mod:`repro.equilibria`) and emit :class:`~repro.core.advice.Advice`
+with the matching proof payloads.  Dishonest variants model the paper's
+conflicted inventor.
+
+Agents carry only an identity, a (private) player role and a verifier-
+selection policy; their preferences never leave their process — the
+session hands them advice and verdicts, not the other way around.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.core.advice import Advice, ProofFormat, SolutionConcept
+from repro.errors import EquilibriumError, ProtocolError
+from repro.games.base import Game
+from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.games.participation import ParticipationGame
+from repro.games.profiles import MixedProfile
+from repro.equilibria.lemke_howson import lemke_howson
+from repro.equilibria.pure import maximal_pure_nash, pure_nash_equilibria
+from repro.equilibria.support_enumeration import find_one_equilibrium
+from repro.equilibria.symmetric import participation_equilibrium, symmetric_equilibria
+from repro.interactive.p1 import P1Prover
+from repro.interactive.p2 import P2Prover
+from repro.proofs.builder import build_max_nash_certificate, build_nash_certificate
+from repro.proofs.serialize import encode_certificate
+
+
+@dataclass(frozen=True)
+class AdvicePackage:
+    """What an inventor hands the session: the advice and, for interactive
+    formats, a live prover handle the verifier can query."""
+
+    advice: Advice
+    prover: Any = None
+
+
+class GameInventor(abc.ABC):
+    """Base inventor: owns games and answers advice requests."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abc.abstractmethod
+    def advise(self, game_id: str, game: Game, agent, privacy: str) -> AdvicePackage:
+        """Produce advice for ``agent`` (an index or "both").
+
+        ``privacy`` is "open" or "private"; inventors that support private
+        verification switch to P2-style disclosure when asked.
+        """
+
+
+class PureNashInventor(GameInventor):
+    """Advises a (maximal) pure Nash equilibrium with a Fig. 2 certificate."""
+
+    def __init__(self, name: str, maximal: bool = True, explicit: bool = True):
+        super().__init__(name)
+        self._maximal = maximal
+        self._explicit = explicit
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        if self._maximal:
+            candidates = maximal_pure_nash(game)
+            concept = SolutionConcept.MAXIMAL_PURE_NASH
+        else:
+            candidates = pure_nash_equilibria(game)
+            concept = SolutionConcept.PURE_NASH
+        if not candidates:
+            raise EquilibriumError(f"{game_id} has no pure Nash equilibrium")
+        profile = candidates[0]
+        if self._maximal:
+            cert = build_max_nash_certificate(game, profile, explicit=self._explicit)
+        else:
+            cert = build_nash_certificate(game, profile, explicit=self._explicit)
+        advice = Advice(
+            game_id=game_id,
+            agent=agent,
+            concept=concept,
+            proof_format=ProofFormat.CERTIFICATE,
+            suggestion=profile,
+            proof=encode_certificate(cert),
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=advice)
+
+
+class BimatrixInventor(GameInventor):
+    """Computes a mixed equilibrium (the PPAD-hard step) and proves it
+    interactively: P1 when privacy is "open", P2 when "private"."""
+
+    def __init__(self, name: str, method: str = "lemke-howson",
+                 commitment_mode: bool = False, rng: random.Random | None = None):
+        super().__init__(name)
+        if method not in ("lemke-howson", "support-enumeration"):
+            raise ProtocolError(f"unknown solve method {method!r}")
+        self._method = method
+        self._commitments = commitment_mode
+        self._rng = rng or random.Random(0)
+        self._cache: dict[str, MixedProfile] = {}
+
+    def solve(self, game_id: str, game: BimatrixGame) -> MixedProfile:
+        """The inventor's expensive step, cached per game."""
+        if game_id not in self._cache:
+            if self._method == "lemke-howson":
+                self._cache[game_id] = lemke_howson(game, 0)
+            else:
+                self._cache[game_id] = find_one_equilibrium(game)
+        return self._cache[game_id]
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        if not isinstance(game, BimatrixGame):
+            raise ProtocolError("BimatrixInventor advises bimatrix games only")
+        equilibrium = self.solve(game_id, game)
+        if privacy == "private":
+            if agent == "both":
+                raise ProtocolError("private advice addresses a single agent")
+            agent_index = int(agent)
+            prover = P2Prover(
+                game, equilibrium, agent_index,
+                use_commitments=self._commitments, rng=self._rng,
+            )
+            advice = Advice(
+                game_id=game_id,
+                agent=agent,
+                concept=SolutionConcept.MIXED_NASH,
+                proof_format=ProofFormat.INTERACTIVE_P2,
+                suggestion=equilibrium.distribution(agent_index),
+                proof=None,
+                inventor=self.name,
+            )
+            return AdvicePackage(advice=advice, prover=prover)
+        announcement = P1Prover(game, equilibrium).announce()
+        suggestion: Any
+        if agent == "both":
+            suggestion = equilibrium
+        else:
+            suggestion = equilibrium.distribution(int(agent))
+        advice = Advice(
+            game_id=game_id,
+            agent=agent,
+            concept=SolutionConcept.MIXED_NASH,
+            proof_format=ProofFormat.INTERACTIVE_P1,
+            suggestion=suggestion,
+            proof={
+                "row_support": list(announcement.row_support),
+                "column_support": list(announcement.column_support),
+            },
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=advice)
+
+
+class ParticipationInventor(GameInventor):
+    """Sect. 5: computes the symmetric equilibrium p and advises it to all."""
+
+    def __init__(self, name: str, prefer: str = "small"):
+        super().__init__(name)
+        self._prefer = prefer
+        self._cache: dict[str, Fraction] = {}
+
+    def equilibrium_probability(self, game_id: str, game: ParticipationGame) -> Fraction:
+        if game_id not in self._cache:
+            self._cache[game_id] = participation_equilibrium(game, prefer=self._prefer)
+        return self._cache[game_id]
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        if not isinstance(game, ParticipationGame):
+            raise ProtocolError("ParticipationInventor advises participation games")
+        p = self.equilibrium_probability(game_id, game)
+        advice = Advice(
+            game_id=game_id,
+            agent=agent,
+            concept=SolutionConcept.SYMMETRIC_MIXED_NASH,
+            proof_format=ProofFormat.INDIFFERENCE_IDENTITY,
+            suggestion=p,
+            proof={"identity": "eq5", "p": f"{p.numerator}/{p.denominator}"},
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=advice)
+
+
+class TwoFacedParticipationInventor(ParticipationInventor):
+    """The multi-equilibrium cheat of Sect. 5.
+
+    "The existence of multiple equilibria would allow a dishonest prover
+    to send different probabilities to the players, with each probability
+    corresponding to a different symmetric equilibrium."  Each advised p
+    passes Eq. (5) individually — only the agents' cross-check catches
+    the inconsistency.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._flip = 0
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        if not isinstance(game, ParticipationGame):
+            raise ProtocolError("ParticipationInventor advises participation games")
+        roots = [p for p in symmetric_equilibria(game) if 0 < p < 1]
+        if len(roots) < 2:
+            return super().advise(game_id, game, agent, privacy)
+        p = roots[self._flip % len(roots)]
+        self._flip += 1
+        advice = Advice(
+            game_id=game_id,
+            agent=agent,
+            concept=SolutionConcept.SYMMETRIC_MIXED_NASH,
+            proof_format=ProofFormat.INDIFFERENCE_IDENTITY,
+            suggestion=p,
+            proof={"identity": "eq5", "p": f"{p.numerator}/{p.denominator}"},
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=advice)
+
+
+class CorrelatedInventor(GameInventor):
+    """Advises a correlated device (welfare-maximal, from the exact LP).
+
+    The Aumann contrast made executable: the device is *advised and
+    verified*, not trusted — the agents check the obedience constraints
+    themselves through the registry.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._cache: dict[str, dict] = {}
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        from repro.core.advice import SolutionConcept as _SC
+        from repro.equilibria.correlated import correlated_equilibrium_lp
+
+        if game_id not in self._cache:
+            self._cache[game_id] = correlated_equilibrium_lp(game)
+        device = self._cache[game_id]
+        advice = Advice(
+            game_id=game_id,
+            agent=agent,
+            concept=_SC.CORRELATED,
+            proof_format=ProofFormat.EMPTY_PROOF,
+            suggestion=dict(device),
+            proof=None,
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=advice)
+
+
+class ExtensiveFormInventor(GameInventor):
+    """Advises the backward-induction plan of a sequential game."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._cache: dict[str, dict] = {}
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        from repro.core.advice import SolutionConcept as _SC
+        from repro.games.extensive import ExtensiveGame, backward_induction
+
+        if not isinstance(game, ExtensiveGame):
+            raise ProtocolError("ExtensiveFormInventor advises extensive-form games")
+        if game_id not in self._cache:
+            strategy, __ = backward_induction(game)
+            self._cache[game_id] = strategy
+        advice = Advice(
+            game_id=game_id,
+            agent=agent,
+            concept=_SC.SUBGAME_PERFECT,
+            proof_format=ProofFormat.EMPTY_PROOF,
+            suggestion=dict(self._cache[game_id]),
+            proof=None,
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=advice)
+
+
+class MisadvisingInventor(GameInventor):
+    """Wraps an honest inventor and corrupts the suggestion.
+
+    The proof payload is left untouched, so the corruption is exactly the
+    kind a proof check must catch: a suggestion that no longer matches
+    (or no longer satisfies) its own proof.
+    """
+
+    def __init__(self, name: str, inner: GameInventor, corrupt):
+        super().__init__(name)
+        self._inner = inner
+        self._corrupt = corrupt
+
+    def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        package = self._inner.advise(game_id, game, agent, privacy)
+        advice = package.advice
+        corrupted = Advice(
+            game_id=advice.game_id,
+            agent=advice.agent,
+            concept=advice.concept,
+            proof_format=advice.proof_format,
+            suggestion=self._corrupt(advice.suggestion),
+            proof=advice.proof,
+            inventor=self.name,
+        )
+        return AdvicePackage(advice=corrupted, prover=package.prover)
+
+
+@dataclass
+class AgentPolicy:
+    """How an agent selects verifiers and reacts to verdicts."""
+
+    verifier_count: int = 3
+    adopt_on_majority: bool = True
+
+
+@dataclass
+class AuthorityAgent:
+    """A registered agent: public identity, private role, selection policy."""
+
+    name: str
+    player_role: int | str = 0
+    policy: AgentPolicy = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.policy is None:
+            self.policy = AgentPolicy()

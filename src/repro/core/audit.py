@@ -1,0 +1,115 @@
+"""The audit log: accountability for inventors, verifiers and agents.
+
+The paper's discussion section (the Ron/Norton anecdote) makes auditing a
+first-class feature: the rationality authority "produces a check-able
+proof for the optimality of the suggestion ... and may be used (after
+auditing Norton's actions) to blame Norton for not using the rationality
+authority results to act rationally."  Likewise "actions of dishonest
+game inventors, agents, and veriﬁers ... can be reported to a reputation
+system that audits their actions."
+
+The log is append-only with a logical clock; records carry an actor, an
+event tag and free-form details.  Blame queries summarize who misbehaved
+and how often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# Event tags used across the framework.
+EVENT_GAME_PUBLISHED = "game.published"
+EVENT_ADVICE_REQUESTED = "advice.requested"
+EVENT_ADVICE_DELIVERED = "advice.delivered"
+EVENT_VERDICT = "verification.verdict"
+EVENT_MAJORITY = "verification.majority"
+EVENT_ADVICE_ADOPTED = "advice.adopted"
+EVENT_ADVICE_REJECTED = "advice.rejected"
+EVENT_INVENTOR_BLAMED = "blame.inventor"
+EVENT_VERIFIER_BLAMED = "blame.verifier"
+EVENT_AGENT_BLAMED = "blame.agent"
+EVENT_RULE_VIOLATION = "gameauthority.violation"
+EVENT_CROSS_CHECK = "advice.cross-check"
+EVENT_STATISTICS_AUDIT = "statistics.audit"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One append-only audit entry."""
+
+    clock: int
+    session_id: str
+    actor: str
+    event: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class AuditLog:
+    """Append-only audit trail with blame queries."""
+
+    def __init__(self):
+        self._records: list[AuditRecord] = []
+        self._clock = 0
+
+    def record(self, session_id: str, actor: str, event: str, **details) -> AuditRecord:
+        self._clock += 1
+        entry = AuditRecord(
+            clock=self._clock,
+            session_id=session_id,
+            actor=actor,
+            event=event,
+            details=dict(details),
+        )
+        self._records.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Blame helpers
+    # ------------------------------------------------------------------
+
+    def blame_inventor(self, session_id: str, inventor: str, reason: str) -> AuditRecord:
+        """A rejected proof marks the inventor for blame."""
+        return self.record(
+            session_id, inventor, EVENT_INVENTOR_BLAMED, reason=reason
+        )
+
+    def blame_verifier(self, session_id: str, verifier: str, reason: str) -> AuditRecord:
+        """A dissenting verifier (out-voted by the majority) is noted."""
+        return self.record(
+            session_id, verifier, EVENT_VERIFIER_BLAMED, reason=reason
+        )
+
+    def blame_agent(self, session_id: str, agent: str, reason: str) -> AuditRecord:
+        """The Norton case: an agent ignored verified rational advice."""
+        return self.record(session_id, agent, EVENT_AGENT_BLAMED, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[AuditRecord, ...]:
+        return tuple(self._records)
+
+    def events_for(self, actor: str) -> tuple[AuditRecord, ...]:
+        return tuple(r for r in self._records if r.actor == actor)
+
+    def events_of(self, event: str) -> tuple[AuditRecord, ...]:
+        return tuple(r for r in self._records if r.event == event)
+
+    def session(self, session_id: str) -> tuple[AuditRecord, ...]:
+        return tuple(r for r in self._records if r.session_id == session_id)
+
+    def blame_counts(self) -> dict[str, int]:
+        """How many times each actor has been blamed, any blame kind."""
+        counts: dict[str, int] = {}
+        blame_events = {
+            EVENT_INVENTOR_BLAMED,
+            EVENT_VERIFIER_BLAMED,
+            EVENT_AGENT_BLAMED,
+        }
+        for record in self._records:
+            if record.event in blame_events:
+                counts[record.actor] = counts.get(record.actor, 0) + 1
+        return counts

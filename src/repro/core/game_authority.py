@@ -1,0 +1,137 @@
+"""The game-authority compliance monitor.
+
+The rationality authority "can also cooperate with the game authority
+proposed in [9, 10] that guarantees that the agents employ the strategy
+equilibrium by following the game rules."  This module is that
+cooperation hook: once advice is adopted, the monitor watches the actions
+actually played and reports violations — out-of-range actions, or
+deviations from the adopted strategy — to the audit log, blaming the
+agent (the operationalized Ron/Norton anecdote).
+
+The monitor is self-stabilizing in the sense of [9, 10]'s middleware: its
+observation state can be reset at any time (:meth:`resync`) and it
+rebuilds a consistent view from subsequent observations alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from repro.core.audit import EVENT_RULE_VIOLATION, AuditLog
+from repro.errors import ProtocolError
+from repro.games.base import Game
+from repro.games.profiles import MixedProfile
+
+
+@dataclass(frozen=True)
+class ComplianceExpectation:
+    """What an agent committed to when adopting advice.
+
+    ``strategy`` is a pure action (int), a pure profile (the agent's own
+    entry is used), or a mixed distribution (any supported action
+    complies).
+    """
+
+    agent_name: str
+    player_index: int
+    strategy: Any
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed rule violation."""
+
+    agent_name: str
+    player_index: int
+    action: int
+    reason: str
+
+
+class GameAuthorityMonitor:
+    """Watches played actions against the game rules and adopted advice."""
+
+    def __init__(self, game: Game, audit: AuditLog, session_id: str):
+        self._game = game
+        self._audit = audit
+        self._session_id = session_id
+        self._expectations: dict[int, ComplianceExpectation] = {}
+        self._violations: list[Violation] = []
+
+    def expect(self, expectation: ComplianceExpectation) -> None:
+        """Register an adopted strategy for one player."""
+        index = expectation.player_index
+        if not 0 <= index < self._game.num_players:
+            raise ProtocolError(f"player index {index} out of range")
+        self._expectations[index] = expectation
+
+    def observe(self, player_index: int, action: int) -> Violation | None:
+        """Check one played action; records and returns any violation."""
+        if not 0 <= player_index < self._game.num_players:
+            raise ProtocolError(f"player index {player_index} out of range")
+        violation = self._check(player_index, action)
+        if violation is not None:
+            self._violations.append(violation)
+            self._audit.record(
+                self._session_id,
+                violation.agent_name,
+                EVENT_RULE_VIOLATION,
+                player=player_index,
+                action=action,
+                reason=violation.reason,
+            )
+            self._audit.blame_agent(
+                self._session_id, violation.agent_name, violation.reason
+            )
+        return violation
+
+    def _check(self, player_index: int, action: int) -> Violation | None:
+        expectation = self._expectations.get(player_index)
+        agent_name = expectation.agent_name if expectation else f"player-{player_index}"
+        if not 0 <= action < self._game.num_actions(player_index):
+            return Violation(
+                agent_name=agent_name,
+                player_index=player_index,
+                action=action,
+                reason=f"action {action} violates the game rules "
+                       f"(valid range is 0..{self._game.num_actions(player_index) - 1})",
+            )
+        if expectation is None:
+            return None
+        strategy = expectation.strategy
+        if isinstance(strategy, MixedProfile):
+            allowed = strategy.support(player_index)
+            if action not in allowed:
+                return Violation(
+                    agent_name=agent_name,
+                    player_index=player_index,
+                    action=action,
+                    reason=f"action {action} is outside the adopted support {allowed}",
+                )
+            return None
+        if isinstance(strategy, tuple):
+            expected = strategy[player_index]
+        else:
+            expected = int(strategy)
+        if action != expected:
+            return Violation(
+                agent_name=agent_name,
+                player_index=player_index,
+                action=action,
+                reason=f"action {action} deviates from the adopted strategy {expected}",
+            )
+        return None
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        return tuple(self._violations)
+
+    def resync(self) -> None:
+        """Self-stabilization hook: drop all observation state.
+
+        Expectations persist (they are commitments, not observations);
+        recorded violations are cleared so the monitor can converge to a
+        consistent view after arbitrary state corruption.
+        """
+        self._violations.clear()

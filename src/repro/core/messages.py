@@ -1,0 +1,43 @@
+"""Messages on the authority's bus.
+
+Every inter-party communication in the framework — game publication,
+advice requests, advice, verdicts — is an explicit :class:`Message` with
+a canonical byte size, so experiments can account the framework's
+communication overhead exactly (experiment E10).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.interactive.transcripts import encode_value
+
+
+@dataclass(frozen=True)
+class Message:
+    """One bus message.
+
+    ``kind`` is a dotted protocol tag (e.g. ``"advice.request"``);
+    ``payload`` must be JSON-able after Fraction encoding.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    sequence: int = 0
+
+    def canonical_payload(self) -> str:
+        try:
+            return json.dumps(
+                encode_value(self.payload), sort_keys=True, separators=(",", ":")
+            )
+        except Exception as exc:  # noqa: BLE001 - normalize to protocol error
+            raise ProtocolError(f"unencodable payload in {self.kind}: {exc}") from exc
+
+    def size_bytes(self) -> int:
+        """Canonical payload size — what the bus charges."""
+        return len(self.canonical_payload().encode("utf-8"))

@@ -1,0 +1,13 @@
+"""Crypto substrate: hash commitments and HMAC signature simulation."""
+
+from repro.crypto.commitments import Commitment, Opening, commit, open_commitment
+from repro.crypto.signatures import KeyRegistry, Signature
+
+__all__ = [
+    "Commitment",
+    "Opening",
+    "commit",
+    "open_commitment",
+    "KeyRegistry",
+    "Signature",
+]

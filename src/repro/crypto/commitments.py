@@ -1,0 +1,81 @@
+"""Hash commitments.
+
+The P2 private proof (Fig. 4) relies on the prover answering membership
+queries honestly; a lying prover risks detection only if its answers are
+*bound* before it sees the queries.  We make that binding explicit with
+the standard hash-commitment construction: commit = SHA-256(nonce || value),
+opened later by revealing (nonce, value).
+
+This is the simulation of a real cryptographic commitment documented in
+DESIGN.md: hiding holds against the honest-but-curious parties modelled
+here (the nonce is 32 random bytes), and binding holds up to SHA-256
+collisions — both adequate to exercise the protocol logic the paper
+describes ("some of the techniques resemble zero-knowledge proofs").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import secrets
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CommitmentError
+
+_NONCE_BYTES = 32
+
+
+def _canonical(value: Any) -> bytes:
+    """Canonical byte encoding of a JSON-able value."""
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CommitmentError(f"value is not JSON-encodable: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """The public half of a commitment: the digest only."""
+
+    digest: str
+
+    def verify_opening(self, opening: "Opening") -> bool:
+        """True iff ``opening`` opens this commitment."""
+        return _digest(opening.nonce, opening.value) == self.digest
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The private half: nonce and committed value."""
+
+    nonce: str
+    value: Any
+
+
+def _digest(nonce: str, value: Any) -> str:
+    h = hashlib.sha256()
+    h.update(bytes.fromhex(nonce))
+    h.update(_canonical(value))
+    return h.hexdigest()
+
+
+def commit(value: Any, rng=None) -> tuple[Commitment, Opening]:
+    """Commit to ``value``; returns (public commitment, private opening).
+
+    ``rng`` may be a seeded ``random.Random`` for deterministic tests;
+    by default the nonce comes from the OS CSPRNG.
+    """
+    if rng is None:
+        nonce = secrets.token_bytes(_NONCE_BYTES).hex()
+    else:
+        nonce = bytes(rng.randrange(256) for _ in range(_NONCE_BYTES)).hex()
+    digest = _digest(nonce, value)
+    return Commitment(digest=digest), Opening(nonce=nonce, value=value)
+
+
+def open_commitment(commitment: Commitment, opening: Opening) -> Any:
+    """Open a commitment, raising :class:`CommitmentError` on mismatch."""
+    if not commitment.verify_opening(opening):
+        raise CommitmentError("opening does not match commitment digest")
+    return opening.value

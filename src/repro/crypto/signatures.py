@@ -1,0 +1,87 @@
+"""Signature simulation with an in-process key registry.
+
+Footnote 3 of the paper: "the system can require the inventor to publish
+the average loads with its signature at each round ... then the inventor
+is kept responsible when found cheating."  We simulate the PKI with
+HMAC-SHA256: each identity holds a secret key; the :class:`KeyRegistry`
+plays the role of the certificate authority, letting anyone *verify* a
+signature without being able to forge one (verification goes through the
+registry, which holds the keys — the trust substitution is documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import secrets
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SignatureError
+
+
+def _canonical(value: Any) -> bytes:
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SignatureError(f"value is not JSON-encodable: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature over a canonical encoding."""
+
+    signer: str
+    mac: str
+
+
+class KeyRegistry:
+    """Holds signing keys and verifies signatures — the simulated PKI.
+
+    Identities register once (generating a fresh random key); signing
+    requires the identity's key handle, verification only the registry.
+    Tests for the audit trail rely on: (a) signatures verify for the
+    honest signer, (b) altering the payload or impersonating another
+    identity fails.
+    """
+
+    def __init__(self):
+        self._keys: dict[str, bytes] = {}
+
+    def register(self, identity: str, rng=None) -> None:
+        """Register a new identity with a fresh key."""
+        if identity in self._keys:
+            raise SignatureError(f"identity {identity!r} already registered")
+        if rng is None:
+            key = secrets.token_bytes(32)
+        else:
+            key = bytes(rng.randrange(256) for _ in range(32))
+        self._keys[identity] = key
+
+    def is_registered(self, identity: str) -> bool:
+        return identity in self._keys
+
+    def sign(self, identity: str, value: Any) -> Signature:
+        """Sign a JSON-able value as ``identity``."""
+        try:
+            key = self._keys[identity]
+        except KeyError:
+            raise SignatureError(f"identity {identity!r} is not registered") from None
+        mac = hmac.new(key, _canonical(value), hashlib.sha256).hexdigest()
+        return Signature(signer=identity, mac=mac)
+
+    def verify(self, signature: Signature, value: Any) -> bool:
+        """True iff ``signature`` is valid for ``value`` under its signer's key."""
+        key = self._keys.get(signature.signer)
+        if key is None:
+            return False
+        expected = hmac.new(key, _canonical(value), hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signature.mac)
+
+    def verify_or_raise(self, signature: Signature, value: Any) -> None:
+        if not self.verify(signature, value):
+            raise SignatureError(
+                f"signature by {signature.signer!r} does not verify"
+            )

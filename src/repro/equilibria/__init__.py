@@ -1,0 +1,107 @@
+"""Equilibrium computation and exact verification primitives."""
+
+from repro.equilibria.correlated import (
+    correlated_equilibrium_lp,
+    is_correlated_equilibrium,
+    normalize_distribution,
+    obedience_gap,
+    product_distribution,
+)
+from repro.equilibria.dominance import (
+    EliminationStep,
+    dominant_strategy_equilibrium,
+    is_dominant_action,
+    iterated_elimination,
+    strictly_dominates,
+    weakly_dominates,
+)
+from repro.equilibria.fictitious_play import FictitiousPlayResult, fictitious_play
+from repro.equilibria.best_reply import (
+    best_reply_actions,
+    best_reply_gap,
+    best_reply_value,
+    deviation_payoffs,
+    find_improving_deviation,
+    is_best_reply,
+    is_mixed_best_reply,
+    mixed_action_payoffs,
+)
+from repro.equilibria.lemke_howson import lemke_howson, lemke_howson_all
+from repro.equilibria.mixed import (
+    MixedNashReport,
+    check_mixed_nash,
+    equilibrium_values,
+    is_epsilon_nash,
+    is_mixed_nash,
+)
+from repro.equilibria.pure import (
+    DeviationWitness,
+    dominates,
+    incomparability_witness,
+    is_maximal_pure_nash,
+    is_pure_nash,
+    maximal_pure_nash,
+    minimal_pure_nash,
+    pure_nash_equilibria,
+    refute_pure_nash,
+)
+from repro.equilibria.support_enumeration import (
+    equilibrium_for_supports,
+    find_one_equilibrium,
+    support_enumeration,
+)
+from repro.equilibria.symmetric import (
+    exact_sqrt,
+    find_interior_equilibria,
+    participation_equilibrium,
+    solve_k2_closed_form,
+    symmetric_equilibria,
+)
+
+__all__ = [
+    "correlated_equilibrium_lp",
+    "is_correlated_equilibrium",
+    "normalize_distribution",
+    "obedience_gap",
+    "product_distribution",
+    "EliminationStep",
+    "dominant_strategy_equilibrium",
+    "is_dominant_action",
+    "iterated_elimination",
+    "strictly_dominates",
+    "weakly_dominates",
+    "FictitiousPlayResult",
+    "fictitious_play",
+    "best_reply_actions",
+    "best_reply_gap",
+    "best_reply_value",
+    "deviation_payoffs",
+    "find_improving_deviation",
+    "is_best_reply",
+    "is_mixed_best_reply",
+    "mixed_action_payoffs",
+    "lemke_howson",
+    "lemke_howson_all",
+    "MixedNashReport",
+    "check_mixed_nash",
+    "equilibrium_values",
+    "is_epsilon_nash",
+    "is_mixed_nash",
+    "DeviationWitness",
+    "dominates",
+    "incomparability_witness",
+    "is_maximal_pure_nash",
+    "is_pure_nash",
+    "maximal_pure_nash",
+    "minimal_pure_nash",
+    "pure_nash_equilibria",
+    "refute_pure_nash",
+    "equilibrium_for_supports",
+    "find_one_equilibrium",
+    "support_enumeration",
+    "exact_sqrt",
+    "find_interior_equilibria",
+    "participation_equilibrium",
+    "solve_k2_closed_form",
+    "symmetric_equilibria",
+]

@@ -1,0 +1,97 @@
+"""Best replies — the primitive every equilibrium notion is built on.
+
+"We have in mind a framework that will let the ordinary and inexperienced
+Joe and Jane safely figure their best-reply."  A strategy is a best reply
+if no unilateral deviation improves the player's utility; these helpers
+compute and check that, exactly, for pure and mixed play.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import GameError
+from repro.games.base import Game
+from repro.games.profiles import MixedProfile, PureProfile, change
+
+
+def deviation_payoffs(game: Game, player: int, profile: PureProfile) -> tuple[Fraction, ...]:
+    """Player's payoff for each of its actions, holding others at ``profile``."""
+    profile = game.validate_profile(profile)
+    return tuple(
+        game.payoff(player, change(profile, action, player))
+        for action in game.actions(player)
+    )
+
+
+def best_reply_actions(game: Game, player: int, profile: PureProfile) -> tuple[int, ...]:
+    """All pure best replies of ``player`` against ``profile``'s opponents."""
+    payoffs = deviation_payoffs(game, player, profile)
+    best = max(payoffs)
+    return tuple(a for a, u in enumerate(payoffs) if u == best)
+
+
+def best_reply_value(game: Game, player: int, profile: PureProfile) -> Fraction:
+    """The best achievable payoff of ``player`` against ``profile``'s opponents."""
+    return max(deviation_payoffs(game, player, profile))
+
+
+def is_best_reply(game: Game, player: int, profile: PureProfile) -> bool:
+    """True iff ``profile[player]`` is a best reply to the others."""
+    payoffs = deviation_payoffs(game, player, profile)
+    return payoffs[profile[player]] == max(payoffs)
+
+
+def find_improving_deviation(
+    game: Game, player: int, profile: PureProfile
+) -> int | None:
+    """An action strictly better than ``profile[player]``, or ``None``.
+
+    This is the counterexample the Fig. 2 proof scheme exhibits for
+    non-equilibrium profiles: a pair (i, s_i) with
+    ``u_i(Si) < u_i(change(Si, s_i, i))``.
+    """
+    payoffs = deviation_payoffs(game, player, profile)
+    current = payoffs[profile[player]]
+    for action, value in enumerate(payoffs):
+        if value > current:
+            return action
+    return None
+
+
+def mixed_action_payoffs(
+    game: Game, player: int, mixed: MixedProfile
+) -> tuple[Fraction, ...]:
+    """Expected payoff of each pure action against the others' mixed play."""
+    return tuple(
+        game.expected_action_payoff(player, action, mixed)
+        for action in game.actions(player)
+    )
+
+
+def is_mixed_best_reply(game: Game, player: int, mixed: MixedProfile) -> bool:
+    """True iff ``player``'s mixed strategy is a best reply within ``mixed``.
+
+    By the support characterization (the "second Nash theorem" the paper
+    invokes for P1): the mixed strategy is a best reply iff every action
+    in its support attains the maximal expected payoff.
+    """
+    payoffs = mixed_action_payoffs(game, player, mixed)
+    best = max(payoffs)
+    dist = mixed.distribution(player)
+    if len(dist) != game.num_actions(player):
+        raise GameError("mixed strategy has wrong length")
+    return all(payoffs[a] == best for a in mixed.support(player))
+
+
+def best_reply_gap(game: Game, player: int, mixed: MixedProfile) -> Fraction:
+    """How much ``player`` could gain by deviating from ``mixed`` (>= 0).
+
+    Zero iff the strategy is a best reply; this is the per-player
+    epsilon in epsilon-Nash checks.
+    """
+    payoffs = mixed_action_payoffs(game, player, mixed)
+    best = max(payoffs)
+    current = game.expected_payoff(player, mixed)
+    return best - current

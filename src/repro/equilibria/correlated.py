@@ -1,0 +1,153 @@
+"""Correlated equilibria.
+
+The paper positions the rationality authority against Aumann's
+correlated equilibria [1]: "one might view the authority as
+synchronization mechanisms that are used in correlated equilibria ...
+However, the rationality authority is not trusted, whereas
+synchronization mechanisms are."  Implementing the concept makes that
+contrast executable: a correlated equilibrium is a distribution over
+pure profiles whose *obedience constraints* any agent can check, exactly
+— so an untrusted inventor can advise a correlated device and prove its
+incentive-compatibility, restoring the paper's separation even for this
+trusted-mediator concept.
+
+* :func:`is_correlated_equilibrium` — exact check of all obedience
+  constraints for an explicit distribution;
+* :func:`correlated_equilibrium_lp` — find one by exact LP (maximizing
+  total expected payoff), via :mod:`repro.linalg.lp`;
+* every Nash equilibrium induces a (product) correlated equilibrium —
+  pinned as a property test.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.errors import EquilibriumError
+from repro.fractions_util import to_fraction
+from repro.games.base import Game
+from repro.games.profiles import MixedProfile, PureProfile, change
+
+Distribution = dict[PureProfile, Fraction]
+
+
+def normalize_distribution(game: Game, dist: Mapping[PureProfile, object]) -> Distribution:
+    """Validate a profile distribution: known profiles, non-negative,
+    summing exactly to one."""
+    out: Distribution = {}
+    total = Fraction(0)
+    for profile, prob in dist.items():
+        profile = game.validate_profile(profile)
+        prob = to_fraction(prob)
+        if prob < 0:
+            raise EquilibriumError(f"negative probability at {profile}")
+        if prob > 0:
+            out[profile] = out.get(profile, Fraction(0)) + prob
+        total += prob
+    if total != 1:
+        raise EquilibriumError(f"distribution sums to {total}, not 1")
+    return out
+
+
+def obedience_gap(
+    game: Game, dist: Distribution, player: int, recommended: int, deviation: int
+) -> Fraction:
+    """How much ``player`` gains by playing ``deviation`` whenever the
+    device recommends ``recommended`` (positive = profitable deviation).
+
+    This is the left-hand side of one correlated-equilibrium constraint:
+    Σ_{s: s_i = recommended} π(s) [u_i(deviation, s_-i) - u_i(s)].
+    """
+    gain = Fraction(0)
+    for profile, prob in dist.items():
+        if profile[player] != recommended:
+            continue
+        deviated = change(profile, deviation, player)
+        gain += prob * (game.payoff(player, deviated) - game.payoff(player, profile))
+    return gain
+
+
+def is_correlated_equilibrium(game: Game, dist: Mapping[PureProfile, object]) -> bool:
+    """Exact check of every obedience constraint."""
+    dist = normalize_distribution(game, dist)
+    for player in game.players():
+        for recommended in game.actions(player):
+            for deviation in game.actions(player):
+                if deviation == recommended:
+                    continue
+                if obedience_gap(game, dist, player, recommended, deviation) > 0:
+                    return False
+    return True
+
+
+def product_distribution(game: Game, mixed: MixedProfile) -> Distribution:
+    """The correlated device induced by independent mixing (a Nash
+    profile becomes a correlated equilibrium this way)."""
+    dist: Distribution = {}
+    for profile in game.enumerate_profiles():
+        prob = mixed.probability(profile)
+        if prob > 0:
+            dist[profile] = prob
+    return dist
+
+
+def correlated_equilibrium_lp(game: Game) -> Distribution:
+    """One exact correlated equilibrium maximizing total expected payoff.
+
+    Solved with the exact simplex: variables are the profile
+    probabilities; constraints are the obedience inequalities (one slack
+    each), non-negativity, and normalization.  Always feasible (every
+    Nash equilibrium is one; existence is unconditional).
+    """
+    profiles = list(game.enumerate_profiles())
+    index = {profile: i for i, profile in enumerate(profiles)}
+    num_profiles = len(profiles)
+
+    constraints: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    # Obedience: for each (player, recommended, deviation):
+    #   Σ_{s_i = rec} π(s) [u_i(dev, s_-i) - u_i(s)] + slack = 0.
+    obedience_rows = []
+    for player in game.players():
+        for recommended in game.actions(player):
+            for deviation in game.actions(player):
+                if deviation == recommended:
+                    continue
+                row = [Fraction(0)] * num_profiles
+                for profile in profiles:
+                    if profile[player] != recommended:
+                        continue
+                    deviated = change(profile, deviation, player)
+                    row[index[profile]] = game.payoff(player, deviated) - game.payoff(
+                        player, profile
+                    )
+                obedience_rows.append(row)
+    num_slacks = len(obedience_rows)
+    for k, row in enumerate(obedience_rows):
+        slacks = [Fraction(0)] * num_slacks
+        slacks[k] = Fraction(1)
+        constraints.append(row + slacks)
+        rhs.append(Fraction(0))
+    # Normalization.
+    constraints.append([Fraction(1)] * num_profiles + [Fraction(0)] * num_slacks)
+    rhs.append(Fraction(1))
+
+    # Objective: maximize total payoff = minimize its negation.
+    costs = [
+        -sum(game.payoffs(profile), start=Fraction(0)) for profile in profiles
+    ] + [Fraction(0)] * num_slacks
+
+    from repro.linalg.lp import solve_lp
+
+    result = solve_lp(costs, constraints, rhs)
+    if not result.is_optimal:
+        raise EquilibriumError(
+            "correlated-equilibrium LP infeasible; this contradicts existence"
+        )
+    dist = {
+        profile: result.x[index[profile]]
+        for profile in profiles
+        if result.x[index[profile]] > 0
+    }
+    return dist

@@ -1,0 +1,178 @@
+"""Dominant strategies and iterated elimination.
+
+The paper's related work (via Tadjouddine [29]) contrasts verification
+complexities: "Nash and Bayesian Nash equilibria can be verified in
+polynomial time.  Moreover, dominant strategy equilibrium is NP-complete"
+(for succinctly represented games).  For the explicitly tabulated games
+this library works with, checking dominance is a straightforward sweep
+over opponent profiles — still the most expensive check in the
+solution-concept library, since it quantifies over the *entire* opponent
+profile space per action pair.
+
+Provided here:
+
+* weak/strict dominance checks for single actions;
+* :func:`dominant_strategy_equilibrium` — the profile of (weakly)
+  dominant actions, when every player has one;
+* iterated elimination of strictly dominated strategies (IESDS), the
+  classic preprocessing step — equilibria survive it, which the tests
+  pin as a property.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import EquilibriumError
+from repro.games.base import Game
+from repro.games.profiles import PureProfile
+
+
+def _opponent_profiles(game: Game, player: int, restrict=None):
+    """All opponents' joint action tuples (optionally restricted).
+
+    ``restrict`` maps players to iterables of allowed actions (used by
+    the iterated-elimination loop); players absent from it keep their
+    full action range.
+    """
+    ranges = []
+    for other in game.players():
+        if other == player:
+            continue
+        if restrict is not None and other in restrict:
+            ranges.append(tuple(restrict[other]))
+        else:
+            ranges.append(tuple(game.actions(other)))
+    return itertools.product(*ranges)
+
+
+def _insert(player: int, action: int, others: tuple[int, ...]) -> PureProfile:
+    return others[:player] + (action,) + others[player:]
+
+
+def weakly_dominates(game: Game, player: int, action: int, other: int,
+                     restrict=None) -> bool:
+    """``action`` is at least as good as ``other`` against every opponent
+    profile, and strictly better against at least one."""
+    strict_somewhere = False
+    for others in _opponent_profiles(game, player, restrict):
+        u_action = game.payoff(player, _insert(player, action, others))
+        u_other = game.payoff(player, _insert(player, other, others))
+        if u_action < u_other:
+            return False
+        if u_action > u_other:
+            strict_somewhere = True
+    return strict_somewhere
+
+
+def strictly_dominates(game: Game, player: int, action: int, other: int,
+                       restrict=None) -> bool:
+    """``action`` is strictly better than ``other`` against every
+    opponent profile."""
+    for others in _opponent_profiles(game, player, restrict):
+        u_action = game.payoff(player, _insert(player, action, others))
+        u_other = game.payoff(player, _insert(player, other, others))
+        if u_action <= u_other:
+            return False
+    return True
+
+
+def is_dominant_action(game: Game, player: int, action: int,
+                       strict: bool = False) -> bool:
+    """``action`` weakly (or strictly) dominates every alternative.
+
+    Weak dominance here follows the standard equilibrium usage: at least
+    as good as each alternative everywhere (ties everywhere allowed),
+    i.e. the action is a best reply against *every* opponent profile.
+    """
+    for others in _opponent_profiles(game, player):
+        u_action = game.payoff(player, _insert(player, action, others))
+        for other in game.actions(player):
+            if other == action:
+                continue
+            u_other = game.payoff(player, _insert(player, other, others))
+            if strict and u_action <= u_other:
+                return False
+            if not strict and u_action < u_other:
+                return False
+    return True
+
+
+def dominant_strategy_equilibrium(game: Game, strict: bool = False) -> PureProfile | None:
+    """The profile of dominant actions, or None if some player lacks one.
+
+    With strict dominance the equilibrium is unique when it exists; with
+    weak dominance ties are broken toward the lowest action index.
+    """
+    profile = []
+    for player in game.players():
+        dominant = next(
+            (
+                action
+                for action in game.actions(player)
+                if is_dominant_action(game, player, action, strict=strict)
+            ),
+            None,
+        )
+        if dominant is None:
+            return None
+        profile.append(dominant)
+    return tuple(profile)
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """One IESDS elimination: which action of which player, and why."""
+
+    player: int
+    eliminated: int
+    dominated_by: int
+
+
+def iterated_elimination(game: Game, strict: bool = True):
+    """Iterated elimination of (strictly) dominated strategies.
+
+    Returns ``(survivors, steps)`` where ``survivors`` maps each player
+    to its surviving action tuple.  Strict elimination is order-
+    independent; weak elimination is applied lowest-index-first and is
+    order-dependent (documented standard behaviour).
+    """
+    survivors: dict[int, list[int]] = {
+        player: list(game.actions(player)) for player in game.players()
+    }
+    steps: list[EliminationStep] = []
+    dominates = strictly_dominates if strict else weakly_dominates
+    changed = True
+    while changed:
+        changed = False
+        for player in game.players():
+            if len(survivors[player]) <= 1:
+                continue
+            restrict = {p: tuple(acts) for p, acts in survivors.items()}
+            for candidate in list(survivors[player]):
+                others = [a for a in survivors[player] if a != candidate]
+                dominator = next(
+                    (
+                        a
+                        for a in others
+                        if dominates(game, player, a, candidate, restrict)
+                    ),
+                    None,
+                )
+                if dominator is not None:
+                    survivors[player].remove(candidate)
+                    steps.append(
+                        EliminationStep(
+                            player=player,
+                            eliminated=candidate,
+                            dominated_by=dominator,
+                        )
+                    )
+                    changed = True
+                    break  # re-derive restriction before further cuts
+    return (
+        {player: tuple(actions) for player, actions in survivors.items()},
+        tuple(steps),
+    )

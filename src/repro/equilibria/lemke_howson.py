@@ -1,0 +1,181 @@
+"""The Lemke-Howson algorithm with exact rational pivoting.
+
+This is the inventor's heavyweight tool for bimatrix games: path-following
+over the best-response polytopes, worst-case exponential (the problem is
+PPAD-complete, as the paper stresses via [6]), but exact — every
+equilibrium it returns verifies under the exact checkers, which is what
+makes the advice *provable*.
+
+Conventions (von Stengel's formulation):
+
+* labels ``0..n-1`` belong to the row player's actions, ``n..n+m-1`` to
+  the column player's;
+* tableau X carries the row player's polytope ``{x >= 0, B^T x <= 1}``
+  (m constraint rows); tableau Y carries ``{y >= 0, A y <= 1}``
+  (n constraint rows);
+* both payoff matrices are shifted to be strictly positive first (an
+  equilibrium-preserving transformation);
+* ties in the ratio test are broken lexicographically on whole rows,
+  which terminates on degenerate games.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import EquilibriumError
+from repro.games.bimatrix import BimatrixGame
+from repro.games.profiles import MixedProfile
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class _Tableau:
+    """One polytope's dictionary with exact pivoting.
+
+    ``rows`` is a list of lists of Fractions: decision and slack columns
+    followed by the right-hand side.  ``basic`` maps each row to the label
+    of its basic variable; ``column_of`` maps a label to its column.
+    """
+
+    def __init__(self, matrix_rows: Sequence[Sequence[Fraction]],
+                 decision_labels: Sequence[int], slack_labels: Sequence[int]):
+        num_rows = len(matrix_rows)
+        self.column_of = {}
+        for idx, label in enumerate(decision_labels):
+            self.column_of[label] = idx
+        for idx, label in enumerate(slack_labels):
+            self.column_of[label] = len(decision_labels) + idx
+        width = len(decision_labels) + len(slack_labels) + 1
+        self.rows: list[list[Fraction]] = []
+        for r, matrix_row in enumerate(matrix_rows):
+            row = list(matrix_row)
+            row += [_ONE if j == r else _ZERO for j in range(num_rows)]
+            row.append(_ONE)
+            if len(row) != width:
+                raise EquilibriumError("internal tableau width mismatch")
+            self.rows.append(row)
+        self.basic: list[int] = list(slack_labels)
+
+    def enter(self, label: int) -> int:
+        """Pivot the variable with ``label`` into the basis.
+
+        Returns the label of the leaving variable.  The leaving row is the
+        lexicographic minimum of (row / pivot-coefficient) over rows with a
+        positive pivot coefficient — the classic anti-cycling rule.
+        """
+        col = self.column_of[label]
+        best_row = None
+        best_vector = None
+        for r, row in enumerate(self.rows):
+            coef = row[col]
+            if coef > 0:
+                # rhs first, then the full row, all scaled by the pivot coef.
+                vector = [row[-1] / coef] + [x / coef for x in row[:-1]]
+                if best_vector is None or vector < best_vector:
+                    best_vector = vector
+                    best_row = r
+        if best_row is None:
+            raise EquilibriumError(
+                "Lemke-Howson ray termination; payoff matrices must be positive"
+            )
+        leaving = self.basic[best_row]
+        self._pivot(best_row, col)
+        self.basic[best_row] = label
+        return leaving
+
+    def _pivot(self, row_idx: int, col_idx: int) -> None:
+        inv = _ONE / self.rows[row_idx][col_idx]
+        self.rows[row_idx] = [x * inv for x in self.rows[row_idx]]
+        pivot_row = self.rows[row_idx]
+        for r, row in enumerate(self.rows):
+            if r != row_idx and row[col_idx] != 0:
+                factor = row[col_idx]
+                self.rows[r] = [x - factor * y for x, y in zip(row, pivot_row)]
+
+    def solution(self, labels: Sequence[int]) -> list[Fraction]:
+        """Values of the variables with the given labels (0 when non-basic)."""
+        values = []
+        for label in labels:
+            if label in self.basic:
+                values.append(self.rows[self.basic.index(label)][-1])
+            else:
+                values.append(_ZERO)
+        return values
+
+
+def _positive_shift(matrix: Sequence[Sequence[Fraction]]) -> tuple[tuple[Fraction, ...], ...]:
+    """Shift all entries so the minimum becomes 1 (equilibria unchanged)."""
+    lowest = min(x for row in matrix for x in row)
+    shift = _ONE - lowest
+    return tuple(tuple(x + shift for x in row) for row in matrix)
+
+
+def lemke_howson(game: BimatrixGame, initial_label: int = 0) -> MixedProfile:
+    """Run Lemke-Howson from ``initial_label``; returns one exact equilibrium."""
+    n, m = game.action_counts
+    if not 0 <= initial_label < n + m:
+        raise EquilibriumError(
+            f"initial label {initial_label} out of range [0, {n + m})"
+        )
+    a = _positive_shift(game.row_matrix)
+    b = _positive_shift(game.column_matrix)
+
+    row_labels = list(range(n))
+    col_labels = list(range(n, n + m))
+
+    # Tableau X: m rows of B^T (x-columns first), slacks labeled n..n+m-1.
+    bt_rows = [[b[i][j] for i in range(n)] for j in range(m)]
+    tableau_x = _Tableau(bt_rows, decision_labels=row_labels, slack_labels=col_labels)
+    # Tableau Y: n rows of A (y-columns first), slacks labeled 0..n-1.
+    a_rows = [[a[i][j] for j in range(m)] for i in range(n)]
+    tableau_y = _Tableau(a_rows, decision_labels=col_labels, slack_labels=row_labels)
+
+    # The dropped label enters its own tableau first.
+    entering = initial_label
+    current = tableau_x if initial_label < n else tableau_y
+    other = tableau_y if current is tableau_x else tableau_x
+
+    for _step in range(4 ** (n + m) + 16):
+        leaving = current.enter(entering)
+        if leaving == initial_label:
+            break
+        entering = leaving
+        current, other = other, current
+    else:
+        raise EquilibriumError("Lemke-Howson did not terminate (internal error)")
+
+    x = tableau_x.solution(row_labels)
+    y = tableau_y.solution(col_labels)
+    x_total = sum(x, start=_ZERO)
+    y_total = sum(y, start=_ZERO)
+    if x_total == 0 or y_total == 0:
+        raise EquilibriumError(
+            "Lemke-Howson terminated at the artificial equilibrium"
+        )
+    x = [v / x_total for v in x]
+    y = [v / y_total for v in y]
+    return MixedProfile((tuple(x), tuple(y)))
+
+
+def lemke_howson_all(game: BimatrixGame) -> tuple[MixedProfile, ...]:
+    """Equilibria reached from every starting label, deduplicated.
+
+    Not guaranteed to find *all* equilibria of the game (no LH variant
+    is), but gives a deterministic, exact sample across the n+m paths.
+    """
+    seen: set[tuple] = set()
+    out: list[MixedProfile] = []
+    n, m = game.action_counts
+    for label in range(n + m):
+        try:
+            profile = lemke_howson(game, label)
+        except EquilibriumError:
+            continue
+        key = profile.distributions
+        if key not in seen:
+            seen.add(key)
+            out.append(profile)
+    return tuple(out)

@@ -1,0 +1,79 @@
+"""Mixed Nash equilibria: exact checks and equilibrium values.
+
+The support characterization ("the second Nash theorem" the paper invokes
+in Lemma 1) does all the work: a mixed profile is a Nash equilibrium iff,
+for every player, all supported actions attain the maximal expected
+payoff against the others.  Checking this is polynomial given the profile
+— which is precisely why verification can be cheap while computation is
+PPAD-hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.fractions_util import to_fraction
+from repro.games.base import Game
+from repro.games.profiles import MixedProfile
+from repro.equilibria.best_reply import best_reply_gap, mixed_action_payoffs
+
+
+@dataclass(frozen=True)
+class MixedNashReport:
+    """Outcome of an exact mixed-equilibrium check.
+
+    ``gaps[i]`` is how much player ``i`` could gain by a best deviation
+    (all zero iff the profile is an exact equilibrium); ``values[i]`` is
+    player ``i``'s expected payoff (the λ_i of Sect. 4).
+    """
+
+    is_equilibrium: bool
+    gaps: tuple[Fraction, ...]
+    values: tuple[Fraction, ...]
+
+    @property
+    def epsilon(self) -> Fraction:
+        """The smallest epsilon for which this is an epsilon-equilibrium."""
+        return max(self.gaps)
+
+
+def is_mixed_nash(game: Game, mixed: MixedProfile) -> bool:
+    """Exact Nash check via the support characterization."""
+    for player in game.players():
+        payoffs = mixed_action_payoffs(game, player, mixed)
+        best = max(payoffs)
+        for action in mixed.support(player):
+            if payoffs[action] != best:
+                return False
+    return True
+
+
+def check_mixed_nash(game: Game, mixed: MixedProfile) -> MixedNashReport:
+    """Full report: equilibrium flag, per-player gaps and values."""
+    gaps = tuple(best_reply_gap(game, player, mixed) for player in game.players())
+    values = tuple(game.expected_payoff(player, mixed) for player in game.players())
+    return MixedNashReport(
+        is_equilibrium=all(g == 0 for g in gaps),
+        gaps=gaps,
+        values=values,
+    )
+
+
+def is_epsilon_nash(game: Game, mixed: MixedProfile, epsilon) -> bool:
+    """True iff no player can gain more than ``epsilon`` by deviating."""
+    epsilon = to_fraction(epsilon)
+    if epsilon < 0:
+        return False
+    return all(
+        best_reply_gap(game, player, mixed) <= epsilon for player in game.players()
+    )
+
+
+def equilibrium_values(game: Game, mixed: MixedProfile) -> tuple[Fraction, ...]:
+    """The per-player expected payoffs λ_1, ..., λ_n at ``mixed``.
+
+    For a 2-player equilibrium these are exactly the (λ1, λ2) the P2
+    prover transmits.
+    """
+    return tuple(game.expected_payoff(player, mixed) for player in game.players())

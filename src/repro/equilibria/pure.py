@@ -1,0 +1,163 @@
+"""Pure Nash equilibria: enumeration, maximality, and witnesses.
+
+Implements the definitions of Fig. 2 directly:
+
+* ``isNash``  — :func:`is_pure_nash` (all unilateral deviations weakly lose);
+* the counterexample form — :func:`refute_pure_nash` returns the (i, s_i)
+  pair with ``u_i(Si) < u_i(change(Si, s_i, i))`` for non-equilibria;
+* ``isMaxNash`` / the profile partial order ``<=_u`` — :func:`dominates`,
+  :func:`maximal_pure_nash`, :func:`minimal_pure_nash`;
+* ``noComp`` — :func:`incomparability_witness`.
+
+Enumeration is exhaustive over the profile space — exactly the
+(intractable in general) computation that motivates Sect. 4's interactive
+alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.games.base import Game
+from repro.games.profiles import PureProfile, change
+
+
+@dataclass(frozen=True)
+class DeviationWitness:
+    """A concrete profitable deviation: the Fig. 2 counterexample.
+
+    ``player`` strictly prefers ``better_action`` over its assignment in
+    ``profile``: ``after > before``.
+    """
+
+    profile: PureProfile
+    player: int
+    better_action: int
+    before: Fraction
+    after: Fraction
+
+
+def is_pure_nash(game: Game, profile: PureProfile) -> bool:
+    """The paper's ``isNash``: no player gains by a unilateral deviation."""
+    profile = game.validate_profile(profile)
+    for player in game.players():
+        current = game.payoff(player, profile)
+        for action in game.actions(player):
+            if action == profile[player]:
+                continue
+            if game.payoff(player, change(profile, action, player)) > current:
+                return False
+    return True
+
+
+def refute_pure_nash(game: Game, profile: PureProfile) -> DeviationWitness | None:
+    """Return a profitable-deviation witness, or None if ``profile`` is a PNE."""
+    profile = game.validate_profile(profile)
+    for player in game.players():
+        current = game.payoff(player, profile)
+        for action in game.actions(player):
+            if action == profile[player]:
+                continue
+            value = game.payoff(player, change(profile, action, player))
+            if value > current:
+                return DeviationWitness(
+                    profile=profile,
+                    player=player,
+                    better_action=action,
+                    before=current,
+                    after=value,
+                )
+    return None
+
+
+def pure_nash_equilibria(game: Game) -> tuple[PureProfile, ...]:
+    """All pure Nash equilibria, in deterministic lexicographic order."""
+    return tuple(
+        profile for profile in game.enumerate_profiles() if is_pure_nash(game, profile)
+    )
+
+
+def dominates(game: Game, s: PureProfile, s_prime: PureProfile) -> bool:
+    """The paper's ``s >=_u s'``: every player weakly prefers ``s``."""
+    payoffs_s = game.payoffs(s)
+    payoffs_sp = game.payoffs(s_prime)
+    return all(a >= b for a, b in zip(payoffs_s, payoffs_sp))
+
+
+def incomparability_witness(
+    game: Game, s1: PureProfile, s2: PureProfile
+) -> tuple[int, int] | None:
+    """The ``noComp`` witness: players (i, j) with u_i(s1) < u_i(s2) and
+    u_j(s2) < u_j(s1); None if the profiles are comparable."""
+    payoffs_1 = game.payoffs(s1)
+    payoffs_2 = game.payoffs(s2)
+    i = next((p for p in game.players() if payoffs_1[p] < payoffs_2[p]), None)
+    j = next((p for p in game.players() if payoffs_2[p] < payoffs_1[p]), None)
+    if i is None or j is None:
+        return None
+    return (i, j)
+
+
+def is_maximal_pure_nash(game: Game, profile: PureProfile) -> bool:
+    """``isMaxNash``: a PNE such that no other PNE strictly dominates it.
+
+    Following footnote 1's framing: ``s`` is maximal if for any PNE
+    ``s'`` we do **not** have ``s' >=_u s`` (unless the payoffs tie
+    exactly, in which case neither dominates the other strictly).
+    """
+    if not is_pure_nash(game, profile):
+        return False
+    profile = game.validate_profile(profile)
+    payoffs = game.payoffs(profile)
+    for other in pure_nash_equilibria(game):
+        if other == profile:
+            continue
+        other_payoffs = game.payoffs(other)
+        if other_payoffs == payoffs:
+            continue
+        if all(a >= b for a, b in zip(other_payoffs, payoffs)):
+            return False
+    return True
+
+
+def maximal_pure_nash(game: Game) -> tuple[PureProfile, ...]:
+    """All maximal pure Nash equilibria."""
+    equilibria = pure_nash_equilibria(game)
+    out = []
+    for s in equilibria:
+        payoffs = game.payoffs(s)
+        dominated = False
+        for other in equilibria:
+            if other == s:
+                continue
+            other_payoffs = game.payoffs(other)
+            if other_payoffs == payoffs:
+                continue
+            if all(a >= b for a, b in zip(other_payoffs, payoffs)):
+                dominated = True
+                break
+        if not dominated:
+            out.append(s)
+    return tuple(out)
+
+
+def minimal_pure_nash(game: Game) -> tuple[PureProfile, ...]:
+    """All minimal pure Nash equilibria (footnote 1's dual notion)."""
+    equilibria = pure_nash_equilibria(game)
+    out = []
+    for s in equilibria:
+        payoffs = game.payoffs(s)
+        dominates_s = False
+        for other in equilibria:
+            if other == s:
+                continue
+            other_payoffs = game.payoffs(other)
+            if other_payoffs == payoffs:
+                continue
+            if all(a <= b for a, b in zip(other_payoffs, payoffs)):
+                dominates_s = True
+                break
+        if not dominates_s:
+            out.append(s)
+    return tuple(out)

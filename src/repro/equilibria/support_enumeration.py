@@ -1,0 +1,195 @@
+"""Support enumeration for bimatrix games — exact, exhaustive, slow.
+
+This is the inventor-side computation whose *hardness* motivates the
+paper: finding a mixed equilibrium is PPAD-complete in general, and the
+honest-but-slow way to find all of them in a bimatrix game is to try every
+support pair and decide feasibility of the equilibrium conditions.
+
+For a support pair (S1, S2) the conditions are (Lemma 1's system, both
+sides):
+
+* y is a distribution supported within S2 making all rows in S1 earn a
+  common value λ1 and all rows outside S1 earn at most λ1;
+* x is a distribution supported within S1 making all columns in S2 earn
+  a common value λ2 and all columns outside S2 earn at most λ2.
+
+Each side is an exact LP feasibility question solved with
+:mod:`repro.linalg.lp`.  Everything is Fractions end to end, so returned
+equilibria verify *exactly*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.errors import EquilibriumError
+from repro.games.bimatrix import BimatrixGame
+from repro.games.profiles import MixedProfile
+from repro.linalg.lp import find_feasible_point
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def solve_one_side(
+    payoff_rows: Sequence[Sequence[Fraction]],
+    own_support: Sequence[int],
+    other_support: Sequence[int],
+    num_other_actions: int,
+) -> tuple[tuple[Fraction, ...], Fraction] | None:
+    """Find the *other* player's mix that makes ``own_support`` optimal.
+
+    ``payoff_rows[i][j]`` is our payoff for our action i against the other
+    player's action j.  Returns ``(full_mix, value)`` where ``full_mix``
+    is the other player's distribution (length ``num_other_actions``) and
+    ``value`` is our common supported payoff λ — or None if infeasible.
+
+    Variables of the feasibility LP: the mix q over ``other_support``,
+    λ = λ⁺ - λ⁻ (free), and one slack per off-support action of ours.
+    """
+    own_support = tuple(own_support)
+    other_support = tuple(other_support)
+    num_own = len(payoff_rows)
+    if not own_support or not other_support:
+        return None
+    off_support = tuple(i for i in range(num_own) if i not in set(own_support))
+
+    k = len(other_support)
+    num_vars = k + 2 + len(off_support)  # q..., lam_plus, lam_minus, slacks...
+    lam_plus = k
+    lam_minus = k + 1
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+
+    # Supported actions: payoff(i) - λ = 0.
+    for i in own_support:
+        row = [_ZERO] * num_vars
+        for idx, j in enumerate(other_support):
+            row[idx] = payoff_rows[i][j]
+        row[lam_plus] = -_ONE
+        row[lam_minus] = _ONE
+        rows.append(row)
+        rhs.append(_ZERO)
+
+    # Off-support actions: payoff(i) + slack = λ  (i.e. payoff(i) <= λ).
+    for slack_idx, i in enumerate(off_support):
+        row = [_ZERO] * num_vars
+        for idx, j in enumerate(other_support):
+            row[idx] = payoff_rows[i][j]
+        row[lam_plus] = -_ONE
+        row[lam_minus] = _ONE
+        row[k + 2 + slack_idx] = _ONE
+        rows.append(row)
+        rhs.append(_ZERO)
+
+    # The mix is a probability distribution over the support.
+    row = [_ZERO] * num_vars
+    for idx in range(k):
+        row[idx] = _ONE
+    rows.append(row)
+    rhs.append(_ONE)
+
+    point = find_feasible_point(rows, rhs)
+    if point is None:
+        return None
+    full_mix = [_ZERO] * num_other_actions
+    for idx, j in enumerate(other_support):
+        full_mix[j] = point[idx]
+    value = point[lam_plus] - point[lam_minus]
+    return tuple(full_mix), value
+
+
+def equilibrium_for_supports(
+    game: BimatrixGame,
+    row_support: Sequence[int],
+    col_support: Sequence[int],
+) -> tuple[MixedProfile, Fraction, Fraction] | None:
+    """One exact equilibrium with the given supports, or None.
+
+    Returns ``(profile, λ1, λ2)``.  The returned profile's supports may be
+    *subsets* of the requested ones (a feasible point may put zero weight
+    on a requested action); callers that need support-exact equilibria
+    should compare :meth:`MixedProfile.supports`.
+    """
+    a = game.row_matrix
+    b = game.column_matrix
+    n, m = game.action_counts
+
+    # The column mix y makes the row support indifferent (uses A).
+    y_solution = solve_one_side(a, row_support, col_support, m)
+    if y_solution is None:
+        return None
+    # The row mix x makes the column support indifferent (uses B columns).
+    b_cols = tuple(tuple(b[i][j] for i in range(n)) for j in range(m))
+    x_solution = solve_one_side(b_cols, col_support, row_support, n)
+    if x_solution is None:
+        return None
+
+    y, lambda1 = y_solution
+    x, lambda2 = x_solution
+    profile = MixedProfile((x, y))
+    return profile, lambda1, lambda2
+
+
+def support_pairs(
+    n: int, m: int, equal_size_only: bool = False
+) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """All candidate support pairs, smallest first (deterministic order)."""
+    row_supports = [
+        combo
+        for size in range(1, n + 1)
+        for combo in itertools.combinations(range(n), size)
+    ]
+    col_supports = [
+        combo
+        for size in range(1, m + 1)
+        for combo in itertools.combinations(range(m), size)
+    ]
+    for rs in row_supports:
+        for cs in col_supports:
+            if equal_size_only and len(rs) != len(cs):
+                continue
+            yield rs, cs
+
+
+def support_enumeration(
+    game: BimatrixGame, equal_size_only: bool = False
+) -> tuple[MixedProfile, ...]:
+    """All equilibria found by support enumeration, deduplicated.
+
+    With ``equal_size_only`` the search restricts to equal-cardinality
+    supports — complete for non-degenerate games and much faster; the
+    default scans every pair, which also picks up degenerate equilibria
+    such as the Fig. 5 continuum's extreme points.
+    """
+    seen: set[tuple] = set()
+    out: list[MixedProfile] = []
+    n, m = game.action_counts
+    for rs, cs in support_pairs(n, m, equal_size_only=equal_size_only):
+        result = equilibrium_for_supports(game, rs, cs)
+        if result is None:
+            continue
+        profile, __, __ = result
+        key = profile.distributions
+        if key not in seen:
+            seen.add(key)
+            out.append(profile)
+    return tuple(out)
+
+
+def find_one_equilibrium(game: BimatrixGame) -> MixedProfile:
+    """The first equilibrium support enumeration finds (smallest support).
+
+    Every finite game has one (Nash 1950), so exhausting the support pairs
+    without a hit indicates an internal error.
+    """
+    n, m = game.action_counts
+    for rs, cs in support_pairs(n, m):
+        result = equilibrium_for_supports(game, rs, cs)
+        if result is not None:
+            return result[0]
+    raise EquilibriumError(
+        "support enumeration found no equilibrium; this contradicts Nash's theorem"
+    )

@@ -1,0 +1,171 @@
+"""Symmetric-equilibrium solvers (the inventor's side of Sect. 5).
+
+For the participation game the equilibrium probability p solves the
+indifference identity — Eq. (4) for k = 2, Eq. (5) in general — and "p's
+value is hard to compute but, once it is given, it is easy to ... verify
+the equilibrium play".  These solvers are that hard-to-compute side:
+
+* :func:`solve_k2_closed_form` — the exact quadratic solution for
+  n = 3, k = 2 (the paper's worked example yields p = 1/4 exactly);
+* :func:`find_interior_equilibria` — sign-scan plus exact-rational
+  bisection for any two-action symmetric game, any degree;
+* :func:`symmetric_equilibria` — interior roots plus the boundary checks.
+
+Bisection works over Fractions so the returned p carries an explicit
+guarantee: ``|indifference_gap(p)| <= tolerance`` with exact arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import EquilibriumError, GameError
+from repro.fractions_util import to_fraction
+from repro.games.participation import ParticipationGame
+from repro.games.symmetric import SymmetricTwoActionGame
+
+_DEFAULT_TOL = Fraction(1, 10**12)
+_DEFAULT_GRID = 256
+
+
+def exact_sqrt(value: Fraction) -> Fraction | None:
+    """The exact rational square root of ``value``, or None.
+
+    Used to recognize when the k=2, n=3 quadratic has rational roots (as
+    in the paper's example with discriminant 1/4).
+    """
+    value = to_fraction(value)
+    if value < 0:
+        return None
+    num_root = math.isqrt(value.numerator)
+    den_root = math.isqrt(value.denominator)
+    if num_root * num_root != value.numerator:
+        return None
+    if den_root * den_root != value.denominator:
+        return None
+    return Fraction(num_root, den_root)
+
+
+def solve_k2_closed_form(game: ParticipationGame) -> tuple[Fraction, Fraction] | None:
+    """Exact equilibrium pair for n = 3, k = 2 via the quadratic formula.
+
+    Eq. (4) with n = 3 reads  c = 2 v p (1 - p), i.e.
+    ``p^2 - p + c/(2v) = 0``; the two roots are
+    ``(1 ± sqrt(1 - 2c/v)) / 2``.  Returns ``(small, large)`` when the
+    roots are rational (exactly representable), else None — callers fall
+    back to bisection.
+    """
+    if game.threshold != 2 or game.num_players != 3:
+        return None
+    discriminant = 1 - 2 * game.cost / game.value
+    if discriminant < 0:
+        return None
+    root = exact_sqrt(discriminant)
+    if root is None:
+        return None
+    small = (1 - root) / 2
+    large = (1 + root) / 2
+    return small, large
+
+
+def find_interior_equilibria(
+    game: SymmetricTwoActionGame,
+    tolerance: Fraction = _DEFAULT_TOL,
+    grid: int = _DEFAULT_GRID,
+) -> tuple[Fraction, ...]:
+    """Interior symmetric equilibria: roots of the indifference gap in (0, 1).
+
+    Scans a uniform grid for sign changes and exact zeros, then bisects
+    each bracket with exact rational arithmetic until the bracket width
+    is below ``tolerance``.  Exact rational roots hit by the scan or by a
+    bisection midpoint are returned exactly.
+    """
+    tolerance = to_fraction(tolerance)
+    if tolerance <= 0:
+        raise GameError("tolerance must be positive")
+    points = [Fraction(i, grid) for i in range(grid + 1)]
+    values = [game.indifference_gap(p) for p in points]
+
+    roots: list[Fraction] = []
+    for i in range(len(points) - 1):
+        p_lo, p_hi = points[i], points[i + 1]
+        v_lo, v_hi = values[i], values[i + 1]
+        if v_lo == 0 and 0 < p_lo < 1:
+            if p_lo not in roots:
+                roots.append(p_lo)
+            continue
+        if v_lo * v_hi < 0:
+            root = _bisect(game, p_lo, p_hi, v_lo, tolerance)
+            if root not in roots:
+                roots.append(root)
+    # The right endpoint can be an exact interior zero too.
+    if values[-1] == 0 and 0 < points[-1] < 1 and points[-1] not in roots:
+        roots.append(points[-1])
+    return tuple(sorted(roots))
+
+
+def _bisect(
+    game: SymmetricTwoActionGame,
+    lo: Fraction,
+    hi: Fraction,
+    value_lo: Fraction,
+    tolerance: Fraction,
+) -> Fraction:
+    """Exact-rational bisection on the indifference gap."""
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        value_mid = game.indifference_gap(mid)
+        if value_mid == 0:
+            return mid
+        if (value_mid > 0) == (value_lo > 0):
+            lo, value_lo = mid, value_mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def symmetric_equilibria(
+    game: SymmetricTwoActionGame,
+    tolerance: Fraction = _DEFAULT_TOL,
+    grid: int = _DEFAULT_GRID,
+) -> tuple[Fraction, ...]:
+    """All symmetric equilibria: exact boundary checks plus interior roots."""
+    out: list[Fraction] = []
+    if game.is_symmetric_equilibrium(0):
+        out.append(Fraction(0))
+    out.extend(find_interior_equilibria(game, tolerance=tolerance, grid=grid))
+    if game.is_symmetric_equilibrium(1):
+        out.append(Fraction(1))
+    return tuple(sorted(set(out)))
+
+
+def participation_equilibrium(
+    game: ParticipationGame,
+    prefer: str = "small",
+    tolerance: Fraction = _DEFAULT_TOL,
+) -> Fraction:
+    """The inventor's advised participation probability p.
+
+    Tries the exact closed form first (n = 3, k = 2 with a rational
+    discriminant — the paper's example); otherwise bisects Eq. (5).
+    ``prefer`` selects among multiple interior equilibria: the paper's
+    example uses the *smaller* root (p = 1/4, not 3/4), and the existence
+    of the other root is exactly why agents must cross-check that the
+    inventor sent everyone the same p.
+    """
+    if prefer not in ("small", "large"):
+        raise GameError("prefer must be 'small' or 'large'")
+    closed = solve_k2_closed_form(game)
+    if closed is not None:
+        small, large = closed
+        candidates = [p for p in (small, large) if 0 < p < 1]
+        if candidates:
+            return candidates[0] if prefer == "small" else candidates[-1]
+    roots = find_interior_equilibria(game, tolerance=tolerance)
+    if not roots:
+        raise EquilibriumError(
+            "no interior symmetric equilibrium; the fee may exceed the "
+            "maximum of the incentive curve"
+        )
+    return roots[0] if prefer == "small" else roots[-1]

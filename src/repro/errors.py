@@ -1,0 +1,79 @@
+"""Exception hierarchy for the rationality-authority reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole library with a single ``except`` clause while
+still being able to distinguish the failure domains that matter to the
+paper's protocol: malformed games, failed proof checks, broken interactive
+transcripts, and protocol/authority violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GameError(ReproError):
+    """A game definition or profile is malformed (wrong sizes, bad indices)."""
+
+
+class ProfileError(GameError):
+    """A strategy profile does not fit the game it is used with."""
+
+
+class EquilibriumError(ReproError):
+    """Equilibrium computation failed (no equilibrium found, bad support)."""
+
+
+class LinearAlgebraError(ReproError):
+    """Exact linear algebra failed (singular system, inconsistent system)."""
+
+
+class ProofError(ReproError):
+    """A formal proof certificate is structurally invalid."""
+
+
+class ProofRejected(ProofError):
+    """A proof certificate was well-formed but failed verification.
+
+    This is the checker's *sound rejection*: the claim is not established.
+    The ``reason`` attribute carries a human-readable account of the first
+    failing step, which the authority's audit log records verbatim.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class TranscriptError(ReproError):
+    """An interactive-proof transcript was malformed or out of order."""
+
+
+class VerificationFailure(ReproError):
+    """An interactive verifier detected a cheating prover."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class CommitmentError(ReproError):
+    """A cryptographic commitment failed to open correctly."""
+
+
+class SignatureError(ReproError):
+    """A signature did not verify against the registered key."""
+
+
+class ProtocolError(ReproError):
+    """A rationality-authority session was driven out of protocol order."""
+
+
+class AdviceRejected(ReproError):
+    """An agent rejected the inventor's advice after verification."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason

@@ -1,0 +1,100 @@
+"""Helpers for exact rational arithmetic.
+
+The paper types utilities as functions into the integers and builds
+*checkable* proofs on top of them; any epsilon-tolerance in the checker
+would undermine the "provable" part.  We therefore standardize on
+:class:`fractions.Fraction` for every quantity a proof touches, and this
+module centralizes the conversions between user input (ints, floats,
+strings, numpy scalars) and exact rationals.
+"""
+
+from __future__ import annotations
+
+import numbers
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+Rational = Fraction
+
+#: Values accepted wherever the library expects an exact number.
+RationalLike = "int | Fraction | str | float | numbers.Integral"
+
+
+def to_fraction(value) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Integers, Fractions and strings convert exactly.  Floats are converted
+    via ``Fraction(value)`` (exact binary expansion) — callers that want a
+    *decimal* reading of a float should pass a string instead.  Numpy
+    integer and floating scalars are unwrapped first.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid payoff values")
+    if isinstance(value, numbers.Integral):
+        return Fraction(int(value))
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value)
+    if isinstance(value, np.floating):
+        return Fraction(float(value))
+    raise TypeError(f"cannot convert {type(value).__name__} to Fraction")
+
+
+def fraction_vector(values: Iterable) -> tuple[Fraction, ...]:
+    """Convert an iterable of numbers to a tuple of Fractions."""
+    return tuple(to_fraction(v) for v in values)
+
+
+def fraction_matrix(rows: Iterable[Iterable]) -> tuple[tuple[Fraction, ...], ...]:
+    """Convert a 2-D iterable of numbers to a tuple-of-tuples of Fractions.
+
+    Raises ``ValueError`` if the rows are ragged.
+    """
+    out = tuple(fraction_vector(row) for row in rows)
+    if out and any(len(row) != len(out[0]) for row in out):
+        raise ValueError("matrix rows have unequal lengths")
+    return out
+
+
+def is_probability_vector(values: Sequence[Fraction]) -> bool:
+    """True iff all entries are in [0, 1] and they sum to exactly 1."""
+    if not values:
+        return False
+    if any(v < 0 or v > 1 for v in values):
+        return False
+    return sum(values) == 1
+
+
+def as_floats(values: Iterable[Fraction]) -> np.ndarray:
+    """Convert exact rationals to a float numpy array (for reporting)."""
+    return np.array([float(v) for v in values], dtype=float)
+
+
+def dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:
+    """Exact dot product of two equal-length rational vectors."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum((x * y for x, y in zip(a, b)), start=Fraction(0))
+
+
+def mat_vec(matrix: Sequence[Sequence[Fraction]], vec: Sequence[Fraction]) -> tuple[Fraction, ...]:
+    """Exact matrix-vector product."""
+    return tuple(dot(row, vec) for row in matrix)
+
+
+def vec_mat(vec: Sequence[Fraction], matrix: Sequence[Sequence[Fraction]]) -> tuple[Fraction, ...]:
+    """Exact vector-matrix product (row vector times matrix)."""
+    if not matrix:
+        return ()
+    ncols = len(matrix[0])
+    if len(vec) != len(matrix):
+        raise ValueError(f"length mismatch: {len(vec)} vs {len(matrix)} rows")
+    return tuple(
+        sum((vec[i] * matrix[i][j] for i in range(len(vec))), start=Fraction(0))
+        for j in range(ncols)
+    )

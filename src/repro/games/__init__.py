@@ -1,0 +1,112 @@
+"""Game substrate: strategic-form, bimatrix, symmetric, participation and
+congestion games, plus profiles and generators."""
+
+from repro.games.base import Game
+from repro.games.bayesian import (
+    BayesianGame,
+    bayes_nash_equilibria,
+    is_bayes_nash,
+)
+from repro.games.auctions import (
+    FIRST_PRICE,
+    SECOND_PRICE,
+    private_value_second_price,
+    sealed_bid_auction,
+    truthful_bayesian_strategies,
+    truthful_profile,
+)
+from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.games.extensive import (
+    DecisionNode,
+    ExtensiveGame,
+    TerminalNode,
+    backward_induction,
+    continuation_payoffs,
+    is_subgame_perfect,
+    to_strategic,
+    ultimatum_game,
+)
+from repro.games.congestion import (
+    AffineDelay,
+    Arc,
+    CommodityDemand,
+    DelayFunction,
+    LinearDelay,
+    Network,
+    NetworkCongestionGame,
+    PolynomialDelay,
+    parallel_links_network,
+)
+from repro.games.participation import (
+    PARTICIPATE,
+    STAY_OUT,
+    ParticipationConditionals,
+    ParticipationGame,
+)
+from repro.games.profiles import (
+    MixedProfile,
+    PureProfile,
+    change,
+    enumerate_profiles,
+    is_valid_profile,
+    profile_space_size,
+    validate_profile,
+)
+from repro.games.strategic import StrategicGame
+from repro.games.symmetric import (
+    SymmetricTwoActionGame,
+    binomial_pmf,
+    binomial_tail_at_least,
+    binomial_tail_at_most,
+    is_symmetric,
+)
+
+__all__ = [
+    "FIRST_PRICE",
+    "SECOND_PRICE",
+    "private_value_second_price",
+    "sealed_bid_auction",
+    "truthful_bayesian_strategies",
+    "truthful_profile",
+    "DecisionNode",
+    "ExtensiveGame",
+    "TerminalNode",
+    "backward_induction",
+    "continuation_payoffs",
+    "is_subgame_perfect",
+    "to_strategic",
+    "ultimatum_game",
+    "BayesianGame",
+    "bayes_nash_equilibria",
+    "is_bayes_nash",
+    "Game",
+    "BimatrixGame",
+    "ROW",
+    "COLUMN",
+    "StrategicGame",
+    "SymmetricTwoActionGame",
+    "ParticipationGame",
+    "ParticipationConditionals",
+    "PARTICIPATE",
+    "STAY_OUT",
+    "MixedProfile",
+    "PureProfile",
+    "change",
+    "enumerate_profiles",
+    "is_valid_profile",
+    "profile_space_size",
+    "validate_profile",
+    "binomial_pmf",
+    "binomial_tail_at_least",
+    "binomial_tail_at_most",
+    "is_symmetric",
+    "Network",
+    "Arc",
+    "DelayFunction",
+    "LinearDelay",
+    "AffineDelay",
+    "PolynomialDelay",
+    "CommodityDemand",
+    "NetworkCongestionGame",
+    "parallel_links_network",
+]

@@ -1,0 +1,140 @@
+"""The abstract game interface.
+
+Everything downstream — equilibrium computation, proof building, proof
+*checking* — talks to games through this small oracle interface, matching
+the paper's model ``G = <N, A = (Ai), U = (ui)>`` (Sect. 2).  The checker
+kernel in particular must not depend on any solver internals: it re-derives
+every utility claim by calling :meth:`Game.payoff` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.errors import GameError
+from repro.fractions_util import dot
+from repro.games.profiles import (
+    MixedProfile,
+    PureProfile,
+    enumerate_profiles,
+    profile_space_size,
+    validate_profile,
+)
+
+
+class Game(abc.ABC):
+    """A finite strategic-form game with exact rational payoffs.
+
+    Players are ``0 .. num_players-1``; player ``i``'s actions are
+    ``0 .. num_actions(i)-1``.  Subclasses implement :meth:`payoff`; all
+    derived quantities (expected utilities, profile enumeration) are
+    provided here.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_players(self) -> int:
+        """Number of players ``n = |N|``."""
+
+    @property
+    @abc.abstractmethod
+    def action_counts(self) -> tuple[int, ...]:
+        """The paper's ``TSi``: per-player number of strategies."""
+
+    @abc.abstractmethod
+    def payoff(self, player: int, profile: PureProfile) -> Fraction:
+        """Exact utility ``u_i(profile)`` for a pure profile."""
+
+    # ------------------------------------------------------------------
+    # Derived interface
+    # ------------------------------------------------------------------
+
+    def num_actions(self, player: int) -> int:
+        """Number of actions available to ``player``."""
+        return self.action_counts[player]
+
+    def players(self) -> range:
+        """Iterator over player indices."""
+        return range(self.num_players)
+
+    def actions(self, player: int) -> range:
+        """Iterator over ``player``'s action indices."""
+        return range(self.num_actions(player))
+
+    def payoffs(self, profile: PureProfile) -> tuple[Fraction, ...]:
+        """All players' utilities at a pure profile."""
+        profile = self.validate_profile(profile)
+        return tuple(self.payoff(i, profile) for i in self.players())
+
+    def validate_profile(self, profile: Sequence[int]) -> PureProfile:
+        """Check a pure profile against this game (``isStrat``)."""
+        return validate_profile(profile, self.action_counts)
+
+    def enumerate_profiles(self) -> Iterator[PureProfile]:
+        """All pure profiles in deterministic lexicographic order."""
+        return enumerate_profiles(self.action_counts)
+
+    def profile_space_size(self) -> int:
+        """``prod_i |A_i|`` — the length of the Fig. 2 enumeration."""
+        return profile_space_size(self.action_counts)
+
+    def expected_payoff(self, player: int, mixed: MixedProfile) -> Fraction:
+        """Exact expected utility of ``player`` under a mixed profile.
+
+        Computed by direct summation over the profile space; exact but
+        exponential in the number of players, which is fine for the small
+        games proofs are checked on (bimatrix games use the closed-form
+        bilinear version in :mod:`repro.games.bimatrix`).
+        """
+        if mixed.num_players != self.num_players:
+            raise GameError("mixed profile has wrong number of players")
+        total = Fraction(0)
+        for profile in self.enumerate_profiles():
+            prob = mixed.probability(profile)
+            if prob != 0:
+                total += prob * self.payoff(player, profile)
+        return total
+
+    def expected_action_payoff(
+        self, player: int, action: int, mixed: MixedProfile
+    ) -> Fraction:
+        """Expected utility to ``player`` of pure ``action`` vs the others.
+
+        This is the quantity λ_i(j) the P2 verifier evaluates (Fig. 4): the
+        expected gain of one pure strategy against the opponents' mixed
+        play.
+        """
+        pure_row = [Fraction(0)] * self.num_actions(player)
+        pure_row[action] = Fraction(1)
+        return self.expected_payoff(player, mixed.replace(player, pure_row))
+
+    def payoff_range(self) -> tuple[Fraction, Fraction]:
+        """(min, max) payoff over all players and profiles."""
+        values = [
+            self.payoff(i, profile)
+            for profile in self.enumerate_profiles()
+            for i in self.players()
+        ]
+        if not values:
+            raise GameError("game has an empty profile space")
+        return min(values), max(values)
+
+    def describe(self) -> str:
+        """One-line human description used in audit records."""
+        counts = "x".join(str(c) for c in self.action_counts)
+        return f"{type(self).__name__}({self.num_players} players, {counts} actions)"
+
+
+class UtilityTableMixin:
+    """Shared helpers for games backed by explicit payoff tables."""
+
+    @staticmethod
+    def check_action_counts(action_counts: Sequence[int]) -> tuple[int, ...]:
+        counts = tuple(int(c) for c in action_counts)
+        if not counts:
+            raise GameError("a game needs at least one player")
+        if any(c <= 0 for c in counts):
+            raise GameError(f"action counts must be positive, got {counts}")
+        return counts

@@ -1,0 +1,268 @@
+"""Finite Bayesian games.
+
+The paper's related work records that "Nash and Bayesian Nash equilibria
+can be verified in polynomial time" (Tadjouddine [29]) — a pillar of the
+whole verification-cheaper-than-computation premise.  This module
+supplies the object that claim is about:
+
+* a :class:`BayesianGame` has per-player finite type sets, a common
+  prior over type profiles, and type-dependent payoffs;
+* a (pure) *Bayesian strategy* maps each type to an action;
+* :meth:`BayesianGame.interim_payoff` computes the expected utility of a
+  type given everyone's strategies — the quantity each obedience check
+  compares;
+* :func:`is_bayes_nash` verifies a strategy profile exactly, in time
+  polynomial in the (explicit) game description;
+* :meth:`BayesianGame.to_agent_form` is the Harsanyi agent-form
+  reduction to an ordinary strategic game (one player per type), with
+  the property — pinned in tests — that Bayes-Nash profiles map to pure
+  Nash profiles of the agent form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import GameError
+from repro.fractions_util import to_fraction
+
+TypeProfile = tuple[int, ...]
+ActionProfile = tuple[int, ...]
+#: A pure Bayesian strategy: one action per type, per player.
+BayesianStrategy = tuple[int, ...]
+
+
+class BayesianGame:
+    """A finite Bayesian game with a common prior.
+
+    Players ``0..n-1``; player ``i`` has ``type_counts[i]`` types and
+    ``action_counts[i]`` actions.  ``prior`` maps full type profiles to
+    probabilities (exact, summing to 1; zero-probability profiles may be
+    omitted).  ``payoff_fn(player, types, actions)`` returns player
+    ``i``'s utility when the realized types are ``types`` and the chosen
+    actions ``actions``.
+    """
+
+    def __init__(
+        self,
+        type_counts: Sequence[int],
+        action_counts: Sequence[int],
+        prior: Mapping[TypeProfile, object],
+        payoff_fn: Callable[[int, TypeProfile, ActionProfile], object],
+        name: str = "",
+    ):
+        self._type_counts = tuple(int(t) for t in type_counts)
+        self._action_counts = tuple(int(a) for a in action_counts)
+        if len(self._type_counts) != len(self._action_counts):
+            raise GameError("type and action count arity mismatch")
+        if any(t < 1 for t in self._type_counts):
+            raise GameError("every player needs at least one type")
+        if any(a < 1 for a in self._action_counts):
+            raise GameError("every player needs at least one action")
+        self.name = name or "BayesianGame"
+
+        self._prior: dict[TypeProfile, Fraction] = {}
+        total = Fraction(0)
+        for types, prob in prior.items():
+            types = tuple(types)
+            if len(types) != self.num_players or any(
+                not 0 <= t < c for t, c in zip(types, self._type_counts)
+            ):
+                raise GameError(f"type profile {types} out of range")
+            prob = to_fraction(prob)
+            if prob < 0:
+                raise GameError(f"negative prior at {types}")
+            if prob > 0:
+                self._prior[types] = self._prior.get(types, Fraction(0)) + prob
+            total += prob
+        if total != 1:
+            raise GameError(f"prior sums to {total}, not 1")
+
+        # Materialize payoffs over the support of the prior only.
+        self._payoffs: dict[tuple[int, TypeProfile, ActionProfile], Fraction] = {}
+        for types in self._prior:
+            for actions in itertools.product(
+                *(range(a) for a in self._action_counts)
+            ):
+                for player in range(self.num_players):
+                    self._payoffs[(player, types, actions)] = to_fraction(
+                        payoff_fn(player, types, actions)
+                    )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_players(self) -> int:
+        return len(self._type_counts)
+
+    def describe(self) -> str:
+        """One-line human description (the authority's audit format)."""
+        types = "x".join(str(t) for t in self._type_counts)
+        actions = "x".join(str(a) for a in self._action_counts)
+        return (
+            f"BayesianGame({self.num_players} players, types {types}, "
+            f"actions {actions})"
+        )
+
+    @property
+    def type_counts(self) -> tuple[int, ...]:
+        return self._type_counts
+
+    @property
+    def action_counts(self) -> tuple[int, ...]:
+        return self._action_counts
+
+    @property
+    def prior(self) -> dict[TypeProfile, Fraction]:
+        return dict(self._prior)
+
+    def payoff(self, player: int, types: TypeProfile, actions: ActionProfile) -> Fraction:
+        try:
+            return self._payoffs[(player, tuple(types), tuple(actions))]
+        except KeyError:
+            raise GameError(
+                f"payoff undefined at types={types}, actions={actions} "
+                f"(outside the prior's support?)"
+            ) from None
+
+    def validate_strategy(self, player: int, strategy: Sequence[int]) -> BayesianStrategy:
+        strategy = tuple(int(a) for a in strategy)
+        if len(strategy) != self._type_counts[player]:
+            raise GameError(
+                f"player {player} strategy covers {len(strategy)} types, "
+                f"needs {self._type_counts[player]}"
+            )
+        if any(not 0 <= a < self._action_counts[player] for a in strategy):
+            raise GameError(f"player {player} strategy uses an invalid action")
+        return strategy
+
+    # ------------------------------------------------------------------
+    # Interim payoffs and best replies
+    # ------------------------------------------------------------------
+
+    def type_marginal(self, player: int, own_type: int) -> Fraction:
+        """Prior probability that ``player`` has ``own_type``."""
+        return sum(
+            (p for types, p in self._prior.items() if types[player] == own_type),
+            start=Fraction(0),
+        )
+
+    def interim_payoff(
+        self,
+        player: int,
+        own_type: int,
+        own_action: int,
+        strategies: Sequence[BayesianStrategy],
+    ) -> Fraction:
+        """Expected utility of playing ``own_action`` at ``own_type``,
+        given the others follow ``strategies``; weighted by the prior
+        conditioned on the player's own type (unnormalized weighting is
+        equivalent for comparisons, but we normalize for reporting)."""
+        marginal = self.type_marginal(player, own_type)
+        if marginal == 0:
+            return Fraction(0)
+        total = Fraction(0)
+        for types, prob in self._prior.items():
+            if types[player] != own_type:
+                continue
+            actions = tuple(
+                own_action if other == player
+                else strategies[other][types[other]]
+                for other in range(self.num_players)
+            )
+            total += prob * self.payoff(player, types, actions)
+        return total / marginal
+
+    def best_reply_actions(
+        self, player: int, own_type: int, strategies: Sequence[BayesianStrategy]
+    ) -> tuple[int, ...]:
+        """All interim best replies of one type."""
+        payoffs = [
+            self.interim_payoff(player, own_type, action, strategies)
+            for action in range(self._action_counts[player])
+        ]
+        best = max(payoffs)
+        return tuple(a for a, u in enumerate(payoffs) if u == best)
+
+    # ------------------------------------------------------------------
+    # Agent form
+    # ------------------------------------------------------------------
+
+    def to_agent_form(self):
+        """Harsanyi agent form: one strategic player per (player, type).
+
+        Zero-probability types get constant-zero payoffs (their choices
+        are strategically irrelevant); every positive-probability type's
+        payoffs are its interim expectations scaled by its marginal (a
+        positive constant, preserving best replies).
+        """
+        from repro.games.strategic import StrategicGame
+
+        agents = [
+            (player, own_type)
+            for player in range(self.num_players)
+            for own_type in range(self._type_counts[player])
+        ]
+        agent_index = {agent: k for k, agent in enumerate(agents)}
+        counts = tuple(self._action_counts[player] for player, __ in agents)
+
+        def payoff_fn(agent_k: int, profile) -> Fraction:
+            player, own_type = agents[agent_k]
+            total = Fraction(0)
+            for types, prob in self._prior.items():
+                if types[player] != own_type:
+                    continue
+                actions = tuple(
+                    profile[agent_index[(other, types[other])]]
+                    for other in range(self.num_players)
+                )
+                total += prob * self.payoff(player, types, actions)
+            return total
+
+        return StrategicGame.from_payoff_function(
+            counts, payoff_fn, name=f"{self.name}(agent form)"
+        ), agents
+
+
+def is_bayes_nash(
+    game: BayesianGame, strategies: Sequence[Sequence[int]]
+) -> bool:
+    """Exact Bayes-Nash check: every positive-probability type plays an
+    interim best reply.  Polynomial in the explicit game size — the
+    Tadjouddine claim, executable."""
+    if len(strategies) != game.num_players:
+        raise GameError("one strategy per player required")
+    validated = [
+        game.validate_strategy(player, strategy)
+        for player, strategy in enumerate(strategies)
+    ]
+    for player in range(game.num_players):
+        for own_type in range(game.type_counts[player]):
+            if game.type_marginal(player, own_type) == 0:
+                continue
+            chosen = validated[player][own_type]
+            if chosen not in game.best_reply_actions(player, own_type, validated):
+                return False
+    return True
+
+
+def bayes_nash_equilibria(game: BayesianGame) -> tuple[tuple[BayesianStrategy, ...], ...]:
+    """All pure Bayes-Nash equilibria, by exhaustive strategy search.
+
+    Exponential in Σ type counts — the inventor-side computation whose
+    *verification* (:func:`is_bayes_nash`) is the cheap part.
+    """
+    spaces = []
+    for player in range(game.num_players):
+        actions = range(game.action_counts[player])
+        spaces.append(
+            list(itertools.product(actions, repeat=game.type_counts[player]))
+        )
+    out = []
+    for combo in itertools.product(*spaces):
+        if is_bayes_nash(game, combo):
+            out.append(tuple(combo))
+    return tuple(out)

@@ -1,0 +1,293 @@
+"""Finite extensive-form games with perfect information.
+
+The paper's related work singles out Guerin [17]: "an algorithmic
+approach to specifying and verifying subgame perfect equilibria" — the
+equilibrium notion for sequential games.  This module supplies the
+object and its checkable verification:
+
+* a game tree of :class:`DecisionNode` / :class:`TerminalNode`;
+* pure strategies assign an action to every decision node;
+* :func:`continuation_payoffs` evaluates a strategy profile from any
+  node (the quantity every subgame check compares);
+* :func:`is_subgame_perfect` — verification by the one-shot-deviation
+  principle: at *every* node, the acting player's prescribed action
+  must maximize its continuation payoff.  Polynomial in the tree size —
+  cheap to check, as the framework requires;
+* :func:`backward_induction` — the inventor-side solver;
+* :func:`to_strategic` — the reduced normal form (exponential), against
+  which the tests pin that every SPE is a Nash equilibrium of the
+  reduction (but not conversely: the classic non-credible-threat
+  equilibria are rejected by the subgame check).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence, Union
+
+from repro.errors import GameError
+from repro.fractions_util import to_fraction
+
+
+@dataclass(frozen=True)
+class TerminalNode:
+    """A leaf with exact payoffs, one per player."""
+
+    payoffs: tuple[Fraction, ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "payoffs", tuple(to_fraction(v) for v in self.payoffs)
+        )
+
+
+@dataclass(frozen=True)
+class DecisionNode:
+    """An internal node: ``player`` moves, choosing among ``children``.
+
+    ``label`` names the node; strategies are keyed by it, so labels must
+    be unique within a tree (validated by :class:`ExtensiveGame`).
+    """
+
+    label: str
+    player: int
+    children: tuple["GameNode", ...]
+
+    def __post_init__(self):
+        if not self.children:
+            raise GameError(f"decision node {self.label!r} has no children")
+
+
+GameNode = Union[DecisionNode, TerminalNode]
+
+#: A pure strategy profile: node label -> chosen child index.
+StrategyMap = dict[str, int]
+
+
+class ExtensiveGame:
+    """A finite perfect-information game tree."""
+
+    def __init__(self, root: GameNode, num_players: int, name: str = ""):
+        if num_players < 1:
+            raise GameError("need at least one player")
+        self._root = root
+        self._num_players = num_players
+        self.name = name or "ExtensiveGame"
+        self._nodes: dict[str, DecisionNode] = {}
+        self._validate(root)
+
+    def _validate(self, node: GameNode) -> None:
+        if isinstance(node, TerminalNode):
+            if len(node.payoffs) != self._num_players:
+                raise GameError(
+                    f"terminal payoffs arity {len(node.payoffs)} != "
+                    f"{self._num_players} players"
+                )
+            return
+        if not 0 <= node.player < self._num_players:
+            raise GameError(f"node {node.label!r} names player {node.player}")
+        if node.label in self._nodes:
+            raise GameError(f"duplicate node label {node.label!r}")
+        self._nodes[node.label] = node
+        for child in node.children:
+            self._validate(child)
+
+    @property
+    def root(self) -> GameNode:
+        return self._root
+
+    @property
+    def num_players(self) -> int:
+        return self._num_players
+
+    def describe(self) -> str:
+        """One-line human description (the authority's audit format)."""
+        return (
+            f"{self.name}: extensive form, {self._num_players} players, "
+            f"{len(self._nodes)} decision nodes"
+        )
+
+    def decision_nodes(self) -> dict[str, DecisionNode]:
+        return dict(self._nodes)
+
+    def decision_nodes_of(self, player: int) -> tuple[str, ...]:
+        return tuple(
+            label for label, node in self._nodes.items() if node.player == player
+        )
+
+    def validate_strategy(self, strategy: Mapping[str, int]) -> StrategyMap:
+        """A full strategy must choose at every decision node, validly."""
+        out: StrategyMap = {}
+        for label, node in self._nodes.items():
+            if label not in strategy:
+                raise GameError(f"strategy misses node {label!r}")
+            choice = int(strategy[label])
+            if not 0 <= choice < len(node.children):
+                raise GameError(
+                    f"strategy picks child {choice} at {label!r} "
+                    f"({len(node.children)} available)"
+                )
+            out[label] = choice
+        extra = set(strategy) - set(self._nodes)
+        if extra:
+            raise GameError(f"strategy names unknown nodes {sorted(extra)}")
+        return out
+
+
+def continuation_payoffs(
+    game: ExtensiveGame, strategy: Mapping[str, int], node: GameNode | None = None
+) -> tuple[Fraction, ...]:
+    """Payoff vector reached by following ``strategy`` from ``node``."""
+    strategy = game.validate_strategy(strategy)
+    current = game.root if node is None else node
+    while isinstance(current, DecisionNode):
+        current = current.children[strategy[current.label]]
+    return current.payoffs
+
+
+def is_subgame_perfect(game: ExtensiveGame, strategy: Mapping[str, int]) -> bool:
+    """One-shot-deviation verification of subgame perfection.
+
+    At every decision node, the acting player's prescribed move must
+    achieve the maximal continuation payoff among the available children
+    (with play continuing by the same strategy below).  By the one-shot
+    deviation principle this is equivalent to full subgame perfection in
+    finite trees.
+    """
+    strategy = game.validate_strategy(strategy)
+    for label, node in game.decision_nodes().items():
+        values = [
+            continuation_payoffs(game, strategy, child)[node.player]
+            for child in node.children
+        ]
+        if values[strategy[label]] != max(values):
+            return False
+    return True
+
+
+def backward_induction(game: ExtensiveGame) -> tuple[StrategyMap, tuple[Fraction, ...]]:
+    """The inventor's solver: solve every subgame bottom-up.
+
+    Ties break toward the lowest child index (deterministic, so the
+    advice is reproducible).  Returns the strategy and the root value.
+    """
+    strategy: StrategyMap = {}
+
+    def solve(node: GameNode) -> tuple[Fraction, ...]:
+        if isinstance(node, TerminalNode):
+            return node.payoffs
+        child_values = [solve(child) for child in node.children]
+        best = max(range(len(node.children)),
+                   key=lambda k: (child_values[k][node.player], -k))
+        strategy[node.label] = best
+        return child_values[best]
+
+    value = solve(game.root)
+    return strategy, value
+
+
+def to_strategic(game: ExtensiveGame):
+    """The reduced normal form: one strategic action per full plan.
+
+    Exponential in the number of decision nodes per player; intended for
+    the small trees the tests use to pin SPE ⊂ Nash.
+    Returns ``(strategic_game, plans)`` where ``plans[player]`` is the
+    tuple of strategy maps that player's actions index.
+    """
+    from repro.games.strategic import StrategicGame
+
+    per_player_nodes = [
+        game.decision_nodes_of(player) for player in range(game.num_players)
+    ]
+    nodes_map = game.decision_nodes()
+    plans: list[tuple[dict[str, int], ...]] = []
+    for labels in per_player_nodes:
+        ranges = [range(len(nodes_map[label].children)) for label in labels]
+        plans.append(
+            tuple(dict(zip(labels, combo)) for combo in itertools.product(*ranges))
+        )
+
+    def payoff(player: int, profile) -> Fraction:
+        strategy: StrategyMap = {}
+        for p, action in enumerate(profile):
+            strategy.update(plans[p][action])
+        return continuation_payoffs(game, strategy)[player]
+
+    counts = tuple(max(1, len(p)) for p in plans)
+    normalized_plans = [p if p else ({},) for p in plans]
+    strategic = StrategicGame.from_payoff_function(
+        counts, payoff, name=f"{game.name}(reduced normal form)"
+    )
+    return strategic, tuple(normalized_plans)
+
+
+def random_extensive_game(
+    seed: int,
+    num_players: int = 2,
+    max_depth: int = 3,
+    max_branching: int = 3,
+    payoff_bound: int = 10,
+) -> ExtensiveGame:
+    """A random perfect-information game tree (for property tests).
+
+    Depth and branching are drawn per node from a seeded stream, so the
+    same seed always yields the same tree.
+    """
+    from repro.rng import make_rng
+
+    rng = make_rng(seed, f"tree:{num_players}:{max_depth}:{max_branching}")
+    counter = [0]
+
+    def build(depth: int) -> GameNode:
+        make_leaf = depth >= max_depth or (depth > 0 and rng.random() < 0.3)
+        if make_leaf:
+            return TerminalNode(
+                tuple(
+                    Fraction(rng.randint(-payoff_bound, payoff_bound))
+                    for _ in range(num_players)
+                )
+            )
+        counter[0] += 1
+        label = f"n{counter[0]}"
+        player = rng.randrange(num_players)
+        branches = rng.randint(2, max_branching)
+        children = tuple(build(depth + 1) for _ in range(branches))
+        return DecisionNode(label=label, player=player, children=children)
+
+    root = build(0)
+    if isinstance(root, TerminalNode):
+        # Guarantee at least one decision.
+        root = DecisionNode(
+            label="n0",
+            player=0,
+            children=(root, TerminalNode(tuple(Fraction(0) for _ in range(num_players)))),
+        )
+    return ExtensiveGame(root, num_players, name=f"RandomTree(seed={seed})")
+
+
+def ultimatum_game(pie: int = 4) -> ExtensiveGame:
+    """The discrete ultimatum game — the classic SPE-vs-Nash separator.
+
+    Player 0 offers ``k`` of ``pie`` units to player 1, who accepts
+    (payoffs (pie-k, k)) or rejects (payoffs (0, 0)).  The SPE accepts
+    everything (with the tie at k = 0 broken toward accept); the reduced
+    normal form also has the non-credible "reject low offers"
+    equilibria, which :func:`is_subgame_perfect` rejects.
+    """
+    if pie < 1:
+        raise GameError("the pie must be positive")
+    offers = []
+    for k in range(pie + 1):
+        respond = DecisionNode(
+            label=f"respond-{k}",
+            player=1,
+            children=(
+                TerminalNode((Fraction(pie - k), Fraction(k))),  # accept
+                TerminalNode((Fraction(0), Fraction(0))),        # reject
+            ),
+        )
+        offers.append(respond)
+    root = DecisionNode(label="offer", player=0, children=tuple(offers))
+    return ExtensiveGame(root, num_players=2, name=f"Ultimatum(pie={pie})")

@@ -1,0 +1,141 @@
+"""Game factories: classic textbook games and seeded random games.
+
+The classic games pin down known equilibria for unit tests; the random
+generators feed the property-based tests and the scaling benchmarks
+(Lemma 1 needs random bimatrix games of growing size).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import GameError
+from repro.games.bimatrix import BimatrixGame
+from repro.games.strategic import StrategicGame
+from repro.rng import make_rng
+
+# ----------------------------------------------------------------------
+# Classic 2x2 games (known equilibria, used to pin solver behaviour)
+# ----------------------------------------------------------------------
+
+
+def prisoners_dilemma() -> BimatrixGame:
+    """Actions (cooperate, defect); unique PNE is (defect, defect)."""
+    return BimatrixGame(
+        [[-1, -3], [0, -2]],
+        [[-1, 0], [-3, -2]],
+        name="PrisonersDilemma",
+    )
+
+
+def matching_pennies() -> BimatrixGame:
+    """No PNE; unique mixed equilibrium is (1/2, 1/2) for both players."""
+    return BimatrixGame(
+        [[1, -1], [-1, 1]],
+        [[-1, 1], [1, -1]],
+        name="MatchingPennies",
+    )
+
+
+def battle_of_sexes() -> BimatrixGame:
+    """Two PNE (0,0) and (1,1), plus a mixed equilibrium (2/3, 1/3)."""
+    return BimatrixGame(
+        [[2, 0], [0, 1]],
+        [[1, 0], [0, 2]],
+        name="BattleOfSexes",
+    )
+
+
+def coordination_game() -> BimatrixGame:
+    """Pure coordination; PNE (0,0) and (1,1), with (1,1) dominant in payoff."""
+    return BimatrixGame(
+        [[1, 0], [0, 2]],
+        [[1, 0], [0, 2]],
+        name="Coordination",
+    )
+
+
+def stag_hunt() -> BimatrixGame:
+    """PNE (stag, stag) and (hare, hare); payoff-ranked equilibria."""
+    return BimatrixGame(
+        [[4, 0], [3, 3]],
+        [[4, 3], [0, 3]],
+        name="StagHunt",
+    )
+
+
+def rock_paper_scissors() -> BimatrixGame:
+    """Zero-sum, unique mixed equilibrium (1/3, 1/3, 1/3) each."""
+    a = [[0, -1, 1], [1, 0, -1], [-1, 1, 0]]
+    return BimatrixGame.zero_sum(a, name="RockPaperScissors")
+
+
+def pure_dominance_game() -> StrategicGame:
+    """3-player game where action 1 strictly dominates for everyone.
+
+    The unique PNE is (1, 1, 1); handy for exercising the Fig. 2 proof
+    path on a game with more than two players.
+    """
+    def payoff(player: int, profile) -> int:
+        base = sum(profile)
+        return base + (2 if profile[player] == 1 else 0)
+
+    return StrategicGame.from_payoff_function((2, 2, 2), payoff, name="PureDominance3")
+
+
+# ----------------------------------------------------------------------
+# Random games
+# ----------------------------------------------------------------------
+
+
+def random_bimatrix(
+    rows: int,
+    cols: int,
+    seed: int,
+    low: int = -10,
+    high: int = 10,
+    name: str = "",
+) -> BimatrixGame:
+    """A random bimatrix game with integer payoffs in [low, high]."""
+    if rows < 1 or cols < 1:
+        raise GameError("matrix dimensions must be positive")
+    rng = make_rng(seed, f"bimatrix:{rows}x{cols}")
+    a = [[rng.randint(low, high) for _ in range(cols)] for _ in range(rows)]
+    b = [[rng.randint(low, high) for _ in range(cols)] for _ in range(rows)]
+    return BimatrixGame(a, b, name=name or f"RandomBimatrix({rows}x{cols}, seed={seed})")
+
+
+def random_strategic(
+    action_counts: Sequence[int],
+    seed: int,
+    low: int = -10,
+    high: int = 10,
+    name: str = "",
+) -> StrategicGame:
+    """A random n-player strategic game with integer payoffs."""
+    counts = tuple(int(c) for c in action_counts)
+    rng = make_rng(seed, f"strategic:{counts}")
+
+    def payoff(player: int, profile) -> int:
+        # Draw lazily but deterministically per (player, profile).
+        local = make_rng(seed, f"strategic:{counts}:{player}:{profile}")
+        return local.randint(low, high)
+
+    return StrategicGame.from_payoff_function(
+        counts, payoff, name=name or f"RandomStrategic({counts}, seed={seed})"
+    )
+
+
+def random_zero_sum(rows: int, cols: int, seed: int, bound: int = 10) -> BimatrixGame:
+    """A random zero-sum bimatrix game (always has a value/equilibrium)."""
+    rng = make_rng(seed, f"zerosum:{rows}x{cols}")
+    a = [[rng.randint(-bound, bound) for _ in range(cols)] for _ in range(rows)]
+    return BimatrixGame.zero_sum(a, name=f"RandomZeroSum({rows}x{cols}, seed={seed})")
+
+
+def random_coordination(size: int, seed: int, bound: int = 10) -> BimatrixGame:
+    """A random common-payoff game (A = B); always has a PNE (the argmax)."""
+    rng = make_rng(seed, f"coordination:{size}")
+    a = [[rng.randint(-bound, bound) for _ in range(size)] for _ in range(size)]
+    return BimatrixGame(a, a, name=f"RandomCoordination({size}, seed={seed})")

@@ -1,0 +1,173 @@
+"""The participation game of Sect. 5.
+
+"Consider n firms that are eligible to participate in an auction.  The
+auction rules are:
+
+* a firm f gets a value v > 0 if at least k firms choose to participate
+  and f chooses not to;
+* a firm f gets a value v - c > 0 when at least k firms participate and
+  f is one of them;
+* if nobody participates, then each firm gains zero;
+* if firm f participates but the total number of participants is less
+  than k, then f pays c > 0."
+
+Action 1 is *participate*, action 0 is *stay out*.  The game is symmetric,
+so it has a symmetric mixed equilibrium p; for k = 2 the indifference
+condition collapses (Eq. 4) to  ``c = v (n-1) p (1-p)^(n-2)``.  Finding p
+is the inventor's job (:mod:`repro.equilibria.symmetric`); *checking* a
+claimed p is cheap and is what the rationality authority verifies
+(:meth:`ParticipationGame.verify_equilibrium` evaluates Eq. (5)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import GameError
+from repro.fractions_util import to_fraction
+from repro.games.symmetric import (
+    SymmetricTwoActionGame,
+    binomial_tail_at_least,
+    binomial_tail_at_most,
+)
+
+PARTICIPATE = 1
+STAY_OUT = 0
+
+
+@dataclass(frozen=True)
+class ParticipationConditionals:
+    """The conditional probabilities A_k, B_k, C_k, D_k of Eq. (5).
+
+    With X ~ Binomial(n-1, p) the number of *other* participants:
+
+    * ``a_k`` = P[at least k firms participate | f participates] = P[X >= k-1]
+    * ``b_k`` = P[at most k-1 firms participate | f participates] = P[X <= k-2]
+    * ``c_k`` = P[at least k firms participate | f does not]      = P[X >= k]
+    * ``d_k`` = P[at most k-1 firms participate | f does not]     = P[X <= k-1]
+    """
+
+    a_k: Fraction
+    b_k: Fraction
+    c_k: Fraction
+    d_k: Fraction
+
+    def check_totals(self) -> bool:
+        """Sanity: each conditional pair partitions the sample space."""
+        return self.a_k + self.b_k == 1 and self.c_k + self.d_k == 1
+
+
+class ParticipationGame(SymmetricTwoActionGame):
+    """The n-firm participation game with fee ``c``, prize ``v``, threshold ``k``."""
+
+    def __init__(self, num_players: int, value, cost, threshold: int = 2):
+        value = to_fraction(value)
+        cost = to_fraction(cost)
+        if value <= 0:
+            raise GameError("the prize v must be positive")
+        if cost <= 0:
+            raise GameError("the participation fee c must be positive")
+        if value - cost <= 0:
+            raise GameError("the paper requires v - c > 0")
+        if not 2 <= threshold <= num_players:
+            raise GameError(
+                f"threshold k={threshold} must be in [2, n={num_players}]"
+            )
+        self._v = value
+        self._c = cost
+        self._k = int(threshold)
+
+        def payoff_fn(action: int, others_in: int) -> Fraction:
+            total = others_in + (1 if action == PARTICIPATE else 0)
+            if action == PARTICIPATE:
+                return value - cost if total >= threshold else -cost
+            return value if others_in >= threshold else Fraction(0)
+
+        super().__init__(num_players, payoff_fn,
+                         name=f"ParticipationGame(n={num_players}, k={threshold})")
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> Fraction:
+        """The prize v."""
+        return self._v
+
+    @property
+    def cost(self) -> Fraction:
+        """The participation fee c."""
+        return self._c
+
+    @property
+    def threshold(self) -> int:
+        """The participation threshold k."""
+        return self._k
+
+    # ------------------------------------------------------------------
+    # Eq. (5): conditional probabilities and the indifference identity
+    # ------------------------------------------------------------------
+
+    def conditionals(self, p) -> ParticipationConditionals:
+        """Evaluate A_k, B_k, C_k, D_k of Eq. (5) at participation probability ``p``."""
+        p = to_fraction(p)
+        n_others = self.num_players - 1
+        return ParticipationConditionals(
+            a_k=binomial_tail_at_least(self._k - 1, n_others, p),
+            b_k=binomial_tail_at_most(self._k - 2, n_others, p),
+            c_k=binomial_tail_at_least(self._k, n_others, p),
+            d_k=binomial_tail_at_most(self._k - 1, n_others, p),
+        )
+
+    def indifference_identity_gap(self, p) -> Fraction:
+        """LHS minus RHS of Eq. (5):  (v-c) A_k - c B_k - v C_k.
+
+        Zero exactly at a fully-mixed symmetric equilibrium.  This is the
+        quantity the *verifier* evaluates: polynomial work given p, even
+        though finding p is hard.
+        """
+        cond = self.conditionals(p)
+        lhs = (self._v - self._c) * cond.a_k + (-self._c) * cond.b_k
+        rhs = self._v * cond.c_k
+        return lhs - rhs
+
+    def closed_form_gap(self, p) -> Fraction:
+        """LHS minus RHS of the paper's simplified Eq. (4), for k = 2 only:
+
+            c  =  v (n-1) p (1-p)^(n-2)
+        """
+        if self._k != 2:
+            raise GameError("Eq. (4) is the k=2 specialization")
+        p = to_fraction(p)
+        n = self.num_players
+        return self._c - self._v * (n - 1) * p * (1 - p) ** (n - 2)
+
+    def verify_equilibrium(self, p) -> bool:
+        """Exact verifier for an advised symmetric equilibrium probability.
+
+        Checks 0 <= p <= 1 and the Eq. (5) indifference identity (interior
+        p), or the corresponding one-sided conditions at the boundary.
+        Equivalent to the generic two-action check but phrased exactly as
+        the paper's Eq. (3)/(5) computation.
+        """
+        p = to_fraction(p)
+        if not 0 <= p <= 1:
+            return False
+        gap = self.indifference_identity_gap(p)
+        if p == 0:
+            return gap <= 0
+        if p == 1:
+            return gap >= 0
+        return gap == 0
+
+    def equilibrium_expected_gain(self, p) -> Fraction:
+        """A firm's expected gain at the symmetric equilibrium ``p``.
+
+        At an interior equilibrium both actions earn the same, which
+        equals the stay-out side  v * C_k.  For the paper's example
+        (c/v = 3/8, n = 3, p = 1/4) this is exactly v/16.
+        """
+        p = to_fraction(p)
+        return self.expected_payoff_of_action(STAY_OUT, p)

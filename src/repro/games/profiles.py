@@ -1,0 +1,188 @@
+"""Strategy profiles — pure and mixed.
+
+The paper (Sect. 2, following Osborne-Rubinstein) works with strategy
+profiles ``Si`` that assign one strategy to each agent, the deviation
+constructor ``change(Si, si, i)`` and profile-space enumeration.  This
+module implements those notions:
+
+* a *pure profile* is a plain ``tuple[int, ...]``, one action index per
+  player, validated against the game's action counts;
+* :class:`MixedProfile` assigns each player an exact probability vector;
+* :func:`change` is the paper's deviation operator (Fig. 2, line 11);
+* :func:`enumerate_profiles` is the ``allStrat`` enumeration (Fig. 2,
+  line 30).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.errors import ProfileError
+from repro.fractions_util import fraction_vector, is_probability_vector
+
+PureProfile = tuple[int, ...]
+
+
+def validate_profile(profile: Sequence[int], action_counts: Sequence[int]) -> PureProfile:
+    """Validate and normalize a pure profile against ``action_counts``.
+
+    This is the paper's ``isStrat(n, TSi, Si)`` predicate (Fig. 2,
+    line 14) in executable form; it raises :class:`ProfileError` instead
+    of returning False so call sites cannot ignore a malformed profile.
+    """
+    profile = tuple(profile)
+    if len(profile) != len(action_counts):
+        raise ProfileError(
+            f"profile has {len(profile)} entries for {len(action_counts)} players"
+        )
+    for player, (action, count) in enumerate(zip(profile, action_counts)):
+        if not isinstance(action, (int,)) or isinstance(action, bool):
+            raise ProfileError(f"player {player} action {action!r} is not an int")
+        if not 0 <= action < count:
+            raise ProfileError(
+                f"player {player} action {action} out of range [0, {count})"
+            )
+    return profile
+
+
+def is_valid_profile(profile: Sequence[int], action_counts: Sequence[int]) -> bool:
+    """Boolean form of :func:`validate_profile` (the ``isStrat`` check)."""
+    try:
+        validate_profile(profile, action_counts)
+    except ProfileError:
+        return False
+    return True
+
+
+def change(profile: PureProfile, action: int, player: int) -> PureProfile:
+    """Return ``profile`` with ``player``'s strategy replaced by ``action``.
+
+    The paper's ``change(Si, si, i)`` (Fig. 2, line 11): the single-agent
+    deviation constructor from which every Nash-equilibrium check is
+    built.
+    """
+    if not 0 <= player < len(profile):
+        raise ProfileError(f"player {player} out of range for profile {profile}")
+    return profile[:player] + (action,) + profile[player + 1:]
+
+
+def enumerate_profiles(action_counts: Sequence[int]) -> Iterator[PureProfile]:
+    """Yield every pure profile, in lexicographic order.
+
+    This is the enumeration behind the ``allStrat`` proposition (Fig. 2,
+    line 30).  The iteration order is deterministic so proof certificates
+    that enumerate profiles can be compared across runs.
+    """
+    ranges = [range(count) for count in action_counts]
+    yield from itertools.product(*ranges)
+
+
+def profile_space_size(action_counts: Sequence[int]) -> int:
+    """Number of pure profiles, i.e. the length of the Fig. 2 enumeration."""
+    size = 1
+    for count in action_counts:
+        size *= count
+    return size
+
+
+@dataclass(frozen=True)
+class MixedProfile:
+    """An exact mixed-strategy profile: one probability vector per player.
+
+    Probabilities are :class:`Fraction`s; each vector must be a valid
+    probability distribution over the player's actions.  The class is
+    immutable and hashable so that equilibria can be used as dict keys in
+    audit records.
+    """
+
+    distributions: tuple[tuple[Fraction, ...], ...]
+
+    def __post_init__(self):
+        for player, dist in enumerate(self.distributions):
+            if not is_probability_vector(dist):
+                raise ProfileError(
+                    f"player {player} distribution {dist} is not a probability vector"
+                )
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence]) -> "MixedProfile":
+        """Build from any nested sequence of numbers (exact conversion)."""
+        return cls(tuple(fraction_vector(row) for row in rows))
+
+    @classmethod
+    def pure(cls, profile: Sequence[int], action_counts: Sequence[int]) -> "MixedProfile":
+        """Degenerate mixed profile playing ``profile`` with probability 1."""
+        profile = validate_profile(profile, action_counts)
+        rows = []
+        for action, count in zip(profile, action_counts):
+            row = [Fraction(0)] * count
+            row[action] = Fraction(1)
+            rows.append(tuple(row))
+        return cls(tuple(rows))
+
+    @classmethod
+    def uniform(cls, action_counts: Sequence[int]) -> "MixedProfile":
+        """The uniform mixed profile."""
+        return cls(
+            tuple(
+                tuple(Fraction(1, count) for _ in range(count))
+                for count in action_counts
+            )
+        )
+
+    @property
+    def num_players(self) -> int:
+        return len(self.distributions)
+
+    def distribution(self, player: int) -> tuple[Fraction, ...]:
+        """Player ``player``'s probability vector."""
+        return self.distributions[player]
+
+    def support(self, player: int) -> tuple[int, ...]:
+        """Indices of actions played with non-zero probability.
+
+        Supports are exactly what the P1 prover communicates (Fig. 3), so
+        they are first-class here.
+        """
+        return tuple(
+            action
+            for action, prob in enumerate(self.distributions[player])
+            if prob != 0
+        )
+
+    def supports(self) -> tuple[tuple[int, ...], ...]:
+        """All players' supports."""
+        return tuple(self.support(i) for i in range(self.num_players))
+
+    def is_pure(self) -> bool:
+        """True iff every player plays a single action with probability 1."""
+        return all(
+            sum(1 for p in dist if p != 0) == 1 for dist in self.distributions
+        )
+
+    def as_pure(self) -> PureProfile:
+        """Convert a degenerate mixed profile to a pure one."""
+        if not self.is_pure():
+            raise ProfileError("profile is not degenerate/pure")
+        return tuple(
+            next(a for a, p in enumerate(dist) if p != 0)
+            for dist in self.distributions
+        )
+
+    def probability(self, profile: PureProfile) -> Fraction:
+        """Probability that the pure profile ``profile`` is realized."""
+        if len(profile) != self.num_players:
+            raise ProfileError("profile length does not match player count")
+        prob = Fraction(1)
+        for dist, action in zip(self.distributions, profile):
+            prob *= dist[action]
+        return prob
+
+    def replace(self, player: int, distribution: Sequence) -> "MixedProfile":
+        """Mixed-strategy analogue of :func:`change`."""
+        rows = list(self.distributions)
+        rows[player] = fraction_vector(distribution)
+        return MixedProfile(tuple(rows))

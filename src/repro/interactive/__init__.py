@@ -1,0 +1,86 @@
+"""Interactive proofs P1 (support-revealing) and P2 (private), with
+transcripts, adversaries and privacy accounting (Sect. 4)."""
+
+from repro.interactive.adversaries import (
+    AdaptiveMembershipProver,
+    LyingMembershipProver,
+    NonEquilibriumProver,
+    WrongValueProver,
+)
+from repro.interactive.nplayer import (
+    NPlayerAnnouncement,
+    NPlayerReport,
+    announce_nplayer,
+    verify_nplayer,
+)
+from repro.interactive.p1 import (
+    P1Announcement,
+    P1Prover,
+    P1Report,
+    P1Verifier,
+    decode_announcement,
+    run_p1_exchange,
+)
+from repro.interactive.p2 import (
+    P2Disclosure,
+    P2Prover,
+    P2Report,
+    P2Verifier,
+    QueryRecord,
+    run_p2_exchange,
+)
+from repro.interactive.privacy import (
+    P2View,
+    consistent_other_mixes,
+    fig5_consistent_column_mixes,
+    fig5_row_view,
+    membership_bits_learned,
+    p1_bits_revealed,
+    view_from_session,
+)
+from repro.interactive.transcripts import (
+    PROVER,
+    Transcript,
+    TranscriptMessage,
+    VERIFIER,
+    payload_bits,
+    support_bitvector,
+    support_from_bitvector,
+)
+
+__all__ = [
+    "P1Announcement",
+    "P1Prover",
+    "P1Report",
+    "P1Verifier",
+    "decode_announcement",
+    "run_p1_exchange",
+    "P2Disclosure",
+    "P2Prover",
+    "P2Report",
+    "P2Verifier",
+    "QueryRecord",
+    "run_p2_exchange",
+    "WrongValueProver",
+    "NonEquilibriumProver",
+    "LyingMembershipProver",
+    "AdaptiveMembershipProver",
+    "NPlayerAnnouncement",
+    "NPlayerReport",
+    "announce_nplayer",
+    "verify_nplayer",
+    "P2View",
+    "consistent_other_mixes",
+    "fig5_consistent_column_mixes",
+    "fig5_row_view",
+    "membership_bits_learned",
+    "p1_bits_revealed",
+    "view_from_session",
+    "Transcript",
+    "TranscriptMessage",
+    "PROVER",
+    "VERIFIER",
+    "payload_bits",
+    "support_bitvector",
+    "support_from_bitvector",
+]

@@ -1,0 +1,100 @@
+"""Dishonest provers.
+
+"We consider game inventors that may have conflicts of interest with the
+agents and attempt to misadvise them."  These adversaries instantiate the
+misadvice strategies the protocols must catch:
+
+* :class:`WrongValueProver` — reports a shifted λ for the other agent;
+  any conclusive P2 round rejects it.
+* :class:`NonEquilibriumProver` — discloses a non-equilibrium profile as
+  if it were one; the derived gains betray it on conclusive rounds.
+* :class:`LyingMembershipProver` — flips membership answers with some
+  probability; detectable whenever a flipped answer creates an
+  inconsistency, and *bound* to its lies under commitment mode.
+* :class:`AdaptiveMembershipProver` — the motivating case for
+  commitments: answers whatever keeps the verifier happy (claims "out"
+  for every query), which without commitments can stall verification
+  indefinitely but with commitments is caught on the first in-support
+  query.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.games.profiles import MixedProfile
+from repro.interactive.p2 import P2Disclosure, P2Prover
+from repro.interactive.transcripts import PROVER, Transcript
+
+
+class WrongValueProver(P2Prover):
+    """Honest about everything except the other agent's value λ."""
+
+    def __init__(self, game, equilibrium, agent, offset=Fraction(1), **kwargs):
+        super().__init__(game, equilibrium, agent, **kwargs)
+        self._offset = offset
+
+    def disclose(self, transcript: Transcript | None = None) -> P2Disclosure:
+        honest = super().disclose(transcript)
+        return P2Disclosure(
+            own_support=honest.own_support,
+            own_probabilities=honest.own_probabilities,
+            own_value=honest.own_value,
+            other_value=honest.other_value + self._offset,
+            membership_commitments=honest.membership_commitments,
+        )
+
+
+class NonEquilibriumProver(P2Prover):
+    """Discloses an arbitrary (non-equilibrium) profile with fabricated λs.
+
+    The fabricated λ for the other agent is taken as the *actual* expected
+    payoff at the fake profile, so the lie is as consistent as a lie can
+    be — detection must come from the equilibrium conditions themselves.
+    """
+
+    def __init__(self, game: BimatrixGame, fake_profile: MixedProfile, agent: int,
+                 **kwargs):
+        super().__init__(game, fake_profile, agent, **kwargs)
+
+
+class LyingMembershipProver(P2Prover):
+    """Flips each membership answer independently with probability ``flip_p``."""
+
+    def __init__(self, game, equilibrium, agent, flip_p: float = 1.0,
+                 lie_rng: random.Random | None = None, **kwargs):
+        super().__init__(game, equilibrium, agent, **kwargs)
+        self._flip_p = flip_p
+        self._lie_rng = lie_rng or random.Random(0)
+        self.lies_told = 0
+
+    def answer_membership(self, index: int, transcript: Transcript | None = None) -> bool:
+        answer = self.true_membership(index)
+        if self._lie_rng.random() < self._flip_p:
+            answer = not answer
+            self.lies_told += 1
+        if transcript is not None:
+            transcript.record(
+                PROVER, "p2.answer", {"index": index, "in_support": answer}
+            )
+        return answer
+
+
+class AdaptiveMembershipProver(P2Prover):
+    """Always answers "out of support" — the stalling adversary.
+
+    Without commitments this prover is never *caught* unless an
+    out-declared index beats λ; it simply starves the verifier of
+    conclusive rounds (the budget-exhaustion outcome).  With commitments
+    its pre-committed bits contradict the answers on the first in-support
+    query, and it is rejected outright.
+    """
+
+    def answer_membership(self, index: int, transcript: Transcript | None = None) -> bool:
+        if transcript is not None:
+            transcript.record(
+                PROVER, "p2.answer", {"index": index, "in_support": False}
+            )
+        return False

@@ -1,0 +1,115 @@
+"""Remark 1: generalizing the support-based proofs to n agents.
+
+"We can generalize the scheme of P1 and P2 to n agents.  The prover
+provides the support sets S1, ..., Sn to all.  The verifier of each agent
+then solves the corresponding polynomial system to find the Nash
+equilibrium probabilities."
+
+For n > 2 the indifference conditions form a *polynomial* (multilinear)
+system, and solving it is not a polynomial-time operation in general.  We
+therefore implement the checkable reading of the remark, consistent with
+the paper's overall philosophy (verify a provided solution instead of
+computing one): the prover announces supports *and* its solution of the
+polynomial system; each verifier re-checks, exactly, that the claimed
+probabilities solve it — every supported action of every agent earns the
+common supported value and no unsupported action earns more.  This
+substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.fractions_util import fraction_vector
+from repro.games.base import Game
+from repro.games.profiles import MixedProfile, ProfileError
+from repro.equilibria.best_reply import mixed_action_payoffs
+from repro.interactive.transcripts import PROVER, Transcript, support_bitvector
+
+
+@dataclass(frozen=True)
+class NPlayerAnnouncement:
+    """Supports for every agent plus the prover's claimed probabilities."""
+
+    supports: tuple[tuple[int, ...], ...]
+    probabilities: tuple[tuple[Fraction, ...], ...]
+
+
+@dataclass(frozen=True)
+class NPlayerReport:
+    """Outcome of the n-player support verification for one agent."""
+
+    accepted: bool
+    reason: str
+    values: tuple[Fraction, ...]
+
+
+def announce_nplayer(
+    game: Game, equilibrium: MixedProfile, transcript: Transcript | None = None
+) -> NPlayerAnnouncement:
+    """The prover's side: supports (as bit-vectors) and probabilities."""
+    supports = equilibrium.supports()
+    probabilities = equilibrium.distributions
+    if transcript is not None:
+        bitvector = "".join(
+            support_bitvector(support, game.num_actions(i))
+            for i, support in enumerate(supports)
+        )
+        transcript.record(
+            PROVER,
+            "pn.supports",
+            {
+                "support_bitvector": bitvector,
+                "probabilities": [list(p) for p in probabilities],
+            },
+        )
+    return NPlayerAnnouncement(supports=supports, probabilities=probabilities)
+
+
+def verify_nplayer(game: Game, announcement: NPlayerAnnouncement) -> NPlayerReport:
+    """Exact check that the announcement describes a Nash equilibrium.
+
+    For every agent: the probabilities form a distribution supported
+    exactly on the announced support, all supported actions attain the
+    agent's maximal expected payoff, and that common value is returned.
+    """
+    zeros = tuple(Fraction(0) for _ in range(game.num_players))
+    if len(announcement.supports) != game.num_players:
+        return NPlayerReport(False, "wrong number of supports", zeros)
+    if len(announcement.probabilities) != game.num_players:
+        return NPlayerReport(False, "wrong number of probability vectors", zeros)
+
+    try:
+        mixed = MixedProfile(
+            tuple(fraction_vector(p) for p in announcement.probabilities)
+        )
+    except ProfileError as exc:
+        return NPlayerReport(False, f"malformed probabilities: {exc}", zeros)
+
+    for player in range(game.num_players):
+        if len(mixed.distribution(player)) != game.num_actions(player):
+            return NPlayerReport(
+                False, f"agent {player} probability vector has wrong length", zeros
+            )
+        if mixed.support(player) != tuple(sorted(announcement.supports[player])):
+            return NPlayerReport(
+                False,
+                f"agent {player} probabilities are not supported on the announced set",
+                zeros,
+            )
+
+    values = []
+    for player in range(game.num_players):
+        payoffs = mixed_action_payoffs(game, player, mixed)
+        best = max(payoffs)
+        for action in mixed.support(player):
+            if payoffs[action] != best:
+                return NPlayerReport(
+                    False,
+                    f"agent {player} supported action {action} earns "
+                    f"{payoffs[action]} < best {best}",
+                    zeros,
+                )
+        values.append(best)
+    return NPlayerReport(True, "n-player equilibrium verified", tuple(values))

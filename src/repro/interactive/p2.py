@@ -1,0 +1,402 @@
+"""The private interactive proof P2 (Fig. 4).
+
+Protocol, for the row agent (the column agent mirrors it):
+
+* **Prover**: "Send to each agent just its support, its probabilities,
+  and the values λ1, λ2."
+* **Verifier**: repeatedly "asks the prover for two random indices
+  j1, j2" of the *other* agent's strategy space.  An honest prover
+  answers whether each index is in the other support S2.  The verifier
+  computes the other agent's expected gains λ2(j1), λ2(j2) against its
+  own probabilities and checks:
+
+  - "both j's in S2":  λ2(j1) = λ2(j2) = λ2;
+  - "1-in/1-out" (say j1 in):  λ2(j1) = λ2 >= λ2(j2).
+
+  "The test is inconclusive for both j1, j2 ∉ S2, but at least one will
+  be in with probability at least 1/n.  Thus, on average, O(n) random
+  queries of the verifier will verify the equilibrium play."
+
+Two hardening measures beyond the letter of Fig. 4, both consistent with
+its intent:
+
+* an out-of-support index whose expected gain *exceeds* λ2 is an outright
+  equilibrium violation and is rejected immediately (it can only occur if
+  the prover lies or the claimed values are wrong);
+* optionally the prover first *commits* to the entire membership
+  bit-vector (hash commitments), making answers non-adaptive — the
+  binding the "zero-knowledge style" of the paper presumes.
+
+What the verifier never sees: the other agent's support as a whole, or
+any probability of the other agent — that is Remark 2, demonstrated in
+:mod:`repro.interactive.privacy`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.crypto.commitments import Commitment, Opening, commit
+from repro.errors import EquilibriumError, VerificationFailure
+from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.games.profiles import MixedProfile
+from repro.interactive.transcripts import PROVER, Transcript, VERIFIER
+
+_ZERO = Fraction(0)
+
+
+@dataclass(frozen=True)
+class P2Disclosure:
+    """What the P2 prover sends one agent: its own side plus both values."""
+
+    own_support: tuple[int, ...]
+    own_probabilities: tuple[Fraction, ...]
+    own_value: Fraction
+    other_value: Fraction
+    membership_commitments: tuple[Commitment, ...] = ()
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One membership query and its (possibly dishonest) answer."""
+
+    index: int
+    answered_in_support: bool
+
+
+@dataclass(frozen=True)
+class P2Report:
+    """Outcome of one agent's P2 verification.
+
+    ``conclusive_rounds`` counts rounds with at least one in-support
+    index; acceptance requires ``required_conclusive`` of them.  ``rounds``
+    is the total number of two-query rounds used — the Remark 3 quantity.
+    ``queries`` is the full query log (the privacy ledger's raw material).
+    """
+
+    accepted: bool
+    conclusive: bool
+    reason: str
+    rounds: int
+    conclusive_rounds: int
+    queries: tuple[QueryRecord, ...]
+
+
+class P2Prover:
+    """The honest inventor's side of P2 for one advised agent."""
+
+    def __init__(
+        self,
+        game: BimatrixGame,
+        equilibrium: MixedProfile,
+        agent: int,
+        use_commitments: bool = False,
+        rng: random.Random | None = None,
+    ):
+        if agent not in (ROW, COLUMN):
+            raise EquilibriumError("agent must be ROW or COLUMN")
+        game._unpack(equilibrium)  # shape validation
+        self._game = game
+        self._equilibrium = equilibrium
+        self._agent = agent
+        self._other = COLUMN if agent == ROW else ROW
+        self._use_commitments = use_commitments
+        self._rng = rng or random.Random()
+        self._openings: dict[int, Opening] = {}
+
+    @property
+    def agent(self) -> int:
+        return self._agent
+
+    @property
+    def game(self) -> BimatrixGame:
+        return self._game
+
+    def true_membership(self, index: int) -> bool:
+        """Ground truth: is ``index`` in the other agent's support?"""
+        return index in self._equilibrium.support(self._other)
+
+    def disclose(self, transcript: Transcript | None = None) -> P2Disclosure:
+        """Send the agent its own support, probabilities and (λ1, λ2)."""
+        own_support = self._equilibrium.support(self._agent)
+        own_probs = self._equilibrium.distribution(self._agent)
+        own_value = self._game.expected_payoff(self._agent, self._equilibrium)
+        other_value = self._game.expected_payoff(self._other, self._equilibrium)
+
+        commitments: tuple[Commitment, ...] = ()
+        if self._use_commitments:
+            num_other = self._game.action_counts[self._other]
+            pairs = [
+                commit({"index": j, "member": self.true_membership(j)}, rng=self._rng)
+                for j in range(num_other)
+            ]
+            commitments = tuple(c for c, _o in pairs)
+            self._openings = {j: o for j, (_c, o) in enumerate(pairs)}
+
+        disclosure = P2Disclosure(
+            own_support=own_support,
+            own_probabilities=own_probs,
+            own_value=own_value,
+            other_value=other_value,
+            membership_commitments=commitments,
+        )
+        if transcript is not None:
+            transcript.record(
+                PROVER,
+                "p2.disclosure",
+                {
+                    "agent": self._agent,
+                    "own_support": list(own_support),
+                    "own_probabilities": list(own_probs),
+                    "own_value": own_value,
+                    "other_value": other_value,
+                    "num_commitments": len(commitments),
+                },
+            )
+        return disclosure
+
+    def answer_membership(
+        self, index: int, transcript: Transcript | None = None
+    ) -> bool:
+        """Answer one membership query (honestly, for this prover)."""
+        answer = self.true_membership(index)
+        if transcript is not None:
+            transcript.record(
+                PROVER, "p2.answer", {"index": index, "in_support": answer}
+            )
+        return answer
+
+    def open_membership(self, index: int) -> Opening:
+        """Open the commitment for ``index`` (commitment mode only)."""
+        try:
+            return self._openings[index]
+        except KeyError:
+            raise VerificationFailure(
+                f"no commitment opening for index {index}"
+            ) from None
+
+
+class P2Verifier:
+    """One agent's P2 verifier.
+
+    ``required_conclusive`` is the k of Remark 3: with large supports a
+    constant number of conclusive rounds suffices, and the expected
+    number of rounds to reach them is constant.
+    """
+
+    def __init__(
+        self,
+        game: BimatrixGame,
+        agent: int,
+        rng: random.Random,
+        max_rounds: int | None = None,
+        required_conclusive: int = 1,
+    ):
+        if agent not in (ROW, COLUMN):
+            raise EquilibriumError("agent must be ROW or COLUMN")
+        if required_conclusive < 1:
+            raise EquilibriumError("required_conclusive must be >= 1")
+        self._game = game
+        self._agent = agent
+        self._other = COLUMN if agent == ROW else ROW
+        self._rng = rng
+        num_other = game.action_counts[self._other]
+        # Paper: on average O(n) rounds suffice; a generous multiple makes
+        # a false "budget exhausted" astronomically unlikely for honest runs.
+        self._max_rounds = max_rounds if max_rounds is not None else 64 * num_other + 64
+        self._required = required_conclusive
+
+    def verify(
+        self, prover: P2Prover, transcript: Transcript | None = None
+    ) -> P2Report:
+        disclosure = prover.disclose(transcript)
+        return self.verify_with_disclosure(disclosure, prover, transcript)
+
+    def verify_with_disclosure(
+        self,
+        disclosure: P2Disclosure,
+        prover: P2Prover,
+        transcript: Transcript | None = None,
+    ) -> P2Report:
+        queries: list[QueryRecord] = []
+
+        failure = self._check_disclosure(disclosure)
+        if failure is not None:
+            return P2Report(
+                accepted=False, conclusive=True, reason=failure,
+                rounds=0, conclusive_rounds=0, queries=(),
+            )
+
+        # Expected gains of the *other* agent's pure actions against our mix.
+        gains = self._game.payoffs_against(self._other, disclosure.own_probabilities)
+        lambda_other = disclosure.other_value
+        num_other = self._game.action_counts[self._other]
+        use_commitments = bool(disclosure.membership_commitments)
+        if use_commitments and len(disclosure.membership_commitments) != num_other:
+            return P2Report(
+                accepted=False, conclusive=True,
+                reason="commitment vector has the wrong length",
+                rounds=0, conclusive_rounds=0, queries=(),
+            )
+
+        conclusive_rounds = 0
+        rounds = 0
+        while rounds < self._max_rounds and conclusive_rounds < self._required:
+            rounds += 1
+            j1, j2 = self._pick_indices(num_other)
+            answers = []
+            for j in (j1, j2):
+                if transcript is not None:
+                    transcript.record(VERIFIER, "p2.query", {"index": j})
+                answer = prover.answer_membership(j, transcript)
+                if use_commitments:
+                    opening = prover.open_membership(j)
+                    commitment = disclosure.membership_commitments[j]
+                    if not commitment.verify_opening(opening):
+                        return self._reject(
+                            f"commitment for index {j} failed to open",
+                            rounds, conclusive_rounds, queries,
+                        )
+                    committed = opening.value
+                    if (
+                        not isinstance(committed, dict)
+                        or committed.get("index") != j
+                        or committed.get("member") != answer
+                    ):
+                        return self._reject(
+                            f"answer for index {j} contradicts its commitment",
+                            rounds, conclusive_rounds, queries,
+                        )
+                queries.append(QueryRecord(index=j, answered_in_support=answer))
+                answers.append(answer)
+
+            verdict = self._check_round((j1, j2), answers, gains, lambda_other)
+            if verdict is not None:
+                if verdict == "conclusive":
+                    conclusive_rounds += 1
+                else:
+                    return self._reject(verdict, rounds, conclusive_rounds, queries)
+            # None: inconclusive round (both out, no violation); keep going.
+
+        if conclusive_rounds >= self._required:
+            report = P2Report(
+                accepted=True, conclusive=True, reason="equilibrium play verified",
+                rounds=rounds, conclusive_rounds=conclusive_rounds,
+                queries=tuple(queries),
+            )
+        else:
+            report = P2Report(
+                accepted=False, conclusive=False,
+                reason="query budget exhausted before a conclusive round",
+                rounds=rounds, conclusive_rounds=conclusive_rounds,
+                queries=tuple(queries),
+            )
+        if transcript is not None:
+            transcript.record(
+                VERIFIER,
+                "p2.verdict",
+                {"agent": self._agent, "accepted": report.accepted,
+                 "rounds": rounds},
+            )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _check_disclosure(self, disclosure: P2Disclosure) -> str | None:
+        probs = disclosure.own_probabilities
+        num_own = self._game.action_counts[self._agent]
+        if len(probs) != num_own:
+            return "own probability vector has the wrong length"
+        if any(p < 0 or p > 1 for p in probs):
+            return "own probabilities leave [0, 1]"
+        if sum(probs, start=_ZERO) != 1:
+            return "own probabilities do not sum to 1"
+        support = tuple(i for i, p in enumerate(probs) if p != 0)
+        if support != tuple(sorted(disclosure.own_support)):
+            return "own support does not match own probabilities"
+        return None
+
+    def _pick_indices(self, num_other: int) -> tuple[int, int]:
+        if num_other >= 2:
+            j1, j2 = self._rng.sample(range(num_other), 2)
+        else:
+            j1 = j2 = 0
+        return j1, j2
+
+    def _check_round(
+        self,
+        indices: tuple[int, int],
+        answers: list[bool],
+        gains: tuple[Fraction, ...],
+        lambda_other: Fraction,
+    ) -> str | None:
+        """Returns "conclusive", an error string, or None (inconclusive)."""
+        (j1, j2), (in1, in2) = indices, answers
+        if in1 and in2:
+            if gains[j1] != lambda_other or gains[j2] != lambda_other:
+                return (
+                    f"in-support gains λ({j1})={gains[j1]}, λ({j2})={gains[j2]} "
+                    f"differ from λ={lambda_other}"
+                )
+            return "conclusive"
+        if in1 or in2:
+            j_in, j_out = (j1, j2) if in1 else (j2, j1)
+            if gains[j_in] != lambda_other:
+                return f"in-support gain λ({j_in})={gains[j_in]} != λ={lambda_other}"
+            if gains[j_out] > lambda_other:
+                return (
+                    f"out-of-support gain λ({j_out})={gains[j_out]} exceeds "
+                    f"λ={lambda_other}"
+                )
+            return "conclusive"
+        # Both out: inconclusive, but an out-index beating λ is a violation.
+        for j in (j1, j2):
+            if gains[j] > lambda_other:
+                return (
+                    f"index {j} declared out of support but earns "
+                    f"{gains[j]} > λ={lambda_other}"
+                )
+        return None
+
+    def _reject(
+        self,
+        reason: str,
+        rounds: int,
+        conclusive_rounds: int,
+        queries: list[QueryRecord],
+    ) -> P2Report:
+        return P2Report(
+            accepted=False, conclusive=True, reason=reason,
+            rounds=rounds, conclusive_rounds=conclusive_rounds,
+            queries=tuple(queries),
+        )
+
+
+def run_p2_exchange(
+    game: BimatrixGame,
+    equilibrium: MixedProfile,
+    rng: random.Random,
+    use_commitments: bool = False,
+    required_conclusive: int = 1,
+    transcript: Transcript | None = None,
+) -> tuple[P2Report, P2Report]:
+    """Full P2 session: each agent privately verifies the *other*'s side.
+
+    The row agent's checks establish that the (hidden) column support is
+    a best reply to x; the column agent's checks establish the mirror
+    claim — jointly, Nash.
+    """
+    if transcript is None:
+        transcript = Transcript(protocol="P2")
+    reports = []
+    for agent in (ROW, COLUMN):
+        prover = P2Prover(
+            game, equilibrium, agent, use_commitments=use_commitments, rng=rng
+        )
+        verifier = P2Verifier(
+            game, agent, rng=rng, required_conclusive=required_conclusive
+        )
+        reports.append(verifier.verify(prover, transcript))
+    return reports[0], reports[1]

@@ -1,0 +1,151 @@
+"""Privacy accounting for the interactive proofs (Remarks 2 and 3).
+
+Remark 2: "The interactive proof P2 does not reveal the actual
+equilibrium to either agent.  Namely, the row agent ... cannot in general
+compute the Support (and hence the probability values) of the column
+agent if the row agent knows λ1, λ2 and its own Support and
+probabilities."  The paper demonstrates this on the Fig. 5 game, where
+every column mix (qC, qD) with qD <= 1/2 is consistent with the row
+agent's view.
+
+This module formalizes "the view" and measures it:
+
+* :class:`P2View` — everything one agent observes in a P2 session;
+* :func:`consistent_other_mixes` — which candidate opponent mixes are
+  indistinguishable given the view (>= 2 of them ⇒ the equilibrium is
+  not revealed);
+* :func:`fig5_row_view` / the continuum check — the paper's Remark 2
+  example, executable;
+* :func:`membership_bits_learned` — the leakage ledger: P1 reveals all
+  n + m support bits, P2 only the queried ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from repro.fractions_util import dot, fraction_vector
+from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.games.profiles import MixedProfile
+from repro.equilibria.mixed import is_mixed_nash
+from repro.interactive.p2 import P2Disclosure, P2Report
+
+
+@dataclass(frozen=True)
+class P2View:
+    """One agent's complete view of a P2 session.
+
+    ``membership_answers`` maps queried opponent-action indices to the
+    answers received; nothing else about the opponent was communicated.
+    """
+
+    agent: int
+    own_support: tuple[int, ...]
+    own_probabilities: tuple[Fraction, ...]
+    own_value: Fraction
+    other_value: Fraction
+    membership_answers: dict[int, bool] = field(default_factory=dict)
+
+
+def view_from_session(
+    agent: int, disclosure: P2Disclosure, report: P2Report
+) -> P2View:
+    """Assemble the agent's view from its disclosure and query log."""
+    answers: dict[int, bool] = {}
+    for record in report.queries:
+        answers[record.index] = record.answered_in_support
+    return P2View(
+        agent=agent,
+        own_support=disclosure.own_support,
+        own_probabilities=disclosure.own_probabilities,
+        own_value=disclosure.own_value,
+        other_value=disclosure.other_value,
+        membership_answers=answers,
+    )
+
+
+def consistent_other_mixes(
+    game: BimatrixGame,
+    view: P2View,
+    candidates: Sequence[Sequence],
+) -> tuple[tuple[Fraction, ...], ...]:
+    """Filter opponent mixes indistinguishable from the view.
+
+    A candidate mix q is *consistent* when (our mix, q) is an exact Nash
+    equilibrium whose two values match (λ_own, λ_other) and whose support
+    agrees with every membership answer we received.  If two or more
+    candidates are consistent the view provably does not determine the
+    opponent's play — Remark 2's claim.
+    """
+    own = fraction_vector(view.own_probabilities)
+    consistent = []
+    for candidate in candidates:
+        q = fraction_vector(candidate)
+        if view.agent == ROW:
+            profile = MixedProfile((own, q))
+            own_player, other_player = ROW, COLUMN
+        else:
+            profile = MixedProfile((q, own))
+            own_player, other_player = COLUMN, ROW
+        if not is_mixed_nash(game, profile):
+            continue
+        if game.expected_payoff(own_player, profile) != view.own_value:
+            continue
+        if game.expected_payoff(other_player, profile) != view.other_value:
+            continue
+        support = tuple(j for j, p in enumerate(q) if p != 0)
+        if any(
+            (index in support) != answer
+            for index, answer in view.membership_answers.items()
+        ):
+            continue
+        consistent.append(q)
+    return tuple(consistent)
+
+
+def membership_bits_learned(view: P2View) -> int:
+    """How many opponent support bits the agent learned (P2's leakage)."""
+    return len(view.membership_answers)
+
+
+def p1_bits_revealed(num_rows: int, num_columns: int) -> int:
+    """P1's leakage for comparison: the full n + m support bits."""
+    return num_rows + num_columns
+
+
+def fig5_row_view() -> tuple[BimatrixGame, P2View]:
+    """The Remark 2 example: the row agent's view in the Fig. 5 game.
+
+    "Assume that the prover sends to the row agent its Support S1 = {A},
+    its probabilities pA = 1, pB = 0, its payoff λ1 = 1, and the payoff
+    of the column player λ2 = 1."
+    """
+    game = BimatrixGame.fig5_example()
+    view = P2View(
+        agent=ROW,
+        own_support=(0,),
+        own_probabilities=(Fraction(1), Fraction(0)),
+        own_value=Fraction(1),
+        other_value=Fraction(1),
+        membership_answers={},
+    )
+    return game, view
+
+
+def fig5_consistent_column_mixes(samples: int = 11) -> tuple[tuple[Fraction, ...], ...]:
+    """The consistent column mixes for the Fig. 5 view.
+
+    The paper: "any probabilities qC, qD of the column agent such that
+    qC + qD = 1, qD <= 1/2 correspond to Nash equilibrium probabilities
+    with λ2 = 1."  We sample ``samples`` candidates across [0, 1] and
+    return those consistent with the view — expected: exactly the ones
+    with qD <= 1/2.
+    """
+    game, view = fig5_row_view()
+    candidates = [
+        (1 - Fraction(i, samples - 1), Fraction(i, samples - 1))
+        for i in range(samples)
+    ]
+    return consistent_other_mixes(game, view, candidates)

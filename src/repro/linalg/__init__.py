@@ -1,0 +1,34 @@
+"""Exact rational linear algebra.
+
+The equilibrium provers and proof verifiers in this library work over
+:class:`fractions.Fraction` so that "provable" means *exactly checkable*.
+This package supplies the few primitives they need:
+
+* :mod:`repro.linalg.exact` — Gaussian elimination: solve, rank,
+  inverse, nullspace and general/particular solutions of ``Ax = b``;
+* :mod:`repro.linalg.lp` — a small exact simplex solver used for
+  feasibility questions (e.g. under-determined support systems in the
+  P1 verifier).
+"""
+
+from repro.linalg.exact import (
+    gaussian_elimination,
+    identity_matrix,
+    matrix_rank,
+    nullspace,
+    solve_linear_system,
+    solve_square,
+)
+from repro.linalg.lp import LPResult, solve_lp, find_feasible_point
+
+__all__ = [
+    "gaussian_elimination",
+    "identity_matrix",
+    "matrix_rank",
+    "nullspace",
+    "solve_linear_system",
+    "solve_square",
+    "LPResult",
+    "solve_lp",
+    "find_feasible_point",
+]

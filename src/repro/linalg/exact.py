@@ -1,0 +1,154 @@
+"""Exact Gaussian elimination over the rationals.
+
+All routines take matrices as sequences of sequences of numbers (anything
+:func:`repro.fractions_util.to_fraction` accepts) and return Fractions.
+They are written for the small dense systems that equilibrium
+verification produces (tens of unknowns), favouring clarity and exactness
+over asymptotic tricks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import LinearAlgebraError
+from repro.fractions_util import fraction_matrix, fraction_vector
+
+Matrix = tuple[tuple[Fraction, ...], ...]
+Vector = tuple[Fraction, ...]
+
+
+def identity_matrix(n: int) -> Matrix:
+    """The n-by-n identity matrix over Fractions."""
+    one, zero = Fraction(1), Fraction(0)
+    return tuple(
+        tuple(one if i == j else zero for j in range(n)) for i in range(n)
+    )
+
+
+def gaussian_elimination(matrix: Sequence[Sequence], rhs: Sequence[Sequence] | None = None):
+    """Reduce ``matrix`` (with optional right-hand-side block) to RREF.
+
+    Returns ``(rref, rhs_rref, pivot_columns)`` where ``pivot_columns`` is
+    the tuple of column indices that hold a leading 1.  ``rhs`` may be a
+    matrix block (list of rows matching ``matrix``) carried through the
+    same row operations; pass ``None`` to omit it.
+    """
+    a = [list(row) for row in fraction_matrix(matrix)]
+    nrows = len(a)
+    ncols = len(a[0]) if a else 0
+    if rhs is not None:
+        b = [list(row) for row in fraction_matrix(rhs)]
+        if len(b) != nrows:
+            raise LinearAlgebraError("rhs row count does not match matrix")
+    else:
+        b = [[] for _ in range(nrows)]
+
+    pivot_cols: list[int] = []
+    row = 0
+    for col in range(ncols):
+        if row >= nrows:
+            break
+        # Find a pivot in this column at or below `row`.
+        pivot = next((r for r in range(row, nrows) if a[r][col] != 0), None)
+        if pivot is None:
+            continue
+        a[row], a[pivot] = a[pivot], a[row]
+        b[row], b[pivot] = b[pivot], b[row]
+        # Normalize the pivot row.
+        inv = Fraction(1) / a[row][col]
+        a[row] = [x * inv for x in a[row]]
+        b[row] = [x * inv for x in b[row]]
+        # Eliminate the column everywhere else.
+        for r in range(nrows):
+            if r != row and a[r][col] != 0:
+                factor = a[r][col]
+                a[r] = [x - factor * y for x, y in zip(a[r], a[row])]
+                b[r] = [x - factor * y for x, y in zip(b[r], b[row])]
+        pivot_cols.append(col)
+        row += 1
+
+    rref = tuple(tuple(r) for r in a)
+    rhs_rref = tuple(tuple(r) for r in b)
+    return rref, rhs_rref, tuple(pivot_cols)
+
+
+def matrix_rank(matrix: Sequence[Sequence]) -> int:
+    """Exact rank of ``matrix``."""
+    if not matrix:
+        return 0
+    __, __, pivots = gaussian_elimination(matrix)
+    return len(pivots)
+
+
+def solve_square(matrix: Sequence[Sequence], rhs: Sequence) -> Vector:
+    """Solve a square nonsingular system ``Ax = b`` exactly.
+
+    Raises :class:`LinearAlgebraError` if the matrix is singular.
+    """
+    a = fraction_matrix(matrix)
+    b = fraction_vector(rhs)
+    n = len(a)
+    if n == 0:
+        return ()
+    if any(len(row) != n for row in a):
+        raise LinearAlgebraError("solve_square requires a square matrix")
+    if len(b) != n:
+        raise LinearAlgebraError("rhs length does not match matrix")
+    rref, rhs_rref, pivots = gaussian_elimination(a, [[x] for x in b])
+    if len(pivots) != n:
+        raise LinearAlgebraError("matrix is singular")
+    return tuple(rhs_rref[i][0] for i in range(n))
+
+
+def solve_linear_system(matrix: Sequence[Sequence], rhs: Sequence):
+    """Solve a general (possibly non-square) system ``Ax = b`` exactly.
+
+    Returns ``(particular, basis)`` where ``particular`` is one solution
+    and ``basis`` is a tuple of nullspace vectors spanning the solution
+    set (empty when the solution is unique).  Raises
+    :class:`LinearAlgebraError` if the system is inconsistent.
+    """
+    a = fraction_matrix(matrix)
+    b = fraction_vector(rhs)
+    nrows = len(a)
+    if len(b) != nrows:
+        raise LinearAlgebraError("rhs length does not match matrix")
+    ncols = len(a[0]) if a else 0
+    rref, rhs_rref, pivots = gaussian_elimination(a, [[x] for x in b])
+    pivot_set = set(pivots)
+    # Inconsistency: a zero row of the matrix with nonzero rhs.
+    for i in range(nrows):
+        if all(x == 0 for x in rref[i]) and rhs_rref[i][0] != 0:
+            raise LinearAlgebraError("linear system is inconsistent")
+    # Row row_idx's pivot variable is column `col`; free variables stay 0.
+    particular = [Fraction(0)] * ncols
+    for row_idx, col in enumerate(pivots):
+        particular[col] = rhs_rref[row_idx][0]
+    basis = _nullspace_from_rref(rref, pivots, ncols)
+    return tuple(particular), basis
+
+
+def nullspace(matrix: Sequence[Sequence]) -> tuple[Vector, ...]:
+    """Exact basis of the nullspace of ``matrix``."""
+    a = fraction_matrix(matrix)
+    if not a:
+        return ()
+    ncols = len(a[0])
+    rref, __, pivots = gaussian_elimination(a)
+    return _nullspace_from_rref(rref, pivots, ncols)
+
+
+def _nullspace_from_rref(rref: Matrix, pivots: tuple[int, ...], ncols: int) -> tuple[Vector, ...]:
+    """Build nullspace basis vectors from a matrix in RREF."""
+    pivot_set = set(pivots)
+    free_cols = [c for c in range(ncols) if c not in pivot_set]
+    basis = []
+    for free in free_cols:
+        vec = [Fraction(0)] * ncols
+        vec[free] = Fraction(1)
+        for row_idx, col in enumerate(pivots):
+            vec[col] = -rref[row_idx][free]
+        basis.append(tuple(vec))
+    return tuple(basis)

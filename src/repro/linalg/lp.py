@@ -1,0 +1,202 @@
+"""A small exact simplex solver over the rationals.
+
+Lemma 1 of the paper bounds the P1 verifier's running time by
+``LP(n, m)`` — the cost of a linear-program solve.  The verifier itself
+only needs a linear *system* in the generic case, but when the prover's
+supports are of unequal size the system is under-determined and the
+verifier must decide *feasibility* of the equilibrium conditions
+(probabilities in [0, 1] summing to one).  This module supplies that
+decision procedure, exactly.
+
+The implementation is the textbook two-phase simplex on the standard form
+
+    minimize    c . x
+    subject to  A x = b,   x >= 0
+
+with Bland's rule for anti-cycling.  It is written for the small systems
+verification produces (tens of variables), not for scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import LinearAlgebraError
+from repro.fractions_util import fraction_matrix, fraction_vector
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of an exact LP solve.
+
+    Attributes:
+        status: one of ``"optimal"``, ``"infeasible"``, ``"unbounded"``.
+        x: the optimal solution (empty tuple unless status is optimal).
+        objective: the optimal objective value (None unless optimal).
+    """
+
+    status: str
+    x: tuple[Fraction, ...]
+    objective: Fraction | None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_lp(c: Sequence, a: Sequence[Sequence], b: Sequence) -> LPResult:
+    """Minimize ``c.x`` subject to ``A x = b``, ``x >= 0``, exactly.
+
+    Rows with negative right-hand side are negated first so phase 1 can
+    start from the all-artificial basis.
+    """
+    a_mat = [list(row) for row in fraction_matrix(a)]
+    b_vec = list(fraction_vector(b))
+    c_vec = list(fraction_vector(c))
+    nrows = len(a_mat)
+    ncols = len(c_vec)
+    if any(len(row) != ncols for row in a_mat):
+        raise LinearAlgebraError("LP constraint matrix has ragged rows")
+    if len(b_vec) != nrows:
+        raise LinearAlgebraError("LP rhs length does not match constraints")
+
+    for i in range(nrows):
+        if b_vec[i] < 0:
+            a_mat[i] = [-x for x in a_mat[i]]
+            b_vec[i] = -b_vec[i]
+
+    # --- Phase 1: minimize the sum of artificial variables. ---
+    # Tableau columns: [original variables | artificials], rows: constraints.
+    total = ncols + nrows
+    tableau = [a_mat[i] + [_ONE if j == i else _ZERO for j in range(nrows)] + [b_vec[i]]
+               for i in range(nrows)]
+    basis = [ncols + i for i in range(nrows)]
+    phase1_cost = [_ZERO] * ncols + [_ONE] * nrows
+
+    objective_row = _reduced_costs(tableau, basis, phase1_cost, total)
+    _simplex_iterate(tableau, basis, objective_row, total)
+    phase1_value = -objective_row[-1]
+    if phase1_value != 0:
+        return LPResult(status="infeasible", x=(), objective=None)
+
+    # Drive any artificial variables out of the basis (degenerate case).
+    for row_idx, var in enumerate(basis):
+        if var >= ncols:
+            pivot_col = next(
+                (j for j in range(ncols) if tableau[row_idx][j] != 0), None
+            )
+            if pivot_col is not None:
+                _pivot(tableau, basis, row_idx, pivot_col, total)
+    # Rows still basic in an artificial variable are redundant; their rhs is 0.
+
+    # --- Phase 2: original objective, artificial columns frozen at zero. ---
+    phase2_cost = c_vec + [_ZERO] * nrows
+    objective_row = _reduced_costs(tableau, basis, phase2_cost, total)
+    status = _simplex_iterate(tableau, basis, objective_row, total, forbidden_from=ncols)
+    if status == "unbounded":
+        return LPResult(status="unbounded", x=(), objective=None)
+
+    x = [_ZERO] * ncols
+    for row_idx, var in enumerate(basis):
+        if var < ncols:
+            x[var] = tableau[row_idx][-1]
+    objective = sum((c_vec[j] * x[j] for j in range(ncols)), start=_ZERO)
+    return LPResult(status="optimal", x=tuple(x), objective=objective)
+
+
+def find_feasible_point(
+    a_eq: Sequence[Sequence],
+    b_eq: Sequence,
+    upper_bounds: Sequence | None = None,
+) -> tuple[Fraction, ...] | None:
+    """Find ``x >= 0`` with ``A x = b`` and optional ``x <= u``, or None.
+
+    Upper bounds are encoded with slack variables; the returned tuple has
+    the dimension of the original ``x`` only.
+    """
+    a = [list(row) for row in fraction_matrix(a_eq)]
+    b = list(fraction_vector(b_eq))
+    ncols = len(a[0]) if a else 0
+    if upper_bounds is not None:
+        ubs = list(fraction_vector(upper_bounds))
+        if len(ubs) != ncols:
+            raise LinearAlgebraError("upper bound length does not match variables")
+        # x_j + s_j = u_j adds one slack per bounded variable.
+        nslack = len(ubs)
+        for row in a:
+            row.extend([_ZERO] * nslack)
+        for j, u in enumerate(ubs):
+            bound_row = [_ZERO] * (ncols + nslack)
+            bound_row[j] = _ONE
+            bound_row[ncols + j] = _ONE
+            a.append(bound_row)
+            b.append(u)
+        total_cols = ncols + nslack
+    else:
+        total_cols = ncols
+
+    result = solve_lp([_ZERO] * total_cols, a, b)
+    if not result.is_optimal:
+        return None
+    return result.x[:ncols]
+
+
+def _reduced_costs(tableau, basis, cost, total):
+    """Compute the objective row (reduced costs and negated objective)."""
+    row = list(cost) + [_ZERO]
+    for row_idx, var in enumerate(basis):
+        coeff = row[var]
+        if coeff != 0:
+            for j in range(total + 1):
+                row[j] -= coeff * tableau[row_idx][j]
+    return row
+
+
+def _simplex_iterate(tableau, basis, objective_row, total, forbidden_from=None):
+    """Run simplex pivots with Bland's rule until optimal or unbounded."""
+    limit = total if forbidden_from is None else forbidden_from
+    while True:
+        entering = next(
+            (j for j in range(limit) if objective_row[j] < 0), None
+        )
+        if entering is None:
+            return "optimal"
+        # Ratio test, Bland tie-break on the leaving variable index.
+        best_ratio = None
+        leaving_row = None
+        for i in range(len(tableau)):
+            coef = tableau[i][entering]
+            if coef > 0:
+                ratio = tableau[i][-1] / coef
+                if (
+                    best_ratio is None
+                    or ratio < best_ratio
+                    or (ratio == best_ratio and basis[i] < basis[leaving_row])
+                ):
+                    best_ratio = ratio
+                    leaving_row = i
+        if leaving_row is None:
+            return "unbounded"
+        _pivot(tableau, basis, leaving_row, entering, total)
+        coeff = objective_row[entering]
+        if coeff != 0:
+            for j in range(total + 1):
+                objective_row[j] -= coeff * tableau[leaving_row][j]
+
+
+def _pivot(tableau, basis, row_idx, col_idx, total):
+    """Pivot the tableau so variable ``col_idx`` becomes basic in ``row_idx``."""
+    inv = _ONE / tableau[row_idx][col_idx]
+    tableau[row_idx] = [x * inv for x in tableau[row_idx]]
+    for i in range(len(tableau)):
+        if i != row_idx and tableau[i][col_idx] != 0:
+            factor = tableau[i][col_idx]
+            tableau[i] = [
+                x - factor * y for x, y in zip(tableau[i], tableau[row_idx])
+            ]
+    basis[row_idx] = col_idx

@@ -1,0 +1,100 @@
+"""Arrival processes and load distributions for on-line games.
+
+Sect. 6's setting: "each agent joins the game at a different time ...
+the set of agents is unknown to the inventor ... we assume, however,
+that the number of agents, n, is known."  Fig. 7 draws agent loads from
+the uniform distribution on [0, 1000].
+
+Distributions are seeded explicitly; the paper's two statistics modes
+(prior knowledge of the distribution vs. dynamic averaging) both hang off
+:class:`LoadDistribution.mean`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.rng import make_np_rng
+
+
+class LoadDistribution(abc.ABC):
+    """A distribution of agent loads, with a known mean (for the prior mode)."""
+
+    @abc.abstractmethod
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` loads."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The true mean — what a prior-knowledge inventor uses."""
+
+
+@dataclass(frozen=True)
+class UniformLoads(LoadDistribution):
+    """Uniform loads on [low, high] — Fig. 7 uses [0, 1000]."""
+
+    low: float = 0.0
+    high: float = 1000.0
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise GameError("uniform bounds out of order")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=count)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class ExponentialLoads(LoadDistribution):
+    """Exponential loads — a heavier-tailed alternative for ablations."""
+
+    scale: float = 500.0
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise GameError("exponential scale must be positive")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(self.scale, size=count)
+
+    @property
+    def mean(self) -> float:
+        return self.scale
+
+
+@dataclass(frozen=True)
+class ConstantLoads(LoadDistribution):
+    """Unit (or constant) loads — the Fig. 6 example uses unit loads."""
+
+    value: float = 1.0
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise GameError("loads must be non-negative")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(count, self.value, dtype=float)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+def draw_load_sequence(
+    distribution: LoadDistribution, count: int, seed: int, label: str = "loads"
+) -> np.ndarray:
+    """A reproducible load sequence for one simulation iteration."""
+    if count < 0:
+        raise GameError("count must be non-negative")
+    rng = make_np_rng(seed, label)
+    return distribution.sample(count, rng)

@@ -1,0 +1,103 @@
+"""The Fig. 6 example, exactly.
+
+"An example in which the delay of each edge e is d_e(x) = x.  Consider
+unit loads, and agent 2k+1 that chooses a path from a to d.  Observe that
+each edge has congestion k.  A best-reply for agent 2k+1 would be
+a → b → d (shortest path).  Suppose that the next agent to enter the
+network, agent 2k+2, has to choose a path from b to d.  Its only option
+is the path b → d.  Therefore, at time τ_{2k+2}, the delay experienced by
+agent 2k+1 is 2k+3, while its best-reply would be path a → c → d with a
+total delay of 2k+2."
+
+The scenario builder seeds the diamond network with 2k unit-load agents
+(k per path), runs agents 2k+1 and 2k+2 greedily, and reports the exact
+delays — the executable form of the paper's claim that an on-line
+best-reply "cannot remain a best-reply ... when the game ends".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import GameError
+from repro.games.congestion import LinearDelay, Network
+from repro.online.routing_game import (
+    OnlineDemand,
+    OnlineRoutingGame,
+    greedy_path_strategy,
+)
+
+
+def diamond_network() -> Network:
+    """Nodes a, b, c, d; arcs a→b, b→d, a→c, c→d, each with d(x) = x.
+
+    Arc insertion order makes a→b→d the lexicographically first a→d path,
+    so the greedy tie between the two (equal-delay) paths resolves to
+    a→b→d — the tie-break the Fig. 6 story assumes.
+    """
+    net = Network(name="Fig6Diamond")
+    for node in ("a", "b", "c", "d"):
+        net.add_node(node)
+    net.add_arc("a", "b", LinearDelay(Fraction(1)))  # arc 0
+    net.add_arc("b", "d", LinearDelay(Fraction(1)))  # arc 1
+    net.add_arc("a", "c", LinearDelay(Fraction(1)))  # arc 2
+    net.add_arc("c", "d", LinearDelay(Fraction(1)))  # arc 3
+    return net
+
+
+@dataclass(frozen=True)
+class Fig6Outcome:
+    """The exact quantities of the Fig. 6 narrative."""
+
+    k: int
+    chosen_path: tuple[int, ...]
+    delay_at_choice: Fraction
+    final_delay: Fraction
+    hindsight_path: tuple[int, ...]
+    hindsight_delay: Fraction
+    regret: Fraction
+
+
+def run_fig6_scenario(k: int) -> Fig6Outcome:
+    """Replay Fig. 6 for a given k and return agent 2k+1's outcome.
+
+    Expected, for every k >= 0: the agent picks a→b→d seeing delay 2k+2;
+    after agent 2k+2 joins b→d, its delay becomes 2k+3 while the
+    hindsight best reply a→c→d costs 2k+2 — regret exactly 1.
+    """
+    if k < 0:
+        raise GameError("k must be non-negative")
+    net = diamond_network()
+    game = OnlineRoutingGame(net)
+
+    # 2k background agents: k on a→b→d, k on a→c→d, giving congestion k
+    # on every edge.  Forced paths keep the preparation exact.
+    upper = (0, 1)   # a→b→d
+    lower = (2, 3)   # a→c→d
+    for i in range(2 * k):
+        path = upper if i % 2 == 0 else lower
+        game.arrive(
+            OnlineDemand(source="a", sink="d", load=Fraction(1)),
+            lambda _net, _demand, _loads, _agent, chosen=path: chosen,
+        )
+
+    # Agent 2k+1: greedy best reply from a to d (tie resolves to a→b→d).
+    focal = game.arrive(
+        OnlineDemand(source="a", sink="d", load=Fraction(1)), greedy_path_strategy
+    )
+    # Agent 2k+2: from b to d; its only option is b→d.
+    game.arrive(
+        OnlineDemand(source="b", sink="d", load=Fraction(1)), greedy_path_strategy
+    )
+
+    hindsight_path, hindsight_delay = game.hindsight_best_reply(focal.agent)
+    return Fig6Outcome(
+        k=k,
+        chosen_path=focal.path,
+        delay_at_choice=focal.delay_at_choice,
+        final_delay=game.final_delay(focal.agent),
+        hindsight_path=hindsight_path,
+        hindsight_delay=hindsight_delay,
+        regret=game.regret(focal.agent),
+    )

@@ -1,0 +1,217 @@
+"""The inventor's statistical knowledge, with accountable publication.
+
+Sect. 6: "What is the statistical information that the inventor
+maintains?  We consider two cases: in the first case, the inventor has
+prior knowledge about the loads ... in the second case, the inventor
+dynamically updates its information about the loads" — i.e., at time τ_i
+it knows loads w_1..w_i and expects (n - i) loads of their running mean.
+
+Footnote 3: "the system can require the inventor to publish the average
+loads with its signature at each round.  [If] everyone record[s], then
+the inventor is kept responsible when found cheating."  That audit trail
+is implemented here: every per-round statistic is signed via the
+:class:`~repro.crypto.signatures.KeyRegistry`, agents keep the records,
+and :func:`audit_statistics` re-derives the honest averages from the
+observed loads and flags any round where the published value or its
+signature does not hold up.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.signatures import KeyRegistry, Signature
+from repro.errors import GameError
+
+
+class InventorStatistics(abc.ABC):
+    """Per-arrival estimate of the typical future load."""
+
+    @abc.abstractmethod
+    def observe(self, load: float) -> None:
+        """Record an arrived agent's load."""
+
+    @abc.abstractmethod
+    def expected_load(self) -> float:
+        """The w̄ used for the phantom future loads."""
+
+    @property
+    @abc.abstractmethod
+    def observed_count(self) -> int:
+        """How many loads have been observed so far."""
+
+
+class PriorKnowledgeStatistics(InventorStatistics):
+    """Case 1: the inventor knows the load distribution's mean a priori."""
+
+    def __init__(self, mean: float):
+        if mean < 0:
+            raise GameError("mean load must be non-negative")
+        self._mean = float(mean)
+        self._count = 0
+
+    def observe(self, load: float) -> None:
+        self._count += 1
+
+    def expected_load(self) -> float:
+        return self._mean
+
+    @property
+    def observed_count(self) -> int:
+        return self._count
+
+
+class DynamicAverageStatistics(InventorStatistics):
+    """Case 2: the running mean of the observed loads.
+
+    "At each time τ_i ... the inventor knows that loads w_1, ..., w_i
+    have appeared, and expects (n - i) loads of expected value
+    (Σ w_k) / i."  Before any observation the estimate falls back to a
+    configurable prior (default 0 — no phantom influence).
+    """
+
+    def __init__(self, prior: float = 0.0):
+        self._total = 0.0
+        self._count = 0
+        self._prior = float(prior)
+
+    def observe(self, load: float) -> None:
+        if load < 0:
+            raise GameError("loads must be non-negative")
+        self._total += float(load)
+        self._count += 1
+
+    def expected_load(self) -> float:
+        if self._count == 0:
+            return self._prior
+        return self._total / self._count
+
+    @property
+    def observed_count(self) -> int:
+        return self._count
+
+
+@dataclass(frozen=True)
+class SignedStatistic:
+    """One published round: the value the inventor stands behind."""
+
+    round_index: int
+    average_load: float
+    signature: Signature
+
+
+class StatisticsPublisher:
+    """Wraps a statistics object with footnote 3's signed publication."""
+
+    def __init__(
+        self,
+        statistics: InventorStatistics,
+        registry: KeyRegistry,
+        identity: str,
+    ):
+        if not registry.is_registered(identity):
+            registry.register(identity)
+        self._statistics = statistics
+        self._registry = registry
+        self._identity = identity
+        self._round = 0
+
+    @property
+    def identity(self) -> str:
+        return self._identity
+
+    def observe_and_publish(self, load: float) -> SignedStatistic:
+        """Observe one arrival and publish the signed running statistic."""
+        self._statistics.observe(load)
+        self._round += 1
+        average = self._value_to_publish()
+        payload = {"round": self._round, "average": average}
+        signature = self._registry.sign(self._identity, payload)
+        return SignedStatistic(
+            round_index=self._round, average_load=average, signature=signature
+        )
+
+    def expected_load(self) -> float:
+        return self._statistics.expected_load()
+
+    def _value_to_publish(self) -> float:
+        """Hook for cheating variants; honest publishers publish the truth."""
+        return self._statistics.expected_load()
+
+
+class CheatingPublisher(StatisticsPublisher):
+    """Publishes inflated averages — the footnote-3 cheater.
+
+    The signature is genuine (the inventor signs its own lie), so the
+    audit must catch the *content*: the published value does not match
+    the average derivable from the observed loads.
+    """
+
+    def __init__(self, statistics, registry, identity, inflation: float = 1.5):
+        super().__init__(statistics, registry, identity)
+        self._inflation = inflation
+
+    def _value_to_publish(self) -> float:
+        return self._statistics.expected_load() * self._inflation
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One detected irregularity in the published statistics."""
+
+    round_index: int
+    kind: str  # "bad-signature" | "wrong-average"
+    published: float
+    recomputed: float | None
+
+
+def audit_statistics(
+    registry: KeyRegistry,
+    records: Sequence[SignedStatistic],
+    observed_loads: Sequence[float],
+    tolerance: float = 1e-9,
+) -> tuple[AuditFinding, ...]:
+    """Footnote 3's accountability check.
+
+    Re-derives the honest running average from ``observed_loads`` and
+    verifies every record's signature and content.  Returns the list of
+    findings; an empty result exonerates the inventor.
+    """
+    findings: list[AuditFinding] = []
+    running_total = 0.0
+    for record in records:
+        payload = {"round": record.round_index, "average": record.average_load}
+        if not registry.verify(record.signature, payload):
+            findings.append(
+                AuditFinding(
+                    round_index=record.round_index,
+                    kind="bad-signature",
+                    published=record.average_load,
+                    recomputed=None,
+                )
+            )
+            continue
+        i = record.round_index
+        if i > len(observed_loads):
+            findings.append(
+                AuditFinding(
+                    round_index=i,
+                    kind="wrong-average",
+                    published=record.average_load,
+                    recomputed=None,
+                )
+            )
+            continue
+        honest = sum(observed_loads[:i]) / i
+        if abs(honest - record.average_load) > tolerance:
+            findings.append(
+                AuditFinding(
+                    round_index=i,
+                    kind="wrong-average",
+                    published=record.average_load,
+                    recomputed=honest,
+                )
+            )
+    return tuple(findings)

@@ -1,0 +1,149 @@
+"""Statistics-based advice for general networks (the future-work hook).
+
+The paper's conclusions call for "efficient private verification of
+online games and online best replies"; its parallel-links experiment is
+the special case of a two-node network.  This module extends the
+inventor's statistics-based suggestion to arbitrary delay networks:
+
+* the inventor tracks, per arc, the historical usage fraction (how much
+  of the observed load crossed each arc) and the running mean load;
+* when agent i arrives, it projects the remaining ``n - i`` arrivals as
+  *phantom background load* distributed over arcs proportionally to the
+  historical usage, and suggests the path minimizing the agent's delay
+  under current + phantom load;
+* the agent verifies the suggestion by deterministic recomputation from
+  the (signed) published statistics — the same cheap proof pattern as
+  the parallel-links case, wired into
+  :class:`~repro.core.registry.OnlineLinkProcedure`'s sibling,
+  :func:`verify_network_suggestion`.
+
+The projection is deliberately the simplest model consistent with the
+paper's "expects (n - i) loads of expected value w̄": background load is
+an *estimate*, not a simulation of future best replies — the inventor's
+advantage is information, not clairvoyance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.errors import GameError
+from repro.fractions_util import to_fraction
+from repro.games.congestion import Network
+from repro.online.routing_game import OnlineDemand
+
+
+@dataclass(frozen=True)
+class NetworkStatistics:
+    """The inventor's published view of network history.
+
+    ``observed_count`` and ``mean_load`` summarize past arrivals;
+    ``arc_usage`` maps arc ids to the fraction of past *load* that used
+    the arc (values in [0, 1], not necessarily summing to 1 since a path
+    uses several arcs).
+    """
+
+    observed_count: int
+    mean_load: Fraction
+    arc_usage: dict[int, Fraction]
+
+
+class NetworkUsageTracker:
+    """Accumulates the per-arc usage statistics the advisor publishes."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._total_load = Fraction(0)
+        self._arc_load: dict[int, Fraction] = {}
+        self._count = 0
+
+    def observe(self, demand: OnlineDemand, path: Sequence[int]) -> None:
+        """Record one routed arrival."""
+        path = self._network.validate_path(path, demand.source, demand.sink)
+        self._count += 1
+        self._total_load += demand.load
+        for arc_id in path:
+            self._arc_load[arc_id] = (
+                self._arc_load.get(arc_id, Fraction(0)) + demand.load
+            )
+
+    def statistics(self) -> NetworkStatistics:
+        if self._count == 0:
+            return NetworkStatistics(
+                observed_count=0, mean_load=Fraction(0), arc_usage={}
+            )
+        usage = {
+            arc_id: load / self._total_load if self._total_load else Fraction(0)
+            for arc_id, load in self._arc_load.items()
+        }
+        return NetworkStatistics(
+            observed_count=self._count,
+            mean_load=self._total_load / self._count,
+            arc_usage=usage,
+        )
+
+
+def phantom_loads(
+    statistics: NetworkStatistics, future_count: int
+) -> dict[int, Fraction]:
+    """Projected background load per arc from ``future_count`` arrivals.
+
+    Each future arrival is expected to contribute ``mean_load`` spread
+    over arcs according to the historical usage fractions.
+    """
+    if future_count < 0:
+        raise GameError("future_count must be non-negative")
+    total = statistics.mean_load * future_count
+    return {
+        arc_id: fraction * total
+        for arc_id, fraction in statistics.arc_usage.items()
+    }
+
+
+def suggest_network_path(
+    network: Network,
+    demand: OnlineDemand,
+    current_loads: Mapping[int, object],
+    statistics: NetworkStatistics,
+    future_count: int,
+) -> tuple[int, ...]:
+    """The inventor's path suggestion under projected background load.
+
+    Deterministic given its inputs (ties break toward the canonical path
+    order), so agents can verify it by recomputation.
+    """
+    background = phantom_loads(statistics, future_count)
+    projected: dict[int, Fraction] = {}
+    for arc in network.arcs:
+        projected[arc.arc_id] = (
+            to_fraction(current_loads.get(arc.arc_id, 0))
+            + background.get(arc.arc_id, Fraction(0))
+        )
+    path, __ = network.best_reply_path(
+        demand.source, demand.sink, demand.load, projected
+    )
+    return path
+
+
+def verify_network_suggestion(
+    network: Network,
+    demand: OnlineDemand,
+    current_loads: Mapping[int, object],
+    statistics: NetworkStatistics,
+    future_count: int,
+    suggested: Sequence[int],
+) -> bool:
+    """Agent-side check: recompute the deterministic suggestion.
+
+    All inputs are public or published (loads, signed statistics), so a
+    mismatch proves the inventor deviated from its own advertised rule.
+    """
+    try:
+        expected = suggest_network_path(
+            network, demand, current_loads, statistics, future_count
+        )
+    except GameError:
+        return False
+    return tuple(suggested) == expected

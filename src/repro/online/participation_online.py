@@ -1,0 +1,193 @@
+"""On-line participation (the second half of Sect. 5).
+
+"Let us again assume that k = 2 and consider the case in which firms need
+to decide about their participation at different times.  If firm f is the
+last to choose, the prover's 'proof' is either p = 1, when at least one
+other firm has entered the game, or p = 0 otherwise."  With c/v = 3/8:
+p = 1 yields v - c = 5v/8; with two prior entrants p = 0 yields v.  "If
+the order of arrivals is random, the expected gain of any firm after
+advice is at least 1/3 · 5v/8 = 5v/24, still better than v/16 in the
+off-line case.  On the other hand, false advice to the last agent, i.e.,
+a flip of the value of p, will result in a loss!  Thus it is crucial here
+to verify that the advice given by the prover is truthful."
+
+This module provides the advisor, the agent-side advice verifier (the
+best-reply-given-history check), the exact arithmetic of the paper's
+claims, and a sequential simulation for measuring gains under a concrete
+model of the other firms' behaviour (the paper leaves that model
+implicit; see :func:`simulate_last_firm_gain`).  The paper also notes the
+privacy cost — "this verification method reveals the number of firms that
+have already played" — quantified by :func:`advice_information_leak`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import GameError
+from repro.games.participation import PARTICIPATE, STAY_OUT, ParticipationGame
+
+
+@dataclass(frozen=True)
+class OnlineAdvice:
+    """The prover's on-line 'proof': a degenerate probability p ∈ {0, 1}."""
+
+    probability: Fraction
+    expected_gain: Fraction
+
+    @property
+    def action(self) -> int:
+        return PARTICIPATE if self.probability == 1 else STAY_OUT
+
+
+class OnlineParticipationAdvisor:
+    """The inventor's on-line advice for the *last* arriving firm.
+
+    The last firm's decision problem is deterministic given the number of
+    prior participants, so the advice and its claimed gain are exact:
+
+    * prior participants >= k:     stay out, gain v;
+    * prior participants == k - 1: participate, gain v - c;
+    * otherwise:                   stay out, gain 0 (participating would
+      strand the firm below the threshold and cost c).
+    """
+
+    def __init__(self, game: ParticipationGame):
+        self._game = game
+
+    def advise_last_firm(self, prior_participants: int) -> OnlineAdvice:
+        game = self._game
+        if not 0 <= prior_participants <= game.num_players - 1:
+            raise GameError(
+                f"prior participants {prior_participants} out of range"
+            )
+        k = game.threshold
+        if prior_participants >= k:
+            return OnlineAdvice(probability=Fraction(0), expected_gain=game.value)
+        if prior_participants == k - 1:
+            return OnlineAdvice(
+                probability=Fraction(1), expected_gain=game.value - game.cost
+            )
+        return OnlineAdvice(probability=Fraction(0), expected_gain=Fraction(0))
+
+
+def last_firm_payoff(
+    game: ParticipationGame, prior_participants: int, action: int
+) -> Fraction:
+    """Exact payoff of the last firm for ``action`` given the history."""
+    return game.compact_payoff(action, prior_participants)
+
+
+def verify_online_advice(
+    game: ParticipationGame, prior_participants: int, advice: OnlineAdvice
+) -> bool:
+    """The agent-side truthfulness check ("crucial ... to verify").
+
+    Confirms (exactly) that the advised action is a best reply to the
+    disclosed history and that the claimed gain is its actual payoff.
+    A flipped p fails this check — the "false advice ... will result in
+    a loss" scenario.
+    """
+    if advice.probability not in (Fraction(0), Fraction(1)):
+        return False
+    advised = last_firm_payoff(game, prior_participants, advice.action)
+    other = last_firm_payoff(game, prior_participants, 1 - advice.action)
+    if advised < other:
+        return False
+    return advised == advice.expected_gain
+
+
+def advice_information_leak(game: ParticipationGame, advice: OnlineAdvice) -> tuple[int, ...]:
+    """Which prior-participation counts are consistent with the advice.
+
+    The paper: "this verification method reveals the number of firms that
+    have already played."  The returned tuple is everything the advised
+    firm can infer: the set of counts that would have produced this
+    advice.  A singleton means full disclosure of the history.
+    """
+    advisor = OnlineParticipationAdvisor(game)
+    return tuple(
+        count
+        for count in range(game.num_players)
+        if advisor.advise_last_firm(count) == advice
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's exact arithmetic (c/v = 3/8, n = 3, k = 2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OnlineParticipationClaims:
+    """The Sect. 5 on-line numbers, computed exactly from a game instance."""
+
+    gain_if_advised_in: Fraction       # v - c   (5v/8 in the example)
+    gain_if_advised_out_full: Fraction  # v      (>= k prior entrants)
+    offline_equilibrium_gain: Fraction  # v/16 in the example
+    paper_lower_bound: Fraction        # (1/n) * (v - c)  = 5v/24
+
+    @property
+    def online_beats_offline(self) -> bool:
+        return self.paper_lower_bound > self.offline_equilibrium_gain
+
+
+def online_claims(game: ParticipationGame, offline_p: Fraction) -> OnlineParticipationClaims:
+    """Evaluate the paper's comparison for any (n, k=2, v, c) instance.
+
+    ``offline_p`` is the symmetric off-line equilibrium the claim
+    compares against.  The paper's bound credits the focal firm with
+    (v - c) exactly when it arrives last *and* the threshold is
+    completable — probability 1/n in its accounting.
+    """
+    n = game.num_players
+    return OnlineParticipationClaims(
+        gain_if_advised_in=game.value - game.cost,
+        gain_if_advised_out_full=game.value,
+        offline_equilibrium_gain=game.equilibrium_expected_gain(offline_p),
+        paper_lower_bound=Fraction(1, n) * (game.value - game.cost),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential simulation
+# ----------------------------------------------------------------------
+
+
+def simulate_last_firm_gain(
+    game: ParticipationGame,
+    offline_p: Fraction,
+    rounds: int,
+    rng: random.Random,
+    follow_advice: bool = True,
+) -> float:
+    """Average gain of a focal firm in the random-arrival-order setting.
+
+    Model (the paper's implicit one, made explicit): arrival order is a
+    uniformly random permutation; non-focal firms play the *off-line*
+    symmetric equilibrium ``offline_p`` (they do not consult); when the
+    focal firm is last it takes the inventor's history-aware advice if
+    ``follow_advice``, else it also plays ``offline_p``.  When not last,
+    the focal firm plays ``offline_p`` (the advice analysed by the paper
+    is specific to the last position).
+    """
+    if rounds < 1:
+        raise GameError("need at least one round")
+    n = game.num_players
+    advisor = OnlineParticipationAdvisor(game)
+    p_float = float(offline_p)
+    total = Fraction(0)
+    for _ in range(rounds):
+        position = rng.randrange(n)  # focal firm's arrival slot
+        others = [1 if rng.random() < p_float else 0 for _ in range(n - 1)]
+        prior = sum(others[:position])
+        if position == n - 1 and follow_advice:
+            advice = advisor.advise_last_firm(prior)
+            action = advice.action
+        else:
+            action = PARTICIPATE if rng.random() < p_float else STAY_OUT
+        others_in = sum(others)
+        total += game.compact_payoff(action, others_in)
+    return float(total) / rounds

@@ -1,0 +1,141 @@
+"""The on-line network congestion game engine.
+
+Agents arrive one at a time; "the decision of each agent on the path is
+irrevocable".  The engine tracks the evolving configuration π(i), lets a
+pluggable strategy choose each arriving agent's path, and afterwards
+evaluates exactly the quantities of Sect. 6:
+
+* the delay λ_i(π(k)) each agent experiences at any time τ_k,
+* the total congestion Λ(π(n)) = Σ_e d_e(W_e(π(n))),
+* each agent's *hindsight best reply* and regret — the gap Fig. 6
+  illustrates (an agent's greedy choice stops being a best reply once
+  later agents arrive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.errors import GameError
+from repro.fractions_util import to_fraction
+from repro.games.congestion import Network
+
+
+@dataclass(frozen=True)
+class OnlineDemand:
+    """An arriving agent: source, sink and load, in arrival order."""
+
+    source: str
+    sink: str
+    load: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "load", to_fraction(self.load))
+        if self.load < 0:
+            raise GameError("loads must be non-negative")
+
+
+@dataclass(frozen=True)
+class RoutingRecord:
+    """One agent's irrevocable decision and the delay it saw at choice time."""
+
+    agent: int
+    demand: OnlineDemand
+    path: tuple[int, ...]
+    delay_at_choice: Fraction
+
+
+#: A strategy maps (network, demand, current loads, agent index) to a path.
+PathStrategy = Callable[[Network, OnlineDemand, dict[int, Fraction], int], tuple[int, ...]]
+
+
+def greedy_path_strategy(
+    network: Network, demand: OnlineDemand, loads: dict[int, Fraction], agent: int
+) -> tuple[int, ...]:
+    """Sect. 6's baseline: "choose a shortest path given π(i-1)"."""
+    path, __ = network.best_reply_path(demand.source, demand.sink, demand.load, loads)
+    return path
+
+
+class OnlineRoutingGame:
+    """Runs one on-line congestion game to completion."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._loads: dict[int, Fraction] = {}
+        self._records: list[RoutingRecord] = []
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def records(self) -> tuple[RoutingRecord, ...]:
+        return tuple(self._records)
+
+    def current_loads(self) -> dict[int, Fraction]:
+        """The configuration's arc loads W_e(π(i)) right now."""
+        return dict(self._loads)
+
+    def arrive(self, demand: OnlineDemand, strategy: PathStrategy) -> RoutingRecord:
+        """Process one arrival: the strategy picks a path, irrevocably."""
+        agent = len(self._records)
+        path = strategy(self._network, demand, dict(self._loads), agent)
+        path = self._network.validate_path(path, demand.source, demand.sink)
+        for arc_id in path:
+            self._loads[arc_id] = self._loads.get(arc_id, Fraction(0)) + demand.load
+        delay = self._network.path_delay(path, self._loads)
+        record = RoutingRecord(
+            agent=agent, demand=demand, path=path, delay_at_choice=delay
+        )
+        self._records.append(record)
+        return record
+
+    def run(self, demands: Sequence[OnlineDemand], strategy: PathStrategy) -> None:
+        """Process a whole arrival sequence with one strategy."""
+        for demand in demands:
+            self.arrive(demand, strategy)
+
+    # ------------------------------------------------------------------
+    # Post-game analysis (the Fig. 6 quantities)
+    # ------------------------------------------------------------------
+
+    def final_delay(self, agent: int) -> Fraction:
+        """λ_agent(π(n)): the delay the agent experiences at game end."""
+        record = self._record_of(agent)
+        return self._network.path_delay(record.path, self._loads)
+
+    def hindsight_best_reply(self, agent: int) -> tuple[tuple[int, ...], Fraction]:
+        """The agent's best reply given everyone else's *final* paths.
+
+        Removes the agent's own load from its chosen arcs, then picks the
+        delay-minimizing path as if arriving last — the comparison point
+        for the regret of an irrevocable early decision.
+        """
+        record = self._record_of(agent)
+        loads = dict(self._loads)
+        for arc_id in record.path:
+            loads[arc_id] = loads[arc_id] - record.demand.load
+        return self._network.best_reply_path(
+            record.demand.source, record.demand.sink, record.demand.load, loads
+        )
+
+    def regret(self, agent: int) -> Fraction:
+        """Final delay minus hindsight-best-reply delay (>= 0)."""
+        __, best = self.hindsight_best_reply(agent)
+        return self.final_delay(agent) - best
+
+    def total_congestion(self) -> Fraction:
+        """Λ(π(n)) — the inventor's objective."""
+        total = Fraction(0)
+        for arc in self._network.arcs:
+            total += arc.delay(self._loads.get(arc.arc_id, 0))
+        return total
+
+    def _record_of(self, agent: int) -> RoutingRecord:
+        try:
+            return self._records[agent]
+        except IndexError:
+            raise GameError(f"agent {agent} has not arrived") from None

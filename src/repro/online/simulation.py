@@ -1,0 +1,202 @@
+"""The Fig. 7 simulation harness.
+
+"We simulate a simple on-line congestion game where all agents ask the
+inventor, i.e., p = 1 (see Fig. 7).  We compare the greedy strategy (each
+agent on arrival chooses the least loaded link) to the strategy suggested
+by the inventor ...  We consider 1000 agents, uniform load distribution
+in [0, 1000], the number of (equispeed) links is m = 2, ..., 500."  The
+y-axis of Fig. 7 is "the iteration percentage in which the final
+assignment is strictly better, w.r.t. makespan, than the greedy
+strategy".
+
+:func:`run_fig7` sweeps the link grid, runs ``iterations`` seeded
+iterations per point, and reports win percentages.  The compliance
+parameter p generalizes the experiment (paper: p = 1): each agent follows
+the inventor's suggestion with probability p and plays greedy otherwise —
+the ablation the Sect. 6 model motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.online.arrivals import LoadDistribution, UniformLoads
+from repro.online.inventor_stats import (
+    DynamicAverageStatistics,
+    InventorStatistics,
+    PriorKnowledgeStatistics,
+)
+from repro.online.parallel_links import inventor_suggestion
+from repro.rng import make_np_rng, make_rng
+
+
+@dataclass(frozen=True)
+class IterationOutcome:
+    """Makespans of the two policies on one load sequence."""
+
+    greedy_makespan: float
+    inventor_makespan: float
+
+    @property
+    def inventor_strictly_better(self) -> bool:
+        return self.inventor_makespan < self.greedy_makespan
+
+
+def simulate_greedy(loads: Sequence[float], num_links: int) -> float:
+    """Final makespan of the all-greedy trajectory."""
+    if num_links < 1:
+        raise GameError("need at least one link")
+    link_loads = np.zeros(num_links)
+    for w in loads:
+        j = int(link_loads.argmin())  # numpy argmin ties to lowest index
+        link_loads[j] += w
+    return float(link_loads.max())
+
+
+def simulate_inventor(
+    loads: Sequence[float],
+    num_links: int,
+    statistics: InventorStatistics,
+    compliance_p: float = 1.0,
+    rng=None,
+) -> float:
+    """Final makespan when agents (with prob. p) follow the inventor.
+
+    At each arrival the inventor observes the load, updates its
+    statistics, and suggests the LPT link for the agent's load among
+    n - i phantom loads of the current estimate w̄.  With probability
+    1 - p the agent ignores the advice and plays greedy.
+    """
+    if num_links < 1:
+        raise GameError("need at least one link")
+    if not 0.0 <= compliance_p <= 1.0:
+        raise GameError("compliance probability must be in [0, 1]")
+    if compliance_p < 1.0 and rng is None:
+        raise GameError("partial compliance needs an rng")
+    n = len(loads)
+    link_loads = np.zeros(num_links)
+    for i, w in enumerate(loads, start=1):
+        statistics.observe(w)
+        follows = compliance_p >= 1.0 or rng.random() < compliance_p
+        if follows:
+            expected = statistics.expected_load()
+            j = inventor_suggestion(link_loads, w, expected, n - i)
+        else:
+            j = int(link_loads.argmin())
+        link_loads[j] += w
+    return float(link_loads.max())
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Parameters of the Fig. 7 sweep.
+
+    Paper values: ``num_agents=1000``, ``links_grid=range(2, 501)``,
+    uniform loads on [0, 1000].  The iteration count per grid point is
+    not stated; the reported 99%-of-cases anecdote implies at least 100.
+    Defaults here are a faithful-shape, laptop-scale configuration;
+    pass the paper values for a full run.
+    """
+
+    num_agents: int = 300
+    links_grid: tuple[int, ...] = (2, 12, 27, 42, 57, 72, 87, 102, 117, 132, 147)
+    iterations: int = 20
+    distribution: LoadDistribution = field(default_factory=UniformLoads)
+    compliance_p: float = 1.0
+    statistics_mode: str = "dynamic"  # "dynamic" | "prior"
+    seed: int = 2011
+
+    def __post_init__(self):
+        if self.num_agents < 1 or self.iterations < 1:
+            raise GameError("need at least one agent and one iteration")
+        if any(m < 1 for m in self.links_grid):
+            raise GameError("links grid entries must be positive")
+        if self.statistics_mode not in ("dynamic", "prior"):
+            raise GameError("statistics_mode must be 'dynamic' or 'prior'")
+
+    @classmethod
+    def paper(cls, iterations: int = 100, step: int = 10) -> "Fig7Config":
+        """The paper's parameters: 1000 agents, U[0, 1000], m = 2..500.
+
+        The published chart samples the full range; ``step`` thins the
+        grid (the paper's x-ticks are 50 apart) and ``iterations`` sets
+        the per-point replication (>= 100 to resolve the 99% anecdote).
+        """
+        grid = (2,) + tuple(range(2 + step, 501, step))
+        return cls(num_agents=1000, links_grid=grid, iterations=iterations)
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    """One x-axis point of Fig. 7."""
+
+    num_links: int
+    iterations: int
+    inventor_wins: int
+    ties: int
+    losses: int
+    mean_greedy_makespan: float
+    mean_inventor_makespan: float
+
+    @property
+    def win_percentage(self) -> float:
+        """The Fig. 7 y-value: % iterations where the inventor strictly wins."""
+        return 100.0 * self.inventor_wins / self.iterations
+
+
+def make_statistics(config: Fig7Config) -> InventorStatistics:
+    """Fresh statistics object per iteration, per the configured mode."""
+    if config.statistics_mode == "prior":
+        return PriorKnowledgeStatistics(config.distribution.mean)
+    return DynamicAverageStatistics()
+
+
+def run_fig7_point(config: Fig7Config, num_links: int) -> Fig7Point:
+    """All iterations for one link count."""
+    wins = ties = losses = 0
+    greedy_sum = inventor_sum = 0.0
+    for iteration in range(config.iterations):
+        label = f"fig7:m={num_links}:iter={iteration}"
+        load_rng = make_np_rng(config.seed, label)
+        loads = config.distribution.sample(config.num_agents, load_rng)
+        compliance_rng = (
+            make_rng(config.seed, label + ":compliance")
+            if config.compliance_p < 1.0
+            else None
+        )
+        outcome = IterationOutcome(
+            greedy_makespan=simulate_greedy(loads, num_links),
+            inventor_makespan=simulate_inventor(
+                loads,
+                num_links,
+                make_statistics(config),
+                compliance_p=config.compliance_p,
+                rng=compliance_rng,
+            ),
+        )
+        greedy_sum += outcome.greedy_makespan
+        inventor_sum += outcome.inventor_makespan
+        if outcome.inventor_strictly_better:
+            wins += 1
+        elif outcome.inventor_makespan == outcome.greedy_makespan:
+            ties += 1
+        else:
+            losses += 1
+    return Fig7Point(
+        num_links=num_links,
+        iterations=config.iterations,
+        inventor_wins=wins,
+        ties=ties,
+        losses=losses,
+        mean_greedy_makespan=greedy_sum / config.iterations,
+        mean_inventor_makespan=inventor_sum / config.iterations,
+    )
+
+
+def run_fig7(config: Fig7Config) -> tuple[Fig7Point, ...]:
+    """The full Fig. 7 sweep across the links grid."""
+    return tuple(run_fig7_point(config, m) for m in config.links_grid)

@@ -1,0 +1,57 @@
+"""The Fig. 2 proof system: certificate language, builder and kernel."""
+
+from repro.proofs.builder import (
+    build_all_nash_certificate,
+    build_dominance_certificate,
+    build_all_strat_certificate,
+    build_max_nash_certificate,
+    build_nash_certificate,
+    build_not_nash_certificate,
+)
+from repro.proofs.certificates import (
+    AllNashCertificate,
+    DominanceCertificate,
+    AllStratCertificate,
+    Certificate,
+    ComparisonStep,
+    CounterexampleStep,
+    DeviationStep,
+    MaxNashCertificate,
+    NashCertificate,
+    NotNashCertificate,
+)
+from repro.proofs.checker import CheckResult, ProofKernel, check_certificate
+from repro.proofs.serialize import (
+    certificate_from_json,
+    certificate_size_bytes,
+    certificate_to_json,
+    decode_certificate,
+    encode_certificate,
+)
+
+__all__ = [
+    "DominanceCertificate",
+    "build_dominance_certificate",
+    "AllNashCertificate",
+    "AllStratCertificate",
+    "Certificate",
+    "ComparisonStep",
+    "CounterexampleStep",
+    "DeviationStep",
+    "MaxNashCertificate",
+    "NashCertificate",
+    "NotNashCertificate",
+    "CheckResult",
+    "ProofKernel",
+    "check_certificate",
+    "build_all_nash_certificate",
+    "build_all_strat_certificate",
+    "build_max_nash_certificate",
+    "build_nash_certificate",
+    "build_not_nash_certificate",
+    "certificate_from_json",
+    "certificate_size_bytes",
+    "certificate_to_json",
+    "decode_certificate",
+    "encode_certificate",
+]

@@ -1,0 +1,167 @@
+"""Prover-side certificate construction.
+
+This is the game inventor's side of Sect. 3: after *finding* equilibria
+(with whatever ingenuity or extra capability it has), it assembles a
+certificate that the independent kernel can re-check.  The builder and
+the kernel share only the certificate datatypes — the separation the
+paper's framework mandates between inventor and verifier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProofError
+from repro.games.base import Game
+from repro.games.profiles import PureProfile, change
+from repro.equilibria.pure import (
+    incomparability_witness,
+    is_pure_nash,
+    pure_nash_equilibria,
+    refute_pure_nash,
+)
+from repro.proofs.certificates import (
+    AllNashCertificate,
+    DominanceCertificate,
+    AllStratCertificate,
+    ComparisonStep,
+    CounterexampleStep,
+    DeviationStep,
+    MaxNashCertificate,
+    NashCertificate,
+    NotNashCertificate,
+)
+
+
+def build_nash_certificate(
+    game: Game, profile: PureProfile, explicit: bool = True
+) -> NashCertificate:
+    """Certificate that ``profile`` is a pure Nash equilibrium.
+
+    ``explicit=True`` lists every deviation check (the "detailed logic
+    proof"); ``explicit=False`` emits the paper's empty proof and lets the
+    kernel evaluate.  Raises :class:`ProofError` if the profile is not
+    actually an equilibrium — an honest builder refuses to fabricate.
+    """
+    profile = game.validate_profile(profile)
+    if not is_pure_nash(game, profile):
+        raise ProofError(f"{profile} is not a Nash equilibrium; cannot certify")
+    if not explicit:
+        return NashCertificate(profile=profile, mode="by-evaluation")
+    steps = tuple(
+        DeviationStep(player=player, action=action)
+        for player in game.players()
+        for action in game.actions(player)
+        if action != profile[player]
+    )
+    return NashCertificate(profile=profile, mode="explicit", steps=steps)
+
+
+def build_not_nash_certificate(game: Game, profile: PureProfile) -> NotNashCertificate:
+    """Certificate refuting ``isNash(profile)`` with a concrete deviation."""
+    profile = game.validate_profile(profile)
+    witness = refute_pure_nash(game, profile)
+    if witness is None:
+        raise ProofError(f"{profile} is a Nash equilibrium; cannot refute")
+    return NotNashCertificate(
+        profile=profile,
+        counterexample=CounterexampleStep(
+            player=witness.player, action=witness.better_action
+        ),
+    )
+
+
+def build_all_strat_certificate(game: Game) -> AllStratCertificate:
+    """The ``allStrat`` enumeration, in the canonical lexicographic order."""
+    return AllStratCertificate(profiles=tuple(game.enumerate_profiles()))
+
+
+def build_all_nash_certificate(game: Game, explicit: bool = True) -> AllNashCertificate:
+    """The ``allNash`` classification of the entire profile space."""
+    enumeration = build_all_strat_certificate(game)
+    equilibria = []
+    refutations = []
+    for profile in enumeration.profiles:
+        if is_pure_nash(game, profile):
+            equilibria.append(build_nash_certificate(game, profile, explicit=explicit))
+        else:
+            refutations.append(build_not_nash_certificate(game, profile))
+    return AllNashCertificate(
+        enumeration=enumeration,
+        equilibria=tuple(equilibria),
+        refutations=tuple(refutations),
+    )
+
+
+def build_max_nash_certificate(
+    game: Game,
+    candidate: PureProfile,
+    minimal: bool = False,
+    explicit: bool = True,
+) -> MaxNashCertificate:
+    """The full ``isMaxNash`` certificate for ``candidate``.
+
+    For every other claimed equilibrium the builder emits the ``leStrat``
+    disjunct when the candidate (weakly) dominates it, otherwise the
+    ``noComp`` disjunct with explicit witnesses.  If neither holds the
+    candidate is not maximal and the builder refuses.
+    """
+    candidate = game.validate_profile(candidate)
+    all_nash = build_all_nash_certificate(game, explicit=explicit)
+    candidate_proof = build_nash_certificate(game, candidate, explicit=explicit)
+
+    comparisons = []
+    candidate_payoffs = game.payoffs(candidate)
+    for cert in all_nash.equilibria:
+        other = cert.profile
+        if other == candidate:
+            continue
+        other_payoffs = game.payoffs(other)
+        if not minimal:
+            dominated = all(a <= b for a, b in zip(other_payoffs, candidate_payoffs))
+        else:
+            dominated = all(a >= b for a, b in zip(other_payoffs, candidate_payoffs))
+        if dominated:
+            comparisons.append(ComparisonStep(profile=other, kind="le"))
+            continue
+        witness = incomparability_witness(game, other, candidate)
+        if witness is None:
+            kind = "maximal" if not minimal else "minimal"
+            raise ProofError(
+                f"{candidate} is not a {kind} equilibrium: {other} dominates it"
+            )
+        comparisons.append(
+            ComparisonStep(
+                profile=other,
+                kind="nocomp",
+                witness_i=witness[0],
+                witness_j=witness[1],
+            )
+        )
+    return MaxNashCertificate(
+        candidate=candidate,
+        candidate_proof=candidate_proof,
+        all_nash=all_nash,
+        comparisons=tuple(comparisons),
+        minimal=minimal,
+    )
+
+
+def build_dominance_certificate(
+    game: Game, profile: PureProfile, strict: bool = False
+) -> DominanceCertificate:
+    """Certificate that ``profile`` is a dominant-strategy equilibrium.
+
+    The honest builder verifies dominance before certifying (an explicit
+    step list would be the size of the opponent profile space, so the
+    kernel performs the sweep at check time — the empty-proof style).
+    """
+    from repro.equilibria.dominance import is_dominant_action
+
+    profile = game.validate_profile(profile)
+    for player in game.players():
+        if not is_dominant_action(game, player, profile[player], strict=strict):
+            kind = "strictly " if strict else ""
+            raise ProofError(
+                f"player {player}'s action {profile[player]} is not "
+                f"{kind}dominant; cannot certify"
+            )
+    return DominanceCertificate(profile=profile, strict=strict)

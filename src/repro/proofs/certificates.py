@@ -1,0 +1,188 @@
+"""Proof certificates: the objects an inventor sends and a verifier checks.
+
+A certificate is pure data — profiles, indices, and sub-certificates —
+with no executable content.  The kernel (:mod:`repro.proofs.checker`)
+re-derives every claim from the game's utility oracle.  This mirrors the
+paper's design space (Sect. 1): "a detailed logic proof ... or even an
+empty proof relying on the verifier procedure to check the suggested
+actions in the style of nondeterministic Turing machines."
+
+Certificate forms:
+
+* :class:`DeviationStep` / :class:`CounterexampleStep` — single utility
+  comparisons;
+* :class:`NashCertificate` — ``isNash``, either *explicit* (every
+  deviation listed, kernel checks coverage) or *by-evaluation* (the
+  paper's "empty proof": the kernel enumerates deviations itself);
+* :class:`NotNashCertificate` — refutation by one counterexample;
+* :class:`AllStratCertificate` — the ``allStrat`` enumeration; the kernel
+  accepts it iff the list is duplicate-free, in-bounds and of full
+  cardinality Π|Ai| (which together imply exhaustiveness);
+* :class:`AllNashCertificate` — the ``allNash`` classification of every
+  profile as equilibrium or refuted;
+* :class:`ComparisonStep` — one ``leStrat`` or ``noComp`` fact;
+* :class:`MaxNashCertificate` — ``isMaxNash``: candidate is Nash, the
+  equilibrium list is complete, and every equilibrium is dominated-or-
+  incomparable (``NashMax``, Fig. 2 line 36).  A ``minimal`` flag flips
+  the comparison direction per footnote 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+from repro.errors import ProofError
+from repro.games.profiles import PureProfile
+
+
+def _freeze_profile(profile: Sequence[int]) -> PureProfile:
+    try:
+        return tuple(int(a) for a in profile)
+    except (TypeError, ValueError) as exc:
+        raise ProofError(f"malformed profile in certificate: {profile!r}") from exc
+
+
+@dataclass(frozen=True)
+class DeviationStep:
+    """Claims ``u_player(profile) >= u_player(change(profile, action, player))``."""
+
+    player: int
+    action: int
+
+
+@dataclass(frozen=True)
+class CounterexampleStep:
+    """Claims ``u_player(profile) < u_player(change(profile, action, player))``."""
+
+    player: int
+    action: int
+
+
+@dataclass(frozen=True)
+class NashCertificate:
+    """``isNash(profile)``.
+
+    ``mode='explicit'`` lists every deviation check; the kernel verifies
+    each listed step *and* that the steps cover every (player, action)
+    pair.  ``mode='by-evaluation'`` is the paper's empty proof: no steps,
+    the kernel enumerates and checks all deviations itself.
+    """
+
+    profile: PureProfile
+    mode: Literal["explicit", "by-evaluation"] = "explicit"
+    steps: tuple[DeviationStep, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "profile", _freeze_profile(self.profile))
+        if self.mode not in ("explicit", "by-evaluation"):
+            raise ProofError(f"unknown NashCertificate mode {self.mode!r}")
+        if self.mode == "by-evaluation" and self.steps:
+            raise ProofError("by-evaluation certificates must not carry steps")
+
+
+@dataclass(frozen=True)
+class NotNashCertificate:
+    """``not isNash(profile)`` via a single profitable-deviation witness."""
+
+    profile: PureProfile
+    counterexample: CounterexampleStep
+
+    def __post_init__(self):
+        object.__setattr__(self, "profile", _freeze_profile(self.profile))
+
+
+@dataclass(frozen=True)
+class AllStratCertificate:
+    """``allStrat``: the claimed exhaustive profile enumeration."""
+
+    profiles: tuple[PureProfile, ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "profiles", tuple(_freeze_profile(p) for p in self.profiles)
+        )
+
+
+@dataclass(frozen=True)
+class AllNashCertificate:
+    """``allNash``: every profile classified as equilibrium or refuted.
+
+    ``equilibria`` is the claimed list of all pure Nash equilibria;
+    ``refutations`` carries a :class:`NotNashCertificate` for every other
+    profile of the enumeration.
+    """
+
+    enumeration: AllStratCertificate
+    equilibria: tuple[NashCertificate, ...]
+    refutations: tuple[NotNashCertificate, ...]
+
+
+@dataclass(frozen=True)
+class ComparisonStep:
+    """One ``NashMax`` disjunct for equilibrium ``profile``.
+
+    ``kind='le'`` claims ``profile <=_u candidate`` (``leStrat``);
+    ``kind='nocomp'`` claims incomparability with explicit witnesses
+    (i, j).  For minimal-Nash certificates the ``le`` direction reverses.
+    """
+
+    profile: PureProfile
+    kind: Literal["le", "nocomp"]
+    witness_i: int = -1
+    witness_j: int = -1
+
+    def __post_init__(self):
+        object.__setattr__(self, "profile", _freeze_profile(self.profile))
+        if self.kind not in ("le", "nocomp"):
+            raise ProofError(f"unknown comparison kind {self.kind!r}")
+        if self.kind == "nocomp" and (self.witness_i < 0 or self.witness_j < 0):
+            raise ProofError("nocomp steps need non-negative witnesses")
+
+
+@dataclass(frozen=True)
+class MaxNashCertificate:
+    """``isMaxNash(candidate)`` (or minimal-Nash with ``minimal=True``).
+
+    Contains: the candidate's own Nash certificate, the full ``allNash``
+    classification, and one comparison disjunct per claimed equilibrium.
+    """
+
+    candidate: PureProfile
+    candidate_proof: NashCertificate
+    all_nash: AllNashCertificate
+    comparisons: tuple[ComparisonStep, ...]
+    minimal: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "candidate", _freeze_profile(self.candidate))
+
+
+@dataclass(frozen=True)
+class DominanceCertificate:
+    """Claims ``profile`` is a (weakly/strictly) dominant-strategy
+    equilibrium.
+
+    Dominance quantifies over the entire opponent profile space, so the
+    only practical proof format is the paper's "empty proof": the kernel
+    performs the sweep itself.  The certificate still carries the claim
+    explicitly (profile + strictness), so it serializes, travels the bus
+    and is tamper-checked like every other proof object.
+    """
+
+    profile: PureProfile
+    strict: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "profile", _freeze_profile(self.profile))
+
+
+#: Union of all top-level certificate types the kernel accepts.
+Certificate = (
+    NashCertificate
+    | NotNashCertificate
+    | AllStratCertificate
+    | AllNashCertificate
+    | MaxNashCertificate
+    | DominanceCertificate
+)

@@ -1,0 +1,324 @@
+"""The proof-checking kernel — the verifier's side of Sect. 3.
+
+The kernel accepts a certificate only by re-deriving every primitive
+claim from the game's utility oracle.  It trusts nothing the prover says:
+enumerated profile lists are checked for bounds, duplicates and full
+cardinality; explicit Nash certificates are checked for *coverage* of
+every deviation, not just correctness of the listed ones; comparison
+disjuncts are evaluated with their explicit witnesses.
+
+The kernel never raises on a bad proof — it returns a
+:class:`CheckResult` whose ``reason`` names the first failing step, so
+the rationality authority can log the rejection verbatim and blame the
+inventor (see :mod:`repro.core.audit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import ProofRejected
+from repro.games.base import Game
+from repro.games.profiles import profile_space_size
+from repro.proofs.certificates import (
+    AllNashCertificate,
+    AllStratCertificate,
+    Certificate,
+    ComparisonStep,
+    DominanceCertificate,
+    MaxNashCertificate,
+    NashCertificate,
+    NotNashCertificate,
+)
+from repro.proofs.language import (
+    CountingGame,
+    eval_deviation,
+    eval_is_strat,
+    eval_le_strat,
+    eval_no_comp,
+    eval_strict_improvement,
+)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a kernel run.
+
+    ``utility_evaluations`` counts oracle calls — the cost currency of
+    the Sect. 3 vs Sect. 4 comparison.  ``statements_checked`` counts
+    primitive proof steps.
+    """
+
+    accepted: bool
+    reason: str
+    utility_evaluations: int
+    statements_checked: int
+
+    def raise_if_rejected(self) -> "CheckResult":
+        if not self.accepted:
+            raise ProofRejected(self.reason)
+        return self
+
+
+class ProofKernel:
+    """Checks certificates against one game's utility oracle."""
+
+    def __init__(self, game: Game):
+        self._oracle = CountingGame(game)
+        self._statements = 0
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def check(self, certificate: Certificate) -> CheckResult:
+        """Check any top-level certificate; never raises on a bad proof."""
+        self._oracle.utility_evaluations = 0
+        self._statements = 0
+        try:
+            if isinstance(certificate, NashCertificate):
+                self._check_nash(certificate)
+            elif isinstance(certificate, NotNashCertificate):
+                self._check_not_nash(certificate)
+            elif isinstance(certificate, AllStratCertificate):
+                self._check_all_strat(certificate)
+            elif isinstance(certificate, AllNashCertificate):
+                self._check_all_nash(certificate)
+            elif isinstance(certificate, MaxNashCertificate):
+                self._check_max_nash(certificate)
+            elif isinstance(certificate, DominanceCertificate):
+                self._check_dominance(certificate)
+            else:
+                raise ProofRejected(
+                    f"unknown certificate type {type(certificate).__name__}"
+                )
+        except ProofRejected as rejection:
+            return self._result(False, rejection.reason)
+        return self._result(True, "certificate accepted")
+
+    def _result(self, accepted: bool, reason: str) -> CheckResult:
+        return CheckResult(
+            accepted=accepted,
+            reason=reason,
+            utility_evaluations=self._oracle.utility_evaluations,
+            statements_checked=self._statements,
+        )
+
+    # ------------------------------------------------------------------
+    # isNash / not isNash
+    # ------------------------------------------------------------------
+
+    def _check_nash(self, cert: NashCertificate) -> None:
+        self._statements += 1
+        profile = cert.profile
+        if not eval_is_strat(self._oracle, profile):
+            raise ProofRejected(f"profile {profile} fails isStrat")
+        counts = self._oracle.action_counts
+        if cert.mode == "by-evaluation":
+            # The paper's "empty proof": the kernel enumerates deviations.
+            for player in range(self._oracle.num_players):
+                for action in range(counts[player]):
+                    if action == profile[player]:
+                        continue
+                    self._statements += 1
+                    if not eval_deviation(self._oracle, profile, player, action):
+                        raise ProofRejected(
+                            f"profile {profile} is not Nash: player {player} "
+                            f"prefers action {action}"
+                        )
+            return
+        # Explicit mode: verify each listed step, then verify coverage.
+        seen: set[tuple[int, int]] = set()
+        for step in cert.steps:
+            self._statements += 1
+            player, action = step.player, step.action
+            if not (0 <= player < self._oracle.num_players):
+                raise ProofRejected(f"deviation step names player {player} out of range")
+            if not (0 <= action < counts[player]):
+                raise ProofRejected(
+                    f"deviation step names action {action} out of range for player {player}"
+                )
+            if not eval_deviation(self._oracle, profile, player, action):
+                raise ProofRejected(
+                    f"deviation check failed at {profile}: player {player} "
+                    f"strictly gains by action {action}"
+                )
+            seen.add((player, action))
+        for player in range(self._oracle.num_players):
+            for action in range(counts[player]):
+                if action == profile[player]:
+                    continue
+                if (player, action) not in seen:
+                    raise ProofRejected(
+                        f"explicit Nash certificate for {profile} does not cover "
+                        f"deviation (player {player}, action {action})"
+                    )
+
+    def _check_not_nash(self, cert: NotNashCertificate) -> None:
+        self._statements += 1
+        profile = cert.profile
+        if not eval_is_strat(self._oracle, profile):
+            raise ProofRejected(f"profile {profile} fails isStrat")
+        step = cert.counterexample
+        counts = self._oracle.action_counts
+        if not (0 <= step.player < self._oracle.num_players):
+            raise ProofRejected(f"counterexample names player {step.player} out of range")
+        if not (0 <= step.action < counts[step.player]):
+            raise ProofRejected(
+                f"counterexample names action {step.action} out of range"
+            )
+        if not eval_strict_improvement(self._oracle, profile, step.player, step.action):
+            raise ProofRejected(
+                f"claimed counterexample at {profile} (player {step.player}, "
+                f"action {step.action}) is not an improvement"
+            )
+
+    # ------------------------------------------------------------------
+    # allStrat / allNash
+    # ------------------------------------------------------------------
+
+    def _check_all_strat(self, cert: AllStratCertificate) -> None:
+        self._statements += 1
+        counts = self._oracle.action_counts
+        expected = profile_space_size(counts)
+        if len(cert.profiles) != expected:
+            raise ProofRejected(
+                f"allStrat enumeration has {len(cert.profiles)} profiles, "
+                f"the profile space has {expected}"
+            )
+        seen: set[tuple[int, ...]] = set()
+        for profile in cert.profiles:
+            self._statements += 1
+            if not eval_is_strat(self._oracle, profile):
+                raise ProofRejected(f"enumerated profile {profile} fails isStrat")
+            if profile in seen:
+                raise ProofRejected(f"enumerated profile {profile} is duplicated")
+            seen.add(profile)
+        # Bounds + distinctness + full cardinality imply exhaustiveness.
+
+    def _check_all_nash(self, cert: AllNashCertificate) -> None:
+        self._statements += 1
+        self._check_all_strat(cert.enumeration)
+        classified: dict[tuple[int, ...], str] = {}
+        for nash_cert in cert.equilibria:
+            self._check_nash(nash_cert)
+            if nash_cert.profile in classified:
+                raise ProofRejected(
+                    f"profile {nash_cert.profile} classified twice in allNash"
+                )
+            classified[nash_cert.profile] = "nash"
+        for refutation in cert.refutations:
+            self._check_not_nash(refutation)
+            if refutation.profile in classified:
+                raise ProofRejected(
+                    f"profile {refutation.profile} classified twice in allNash"
+                )
+            classified[refutation.profile] = "refuted"
+        for profile in cert.enumeration.profiles:
+            if profile not in classified:
+                raise ProofRejected(
+                    f"allNash classification misses profile {profile}"
+                )
+        # classified ⊆ enumeration follows from counts: enumeration is the
+        # whole space and classifications are distinct.
+        if len(classified) != len(cert.enumeration.profiles):
+            raise ProofRejected("allNash classifies profiles outside the enumeration")
+
+    # ------------------------------------------------------------------
+    # isMaxNash (and minimal-Nash)
+    # ------------------------------------------------------------------
+
+    def _check_max_nash(self, cert: MaxNashCertificate) -> None:
+        self._statements += 1
+        if cert.candidate_proof.profile != cert.candidate:
+            raise ProofRejected("candidate proof is for a different profile")
+        self._check_nash(cert.candidate_proof)
+        self._check_all_nash(cert.all_nash)
+
+        claimed_equilibria = {c.profile for c in cert.all_nash.equilibria}
+        if cert.candidate not in claimed_equilibria:
+            raise ProofRejected(
+                "candidate does not appear in the allNash equilibrium list"
+            )
+        compared: set[tuple[int, ...]] = set()
+        for step in cert.comparisons:
+            self._statements += 1
+            if step.profile not in claimed_equilibria:
+                raise ProofRejected(
+                    f"comparison references {step.profile}, which is not a "
+                    f"listed equilibrium"
+                )
+            self._check_comparison(step, cert.candidate, cert.minimal)
+            compared.add(step.profile)
+        missing = claimed_equilibria - compared - {cert.candidate}
+        if missing:
+            raise ProofRejected(
+                f"NashMax comparisons miss equilibria {sorted(missing)}"
+            )
+
+    def _check_comparison(
+        self, step: ComparisonStep, candidate: tuple[int, ...], minimal: bool
+    ) -> None:
+        if step.kind == "le":
+            # Maximal: equilibrium <=_u candidate.  Minimal: candidate <=_u equilibrium.
+            first, second = (
+                (step.profile, candidate) if not minimal else (candidate, step.profile)
+            )
+            if not eval_le_strat(self._oracle, first, second):
+                raise ProofRejected(
+                    f"leStrat({first} <=_u {second}) does not hold"
+                )
+        else:
+            if not eval_no_comp(
+                self._oracle, step.profile, candidate, step.witness_i, step.witness_j
+            ):
+                raise ProofRejected(
+                    f"noComp witnesses ({step.witness_i}, {step.witness_j}) do not "
+                    f"establish incomparability of {step.profile} and {candidate}"
+                )
+
+
+    # ------------------------------------------------------------------
+    # Dominant-strategy equilibrium
+    # ------------------------------------------------------------------
+
+    def _check_dominance(self, cert: DominanceCertificate) -> None:
+        import itertools
+
+        self._statements += 1
+        profile = cert.profile
+        if not eval_is_strat(self._oracle, profile):
+            raise ProofRejected(f"profile {profile} fails isStrat")
+        counts = self._oracle.action_counts
+        for player in range(self._oracle.num_players):
+            chosen = profile[player]
+            opponent_ranges = [
+                range(counts[p])
+                for p in range(self._oracle.num_players)
+                if p != player
+            ]
+            for others in itertools.product(*opponent_ranges):
+                full = others[:player] + (chosen,) + others[player:]
+                u_chosen = self._oracle.payoff(player, full)
+                for action in range(counts[player]):
+                    if action == chosen:
+                        continue
+                    self._statements += 1
+                    alt = others[:player] + (action,) + others[player:]
+                    u_alt = self._oracle.payoff(player, alt)
+                    if cert.strict and u_chosen <= u_alt:
+                        raise ProofRejected(
+                            f"player {player}: action {chosen} is not strictly "
+                            f"dominant (action {action} ties or wins vs {others})"
+                        )
+                    if not cert.strict and u_chosen < u_alt:
+                        raise ProofRejected(
+                            f"player {player}: action {chosen} loses to "
+                            f"{action} against opponents {others}"
+                        )
+
+
+def check_certificate(game: Game, certificate: Certificate) -> CheckResult:
+    """Convenience one-shot kernel run."""
+    return ProofKernel(game).check(certificate)

@@ -1,0 +1,135 @@
+"""The statement language of Fig. 2.
+
+The paper sketches a Coq formalization built from a handful of predicates
+over strategy profiles; this module is the executable counterpart.  Each
+predicate has a *decision procedure* that evaluates it against a game's
+utility oracle — these are the primitive steps a proof certificate is
+allowed to take, and the only way the checking kernel ever establishes a
+fact.
+
+Correspondence with Fig. 2 (line numbers from the paper):
+
+====================  ==========================================
+Fig. 2                here
+====================  ==========================================
+``change`` (l. 11)    :func:`repro.games.profiles.change`
+``isStrat`` (l. 14)   :func:`eval_is_strat`
+``eqStrat`` (l. 16)   :func:`eval_eq_strat`
+``noComp``  (l. 18)   :func:`eval_no_comp`  (incomparability)
+``leStrat`` (l. 20)   :func:`eval_le_strat` (``Si1 <=_u Si2``)
+``isNash`` (l. 23)    :func:`eval_deviation` over all (i, s_i)
+``isMaxNash`` (l.26)  leStrat/noComp against every equilibrium
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.games.base import Game
+from repro.games.profiles import PureProfile, change, is_valid_profile
+
+
+@dataclass(frozen=True)
+class EvalCounter:
+    """Mutable-by-replacement counter of primitive utility evaluations.
+
+    The Sect. 3 vs Sect. 4 complexity story is told in these counters:
+    the Fig. 2 proof path performs Θ(n·Σ|Ai|·Π|Ai|) utility evaluations,
+    the interactive verifiers polynomially few.
+    """
+
+    utility_evaluations: int = 0
+    statements_checked: int = 0
+
+    def bump_eval(self, count: int = 1) -> "EvalCounter":
+        return EvalCounter(self.utility_evaluations + count, self.statements_checked)
+
+    def bump_statement(self, count: int = 1) -> "EvalCounter":
+        return EvalCounter(self.utility_evaluations, self.statements_checked + count)
+
+
+class CountingGame:
+    """A utility-oracle wrapper that counts evaluations.
+
+    The checking kernel wraps the game in one of these so that every
+    certificate check reports exactly how much oracle work it did.
+    """
+
+    def __init__(self, game: Game):
+        self._game = game
+        self.utility_evaluations = 0
+
+    @property
+    def game(self) -> Game:
+        return self._game
+
+    @property
+    def action_counts(self) -> tuple[int, ...]:
+        return self._game.action_counts
+
+    @property
+    def num_players(self) -> int:
+        return self._game.num_players
+
+    def payoff(self, player: int, profile: PureProfile) -> Fraction:
+        self.utility_evaluations += 1
+        return self._game.payoff(player, profile)
+
+
+def eval_is_strat(oracle: CountingGame, profile: PureProfile) -> bool:
+    """``isStrat``: the profile fits the game's strategy bounds."""
+    return is_valid_profile(profile, oracle.action_counts)
+
+
+def eval_eq_strat(profile_a: PureProfile, profile_b: PureProfile) -> bool:
+    """``eqStrat``: componentwise equality of two profiles."""
+    return tuple(profile_a) == tuple(profile_b)
+
+
+def eval_deviation(
+    oracle: CountingGame, profile: PureProfile, player: int, action: int
+) -> bool:
+    """One ``isNash`` clause: ``u_i(Si) >= u_i(change(Si, s_i, i))``."""
+    before = oracle.payoff(player, profile)
+    after = oracle.payoff(player, change(tuple(profile), action, player))
+    return before >= after
+
+
+def eval_strict_improvement(
+    oracle: CountingGame, profile: PureProfile, player: int, action: int
+) -> bool:
+    """The counterexample clause: ``u_i(Si) < u_i(change(Si, s_i, i))``."""
+    before = oracle.payoff(player, profile)
+    after = oracle.payoff(player, change(tuple(profile), action, player))
+    return after > before
+
+
+def eval_le_strat(
+    oracle: CountingGame, profile_a: PureProfile, profile_b: PureProfile
+) -> bool:
+    """``leStrat``: every player weakly prefers ``profile_b`` (Si1 <=_u Si2)."""
+    for player in range(oracle.num_players):
+        if oracle.payoff(player, tuple(profile_a)) > oracle.payoff(player, tuple(profile_b)):
+            return False
+    return True
+
+
+def eval_no_comp(
+    oracle: CountingGame,
+    profile_a: PureProfile,
+    profile_b: PureProfile,
+    witness_i: int,
+    witness_j: int,
+) -> bool:
+    """``noComp`` with explicit witnesses: ``u_i(Si1) < u_i(Si2)`` and
+    ``u_j(Si2) < u_j(Si1)``."""
+    n = oracle.num_players
+    if not (0 <= witness_i < n and 0 <= witness_j < n):
+        return False
+    a = tuple(profile_a)
+    b = tuple(profile_b)
+    first = oracle.payoff(witness_i, a) < oracle.payoff(witness_i, b)
+    second = oracle.payoff(witness_j, b) < oracle.payoff(witness_j, a)
+    return first and second

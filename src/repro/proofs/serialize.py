@@ -1,0 +1,178 @@
+"""Wire format for proof certificates.
+
+Certificates travel from the inventor to agents over the authority's
+message bus; this module gives them a canonical JSON encoding so that
+
+* message sizes can be measured (the bus accounts bytes — Lemma 1's
+  communication claim is benchmarked on these encodings), and
+* tampering tests can flip one field of an encoded proof and confirm the
+  kernel rejects it.
+
+Every certificate dataclass maps to a dict with a ``"type"`` tag;
+decoding is strict — unknown tags or missing fields raise
+:class:`ProofError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ProofError
+from repro.proofs.certificates import (
+    AllNashCertificate,
+    DominanceCertificate,
+    AllStratCertificate,
+    Certificate,
+    ComparisonStep,
+    CounterexampleStep,
+    DeviationStep,
+    MaxNashCertificate,
+    NashCertificate,
+    NotNashCertificate,
+)
+
+
+def encode_certificate(cert: Certificate) -> dict[str, Any]:
+    """Encode any certificate to a JSON-able dict."""
+    if isinstance(cert, NashCertificate):
+        return {
+            "type": "nash",
+            "profile": list(cert.profile),
+            "mode": cert.mode,
+            "steps": [[s.player, s.action] for s in cert.steps],
+        }
+    if isinstance(cert, NotNashCertificate):
+        return {
+            "type": "not_nash",
+            "profile": list(cert.profile),
+            "counterexample": [
+                cert.counterexample.player,
+                cert.counterexample.action,
+            ],
+        }
+    if isinstance(cert, AllStratCertificate):
+        return {
+            "type": "all_strat",
+            "profiles": [list(p) for p in cert.profiles],
+        }
+    if isinstance(cert, AllNashCertificate):
+        return {
+            "type": "all_nash",
+            "enumeration": encode_certificate(cert.enumeration),
+            "equilibria": [encode_certificate(c) for c in cert.equilibria],
+            "refutations": [encode_certificate(c) for c in cert.refutations],
+        }
+    if isinstance(cert, MaxNashCertificate):
+        return {
+            "type": "max_nash",
+            "candidate": list(cert.candidate),
+            "candidate_proof": encode_certificate(cert.candidate_proof),
+            "all_nash": encode_certificate(cert.all_nash),
+            "comparisons": [
+                {
+                    "profile": list(s.profile),
+                    "kind": s.kind,
+                    "witness_i": s.witness_i,
+                    "witness_j": s.witness_j,
+                }
+                for s in cert.comparisons
+            ],
+            "minimal": cert.minimal,
+        }
+    if isinstance(cert, DominanceCertificate):
+        return {
+            "type": "dominance",
+            "profile": list(cert.profile),
+            "strict": cert.strict,
+        }
+    raise ProofError(f"cannot encode certificate of type {type(cert).__name__}")
+
+
+def decode_certificate(data: dict[str, Any]) -> Certificate:
+    """Strictly decode a dict produced by :func:`encode_certificate`."""
+    try:
+        tag = data["type"]
+    except (TypeError, KeyError) as exc:
+        raise ProofError("certificate encoding lacks a type tag") from exc
+    try:
+        if tag == "nash":
+            return NashCertificate(
+                profile=tuple(data["profile"]),
+                mode=data["mode"],
+                steps=tuple(
+                    DeviationStep(player=p, action=a) for p, a in data["steps"]
+                ),
+            )
+        if tag == "not_nash":
+            player, action = data["counterexample"]
+            return NotNashCertificate(
+                profile=tuple(data["profile"]),
+                counterexample=CounterexampleStep(player=player, action=action),
+            )
+        if tag == "dominance":
+            return DominanceCertificate(
+                profile=tuple(data["profile"]),
+                strict=bool(data.get("strict", False)),
+            )
+        if tag == "all_strat":
+            return AllStratCertificate(
+                profiles=tuple(tuple(p) for p in data["profiles"])
+            )
+        if tag == "all_nash":
+            enumeration = decode_certificate(data["enumeration"])
+            equilibria = tuple(decode_certificate(c) for c in data["equilibria"])
+            refutations = tuple(decode_certificate(c) for c in data["refutations"])
+            if not isinstance(enumeration, AllStratCertificate):
+                raise ProofError("all_nash enumeration has the wrong type")
+            return AllNashCertificate(
+                enumeration=enumeration,
+                equilibria=equilibria,
+                refutations=refutations,
+            )
+        if tag == "max_nash":
+            all_nash = decode_certificate(data["all_nash"])
+            candidate_proof = decode_certificate(data["candidate_proof"])
+            if not isinstance(all_nash, AllNashCertificate):
+                raise ProofError("max_nash all_nash block has the wrong type")
+            if not isinstance(candidate_proof, NashCertificate):
+                raise ProofError("max_nash candidate proof has the wrong type")
+            return MaxNashCertificate(
+                candidate=tuple(data["candidate"]),
+                candidate_proof=candidate_proof,
+                all_nash=all_nash,
+                comparisons=tuple(
+                    ComparisonStep(
+                        profile=tuple(c["profile"]),
+                        kind=c["kind"],
+                        witness_i=c["witness_i"],
+                        witness_j=c["witness_j"],
+                    )
+                    for c in data["comparisons"]
+                ),
+                minimal=bool(data.get("minimal", False)),
+            )
+    except ProofError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProofError(f"malformed {tag!r} certificate encoding: {exc}") from exc
+    raise ProofError(f"unknown certificate type tag {tag!r}")
+
+
+def certificate_to_json(cert: Certificate) -> str:
+    """Canonical JSON string (sorted keys, no whitespace) for a certificate."""
+    return json.dumps(encode_certificate(cert), sort_keys=True, separators=(",", ":"))
+
+
+def certificate_from_json(payload: str) -> Certificate:
+    """Inverse of :func:`certificate_to_json`."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ProofError(f"certificate payload is not valid JSON: {exc}") from exc
+    return decode_certificate(data)
+
+
+def certificate_size_bytes(cert: Certificate) -> int:
+    """Size of the canonical encoding — what the bus charges for it."""
+    return len(certificate_to_json(cert).encode("utf-8"))

@@ -1,0 +1,51 @@
+"""Shared fixtures: canonical games and seeded randomness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.games import BimatrixGame, ParticipationGame
+from repro.games.generators import (
+    battle_of_sexes,
+    matching_pennies,
+    prisoners_dilemma,
+    rock_paper_scissors,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def fig5_game() -> BimatrixGame:
+    return BimatrixGame.fig5_example()
+
+
+@pytest.fixture
+def paper_participation_game() -> ParticipationGame:
+    """The Sect. 5 worked example: c/v = 3/8 with v = 8, c = 3, n = 3."""
+    return ParticipationGame(3, value=8, cost=3)
+
+
+@pytest.fixture
+def pennies() -> BimatrixGame:
+    return matching_pennies()
+
+
+@pytest.fixture
+def bos() -> BimatrixGame:
+    return battle_of_sexes()
+
+
+@pytest.fixture
+def pd() -> BimatrixGame:
+    return prisoners_dilemma()
+
+
+@pytest.fixture
+def rps() -> BimatrixGame:
+    return rock_paper_scissors()

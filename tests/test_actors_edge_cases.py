@@ -1,0 +1,169 @@
+"""Edge-case coverage for the inventor actors and authority plumbing."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Advice,
+    AuthorityAgent,
+    BimatrixInventor,
+    P1Procedure,
+    ParticipationInventor,
+    ProofFormat,
+    PureNashInventor,
+    RationalityAuthority,
+    SolutionConcept,
+    VerificationContext,
+    standard_procedures,
+)
+from repro.errors import EquilibriumError, ProtocolError
+from repro.games import BimatrixGame, ParticipationGame, ROW
+from repro.games.generators import matching_pennies, random_bimatrix
+from repro.interactive import P1Announcement
+
+
+class TestBimatrixInventor:
+    def test_support_enumeration_method(self):
+        inventor = BimatrixInventor("se", method="support-enumeration")
+        game = random_bimatrix(3, 3, seed=42)
+        package = inventor.advise("g", game, "both", "open")
+        assert package.advice.proof_format is ProofFormat.INTERACTIVE_P1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ProtocolError):
+            BimatrixInventor("x", method="oracle")
+
+    def test_solve_is_cached(self):
+        inventor = BimatrixInventor("lh")
+        game = random_bimatrix(4, 4, seed=5)
+        first = inventor.solve("g", game)
+        second = inventor.solve("g", game)
+        assert first is second
+
+    def test_private_advice_needs_single_agent(self):
+        inventor = BimatrixInventor("lh")
+        game = matching_pennies()
+        with pytest.raises(ProtocolError):
+            inventor.advise("g", game, "both", "private")
+
+    def test_wrong_game_type_rejected(self):
+        inventor = BimatrixInventor("lh")
+        with pytest.raises(ProtocolError):
+            inventor.advise(
+                "g", ParticipationGame(3, value=8, cost=3), 0, "open"
+            )
+
+    def test_commitment_mode_produces_commitments(self):
+        inventor = BimatrixInventor(
+            "lh", commitment_mode=True, rng=random.Random(1)
+        )
+        game = random_bimatrix(3, 3, seed=9)
+        package = inventor.advise("g", game, ROW, "private")
+        disclosure = package.prover.disclose()
+        assert len(disclosure.membership_commitments) == 3
+
+
+class TestParticipationInventor:
+    def test_wrong_game_rejected(self):
+        inventor = ParticipationInventor("auctioneer")
+        with pytest.raises(ProtocolError):
+            inventor.advise("g", matching_pennies(), 0, "open")
+
+    def test_probability_cached_across_agents(self):
+        inventor = ParticipationInventor("auctioneer")
+        game = ParticipationGame(3, value=8, cost=3)
+        a = inventor.advise("g", game, 0, "open").advice.suggestion
+        b = inventor.advise("g", game, 1, "open").advice.suggestion
+        assert a == b == Fraction(1, 4)
+
+    def test_large_root_preference(self):
+        inventor = ParticipationInventor("auctioneer", prefer="large")
+        game = ParticipationGame(3, value=8, cost=3)
+        assert inventor.advise("g", game, 0, "open").advice.suggestion == \
+            Fraction(3, 4)
+
+
+class TestPureNashInventor:
+    def test_no_pne_raises(self):
+        inventor = PureNashInventor("acme", maximal=False)
+        with pytest.raises(EquilibriumError):
+            inventor.advise("g", matching_pennies().to_strategic(), 0, "open")
+
+    def test_non_maximal_concept(self):
+        from repro.games.generators import prisoners_dilemma
+
+        inventor = PureNashInventor("acme", maximal=False)
+        package = inventor.advise(
+            "g", prisoners_dilemma().to_strategic(), 0, "open"
+        )
+        assert package.advice.concept is SolutionConcept.PURE_NASH
+
+
+class TestAuthorityPlumbing:
+    def test_inventor_of_lookup(self):
+        authority = RationalityAuthority(seed=50)
+        authority.register_verifiers(standard_procedures())
+        inventor = ParticipationInventor("auctioneer")
+        authority.register_inventor(inventor)
+        authority.publish_game(
+            "auctioneer", "g", ParticipationGame(3, value=8, cost=3)
+        )
+        assert authority.inventor_of("g") is inventor
+        with pytest.raises(ProtocolError):
+            authority.inventor_of("ghost")
+
+    def test_publish_requires_registered_inventor(self):
+        authority = RationalityAuthority(seed=51)
+        with pytest.raises(ProtocolError):
+            authority.publish_game("ghost", "g", matching_pennies())
+
+    def test_unknown_privacy_mode_rejected(self):
+        authority = RationalityAuthority(seed=52)
+        authority.register_verifiers(standard_procedures())
+        inventor = ParticipationInventor("auctioneer")
+        authority.register_inventor(inventor)
+        authority.register_agent(AuthorityAgent("joe"))
+        authority.publish_game(
+            "auctioneer", "g", ParticipationGame(3, value=8, cost=3)
+        )
+        session = authority.open_session("joe", "g")
+        with pytest.raises(ProtocolError):
+            session.request_advice(inventor, privacy="telepathic")
+
+    def test_cross_check_needs_advices(self):
+        authority = RationalityAuthority(seed=53)
+        with pytest.raises(ProtocolError):
+            authority.cross_check_symmetric([])
+
+
+class TestP1ProcedureObjectProof:
+    def test_announcement_object_accepted(self):
+        from repro.equilibria import lemke_howson
+
+        game = random_bimatrix(3, 3, seed=77)
+        eq = lemke_howson(game, 0)
+        advice = Advice(
+            game_id="g", agent="both", concept=SolutionConcept.MIXED_NASH,
+            proof_format=ProofFormat.INTERACTIVE_P1,
+            suggestion=eq,
+            proof=P1Announcement(
+                row_support=eq.support(0), column_support=eq.support(1)
+            ),
+        )
+        context = VerificationContext(rng=random.Random(0))
+        assert P1Procedure("v").verify(game, advice, context).accepted
+
+    def test_non_bimatrix_game_rejected(self):
+        advice = Advice(
+            game_id="g", agent=0, concept=SolutionConcept.MIXED_NASH,
+            proof_format=ProofFormat.INTERACTIVE_P1,
+            suggestion=None,
+            proof={"row_support": [0], "column_support": [0]},
+        )
+        context = VerificationContext(rng=random.Random(0))
+        verdict = P1Procedure("v").verify(
+            ParticipationGame(3, value=8, cost=3), advice, context
+        )
+        assert not verdict.accepted

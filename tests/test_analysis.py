@@ -1,0 +1,77 @@
+"""Tests for the experiment statistics and reporting helpers."""
+
+import pytest
+
+from repro.analysis import PaperComparison, TextTable, proportion_ci, summarize
+from repro.errors import ReproError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.ci_low < 2.0 < s.ci_high
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+
+class TestProportionCI:
+    def test_contains_point_estimate(self):
+        low, high = proportion_ci(80, 100)
+        assert low < 0.8 < high
+
+    def test_extremes_clamped(self):
+        low, high = proportion_ci(0, 10)
+        assert low == 0.0
+        low2, high2 = proportion_ci(10, 10)
+        assert high2 == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            proportion_ci(1, 0)
+        with pytest.raises(ReproError):
+            proportion_ci(5, 3)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"], title="demo")
+        table.add_row("alpha", 1)
+        table.add_row("b", 123.4567)
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_arity_enforced(self):
+        table = TextTable(["a"])
+        with pytest.raises(ReproError):
+            table.add_row(1, 2)
+
+    def test_needs_columns(self):
+        with pytest.raises(ReproError):
+            TextTable([])
+
+
+class TestPaperComparison:
+    def test_match_rendering(self):
+        cmp = PaperComparison("E2")
+        cmp.add("p", "1/4", "1/4", True)
+        cmp.add("gain", "v/16", "v/20", False)
+        out = cmp.render()
+        assert "MATCH" in out and "MISMATCH" in out
+        assert not cmp.all_match()
+
+    def test_string_verdicts(self):
+        cmp = PaperComparison("Ex")
+        cmp.add("shape", "rising", "rising", "MATCH")
+        assert cmp.all_match()

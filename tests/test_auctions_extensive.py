@@ -1,0 +1,292 @@
+"""Tests for the motivating auctions and extensive-form/SPE modules."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Advice,
+    ProofFormat,
+    SolutionConcept,
+    SubgamePerfectProcedure,
+    VerificationContext,
+)
+from repro.errors import GameError
+from repro.games import (
+    DecisionNode,
+    ExtensiveGame,
+    FIRST_PRICE,
+    TerminalNode,
+    backward_induction,
+    continuation_payoffs,
+    is_bayes_nash,
+    is_subgame_perfect,
+    private_value_second_price,
+    sealed_bid_auction,
+    to_strategic,
+    truthful_bayesian_strategies,
+    truthful_profile,
+    ultimatum_game,
+)
+from repro.equilibria import (
+    is_dominant_action,
+    is_pure_nash,
+    pure_nash_equilibria,
+)
+
+
+def ctx():
+    return VerificationContext(rng=random.Random(0))
+
+
+class TestSecondPriceAuction:
+    def test_truthful_is_weakly_dominant(self):
+        game = sealed_bid_auction([3, 2])
+        for bidder, valuation in enumerate([3, 2]):
+            assert is_dominant_action(game, bidder, valuation)
+
+    def test_truthful_is_nash(self):
+        vals = [4, 2, 1]
+        game = sealed_bid_auction(vals)
+        assert is_pure_nash(game, truthful_profile(vals))
+
+    def test_winner_pays_second_price(self):
+        vals = [4, 2]
+        game = sealed_bid_auction(vals)
+        # Truthful: bidder 0 wins at price 2, gains 4 - 2 = 2.
+        assert game.payoff(0, (4, 2)) == 2
+        assert game.payoff(1, (4, 2)) == 0
+
+    def test_tie_goes_to_lowest_index(self):
+        vals = [3, 3]
+        game = sealed_bid_auction(vals)
+        # Both bid 3: bidder 0 wins, pays 3, gains 0.
+        assert game.payoff(0, (3, 3)) == 0
+        assert game.payoff(1, (3, 3)) == 0
+
+    def test_overbidding_can_hurt(self):
+        vals = [2, 3]
+        game = sealed_bid_auction(vals)
+        # Bidder 0 overbids to 3: ties at 3, wins by index, pays 3 > value.
+        assert game.payoff(0, (3, 3)) == -1
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            sealed_bid_auction([3])
+        with pytest.raises(GameError):
+            sealed_bid_auction([3, -1])
+        with pytest.raises(GameError):
+            sealed_bid_auction([3, 2], max_bid=2)
+        with pytest.raises(GameError):
+            sealed_bid_auction([3, 2], rule="third-price")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=3)
+    )
+    def test_truthfulness_dominant_property(self, valuations):
+        """The paper's 'proof that the second price auction is best to
+        use', as a property over random valuation vectors."""
+        game = sealed_bid_auction(valuations)
+        for bidder, valuation in enumerate(valuations):
+            assert is_dominant_action(game, bidder, valuation)
+
+
+class TestFirstPriceAuction:
+    def test_truthful_not_dominant(self):
+        game = sealed_bid_auction([3, 2], rule=FIRST_PRICE)
+        assert not is_dominant_action(game, 0, 3)
+
+    def test_truthful_wins_nothing(self):
+        game = sealed_bid_auction([3, 2], rule=FIRST_PRICE)
+        # Winning at your own value nets zero.
+        assert game.payoff(0, (3, 2)) == 0
+        # Shading to 2 ties... no: 2 vs 2 ties to bidder 0, pays 2, nets 1.
+        assert game.payoff(0, (2, 2)) == 1
+
+    def test_shading_equilibrium_exists(self):
+        game = sealed_bid_auction([3, 2], rule=FIRST_PRICE)
+        assert len(pure_nash_equilibria(game)) >= 1
+
+
+class TestBayesianAuction:
+    def test_truthful_is_bayes_nash(self):
+        game = private_value_second_price(2, 3)
+        assert is_bayes_nash(game, truthful_bayesian_strategies(game))
+
+    def test_underbidding_everything_is_not(self):
+        game = private_value_second_price(2, 3)
+        zero_bids = ((0, 0, 0), (0, 1, 2))
+        assert not is_bayes_nash(game, zero_bids)
+
+    def test_three_bidders(self):
+        game = private_value_second_price(3, 2)
+        assert is_bayes_nash(game, truthful_bayesian_strategies(game))
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            private_value_second_price(1, 3)
+        with pytest.raises(GameError):
+            private_value_second_price(2, 1)
+
+
+class TestExtensiveForm:
+    def test_tree_validation(self):
+        with pytest.raises(GameError):
+            DecisionNode(label="x", player=0, children=())
+        dup = DecisionNode(
+            label="a", player=0,
+            children=(
+                DecisionNode(label="a", player=0,
+                             children=(TerminalNode((1,)),)),
+            ),
+        )
+        with pytest.raises(GameError):
+            ExtensiveGame(dup, num_players=1)
+        bad_arity = TerminalNode((1, 2))
+        with pytest.raises(GameError):
+            ExtensiveGame(bad_arity, num_players=3)
+
+    def test_continuation_payoffs(self):
+        game = ultimatum_game(2)
+        strategy = {"offer": 1, "respond-0": 0, "respond-1": 0, "respond-2": 0}
+        assert continuation_payoffs(game, strategy) == (Fraction(1), Fraction(1))
+
+    def test_strategy_validation(self):
+        game = ultimatum_game(2)
+        with pytest.raises(GameError):
+            continuation_payoffs(game, {"offer": 0})  # misses responder nodes
+        with pytest.raises(GameError):
+            continuation_payoffs(
+                game,
+                {"offer": 9, "respond-0": 0, "respond-1": 0, "respond-2": 0},
+            )
+
+    def test_backward_induction_ultimatum(self):
+        game = ultimatum_game(4)
+        strategy, value = backward_induction(game)
+        # Responder accepts everything; proposer offers 0.
+        assert all(strategy[f"respond-{k}"] == 0 for k in range(5))
+        assert strategy["offer"] == 0
+        assert value == (Fraction(4), Fraction(0))
+        assert is_subgame_perfect(game, strategy)
+
+    def test_non_credible_threat_rejected(self):
+        game = ultimatum_game(3)
+        spe, __ = backward_induction(game)
+        threat = dict(spe)
+        threat["respond-0"] = 1  # "reject a zero offer"
+        threat["respond-1"] = 1  # "reject one unit too"
+        threat["offer"] = 2
+        assert not is_subgame_perfect(game, threat)
+
+    def test_threat_is_nash_in_reduced_form(self):
+        """The separator: the threat profile is Nash in the reduced
+        normal form but fails the subgame check — exactly why the
+        library must carry subgame perfection as its own concept."""
+        game = ultimatum_game(2)
+        spe, __ = backward_induction(game)
+        # Rejecting a *zero* offer is credible (ties at 0), so the real
+        # non-credible threat must reject a positive offer: "give me the
+        # whole pie or I reject".
+        threat = dict(spe)
+        threat["respond-0"] = 1
+        threat["respond-1"] = 1
+        threat["offer"] = 2
+        strategic, plans = to_strategic(game)
+
+        def action_of(strategy, player):
+            for idx, plan in enumerate(plans[player]):
+                if all(strategy[k] == v for k, v in plan.items()):
+                    return idx
+            raise AssertionError("plan not found")
+
+        threat_profile = (action_of(threat, 0), action_of(threat, 1))
+        assert is_pure_nash(strategic, threat_profile)
+        assert not is_subgame_perfect(game, threat)
+
+    def test_spe_is_nash_in_reduced_form(self):
+        game = ultimatum_game(2)
+        spe, __ = backward_induction(game)
+        strategic, plans = to_strategic(game)
+
+        def action_of(strategy, player):
+            for idx, plan in enumerate(plans[player]):
+                if all(strategy[k] == v for k, v in plan.items()):
+                    return idx
+            raise AssertionError
+
+        profile = (action_of(spe, 0), action_of(spe, 1))
+        assert is_pure_nash(strategic, profile)
+
+    def test_backward_induction_three_level_tree(self):
+        # 0 moves, then 1, then 0 again.
+        leaf = lambda a, b: TerminalNode((Fraction(a), Fraction(b)))
+        tree = DecisionNode(
+            label="r", player=0,
+            children=(
+                DecisionNode(
+                    label="l1", player=1,
+                    children=(
+                        DecisionNode(
+                            label="l2", player=0,
+                            children=(leaf(3, 1), leaf(0, 0)),
+                        ),
+                        leaf(1, 2),
+                    ),
+                ),
+                leaf(2, 2),
+            ),
+        )
+        game = ExtensiveGame(tree, num_players=2)
+        strategy, value = backward_induction(game)
+        assert is_subgame_perfect(game, strategy)
+        # 0 at l2 picks (3,1); 1 at l1 anticipates that and picks... (3,1)
+        # gives player 1 payoff 1 < 2, so 1 exits to (1,2); 0 at root then
+        # prefers (2,2).
+        assert value == (Fraction(2), Fraction(2))
+
+
+class TestSpeProcedure:
+    def test_accepts_spe(self):
+        game = ultimatum_game(3)
+        spe, __ = backward_induction(game)
+        advice = Advice(
+            game_id="u", agent=0, concept=SolutionConcept.SUBGAME_PERFECT,
+            proof_format=ProofFormat.EMPTY_PROOF, suggestion=spe, proof=None,
+        )
+        verdict = SubgamePerfectProcedure("v").verify(game, advice, ctx())
+        assert verdict.accepted
+
+    def test_rejects_threat(self):
+        game = ultimatum_game(3)
+        spe, __ = backward_induction(game)
+        threat = dict(spe)
+        threat["respond-0"] = 1
+        advice = Advice(
+            game_id="u", agent=0, concept=SolutionConcept.SUBGAME_PERFECT,
+            proof_format=ProofFormat.EMPTY_PROOF, suggestion=threat, proof=None,
+        )
+        verdict = SubgamePerfectProcedure("v").verify(game, advice, ctx())
+        assert not verdict.accepted
+        assert "non-credible" in verdict.reason
+
+    def test_needs_extensive_game(self):
+        from repro.games.generators import prisoners_dilemma
+
+        advice = Advice(
+            game_id="u", agent=0, concept=SolutionConcept.SUBGAME_PERFECT,
+            proof_format=ProofFormat.EMPTY_PROOF, suggestion={}, proof=None,
+        )
+        verdict = SubgamePerfectProcedure("v").verify(
+            prisoners_dilemma().to_strategic(), advice, ctx()
+        )
+        assert not verdict.accepted
+
+    def test_library_complete(self):
+        from repro.core.advice import CONCEPT_LIBRARY
+
+        assert set(CONCEPT_LIBRARY) == set(SolutionConcept)

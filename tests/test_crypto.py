@@ -1,0 +1,115 @@
+"""Tests for the crypto substrate: commitments and signatures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import KeyRegistry, commit, open_commitment
+from repro.crypto.commitments import Commitment, Opening
+from repro.errors import CommitmentError, SignatureError
+
+json_values = st.recursive(
+    st.one_of(st.integers(), st.text(max_size=10), st.booleans(), st.none()),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=8,
+)
+
+
+class TestCommitments:
+    def test_commit_and_open(self):
+        commitment, opening = commit({"index": 3, "member": True})
+        assert open_commitment(commitment, opening) == {"index": 3, "member": True}
+
+    def test_wrong_opening_rejected(self):
+        commitment, __ = commit("secret-a")
+        __, other_opening = commit("secret-b")
+        with pytest.raises(CommitmentError):
+            open_commitment(commitment, other_opening)
+
+    def test_tampered_value_rejected(self):
+        commitment, opening = commit({"member": True})
+        forged = Opening(nonce=opening.nonce, value={"member": False})
+        assert not commitment.verify_opening(forged)
+
+    def test_tampered_nonce_rejected(self):
+        commitment, opening = commit(42)
+        forged = Opening(nonce="00" * 32, value=42)
+        assert not commitment.verify_opening(forged)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = commit("x", rng=random.Random(7))
+        b = commit("x", rng=random.Random(7))
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_hiding_nonce_varies(self):
+        a, _ = commit("x", rng=random.Random(1))
+        b, _ = commit("x", rng=random.Random(2))
+        assert a.digest != b.digest  # same value, different commitments
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(CommitmentError):
+            commit(object())
+
+    @settings(max_examples=30, deadline=None)
+    @given(json_values)
+    def test_round_trip_property(self, value):
+        commitment, opening = commit(value, rng=random.Random(0))
+        assert open_commitment(commitment, opening) == value
+
+
+class TestSignatures:
+    def test_sign_and_verify(self):
+        registry = KeyRegistry()
+        registry.register("inventor", rng=random.Random(0))
+        sig = registry.sign("inventor", {"round": 1, "average": 3.5})
+        assert registry.verify(sig, {"round": 1, "average": 3.5})
+
+    def test_tampered_payload_fails(self):
+        registry = KeyRegistry()
+        registry.register("inventor", rng=random.Random(0))
+        sig = registry.sign("inventor", {"average": 3.5})
+        assert not registry.verify(sig, {"average": 9.9})
+
+    def test_unregistered_signer_fails_verification(self):
+        registry = KeyRegistry()
+        registry.register("a", rng=random.Random(0))
+        sig = registry.sign("a", "payload")
+        other = KeyRegistry()
+        assert not other.verify(sig, "payload")
+
+    def test_impersonation_fails(self):
+        registry = KeyRegistry()
+        registry.register("honest", rng=random.Random(1))
+        registry.register("evil", rng=random.Random(2))
+        sig = registry.sign("evil", "claim")
+        forged = type(sig)(signer="honest", mac=sig.mac)
+        assert not registry.verify(forged, "claim")
+
+    def test_sign_requires_registration(self):
+        registry = KeyRegistry()
+        with pytest.raises(SignatureError):
+            registry.sign("ghost", "x")
+
+    def test_double_registration_rejected(self):
+        registry = KeyRegistry()
+        registry.register("a")
+        with pytest.raises(SignatureError):
+            registry.register("a")
+
+    def test_verify_or_raise(self):
+        registry = KeyRegistry()
+        registry.register("a", rng=random.Random(0))
+        sig = registry.sign("a", 1)
+        registry.verify_or_raise(sig, 1)
+        with pytest.raises(SignatureError):
+            registry.verify_or_raise(sig, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(json_values)
+    def test_signature_round_trip_property(self, value):
+        registry = KeyRegistry()
+        registry.register("a", rng=random.Random(0))
+        sig = registry.sign("a", value)
+        assert registry.verify(sig, value)

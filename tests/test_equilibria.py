@@ -1,0 +1,360 @@
+"""Tests for equilibrium computation: best replies, pure/mixed Nash,
+support enumeration, Lemke-Howson and the symmetric solvers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EquilibriumError, GameError
+from repro.games import (
+    BimatrixGame,
+    MixedProfile,
+    ParticipationGame,
+    StrategicGame,
+    SymmetricTwoActionGame,
+)
+from repro.games.generators import (
+    battle_of_sexes,
+    coordination_game,
+    matching_pennies,
+    prisoners_dilemma,
+    pure_dominance_game,
+    random_bimatrix,
+    random_coordination,
+    random_zero_sum,
+    rock_paper_scissors,
+    stag_hunt,
+)
+from repro.equilibria import (
+    best_reply_actions,
+    best_reply_gap,
+    best_reply_value,
+    check_mixed_nash,
+    deviation_payoffs,
+    dominates,
+    equilibrium_for_supports,
+    exact_sqrt,
+    find_improving_deviation,
+    find_interior_equilibria,
+    find_one_equilibrium,
+    incomparability_witness,
+    is_best_reply,
+    is_epsilon_nash,
+    is_maximal_pure_nash,
+    is_mixed_best_reply,
+    is_mixed_nash,
+    is_pure_nash,
+    lemke_howson,
+    lemke_howson_all,
+    maximal_pure_nash,
+    minimal_pure_nash,
+    participation_equilibrium,
+    pure_nash_equilibria,
+    refute_pure_nash,
+    solve_k2_closed_form,
+    support_enumeration,
+    symmetric_equilibria,
+)
+
+
+class TestBestReply:
+    def test_deviation_payoffs(self, pd):
+        g = pd.to_strategic()
+        # Against cooperate, row's payoffs are (-1, 0): defect is better.
+        assert deviation_payoffs(g, 0, (0, 0)) == (Fraction(-1), Fraction(0))
+
+    def test_best_reply_actions(self, pd):
+        g = pd.to_strategic()
+        assert best_reply_actions(g, 0, (0, 0)) == (1,)
+        assert best_reply_value(g, 0, (0, 0)) == 0
+
+    def test_is_best_reply(self, pd):
+        g = pd.to_strategic()
+        assert not is_best_reply(g, 0, (0, 0))
+        assert is_best_reply(g, 0, (1, 0))
+
+    def test_find_improving_deviation(self, pd):
+        g = pd.to_strategic()
+        assert find_improving_deviation(g, 0, (0, 0)) == 1
+        assert find_improving_deviation(g, 0, (1, 1)) is None
+
+    def test_mixed_best_reply_uniform_pennies(self, pennies):
+        mp = MixedProfile.uniform((2, 2))
+        assert is_mixed_best_reply(pennies, 0, mp)
+        assert best_reply_gap(pennies, 0, mp) == 0
+
+    def test_mixed_best_reply_detects_gap(self, pennies):
+        mp = MixedProfile.from_rows([[1, 0], [1, 0]])
+        # Row plays heads against heads-playing column: row is fine
+        # (payoff 1); the column should deviate.
+        assert best_reply_gap(pennies, 1, mp) == 2
+
+
+class TestPureNash:
+    def test_prisoners_dilemma(self, pd):
+        g = pd.to_strategic()
+        assert pure_nash_equilibria(g) == ((1, 1),)
+        assert is_pure_nash(g, (1, 1))
+        assert not is_pure_nash(g, (0, 0))
+
+    def test_matching_pennies_has_no_pne(self, pennies):
+        assert pure_nash_equilibria(pennies.to_strategic()) == ()
+
+    def test_refutation_witness(self, pd):
+        g = pd.to_strategic()
+        witness = refute_pure_nash(g, (0, 0))
+        assert witness is not None
+        assert witness.after > witness.before
+        assert refute_pure_nash(g, (1, 1)) is None
+
+    def test_three_player_dominance(self):
+        g = pure_dominance_game()
+        assert pure_nash_equilibria(g) == ((1, 1, 1),)
+
+    def test_dominates(self):
+        g = coordination_game().to_strategic()
+        assert dominates(g, (1, 1), (0, 0))
+        assert not dominates(g, (0, 0), (1, 1))
+
+    def test_incomparability_witness(self, bos):
+        g = bos.to_strategic()
+        # (0,0) pays (2,1); (1,1) pays (1,2): incomparable.
+        witness = incomparability_witness(g, (0, 0), (1, 1))
+        assert witness is not None
+        assert incomparability_witness(g, (0, 0), (0, 0)) is None
+
+    def test_maximal_in_coordination(self):
+        g = coordination_game().to_strategic()
+        # (1,1) pays (2,2), dominating (0,0)'s (1,1).
+        assert maximal_pure_nash(g) == ((1, 1),)
+        assert is_maximal_pure_nash(g, (1, 1))
+        assert not is_maximal_pure_nash(g, (0, 0))
+
+    def test_minimal_in_coordination(self):
+        g = coordination_game().to_strategic()
+        assert minimal_pure_nash(g) == ((0, 0),)
+
+    def test_incomparable_equilibria_are_all_maximal(self, bos):
+        g = bos.to_strategic()
+        assert set(maximal_pure_nash(g)) == {(0, 0), (1, 1)}
+
+    def test_stag_hunt_equilibria(self):
+        g = stag_hunt().to_strategic()
+        assert set(pure_nash_equilibria(g)) == {(0, 0), (1, 1)}
+        assert maximal_pure_nash(g) == ((0, 0),)
+
+    def test_non_equilibrium_is_not_maximal(self, pd):
+        assert not is_maximal_pure_nash(pd.to_strategic(), (0, 0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pne_invariant_under_positive_scaling(self, seed):
+        g = random_bimatrix(3, 3, seed=seed).to_strategic()
+        scaled = g.scale_payoffs(Fraction(7, 3))
+        assert pure_nash_equilibria(g) == pure_nash_equilibria(scaled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pne_invariant_under_translation(self, seed):
+        g = random_bimatrix(3, 3, seed=seed).to_strategic()
+        shifted = g.translate_payoffs(0, 100)
+        assert pure_nash_equilibria(g) == pure_nash_equilibria(shifted)
+
+
+class TestMixedNash:
+    def test_pennies_uniform(self, pennies):
+        mp = MixedProfile.uniform((2, 2))
+        assert is_mixed_nash(pennies, mp)
+        report = check_mixed_nash(pennies, mp)
+        assert report.is_equilibrium
+        assert report.values == (Fraction(0), Fraction(0))
+        assert report.epsilon == 0
+
+    def test_pennies_nonequilibrium(self, pennies):
+        mp = MixedProfile.from_rows([[1, 0], ["1/2", "1/2"]])
+        assert not is_mixed_nash(pennies, mp)
+        report = check_mixed_nash(pennies, mp)
+        assert report.epsilon > 0
+
+    def test_epsilon_nash(self, pennies):
+        near = MixedProfile.from_rows([["51/100", "49/100"], ["1/2", "1/2"]])
+        # The row's tremble leaves the column with a small gain.
+        assert is_epsilon_nash(pennies, near, Fraction(1, 10))
+        assert not is_epsilon_nash(pennies, near, 0)
+        assert not is_epsilon_nash(pennies, near, -1)
+
+    def test_fig5_continuum(self, fig5_game):
+        # Row pure A; any column mix with qD <= 1/2 is an equilibrium.
+        for q_d in (Fraction(0), Fraction(1, 4), Fraction(1, 2)):
+            mp = MixedProfile.from_rows([[1, 0], [1 - q_d, q_d]])
+            assert is_mixed_nash(fig5_game, mp)
+        mp_bad = MixedProfile.from_rows([[1, 0], [Fraction(1, 4), Fraction(3, 4)]])
+        assert not is_mixed_nash(fig5_game, mp_bad)
+
+
+class TestSupportEnumeration:
+    def test_matching_pennies_unique(self, pennies):
+        eqs = support_enumeration(pennies)
+        assert len(eqs) == 1
+        assert eqs[0].distributions == (
+            (Fraction(1, 2), Fraction(1, 2)),
+            (Fraction(1, 2), Fraction(1, 2)),
+        )
+
+    def test_bos_three_equilibria(self, bos):
+        eqs = support_enumeration(bos)
+        assert len(eqs) == 3
+        for eq in eqs:
+            assert is_mixed_nash(bos, eq)
+
+    def test_equal_size_only_still_finds_bos(self, bos):
+        eqs = support_enumeration(bos, equal_size_only=True)
+        assert len(eqs) == 3
+
+    def test_specific_support_pair(self, bos):
+        result = equilibrium_for_supports(bos, (0, 1), (0, 1))
+        assert result is not None
+        profile, lambda1, lambda2 = result
+        assert is_mixed_nash(bos, profile)
+        assert lambda1 == bos.expected_payoff(0, profile)
+        assert lambda2 == bos.expected_payoff(1, profile)
+
+    def test_infeasible_support_pair(self, pd):
+        # PD has no equilibrium with cooperate in any support.
+        assert equilibrium_for_supports(pd, (0,), (0,)) is None
+
+    def test_find_one_equilibrium(self, rps):
+        eq = find_one_equilibrium(rps)
+        assert is_mixed_nash(rps, eq)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_all_results_are_equilibria(self, seed):
+        game = random_bimatrix(3, 3, seed=seed, low=-5, high=5)
+        for eq in support_enumeration(game):
+            assert is_mixed_nash(game, eq)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_at_least_one_equilibrium_exists(self, seed):
+        game = random_bimatrix(2, 3, seed=seed)
+        assert len(support_enumeration(game)) >= 1
+
+
+class TestLemkeHowson:
+    def test_pennies(self, pennies):
+        eq = lemke_howson(pennies, 0)
+        assert eq.distributions == (
+            (Fraction(1, 2), Fraction(1, 2)),
+            (Fraction(1, 2), Fraction(1, 2)),
+        )
+
+    def test_rps_uniform(self, rps):
+        eq = lemke_howson(rps, 0)
+        assert eq.distribution(0) == (Fraction(1, 3),) * 3
+
+    def test_all_labels_give_equilibria(self, bos):
+        for label in range(4):
+            assert is_mixed_nash(bos, lemke_howson(bos, label))
+
+    def test_label_out_of_range(self, bos):
+        with pytest.raises(EquilibriumError):
+            lemke_howson(bos, 99)
+
+    def test_lemke_howson_all_dedupes(self, pennies):
+        eqs = lemke_howson_all(pennies)
+        assert len(eqs) == 1
+
+    def test_degenerate_fig5(self, fig5_game):
+        for label in range(4):
+            eq = lemke_howson(fig5_game, label)
+            assert is_mixed_nash(fig5_game, eq)
+
+    def test_asymmetric_shape(self):
+        game = random_bimatrix(2, 4, seed=3)
+        eq = lemke_howson(game, 1)
+        assert is_mixed_nash(game, eq)
+        assert len(eq.distribution(0)) == 2
+        assert len(eq.distribution(1)) == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_random_games_yield_exact_equilibria(self, seed, label):
+        game = random_bimatrix(3, 3, seed=seed)
+        label = label % 6
+        eq = lemke_howson(game, label)
+        assert is_mixed_nash(game, eq)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_zero_sum_value_consistency(self, seed):
+        game = random_zero_sum(3, 3, seed=seed)
+        eq = lemke_howson(game, 0)
+        value_row = game.expected_payoff(0, eq)
+        value_col = game.expected_payoff(1, eq)
+        assert value_row + value_col == 0
+
+
+class TestSymmetricSolvers:
+    def test_exact_sqrt(self):
+        assert exact_sqrt(Fraction(1, 4)) == Fraction(1, 2)
+        assert exact_sqrt(Fraction(9)) == 3
+        assert exact_sqrt(Fraction(2)) is None
+        assert exact_sqrt(Fraction(-1)) is None
+
+    def test_paper_closed_form(self, paper_participation_game):
+        roots = solve_k2_closed_form(paper_participation_game)
+        assert roots == (Fraction(1, 4), Fraction(3, 4))
+
+    def test_closed_form_wrong_shape_returns_none(self):
+        g = ParticipationGame(4, value=8, cost=3)
+        assert solve_k2_closed_form(g) is None
+
+    def test_participation_equilibrium_prefers_small(self, paper_participation_game):
+        assert participation_equilibrium(paper_participation_game) == Fraction(1, 4)
+        assert participation_equilibrium(
+            paper_participation_game, prefer="large"
+        ) == Fraction(3, 4)
+
+    def test_participation_equilibrium_bad_prefer(self, paper_participation_game):
+        with pytest.raises(GameError):
+            participation_equilibrium(paper_participation_game, prefer="median")
+
+    def test_bisection_matches_verification(self):
+        g = ParticipationGame(5, value=10, cost=2)
+        p = participation_equilibrium(g, tolerance=Fraction(1, 10**9))
+        # The root is verified approximately: the gap is tiny.
+        gap = g.indifference_identity_gap(p)
+        assert abs(gap) < Fraction(1, 10**6)
+
+    def test_interior_equilibria_of_paper_game(self, paper_participation_game):
+        roots = find_interior_equilibria(paper_participation_game)
+        assert roots == (Fraction(1, 4), Fraction(3, 4))
+
+    def test_symmetric_equilibria_includes_boundary(self, paper_participation_game):
+        # p = 0 is an equilibrium (nobody benefits from entering alone).
+        eqs = symmetric_equilibria(paper_participation_game)
+        assert Fraction(0) in eqs
+        assert Fraction(1, 4) in eqs
+        assert Fraction(3, 4) in eqs
+        assert Fraction(1) not in eqs
+
+    def test_no_interior_root_raises(self):
+        # Fee so high that participation never pays: only p=0 equilibrium.
+        g = ParticipationGame(3, value=8, cost=7)
+        with pytest.raises(EquilibriumError):
+            participation_equilibrium(g)
+
+    def test_constant_gap_game_has_boundary_equilibrium_only(self):
+        g = SymmetricTwoActionGame(3, lambda a, x: a)  # action 1 dominant
+        assert symmetric_equilibria(g) == (Fraction(1),)
+
+    def test_general_k_equilibrium_verifies(self):
+        g = ParticipationGame(6, value=16, cost=2, threshold=3)
+        p = participation_equilibrium(g)
+        assert abs(g.indifference_identity_gap(p)) < Fraction(1, 10**6)

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are the public face of the library; these tests keep them
+working as the API evolves.  Each runs in a subprocess with a generous
+timeout and must exit 0 with non-trivial output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=[s.stem for s in SCRIPTS])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 100  # produced a real walkthrough
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 5
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

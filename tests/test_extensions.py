@@ -1,0 +1,167 @@
+"""Tests for the extension modules: fictitious play (the statistical
+route to advisable profiles) and general-network statistics advice (the
+paper's future-work direction)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EquilibriumError, GameError
+from repro.games import LinearDelay, Network
+from repro.games.generators import (
+    matching_pennies,
+    prisoners_dilemma,
+    random_zero_sum,
+    rock_paper_scissors,
+)
+from repro.equilibria import fictitious_play
+from repro.online import (
+    NetworkStatistics,
+    NetworkUsageTracker,
+    OnlineDemand,
+    phantom_loads,
+    suggest_network_path,
+    verify_network_suggestion,
+)
+
+
+class TestFictitiousPlay:
+    def test_converges_on_matching_pennies(self):
+        result = fictitious_play(matching_pennies(), rounds=4000)
+        assert result.epsilon < Fraction(1, 10)
+        # Empirical mixtures approach (1/2, 1/2).
+        for prob in result.empirical.distribution(0):
+            assert Fraction(2, 5) < prob < Fraction(3, 5)
+
+    def test_converges_on_rps(self):
+        result = fictitious_play(rock_paper_scissors(), rounds=3000)
+        assert result.epsilon < Fraction(1, 10)
+
+    def test_epsilon_decreases_over_time(self):
+        result = fictitious_play(
+            rock_paper_scissors(), rounds=4000, record_history=True,
+            history_stride=1000,
+        )
+        assert len(result.history) == 4
+        assert result.history[-1] <= result.history[0]
+
+    def test_dominant_strategy_game_locks_in(self):
+        # In the PD, fictitious play locks onto (defect, defect) fast.
+        result = fictitious_play(prisoners_dilemma(), rounds=500)
+        assert result.empirical.distribution(0)[1] > Fraction(9, 10)
+        assert result.empirical.distribution(1)[1] > Fraction(9, 10)
+
+    def test_deterministic(self):
+        a = fictitious_play(matching_pennies(), rounds=100)
+        b = fictitious_play(matching_pennies(), rounds=100)
+        assert a.empirical == b.empirical
+
+    def test_validation(self):
+        with pytest.raises(EquilibriumError):
+            fictitious_play(matching_pennies(), rounds=0)
+        with pytest.raises(EquilibriumError):
+            fictitious_play(matching_pennies(), rounds=10, initial=(5, 0))
+
+    def test_result_is_exact_rational(self):
+        result = fictitious_play(matching_pennies(), rounds=37)
+        total = sum(result.empirical.distribution(0))
+        assert total == 1  # exact Fractions, no drift
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_zero_sum_epsilon_shrinks(self, seed):
+        """Robinson's theorem, statistically: longer runs do not get
+        worse on zero-sum games."""
+        game = random_zero_sum(3, 3, seed=seed)
+        short = fictitious_play(game, rounds=200)
+        long = fictitious_play(game, rounds=2000)
+        assert long.epsilon <= short.epsilon + Fraction(1, 20)
+
+
+def diamond() -> Network:
+    net = Network()
+    for node in "abcd":
+        net.add_node(node)
+    net.add_arc("a", "b", LinearDelay(1))
+    net.add_arc("b", "d", LinearDelay(1))
+    net.add_arc("a", "c", LinearDelay(1))
+    net.add_arc("c", "d", LinearDelay(1))
+    return net
+
+
+class TestNetworkAdvice:
+    def test_tracker_accumulates_usage(self):
+        net = diamond()
+        tracker = NetworkUsageTracker(net)
+        demand = OnlineDemand("a", "d", Fraction(2))
+        tracker.observe(demand, (0, 1))
+        tracker.observe(demand, (2, 3))
+        stats = tracker.statistics()
+        assert stats.observed_count == 2
+        assert stats.mean_load == 2
+        assert stats.arc_usage[0] == Fraction(1, 2)
+        assert stats.arc_usage[2] == Fraction(1, 2)
+
+    def test_empty_statistics(self):
+        stats = NetworkUsageTracker(diamond()).statistics()
+        assert stats.observed_count == 0
+        assert stats.arc_usage == {}
+
+    def test_tracker_validates_path(self):
+        tracker = NetworkUsageTracker(diamond())
+        with pytest.raises(GameError):
+            tracker.observe(OnlineDemand("a", "d", Fraction(1)), (0,))
+
+    def test_phantom_loads_scale_with_future(self):
+        stats = NetworkStatistics(
+            observed_count=4,
+            mean_load=Fraction(3),
+            arc_usage={0: Fraction(1, 2), 1: Fraction(1, 2)},
+        )
+        background = phantom_loads(stats, 4)
+        assert background[0] == 6  # 4 arrivals * mean 3 * usage 1/2
+
+    def test_phantom_negative_future_rejected(self):
+        stats = NetworkStatistics(1, Fraction(1), {})
+        with pytest.raises(GameError):
+            phantom_loads(stats, -1)
+
+    def test_suggestion_avoids_historically_hot_path(self):
+        net = diamond()
+        tracker = NetworkUsageTracker(net)
+        demand = OnlineDemand("a", "d", Fraction(1))
+        # History: everyone used the upper path a->b->d.
+        for _ in range(5):
+            tracker.observe(demand, (0, 1))
+        stats = tracker.statistics()
+        # Current loads equal; many arrivals expected: avoid the hot path.
+        path = suggest_network_path(net, demand, {}, stats, future_count=10)
+        assert path == (2, 3)
+
+    def test_suggestion_is_greedy_without_history(self):
+        net = diamond()
+        stats = NetworkUsageTracker(net).statistics()
+        path = suggest_network_path(
+            net, OnlineDemand("a", "d", Fraction(1)), {0: 3}, stats, 0
+        )
+        assert path == (2, 3)  # avoids the currently loaded arc 0
+
+    def test_verification_round_trip(self):
+        net = diamond()
+        tracker = NetworkUsageTracker(net)
+        demand = OnlineDemand("a", "d", Fraction(1))
+        tracker.observe(demand, (0, 1))
+        stats = tracker.statistics()
+        loads = {0: Fraction(1), 1: Fraction(1)}
+        path = suggest_network_path(net, demand, loads, stats, 3)
+        assert verify_network_suggestion(net, demand, loads, stats, 3, path)
+        other = (0, 1) if path == (2, 3) else (2, 3)
+        assert not verify_network_suggestion(net, demand, loads, stats, 3, other)
+
+    def test_verification_rejects_invalid_path(self):
+        net = diamond()
+        stats = NetworkUsageTracker(net).statistics()
+        demand = OnlineDemand("a", "d", Fraction(1))
+        assert not verify_network_suggestion(net, demand, {}, stats, 0, (0,))

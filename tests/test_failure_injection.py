@@ -1,0 +1,163 @@
+"""Failure injection: the authority must degrade gracefully, not crash.
+
+Scenarios: verifiers that raise, provers that die mid-protocol, garbage
+advice payloads, and sessions racing their own state machine.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Advice,
+    AuthorityAgent,
+    EmptyProofProcedure,
+    ProofFormat,
+    PureNashInventor,
+    RationalityAuthority,
+    SolutionConcept,
+    VerificationContext,
+    VerificationProcedure,
+)
+from repro.core.actors import AdvicePackage, AgentPolicy, GameInventor
+from repro.errors import ProtocolError, VerificationFailure
+from repro.games import ROW
+from repro.games.generators import battle_of_sexes, prisoners_dilemma, random_bimatrix
+from repro.equilibria import lemke_howson, pure_nash_equilibria
+from repro.interactive import P2Prover, P2Verifier
+
+
+class CrashingProcedure(VerificationProcedure):
+    """Raises instead of returning a verdict."""
+
+    def supports(self, advice):
+        return advice.proof_format is ProofFormat.EMPTY_PROOF
+
+    def verify(self, game, advice, context):
+        raise RuntimeError("verifier service unavailable")
+
+
+class EmptyProofInventor(GameInventor):
+    def advise(self, game_id, game, agent, privacy):
+        profile = pure_nash_equilibria(game)[0]
+        return AdvicePackage(
+            advice=Advice(
+                game_id=game_id, agent=agent,
+                concept=SolutionConcept.PURE_NASH,
+                proof_format=ProofFormat.EMPTY_PROOF,
+                suggestion=profile, proof=None, inventor=self.name,
+            )
+        )
+
+
+class TestCrashingVerifier:
+    def test_crash_counts_as_rejection_not_exception(self):
+        authority = RationalityAuthority(seed=1)
+        authority.register_verifier(CrashingProcedure("flaky"))
+        authority.register_verifier(EmptyProofProcedure("honest-1"))
+        authority.register_verifier(EmptyProofProcedure("honest-2"))
+        authority.register_inventor(EmptyProofInventor("acme"))
+        authority.register_agent(
+            AuthorityAgent("joe", policy=AgentPolicy(verifier_count=3))
+        )
+        authority.publish_game("acme", "g", prisoners_dilemma().to_strategic())
+        outcome = authority.consult("joe", "g")
+        # Majority of honest verifiers still carries the session.
+        assert outcome.adopted
+        crashed = [v for v in outcome.majority.verdicts if "crashed" in v.reason]
+        assert len(crashed) == 1
+        assert not crashed[0].accepted
+
+    def test_all_crashing_verifiers_reject_safely(self):
+        authority = RationalityAuthority(seed=2)
+        authority.register_verifier(CrashingProcedure("flaky-1"))
+        authority.register_verifier(CrashingProcedure("flaky-2"))
+        authority.register_inventor(EmptyProofInventor("acme"))
+        authority.register_agent(AuthorityAgent("joe"))
+        authority.publish_game("acme", "g", prisoners_dilemma().to_strategic())
+        outcome = authority.consult("joe", "g")
+        assert not outcome.adopted  # fail-safe: no proof established
+
+
+class DyingProver(P2Prover):
+    """Dies after the first membership answer."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._answers = 0
+
+    def answer_membership(self, index, transcript=None):
+        self._answers += 1
+        if self._answers > 1:
+            raise VerificationFailure("prover connection lost")
+        return super().answer_membership(index, transcript)
+
+
+class TestDyingProver:
+    def test_p2_procedure_reports_prover_death(self):
+        from repro.core import P2Procedure
+
+        game = random_bimatrix(4, 4, seed=11)
+        equilibrium = lemke_howson(game, 0)
+        prover = DyingProver(game, equilibrium, ROW)
+        advice = Advice(
+            game_id="g", agent=ROW, concept=SolutionConcept.MIXED_NASH,
+            proof_format=ProofFormat.INTERACTIVE_P2,
+            suggestion=equilibrium.distribution(ROW), proof=None,
+        )
+        # Direct verifier call raises...
+        with pytest.raises(VerificationFailure):
+            P2Verifier(game, ROW, rng=random.Random(0)).verify(prover)
+        # ...but through a session the crash becomes a rejection.
+        authority = RationalityAuthority(seed=3)
+        authority.register_verifier(P2Procedure("p2"))
+
+        class DyingInventor(GameInventor):
+            def advise(self, game_id, game_obj, agent, privacy):
+                return AdvicePackage(advice=advice, prover=prover)
+
+        authority.register_inventor(DyingInventor("ghost"))
+        authority.register_agent(AuthorityAgent("jane", player_role=ROW))
+        authority.publish_game("ghost", "g", game)
+        outcome = authority.consult("jane", "g", privacy="private")
+        assert not outcome.adopted
+
+
+class TestGarbageAdvice:
+    def test_wrong_suggestion_type_rejected_not_crashing(self):
+        game = prisoners_dilemma().to_strategic()
+        advice = Advice(
+            game_id="g", agent=0, concept=SolutionConcept.MIXED_NASH,
+            proof_format=ProofFormat.EMPTY_PROOF,
+            suggestion="not a profile", proof=None,
+        )
+        verdict = EmptyProofProcedure("v").verify(
+            game, advice, VerificationContext(rng=random.Random(0))
+        )
+        assert not verdict.accepted
+
+    def test_no_supporting_verifier_is_a_protocol_error(self):
+        authority = RationalityAuthority(seed=4)
+        # Registry left empty on purpose.
+        authority.register_inventor(EmptyProofInventor("acme"))
+        authority.register_agent(AuthorityAgent("joe"))
+        authority.publish_game("acme", "g", prisoners_dilemma().to_strategic())
+        with pytest.raises(ProtocolError):
+            authority.consult("joe", "g")
+
+
+class TestSelfStabilization:
+    def test_monitor_recovers_after_resync(self):
+        from repro.core import AuditLog, ComplianceExpectation, GameAuthorityMonitor
+
+        game = battle_of_sexes().to_strategic()
+        audit = AuditLog()
+        monitor = GameAuthorityMonitor(game, audit, "s")
+        monitor.expect(ComplianceExpectation("joe", 0, (0, 0)))
+        monitor.observe(0, 1)
+        assert len(monitor.violations) == 1
+        # Arbitrary state corruption -> resync -> consistent again.
+        monitor.resync()
+        assert monitor.violations == ()
+        assert monitor.observe(0, 0) is None
+        assert monitor.observe(0, 1) is not None

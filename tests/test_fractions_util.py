@@ -1,0 +1,124 @@
+"""Unit tests for exact-rational conversion helpers."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fractions_util import (
+    as_floats,
+    dot,
+    fraction_matrix,
+    fraction_vector,
+    is_probability_vector,
+    mat_vec,
+    to_fraction,
+    vec_mat,
+)
+
+fractions_st = st.fractions(
+    min_value=Fraction(-100), max_value=Fraction(100), max_denominator=50
+)
+
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(7) == Fraction(7)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(3, 7)
+        assert to_fraction(f) is f
+
+    def test_string(self):
+        assert to_fraction("3/8") == Fraction(3, 8)
+
+    def test_decimal_string(self):
+        assert to_fraction("0.375") == Fraction(3, 8)
+
+    def test_float_exact_binary(self):
+        assert to_fraction(0.5) == Fraction(1, 2)
+
+    def test_numpy_int(self):
+        assert to_fraction(np.int64(5)) == Fraction(5)
+
+    def test_numpy_float(self):
+        assert to_fraction(np.float64(0.25)) == Fraction(1, 4)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            to_fraction(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            to_fraction(None)
+
+
+class TestVectorsAndMatrices:
+    def test_fraction_vector(self):
+        assert fraction_vector([1, "1/2"]) == (Fraction(1), Fraction(1, 2))
+
+    def test_fraction_matrix(self):
+        m = fraction_matrix([[1, 2], [3, 4]])
+        assert m == ((Fraction(1), Fraction(2)), (Fraction(3), Fraction(4)))
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_matrix([[1, 2], [3]])
+
+    def test_as_floats(self):
+        out = as_floats([Fraction(1, 2), Fraction(1, 4)])
+        assert out.tolist() == [0.5, 0.25]
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        assert is_probability_vector((Fraction(1, 2), Fraction(1, 2)))
+
+    def test_sum_off(self):
+        assert not is_probability_vector((Fraction(1, 2), Fraction(1, 3)))
+
+    def test_negative(self):
+        assert not is_probability_vector((Fraction(3, 2), Fraction(-1, 2)))
+
+    def test_empty(self):
+        assert not is_probability_vector(())
+
+    def test_degenerate(self):
+        assert is_probability_vector((Fraction(0), Fraction(1)))
+
+
+class TestLinearOps:
+    def test_dot(self):
+        assert dot(fraction_vector([1, 2]), fraction_vector([3, 4])) == 11
+
+    def test_dot_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dot(fraction_vector([1]), fraction_vector([1, 2]))
+
+    def test_mat_vec(self):
+        m = fraction_matrix([[1, 0], [0, 2]])
+        assert mat_vec(m, fraction_vector([3, 4])) == (Fraction(3), Fraction(8))
+
+    def test_vec_mat(self):
+        m = fraction_matrix([[1, 2], [3, 4]])
+        assert vec_mat(fraction_vector([1, 1]), m) == (Fraction(4), Fraction(6))
+
+    def test_vec_mat_mismatch(self):
+        with pytest.raises(ValueError):
+            vec_mat(fraction_vector([1]), fraction_matrix([[1], [2]]))
+
+    @given(st.lists(fractions_st, min_size=1, max_size=6))
+    def test_dot_with_zero_vector_is_zero(self, values):
+        zeros = [Fraction(0)] * len(values)
+        assert dot(values, zeros) == 0
+
+    @given(
+        st.lists(fractions_st, min_size=1, max_size=5),
+        st.lists(fractions_st, min_size=1, max_size=5),
+    )
+    def test_dot_commutes(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        assert dot(a, b) == dot(b, a)

@@ -1,0 +1,165 @@
+"""Tests for the small infrastructure modules: seeded randomness,
+messages, and the advice wire summaries for every suggestion shape."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Advice, ProofFormat, SolutionConcept, advice_wire_summary
+from repro.core.messages import Message
+from repro.errors import ProtocolError
+from repro.games import MixedProfile
+from repro.online import OnlineAdvice
+from repro.rng import derive_seed, make_np_rng, make_rng
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_derive_seed_label_sensitive(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+
+    def test_derive_seed_seed_sensitive(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_make_rng_streams_independent(self):
+        a = make_rng(7, "alpha")
+        b = make_rng(7, "beta")
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(7, "alpha")
+        b = make_rng(7, "alpha")
+        assert [a.random() for _ in range(4)] == [b.random() for _ in range(4)]
+
+    def test_np_rng_reproducible(self):
+        a = make_np_rng(7, "x").uniform(size=5)
+        b = make_np_rng(7, "x").uniform(size=5)
+        assert (a == b).all()
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    def test_derive_seed_in_range(self, seed, label):
+        derived = derive_seed(seed, label)
+        assert 0 <= derived < 2**64
+
+
+class TestMessages:
+    def test_canonical_payload_sorted(self):
+        m = Message("a", "b", "k", {"z": 1, "a": 2})
+        assert m.canonical_payload() == '{"a":2,"z":1}'
+
+    def test_size_bytes(self):
+        m = Message("a", "b", "k", {"x": "hello"})
+        assert m.size_bytes() == len('{"x":"hello"}')
+
+    def test_fraction_payload(self):
+        m = Message("a", "b", "k", {"p": Fraction(2, 7)})
+        assert '"2/7"' in m.canonical_payload()
+
+    def test_unencodable_payload_raises(self):
+        m = Message("a", "b", "k", {"x": object()})
+        with pytest.raises(ProtocolError):
+            m.size_bytes()
+
+
+class TestAdviceWireSummary:
+    def _advice(self, concept, fmt, suggestion, proof=None):
+        return Advice(
+            game_id="g", agent=0, concept=concept, proof_format=fmt,
+            suggestion=suggestion, proof=proof,
+        )
+
+    def test_pure_profile(self):
+        advice = self._advice(
+            SolutionConcept.PURE_NASH, ProofFormat.EMPTY_PROOF, (1, 0)
+        )
+        assert advice_wire_summary(advice)["suggestion"] == [1, 0]
+
+    def test_mixed_profile(self):
+        advice = self._advice(
+            SolutionConcept.MIXED_NASH, ProofFormat.EMPTY_PROOF,
+            MixedProfile.uniform((2, 2)),
+        )
+        summary = advice_wire_summary(advice)
+        assert summary["suggestion"][0] == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_online_advice(self):
+        advice = self._advice(
+            SolutionConcept.ONLINE_BEST_REPLY,
+            ProofFormat.DETERMINISTIC_RECOMPUTATION,
+            OnlineAdvice(Fraction(1), Fraction(5)),
+            proof={"kind": "participation-online", "prior_participants": 1},
+        )
+        summary = advice_wire_summary(advice)
+        assert summary["suggestion"]["probability"] == Fraction(1)
+
+    def test_symmetric_probability(self):
+        advice = self._advice(
+            SolutionConcept.SYMMETRIC_MIXED_NASH,
+            ProofFormat.INDIFFERENCE_IDENTITY,
+            Fraction(1, 4),
+        )
+        assert advice_wire_summary(advice)["suggestion"] == Fraction(1, 4)
+
+    def test_summary_is_bus_encodable(self):
+        """Every summary must survive the bus's canonical encoding."""
+        from repro.core import MessageBus
+
+        bus = MessageBus()
+        bus.register("a")
+        bus.register("b")
+        for advice in (
+            self._advice(SolutionConcept.PURE_NASH, ProofFormat.EMPTY_PROOF, (0, 1)),
+            self._advice(
+                SolutionConcept.MIXED_NASH, ProofFormat.EMPTY_PROOF,
+                MixedProfile.uniform((2, 3)),
+            ),
+            self._advice(
+                SolutionConcept.SYMMETRIC_MIXED_NASH,
+                ProofFormat.INDIFFERENCE_IDENTITY, Fraction(3, 4),
+            ),
+        ):
+            message = bus.send("a", "b", "advice", advice_wire_summary(advice))
+            assert message.size_bytes() > 0
+
+
+class TestWireSummaryProofShapes:
+    def test_p1_announcement_proof_encodes(self):
+        from repro.interactive import P1Announcement
+
+        advice = Advice(
+            game_id="g", agent=0, concept=SolutionConcept.MIXED_NASH,
+            proof_format=ProofFormat.INTERACTIVE_P1,
+            suggestion=(Fraction(1), Fraction(0)),
+            proof=P1Announcement(row_support=(0,), column_support=(0, 1)),
+        )
+        summary = advice_wire_summary(advice)
+        assert summary["proof"] == {
+            "row_support": [0],
+            "column_support": [0, 1],
+        }
+
+    def test_certificate_dict_proof_passthrough(self):
+        from repro.games.generators import prisoners_dilemma
+        from repro.proofs import build_nash_certificate, encode_certificate
+
+        game = prisoners_dilemma().to_strategic()
+        cert = encode_certificate(build_nash_certificate(game, (1, 1)))
+        advice = Advice(
+            game_id="g", agent=0, concept=SolutionConcept.PURE_NASH,
+            proof_format=ProofFormat.CERTIFICATE,
+            suggestion=(1, 1), proof=cert,
+        )
+        assert advice_wire_summary(advice)["proof"] == cert
+
+    def test_strategy_map_suggestion(self):
+        advice = Advice(
+            game_id="g", agent=0, concept=SolutionConcept.SUBGAME_PERFECT,
+            proof_format=ProofFormat.EMPTY_PROOF,
+            suggestion={"offer": 0, "respond-0": 0}, proof=None,
+        )
+        summary = advice_wire_summary(advice)
+        assert summary["suggestion"]["offer"] == 0

@@ -1,0 +1,215 @@
+"""Tests for the exact linear algebra substrate (Gaussian elimination and
+the exact simplex)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinearAlgebraError
+from repro.fractions_util import mat_vec
+from repro.linalg import (
+    find_feasible_point,
+    identity_matrix,
+    matrix_rank,
+    nullspace,
+    solve_linear_system,
+    solve_lp,
+    solve_square,
+)
+
+small_fraction = st.fractions(
+    min_value=Fraction(-10), max_value=Fraction(10), max_denominator=8
+)
+
+
+def square_matrix(size):
+    return st.lists(
+        st.lists(small_fraction, min_size=size, max_size=size),
+        min_size=size,
+        max_size=size,
+    )
+
+
+class TestSolveSquare:
+    def test_identity(self):
+        assert solve_square(identity_matrix(3), [1, 2, 3]) == (
+            Fraction(1),
+            Fraction(2),
+            Fraction(3),
+        )
+
+    def test_2x2(self):
+        # 2x + y = 5 ; x - y = 1  -> x = 2, y = 1
+        assert solve_square([[2, 1], [1, -1]], [5, 1]) == (Fraction(2), Fraction(1))
+
+    def test_exact_fractions(self):
+        x = solve_square([[Fraction(1, 3), 0], [0, Fraction(2, 7)]], [1, 1])
+        assert x == (Fraction(3), Fraction(7, 2))
+
+    def test_singular_raises(self):
+        with pytest.raises(LinearAlgebraError):
+            solve_square([[1, 2], [2, 4]], [1, 2])
+
+    def test_non_square_raises(self):
+        with pytest.raises(LinearAlgebraError):
+            solve_square([[1, 2, 3], [4, 5, 6]], [1, 2])
+
+    def test_rhs_length_mismatch(self):
+        with pytest.raises(LinearAlgebraError):
+            solve_square([[1, 0], [0, 1]], [1, 2, 3])
+
+    def test_empty(self):
+        assert solve_square([], []) == ()
+
+    @settings(max_examples=60, deadline=None)
+    @given(square_matrix(3), st.lists(small_fraction, min_size=3, max_size=3))
+    def test_solution_satisfies_system(self, matrix, rhs):
+        try:
+            x = solve_square(matrix, rhs)
+        except LinearAlgebraError:
+            assert matrix_rank(matrix) < 3
+            return
+        assert list(mat_vec(tuple(tuple(r) for r in matrix), x)) == list(
+            Fraction(v) for v in rhs
+        )
+
+
+class TestRankAndNullspace:
+    def test_rank_identity(self):
+        assert matrix_rank(identity_matrix(4)) == 4
+
+    def test_rank_deficient(self):
+        assert matrix_rank([[1, 2], [2, 4]]) == 1
+
+    def test_rank_zero_matrix(self):
+        assert matrix_rank([[0, 0], [0, 0]]) == 0
+
+    def test_rank_empty(self):
+        assert matrix_rank([]) == 0
+
+    def test_nullspace_of_identity_is_empty(self):
+        assert nullspace(identity_matrix(3)) == ()
+
+    def test_nullspace_vectors_annihilate(self):
+        matrix = [[1, 2, 3], [2, 4, 6]]
+        basis = nullspace(matrix)
+        assert len(basis) == 2
+        for vec in basis:
+            assert all(v == 0 for v in mat_vec(tuple(tuple(r) for r in matrix), vec))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(small_fraction, min_size=4, max_size=4), min_size=2, max_size=4
+        )
+    )
+    def test_rank_plus_nullity(self, matrix):
+        assert matrix_rank(matrix) + len(nullspace(matrix)) == 4
+
+
+class TestSolveLinearSystem:
+    def test_unique(self):
+        particular, basis = solve_linear_system([[1, 0], [0, 1]], [3, 4])
+        assert particular == (Fraction(3), Fraction(4))
+        assert basis == ()
+
+    def test_underdetermined(self):
+        particular, basis = solve_linear_system([[1, 1]], [2])
+        assert sum(particular) == 2
+        assert len(basis) == 1
+
+    def test_inconsistent(self):
+        with pytest.raises(LinearAlgebraError):
+            solve_linear_system([[1, 1], [1, 1]], [1, 2])
+
+    def test_general_solution_sweeps_system(self):
+        matrix = [[1, 2, 0], [0, 0, 1]]
+        particular, basis = solve_linear_system(matrix, [4, 5])
+        frozen = tuple(tuple(Fraction(v) for v in row) for row in matrix)
+        for coeff in (Fraction(0), Fraction(1), Fraction(-3, 2)):
+            candidate = [
+                p + coeff * b for p, b in zip(particular, basis[0])
+            ]
+            assert list(mat_vec(frozen, candidate)) == [Fraction(4), Fraction(5)]
+
+
+class TestSimplex:
+    def test_simple_min(self):
+        # min x + y  s.t. x + y = 1, x,y >= 0  -> objective 1
+        result = solve_lp([1, 1], [[1, 1]], [1])
+        assert result.is_optimal
+        assert result.objective == 1
+
+    def test_prefers_cheap_variable(self):
+        # min x + 3y s.t. x + y = 1 -> all weight on x.
+        result = solve_lp([1, 3], [[1, 1]], [1])
+        assert result.x == (Fraction(1), Fraction(0))
+
+    def test_infeasible(self):
+        # x = -1 with x >= 0 is infeasible.
+        result = solve_lp([1], [[1]], [-1])
+        assert result.status == "infeasible"
+
+    def test_unbounded(self):
+        # min -x s.t. x - y = 0: x can grow forever alongside y.
+        result = solve_lp([-1, 0], [[1, -1]], [0])
+        assert result.status == "unbounded"
+
+    def test_negative_rhs_normalized(self):
+        # -x - y = -2 is x + y = 2.
+        result = solve_lp([1, 1], [[-1, -1]], [-2])
+        assert result.is_optimal
+        assert result.objective == 2
+
+    def test_degenerate_does_not_cycle(self):
+        result = solve_lp(
+            [1, 1, 1],
+            [[1, 1, 0], [1, 0, 1], [0, 1, 1]],
+            [1, 1, 0],
+        )
+        assert result.is_optimal
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(small_fraction, min_size=3, max_size=3),
+        st.lists(
+            st.fractions(min_value=Fraction(0), max_value=Fraction(5), max_denominator=4),
+            min_size=3,
+            max_size=3,
+        ),
+    )
+    def test_optimal_solutions_are_feasible(self, costs, rhs_nonneg):
+        matrix = [[1, 1, 0], [0, 1, 1], [1, 0, 1]]
+        result = solve_lp(costs, matrix, rhs_nonneg)
+        if result.is_optimal:
+            frozen = tuple(tuple(Fraction(v) for v in row) for row in matrix)
+            assert list(mat_vec(frozen, result.x)) == [Fraction(v) for v in rhs_nonneg]
+            assert all(v >= 0 for v in result.x)
+
+
+class TestFeasiblePoint:
+    def test_distribution(self):
+        point = find_feasible_point([[1, 1, 1]], [1])
+        assert point is not None
+        assert sum(point) == 1
+        assert all(v >= 0 for v in point)
+
+    def test_upper_bounds_respected(self):
+        point = find_feasible_point(
+            [[1, 1, 1]], [1], upper_bounds=[Fraction(1, 3)] * 3
+        )
+        assert point is not None
+        assert all(v <= Fraction(1, 3) for v in point)
+        assert sum(point) == 1
+
+    def test_infeasible_bounds(self):
+        point = find_feasible_point(
+            [[1, 1]], [2], upper_bounds=[Fraction(1, 2)] * 2
+        )
+        assert point is None
+
+    def test_bound_length_mismatch(self):
+        with pytest.raises(LinearAlgebraError):
+            find_feasible_point([[1, 1]], [1], upper_bounds=[1])

@@ -1,0 +1,461 @@
+"""Tests for the on-line package: routing engine, Fig. 6, parallel links
+(with the heap/closed-form equivalence property), Lemma 2, inventor
+statistics (footnote 3 audit) and the Fig. 7 simulation."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GameError
+from repro.games import LinearDelay, Network
+from repro.crypto import KeyRegistry
+from repro.online import (
+    CheatingPublisher,
+    ConstantLoads,
+    DynamicAverageStatistics,
+    ExponentialLoads,
+    Fig7Config,
+    OnlineDemand,
+    OnlineRoutingGame,
+    PriorKnowledgeStatistics,
+    StatisticsPublisher,
+    UniformLoads,
+    argmin_link,
+    audit_statistics,
+    diamond_network,
+    draw_load_sequence,
+    greedy_assign,
+    greedy_path_strategy,
+    greedy_schedule,
+    inventor_suggestion,
+    lemma2_bound,
+    lpt_schedule,
+    makespan,
+    opt_lower_bound,
+    optimal_makespan_small,
+    place_equal_quanta_exact,
+    place_equal_quanta_fast,
+    place_equal_quanta_heap,
+    run_fig6_scenario,
+    run_fig7_point,
+    simulate_greedy,
+    simulate_inventor,
+    verify_lemma2,
+    verify_suggestion,
+)
+
+small_fractions = st.fractions(
+    min_value=Fraction(0), max_value=Fraction(20), max_denominator=6
+)
+
+
+class TestArrivals:
+    def test_uniform_bounds(self):
+        loads = draw_load_sequence(UniformLoads(0, 10), 100, seed=1)
+        assert loads.min() >= 0 and loads.max() <= 10
+        assert UniformLoads(0, 10).mean == 5
+
+    def test_uniform_validation(self):
+        with pytest.raises(GameError):
+            UniformLoads(5, 1)
+
+    def test_constant(self):
+        loads = draw_load_sequence(ConstantLoads(3), 5, seed=0)
+        assert loads.tolist() == [3.0] * 5
+
+    def test_exponential_mean(self):
+        dist = ExponentialLoads(scale=100)
+        assert dist.mean == 100
+        loads = draw_load_sequence(dist, 2000, seed=2)
+        assert 80 < loads.mean() < 120
+
+    def test_deterministic_by_seed(self):
+        a = draw_load_sequence(UniformLoads(), 10, seed=3)
+        b = draw_load_sequence(UniformLoads(), 10, seed=3)
+        assert (a == b).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(GameError):
+            draw_load_sequence(UniformLoads(), -1, seed=0)
+
+
+class TestRoutingEngine:
+    def _two_link_net(self):
+        net = Network()
+        net.add_node("s")
+        net.add_node("t")
+        net.add_arc("s", "t", LinearDelay(1))
+        net.add_arc("s", "t", LinearDelay(1))
+        return net
+
+    def test_greedy_strategy_balances(self):
+        net = self._two_link_net()
+        game = OnlineRoutingGame(net)
+        for _ in range(4):
+            game.arrive(OnlineDemand("s", "t", Fraction(1)), greedy_path_strategy)
+        loads = game.current_loads()
+        assert loads[0] == 2 and loads[1] == 2
+
+    def test_irrevocability(self):
+        net = self._two_link_net()
+        game = OnlineRoutingGame(net)
+        rec = game.arrive(OnlineDemand("s", "t", Fraction(5)), greedy_path_strategy)
+        assert rec.path == (0,)
+        game.arrive(OnlineDemand("s", "t", Fraction(1)), greedy_path_strategy)
+        # Agent 0 stays on arc 0 even though arc 1 is now lighter.
+        assert game.records[0].path == (0,)
+
+    def test_final_delay_and_regret(self):
+        net = self._two_link_net()
+        game = OnlineRoutingGame(net)
+        game.arrive(OnlineDemand("s", "t", Fraction(1)), greedy_path_strategy)
+        game.arrive(OnlineDemand("s", "t", Fraction(1)), greedy_path_strategy)
+        assert game.final_delay(0) == 1
+        assert game.regret(0) == 0
+
+    def test_total_congestion(self):
+        net = self._two_link_net()
+        game = OnlineRoutingGame(net)
+        game.arrive(OnlineDemand("s", "t", Fraction(2)), greedy_path_strategy)
+        assert game.total_congestion() == 2
+
+    def test_invalid_path_rejected(self):
+        net = self._two_link_net()
+        game = OnlineRoutingGame(net)
+        with pytest.raises(GameError):
+            game.arrive(
+                OnlineDemand("s", "t", Fraction(1)),
+                lambda *_: (0, 1),  # two s->t arcs do not chain
+            )
+
+    def test_unknown_agent_rejected(self):
+        game = OnlineRoutingGame(self._two_link_net())
+        with pytest.raises(GameError):
+            game.final_delay(0)
+
+
+class TestFig6:
+    @pytest.mark.parametrize("k", [0, 1, 2, 7, 50])
+    def test_paper_quantities(self, k):
+        out = run_fig6_scenario(k)
+        assert out.chosen_path == (0, 1)          # a -> b -> d
+        assert out.delay_at_choice == 2 * k + 2   # shortest at choice time
+        assert out.final_delay == 2 * k + 3       # after agent 2k+2
+        assert out.hindsight_path == (2, 3)       # a -> c -> d
+        assert out.hindsight_delay == 2 * k + 2
+        assert out.regret == 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(GameError):
+            run_fig6_scenario(-1)
+
+    def test_diamond_structure(self):
+        net = diamond_network()
+        assert net.num_arcs == 4
+        paths = net.simple_arc_paths("a", "d")
+        assert paths == ((0, 1), (2, 3))
+
+
+class TestEqualQuantaPlacement:
+    def test_basic_heap(self):
+        out = place_equal_quanta_heap([0, 0], 1, 3)
+        assert sorted(out) == [1, 2]
+
+    def test_tie_breaks_by_index(self):
+        out = place_equal_quanta_heap([0, 0], 1, 1)
+        assert out == [1, 0]
+
+    def test_zero_count(self):
+        assert place_equal_quanta_heap([1, 2], 5, 0) == [1, 2]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(GameError):
+            place_equal_quanta_heap([1], 1, -1)
+        with pytest.raises(GameError):
+            place_equal_quanta_exact([1], 1, -1)
+
+    def test_exact_matches_heap_simple(self):
+        loads = [Fraction(3), Fraction(1), Fraction(2)]
+        for q in range(12):
+            assert place_equal_quanta_exact(loads, Fraction(1, 2), q) == \
+                place_equal_quanta_heap(loads, Fraction(1, 2), q)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(small_fractions, min_size=1, max_size=6),
+        st.fractions(min_value=Fraction(0), max_value=Fraction(5), max_denominator=4),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_exact_equals_heap_property(self, loads, quantum, count):
+        """The closed-form slot-selection equals the sequential greedy."""
+        assert place_equal_quanta_exact(loads, quantum, count) == \
+            place_equal_quanta_heap(loads, quantum, count)
+
+    def test_fast_matches_heap_large(self):
+        rng = np.random.default_rng(5)
+        loads = rng.uniform(0, 100, size=16)
+        fast = place_equal_quanta_fast(loads, 3.5, 1000)
+        heap = place_equal_quanta_heap(loads.tolist(), 3.5, 1000)
+        assert np.allclose(sorted(fast), sorted(heap))
+
+    def test_fast_small_count_delegates_to_heap(self):
+        loads = np.array([1.0, 2.0])
+        fast = place_equal_quanta_fast(loads, 1.0, 3)
+        heap = place_equal_quanta_heap([1.0, 2.0], 1.0, 3)
+        assert fast.tolist() == heap
+
+    def test_quantum_zero(self):
+        assert place_equal_quanta_exact([1, 2], 0, 5) == [1, 2]
+
+
+class TestInventorSuggestion:
+    def test_heavy_own_load_takes_least_loaded(self):
+        # own load >= average: placed first, onto the argmin.
+        assert inventor_suggestion([5, 1, 3], own_load=10, expected_load=2,
+                                   future_count=7) == 1
+
+    def test_light_own_load_anticipates_future(self):
+        # Two links at 0; 2 phantom loads of 10 will occupy both links;
+        # own load 1 then goes to the link filled *second* (equal loads,
+        # index tie-break picks 0 after the water-fill).
+        link = inventor_suggestion([0, 0], own_load=1, expected_load=10,
+                                   future_count=2, fast=False)
+        assert link == 0
+
+    def test_differs_from_greedy_when_future_matters(self):
+        # Greedy puts the load on the empty link 1; the inventor knows a
+        # huge phantom load (10) will land there first and parks the small
+        # job on the moderately loaded link 0 instead.
+        loads = [4.0, 0.0]
+        greedy_choice = argmin_link(loads)
+        inventor_choice = inventor_suggestion(
+            loads, own_load=1, expected_load=10, future_count=1, fast=False
+        )
+        assert greedy_choice == 1
+        assert inventor_choice == 0
+
+    def test_last_agent_is_greedy(self):
+        assert inventor_suggestion([3, 1], own_load=1, expected_load=5,
+                                   future_count=0) == 1
+
+    def test_verify_suggestion(self):
+        loads = [2.0, 7.0, 4.0]
+        link = inventor_suggestion(loads, 1.0, 3.0, 5, fast=False)
+        assert verify_suggestion(loads, 1.0, 3.0, 5, link)
+        assert not verify_suggestion(loads, 1.0, 3.0, 5, (link + 1) % 3)
+
+    def test_verify_rejects_out_of_range(self):
+        assert not verify_suggestion([1.0], 1.0, 1.0, 0, 5)
+
+    def test_needs_links(self):
+        with pytest.raises(GameError):
+            inventor_suggestion([], 1, 1, 1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(small_fractions, min_size=1, max_size=5),
+        small_fractions,
+        small_fractions,
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_fast_and_reference_agree(self, loads, own, expected, future):
+        fast = inventor_suggestion(loads, own, expected, future, fast=True)
+        slow = inventor_suggestion(loads, own, expected, future, fast=False)
+        # Fractions survive the float conversion only approximately; only
+        # insist on agreement when the exact computation has no near-ties.
+        exact_after = (
+            place_equal_quanta_exact(loads, expected, future)
+            if own < expected
+            else list(loads)
+        )
+        values = sorted(exact_after)
+        if len(values) < 2 or values[1] - values[0] > Fraction(1, 1000):
+            assert fast == slow
+
+
+class TestLemma2:
+    def test_greedy_schedule_balances(self):
+        loads = greedy_schedule([3, 3, 3, 3], 2)
+        assert sorted(loads) == [6, 6]
+
+    def test_lpt_schedule(self):
+        loads = lpt_schedule([5, 3, 3, 2, 2, 1], 2)
+        assert max(loads) == 8  # LPT is optimal here
+
+    def test_opt_lower_bound(self):
+        assert opt_lower_bound([4, 4, 4], 3) == 4
+        assert opt_lower_bound([9, 1, 1], 3) == 9
+        assert opt_lower_bound([], 3) == 0
+
+    def test_bound_factor(self):
+        assert lemma2_bound(1) == 1.0
+        assert lemma2_bound(2) == 1.5
+        with pytest.raises(GameError):
+            lemma2_bound(0)
+
+    def test_classic_adversarial_sequence(self):
+        # m(m-1) unit jobs then one m-job: greedy hits 2m-1 vs OPT=m.
+        m = 4
+        weights = [1] * (m * (m - 1)) + [m]
+        loads = greedy_schedule(weights, m)
+        assert makespan(loads) == 2 * m - 1
+        assert optimal_makespan_small(weights, m) == m
+        assert verify_lemma2(weights, m)
+
+    def test_exact_opt_small(self):
+        assert optimal_makespan_small([3, 3, 2, 2, 2], 2) == 6
+        with pytest.raises(GameError):
+            optimal_makespan_small(list(range(20)), 2)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=0, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_lemma2_inequality_property(self, weights, m):
+        assert verify_lemma2(weights, m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_greedy_within_bound_of_exact_opt(self, weights, m):
+        greedy_makespan = makespan(greedy_schedule(weights, m))
+        opt = optimal_makespan_small(weights, m)
+        assert greedy_makespan <= lemma2_bound(m) * opt + 1e-9
+
+
+class TestInventorStatistics:
+    def test_dynamic_average(self):
+        stats = DynamicAverageStatistics()
+        assert stats.expected_load() == 0.0
+        stats.observe(2)
+        stats.observe(4)
+        assert stats.expected_load() == 3.0
+        assert stats.observed_count == 2
+
+    def test_prior_knowledge_fixed(self):
+        stats = PriorKnowledgeStatistics(mean=500)
+        stats.observe(1)
+        assert stats.expected_load() == 500
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(GameError):
+            DynamicAverageStatistics().observe(-1)
+
+    def test_signed_publication_and_audit_clean(self):
+        registry = KeyRegistry()
+        publisher = StatisticsPublisher(
+            DynamicAverageStatistics(), registry, "inventor"
+        )
+        loads = [1.0, 3.0, 5.0]
+        records = [publisher.observe_and_publish(w) for w in loads]
+        assert records[1].average_load == 2.0
+        findings = audit_statistics(registry, records, loads)
+        assert findings == ()
+
+    def test_cheating_publisher_caught(self):
+        registry = KeyRegistry()
+        publisher = CheatingPublisher(
+            DynamicAverageStatistics(), registry, "cheater", inflation=2.0
+        )
+        loads = [1.0, 3.0]
+        records = [publisher.observe_and_publish(w) for w in loads]
+        findings = audit_statistics(registry, records, loads)
+        assert len(findings) == 2
+        assert all(f.kind == "wrong-average" for f in findings)
+
+    def test_forged_record_caught(self):
+        registry = KeyRegistry()
+        publisher = StatisticsPublisher(
+            DynamicAverageStatistics(), registry, "inventor"
+        )
+        record = publisher.observe_and_publish(4.0)
+        forged = type(record)(
+            round_index=record.round_index,
+            average_load=999.0,  # altered after signing
+            signature=record.signature,
+        )
+        findings = audit_statistics(registry, [forged], [4.0])
+        assert findings[0].kind == "bad-signature"
+
+    def test_round_beyond_observations_flagged(self):
+        registry = KeyRegistry()
+        publisher = StatisticsPublisher(
+            DynamicAverageStatistics(), registry, "inventor"
+        )
+        records = [publisher.observe_and_publish(1.0) for _ in range(3)]
+        findings = audit_statistics(registry, records, [1.0])  # only 1 observed
+        assert any(f.kind == "wrong-average" for f in findings)
+
+
+class TestFig7Simulation:
+    def test_greedy_simulation_matches_schedule(self):
+        loads = [5.0, 1.0, 3.0, 1.0]
+        assert simulate_greedy(loads, 2) == makespan(greedy_schedule(loads, 2))
+
+    def test_inventor_with_last_agent_only_equals_greedy(self):
+        # One agent: the inventor's suggestion degenerates to greedy.
+        loads = [7.0]
+        stats = DynamicAverageStatistics()
+        assert simulate_inventor(loads, 3, stats) == simulate_greedy(loads, 3)
+
+    def test_compliance_zero_equals_greedy(self):
+        loads = draw_load_sequence(UniformLoads(), 50, seed=9).tolist()
+        stats = DynamicAverageStatistics()
+        rng = random.Random(1)
+        out = simulate_inventor(loads, 5, stats, compliance_p=0.0, rng=rng)
+        assert out == simulate_greedy(loads, 5)
+
+    def test_partial_compliance_needs_rng(self):
+        with pytest.raises(GameError):
+            simulate_inventor([1.0], 2, DynamicAverageStatistics(), compliance_p=0.5)
+
+    def test_fig7_point_counts_consistent(self):
+        config = Fig7Config(num_agents=60, links_grid=(2, 10), iterations=6, seed=4)
+        point = run_fig7_point(config, 10)
+        assert point.inventor_wins + point.ties + point.losses == 6
+        assert 0 <= point.win_percentage <= 100
+
+    def test_fig7_reproducible(self):
+        config = Fig7Config(num_agents=40, links_grid=(5,), iterations=4, seed=8)
+        a = run_fig7_point(config, 5)
+        b = run_fig7_point(config, 5)
+        assert a == b
+
+    def test_fig7_inventor_dominates_at_moderate_m(self):
+        """The headline effect: with many links relative to load spread,
+        the inventor's anticipatory assignment beats greedy almost always."""
+        config = Fig7Config(num_agents=200, links_grid=(40,), iterations=10, seed=6)
+        point = run_fig7_point(config, 40)
+        assert point.win_percentage >= 80.0
+
+    def test_paper_preset(self):
+        config = Fig7Config.paper(iterations=100, step=50)
+        assert config.num_agents == 1000
+        assert config.links_grid[0] == 2
+        assert config.links_grid[-1] <= 500
+        assert config.iterations == 100
+
+    def test_config_validation(self):
+        with pytest.raises(GameError):
+            Fig7Config(num_agents=0)
+        with pytest.raises(GameError):
+            Fig7Config(iterations=0)
+        with pytest.raises(GameError):
+            Fig7Config(links_grid=(0,))
+        with pytest.raises(GameError):
+            Fig7Config(statistics_mode="psychic")
+
+    def test_prior_statistics_mode(self):
+        config = Fig7Config(
+            num_agents=50, links_grid=(8,), iterations=3, seed=2,
+            statistics_mode="prior",
+        )
+        point = run_fig7_point(config, 8)
+        assert point.iterations == 3

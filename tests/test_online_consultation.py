@@ -1,0 +1,113 @@
+"""Tests for the verified per-arrival consultation pipeline (Sect. 6
+through the Fig. 1 framework)."""
+
+import random
+
+import pytest
+
+from repro.core import AuditLog
+from repro.crypto import KeyRegistry
+from repro.errors import GameError
+from repro.online import UniformLoads, draw_load_sequence, simulate_inventor
+from repro.online.consultation import (
+    DeviousLinkInventor,
+    OnlineLinkInventorService,
+    run_verified_session,
+)
+from repro.online.inventor_stats import DynamicAverageStatistics, audit_statistics
+
+
+@pytest.fixture
+def loads():
+    return draw_load_sequence(UniformLoads(0, 100), 40, seed=21).tolist()
+
+
+class TestHonestService:
+    def test_all_suggestions_verify(self, loads):
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(5, len(loads), registry)
+        result = run_verified_session(loads, 5, service)
+        assert result.all_verified
+        assert result.verified_count == len(loads)
+        assert result.rejected_count == 0
+
+    def test_matches_unverified_simulation(self, loads):
+        """The verified pipeline is the simulation plus checking: same
+        final makespan as simulate_inventor on the same inputs."""
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(4, len(loads), registry)
+        result = run_verified_session(loads, 4, service)
+        baseline = simulate_inventor(loads, 4, DynamicAverageStatistics())
+        assert result.makespan == pytest.approx(baseline, rel=1e-12)
+
+    def test_statistics_audit_clean(self, loads):
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(3, len(loads), registry)
+        result = run_verified_session(loads, 3, service)
+        records = [a.statistic for a in result.advices]
+        assert audit_statistics(registry, records, loads) == ()
+
+    def test_mass_conservation(self, loads):
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(6, len(loads), registry)
+        result = run_verified_session(loads, 6, service)
+        assert sum(result.final_loads) == pytest.approx(sum(loads))
+
+    def test_arrival_budget_enforced(self):
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(2, 1, registry)
+        service.advise(1.0, [0.0, 0.0])
+        with pytest.raises(GameError):
+            service.advise(1.0, [1.0, 0.0])
+
+    def test_wrong_load_vector_rejected(self):
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(2, 3, registry)
+        with pytest.raises(GameError):
+            service.advise(1.0, [0.0])
+
+
+class TestDeviousService:
+    def test_deviations_caught_and_blamed(self, loads):
+        registry = KeyRegistry()
+        audit = AuditLog()
+        service = DeviousLinkInventor(
+            4, len(loads), registry, identity="shady-operator",
+            deviate_p=0.5, rng=random.Random(3),
+        )
+        result = run_verified_session(loads, 4, service, audit=audit)
+        assert service.deviations > 0
+        # Every deviation that differs from the honest rule is rejected.
+        assert result.rejected_count > 0
+        assert audit.blame_counts().get("shady-operator", 0) == result.rejected_count
+
+    def test_fallback_protects_the_agents(self, loads):
+        """With verification, bad advice never hurts: the makespan under
+        a devious inventor (rejected + greedy fallback) is no worse than
+        blindly following the devious suggestions."""
+        registry = KeyRegistry()
+        service = DeviousLinkInventor(
+            4, len(loads), registry, deviate_p=0.6, rng=random.Random(9),
+        )
+        verified = run_verified_session(loads, 4, service)
+
+        # Blind-follow baseline: replay the same advices without checks.
+        registry2 = KeyRegistry()
+        blind_service = DeviousLinkInventor(
+            4, len(loads), registry2, deviate_p=0.6, rng=random.Random(9),
+        )
+        link_loads = [0.0] * 4
+        for w in loads:
+            advice = blind_service.advise(w, link_loads)
+            link_loads[advice.suggested_link] += float(w)
+        blind_makespan = max(link_loads)
+        assert verified.makespan <= blind_makespan
+
+    def test_zero_deviation_rate_is_honest(self, loads):
+        registry = KeyRegistry()
+        service = DeviousLinkInventor(
+            3, len(loads), registry, deviate_p=0.0, rng=random.Random(1),
+        )
+        result = run_verified_session(loads, 3, service)
+        assert result.all_verified
+        assert service.deviations == 0

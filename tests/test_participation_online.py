@@ -1,0 +1,138 @@
+"""Tests for on-line participation (the second half of Sect. 5)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GameError
+from repro.games import ParticipationGame
+from repro.online import (
+    OnlineAdvice,
+    OnlineParticipationAdvisor,
+    advice_information_leak,
+    last_firm_payoff,
+    online_claims,
+    simulate_last_firm_gain,
+    verify_online_advice,
+)
+
+
+@pytest.fixture
+def game():
+    return ParticipationGame(3, value=8, cost=3)  # the paper's c/v = 3/8
+
+
+class TestAdvisor:
+    def test_one_prior_advises_in(self, game):
+        advice = OnlineParticipationAdvisor(game).advise_last_firm(1)
+        assert advice.probability == 1
+        # v - c = 5 = 5v/8 with v = 8.
+        assert advice.expected_gain == 5
+
+    def test_two_prior_advises_out_with_full_prize(self, game):
+        advice = OnlineParticipationAdvisor(game).advise_last_firm(2)
+        assert advice.probability == 0
+        assert advice.expected_gain == 8  # the full v
+
+    def test_zero_prior_advises_out_with_zero(self, game):
+        advice = OnlineParticipationAdvisor(game).advise_last_firm(0)
+        assert advice.probability == 0
+        assert advice.expected_gain == 0
+
+    def test_out_of_range_history(self, game):
+        with pytest.raises(GameError):
+            OnlineParticipationAdvisor(game).advise_last_firm(5)
+
+    def test_action_property(self):
+        assert OnlineAdvice(Fraction(1), Fraction(5)).action == 1
+        assert OnlineAdvice(Fraction(0), Fraction(0)).action == 0
+
+
+class TestVerification:
+    def test_honest_advice_verifies(self, game):
+        advisor = OnlineParticipationAdvisor(game)
+        for prior in range(3):
+            advice = advisor.advise_last_firm(prior)
+            assert verify_online_advice(game, prior, advice)
+
+    def test_flipped_advice_fails(self, game):
+        """"False advice to the last agent, i.e., a flip of the value of
+        p, will result in a loss!" — the verifier catches it."""
+        # Flip at prior=1: advising OUT forfeits v-c for 0.
+        flipped = OnlineAdvice(probability=Fraction(0), expected_gain=Fraction(0))
+        assert not verify_online_advice(game, 1, flipped)
+        # Flip at prior=2: advising IN gets v-c instead of v.
+        flipped2 = OnlineAdvice(
+            probability=Fraction(1), expected_gain=game.value - game.cost
+        )
+        assert not verify_online_advice(game, 2, flipped2)
+
+    def test_flip_costs_the_last_firm(self, game):
+        # The loss quantification behind the paper's exclamation mark.
+        honest = last_firm_payoff(game, 1, 1)
+        flipped = last_firm_payoff(game, 1, 0)
+        assert honest - flipped == game.value - game.cost  # 5v/8 lost
+
+    def test_inflated_gain_claim_fails(self, game):
+        inflated = OnlineAdvice(probability=Fraction(1), expected_gain=Fraction(100))
+        assert not verify_online_advice(game, 1, inflated)
+
+    def test_non_degenerate_probability_fails(self, game):
+        weird = OnlineAdvice(probability=Fraction(1, 2), expected_gain=Fraction(0))
+        assert not verify_online_advice(game, 1, weird)
+
+
+class TestInformationLeak:
+    def test_advice_reveals_history_class(self, game):
+        advisor = OnlineParticipationAdvisor(game)
+        # "participate" advice pins the history to exactly k-1 = 1 prior.
+        advice_in = advisor.advise_last_firm(1)
+        assert advice_information_leak(game, advice_in) == (1,)
+        # "stay out, gain v" pins it to >= 2.
+        advice_out_full = advisor.advise_last_firm(2)
+        assert advice_information_leak(game, advice_out_full) == (2,)
+        # "stay out, gain 0" pins it to 0.
+        advice_out_zero = advisor.advise_last_firm(0)
+        assert advice_information_leak(game, advice_out_zero) == (0,)
+
+
+class TestClaims:
+    def test_paper_numbers(self, game):
+        claims = online_claims(game, Fraction(1, 4))
+        v = game.value
+        assert claims.gain_if_advised_in == Fraction(5, 8) * v
+        assert claims.gain_if_advised_out_full == v
+        assert claims.offline_equilibrium_gain == v / 16
+        assert claims.paper_lower_bound == Fraction(5, 24) * v
+        assert claims.online_beats_offline
+
+    def test_bound_scales_with_n(self):
+        g = ParticipationGame(4, value=8, cost=3)
+        claims = online_claims(g, Fraction(1, 10))
+        assert claims.paper_lower_bound == Fraction(1, 4) * (g.value - g.cost)
+
+
+class TestSimulation:
+    def test_advised_beats_unadvised(self, game):
+        rng_a = random.Random(42)
+        rng_b = random.Random(42)
+        advised = simulate_last_firm_gain(
+            game, Fraction(1, 4), rounds=20_000, rng=rng_a, follow_advice=True
+        )
+        unadvised = simulate_last_firm_gain(
+            game, Fraction(1, 4), rounds=20_000, rng=rng_b, follow_advice=False
+        )
+        assert advised > unadvised
+
+    def test_advised_gain_beats_offline_equilibrium(self, game):
+        advised = simulate_last_firm_gain(
+            game, Fraction(1, 4), rounds=20_000, rng=random.Random(7)
+        )
+        offline = float(game.equilibrium_expected_gain(Fraction(1, 4)))
+        assert advised > offline
+
+    def test_rounds_validation(self, game):
+        with pytest.raises(GameError):
+            simulate_last_firm_gain(game, Fraction(1, 4), rounds=0,
+                                    rng=random.Random(0))

@@ -1,0 +1,145 @@
+"""Tests for pure/mixed profiles and the Fig. 2 profile primitives."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfileError
+from repro.games.profiles import (
+    MixedProfile,
+    change,
+    enumerate_profiles,
+    is_valid_profile,
+    profile_space_size,
+    validate_profile,
+)
+
+action_counts_st = st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4)
+
+
+class TestValidateProfile:
+    def test_accepts_valid(self):
+        assert validate_profile((1, 0), (2, 3)) == (1, 0)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ProfileError):
+            validate_profile((0,), (2, 2))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ProfileError):
+            validate_profile((2, 0), (2, 2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ProfileError):
+            validate_profile((-1, 0), (2, 2))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ProfileError):
+            validate_profile((True, 0), (2, 2))
+
+    def test_boolean_form(self):
+        assert is_valid_profile((0, 1), (2, 2))
+        assert not is_valid_profile((0, 5), (2, 2))
+
+
+class TestChange:
+    def test_change_replaces_one_entry(self):
+        assert change((0, 1, 2), 9, 1) == (0, 9, 2)
+
+    def test_change_is_identity_for_same_action(self):
+        assert change((0, 1), 1, 1) == (0, 1)
+
+    def test_change_out_of_range_player(self):
+        with pytest.raises(ProfileError):
+            change((0, 1), 0, 5)
+
+    @given(action_counts_st, st.data())
+    def test_change_then_change_back(self, counts, data):
+        profile = tuple(data.draw(st.integers(0, c - 1)) for c in counts)
+        player = data.draw(st.integers(0, len(counts) - 1))
+        new_action = data.draw(st.integers(0, counts[player] - 1))
+        changed = change(profile, new_action, player)
+        assert change(changed, profile[player], player) == profile
+
+
+class TestEnumeration:
+    def test_size_matches_product(self):
+        assert profile_space_size((2, 3, 4)) == 24
+
+    def test_enumeration_is_exhaustive_and_ordered(self):
+        profiles = list(enumerate_profiles((2, 2)))
+        assert profiles == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @given(action_counts_st)
+    def test_enumeration_count_and_distinctness(self, counts):
+        profiles = list(enumerate_profiles(counts))
+        assert len(profiles) == profile_space_size(counts)
+        assert len(set(profiles)) == len(profiles)
+        assert all(is_valid_profile(p, counts) for p in profiles)
+
+
+class TestMixedProfile:
+    def test_pure_constructor(self):
+        mp = MixedProfile.pure((1, 0), (2, 2))
+        assert mp.distribution(0) == (Fraction(0), Fraction(1))
+        assert mp.is_pure()
+        assert mp.as_pure() == (1, 0)
+
+    def test_uniform(self):
+        mp = MixedProfile.uniform((2, 4))
+        assert mp.distribution(1) == (Fraction(1, 4),) * 4
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ProfileError):
+            MixedProfile.from_rows([[Fraction(1, 2), Fraction(1, 3)]])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ProfileError):
+            MixedProfile.from_rows([["3/2", "-1/2"]])
+
+    def test_support(self):
+        mp = MixedProfile.from_rows([["1/2", 0, "1/2"], [0, 1]])
+        assert mp.support(0) == (0, 2)
+        assert mp.support(1) == (1,)
+        assert mp.supports() == ((0, 2), (1,))
+
+    def test_probability_of_profile(self):
+        mp = MixedProfile.from_rows([["1/2", "1/2"], ["1/3", "2/3"]])
+        assert mp.probability((0, 1)) == Fraction(1, 3)
+
+    def test_probability_wrong_length(self):
+        mp = MixedProfile.uniform((2, 2))
+        with pytest.raises(ProfileError):
+            mp.probability((0,))
+
+    def test_as_pure_rejects_proper_mix(self):
+        mp = MixedProfile.uniform((2,))
+        with pytest.raises(ProfileError):
+            mp.as_pure()
+
+    def test_replace(self):
+        mp = MixedProfile.uniform((2, 2))
+        new = mp.replace(0, (1, 0))
+        assert new.distribution(0) == (Fraction(1), Fraction(0))
+        assert new.distribution(1) == mp.distribution(1)
+
+    def test_replace_keeps_validation(self):
+        mp = MixedProfile.uniform((2, 2))
+        with pytest.raises(ProfileError):
+            mp.replace(0, ("1/2", "1/3"))
+
+    @given(action_counts_st)
+    def test_uniform_probabilities_sum_to_one(self, counts):
+        mp = MixedProfile.uniform(counts)
+        total = sum(
+            mp.probability(p) for p in enumerate_profiles(counts)
+        )
+        assert total == 1
+
+    def test_hashable(self):
+        a = MixedProfile.uniform((2, 2))
+        b = MixedProfile.uniform((2, 2))
+        assert a == b
+        assert len({a, b}) == 1

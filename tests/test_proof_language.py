@@ -1,0 +1,87 @@
+"""Unit tests for the Fig. 2 primitive evaluators and the counting oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.games.generators import battle_of_sexes, prisoners_dilemma
+from repro.proofs.language import (
+    CountingGame,
+    eval_deviation,
+    eval_eq_strat,
+    eval_is_strat,
+    eval_le_strat,
+    eval_no_comp,
+    eval_strict_improvement,
+)
+
+
+@pytest.fixture
+def oracle():
+    return CountingGame(prisoners_dilemma().to_strategic())
+
+
+class TestPrimitives:
+    def test_is_strat(self, oracle):
+        assert eval_is_strat(oracle, (0, 1))
+        assert not eval_is_strat(oracle, (0, 5))
+        assert not eval_is_strat(oracle, (0,))
+
+    def test_eq_strat(self):
+        assert eval_eq_strat((0, 1), (0, 1))
+        assert not eval_eq_strat((0, 1), (1, 0))
+        assert eval_eq_strat([0, 1], (0, 1))  # list/tuple agnostic
+
+    def test_deviation_clause(self, oracle):
+        # At (defect, defect), cooperating loses: clause holds.
+        assert eval_deviation(oracle, (1, 1), 0, 0)
+        # At (coop, coop), defecting gains: clause fails.
+        assert not eval_deviation(oracle, (0, 0), 0, 1)
+
+    def test_strict_improvement(self, oracle):
+        assert eval_strict_improvement(oracle, (0, 0), 0, 1)
+        assert not eval_strict_improvement(oracle, (1, 1), 0, 0)
+
+    def test_le_strat(self):
+        oracle = CountingGame(battle_of_sexes().to_strategic())
+        # (1, 0) pays (0, 0); everything weakly dominates it.
+        assert eval_le_strat(oracle, (1, 0), (0, 0))
+        # (0,0) pays (2,1) vs (1,1) pays (1,2): incomparable, so not <=.
+        assert not eval_le_strat(oracle, (0, 0), (1, 1))
+
+    def test_no_comp_with_witnesses(self):
+        oracle = CountingGame(battle_of_sexes().to_strategic())
+        # (0,0)=(2,1) vs (1,1)=(1,2): player 1 prefers the second,
+        # player 0 prefers the first.
+        assert eval_no_comp(oracle, (0, 0), (1, 1), witness_i=1, witness_j=0)
+        # Swapped witnesses do not establish it.
+        assert not eval_no_comp(oracle, (0, 0), (1, 1), witness_i=0, witness_j=1)
+        # Out-of-range witnesses are rejected outright.
+        assert not eval_no_comp(oracle, (0, 0), (1, 1), witness_i=7, witness_j=0)
+
+
+class TestCountingOracle:
+    def test_counts_every_payoff_call(self, oracle):
+        assert oracle.utility_evaluations == 0
+        oracle.payoff(0, (0, 0))
+        oracle.payoff(1, (1, 1))
+        assert oracle.utility_evaluations == 2
+
+    def test_deviation_costs_two_calls(self, oracle):
+        before = oracle.utility_evaluations
+        eval_deviation(oracle, (1, 1), 0, 0)
+        assert oracle.utility_evaluations == before + 2
+
+    def test_le_strat_costs_two_per_player(self):
+        oracle = CountingGame(battle_of_sexes().to_strategic())
+        eval_le_strat(oracle, (1, 0), (0, 0))
+        assert oracle.utility_evaluations == 4
+
+    def test_is_strat_costs_nothing(self, oracle):
+        eval_is_strat(oracle, (0, 0))
+        assert oracle.utility_evaluations == 0
+
+    def test_passthrough_properties(self, oracle):
+        assert oracle.num_players == 2
+        assert oracle.action_counts == (2, 2)
+        assert oracle.game is not None

@@ -1,0 +1,434 @@
+"""Tests for the Fig. 2 proof system: builder, kernel, serialization,
+and — critically — rejection of tampered certificates."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProofError, ProofRejected
+from repro.games import StrategicGame
+from repro.games.generators import (
+    battle_of_sexes,
+    coordination_game,
+    prisoners_dilemma,
+    pure_dominance_game,
+    random_bimatrix,
+    stag_hunt,
+)
+from repro.equilibria import pure_nash_equilibria
+from repro.proofs import (
+    AllNashCertificate,
+    AllStratCertificate,
+    CounterexampleStep,
+    DeviationStep,
+    MaxNashCertificate,
+    NashCertificate,
+    NotNashCertificate,
+    ProofKernel,
+    build_all_nash_certificate,
+    build_all_strat_certificate,
+    build_max_nash_certificate,
+    build_nash_certificate,
+    build_not_nash_certificate,
+    certificate_from_json,
+    certificate_size_bytes,
+    certificate_to_json,
+    check_certificate,
+    decode_certificate,
+    encode_certificate,
+)
+
+
+@pytest.fixture
+def bos_game():
+    return battle_of_sexes().to_strategic()
+
+
+@pytest.fixture
+def pd_game():
+    return prisoners_dilemma().to_strategic()
+
+
+class TestNashCertificates:
+    def test_explicit_accepts(self, pd_game):
+        cert = build_nash_certificate(pd_game, (1, 1))
+        result = check_certificate(pd_game, cert)
+        assert result.accepted
+        assert result.statements_checked > 0
+
+    def test_by_evaluation_accepts(self, pd_game):
+        cert = build_nash_certificate(pd_game, (1, 1), explicit=False)
+        assert check_certificate(pd_game, cert).accepted
+
+    def test_builder_refuses_non_equilibrium(self, pd_game):
+        with pytest.raises(ProofError):
+            build_nash_certificate(pd_game, (0, 0))
+
+    def test_kernel_rejects_non_equilibrium_empty_proof(self, pd_game):
+        cert = NashCertificate(profile=(0, 0), mode="by-evaluation")
+        result = check_certificate(pd_game, cert)
+        assert not result.accepted
+        assert "not Nash" in result.reason
+
+    def test_missing_deviation_step_rejected(self, pd_game):
+        cert = build_nash_certificate(pd_game, (1, 1))
+        pruned = NashCertificate(
+            profile=cert.profile, mode="explicit", steps=cert.steps[:-1]
+        )
+        result = check_certificate(pd_game, pruned)
+        assert not result.accepted
+        assert "does not cover" in result.reason
+
+    def test_out_of_range_step_rejected(self, pd_game):
+        cert = NashCertificate(
+            profile=(1, 1),
+            mode="explicit",
+            steps=(DeviationStep(player=0, action=5), DeviationStep(0, 0),
+                   DeviationStep(1, 0)),
+        )
+        assert not check_certificate(pd_game, cert).accepted
+
+    def test_invalid_profile_rejected(self, pd_game):
+        cert = NashCertificate(profile=(7, 7), mode="by-evaluation")
+        result = check_certificate(pd_game, cert)
+        assert not result.accepted
+        assert "isStrat" in result.reason
+
+    def test_by_evaluation_must_not_carry_steps(self):
+        with pytest.raises(ProofError):
+            NashCertificate(
+                profile=(0, 0), mode="by-evaluation",
+                steps=(DeviationStep(0, 1),),
+            )
+
+    def test_raise_if_rejected(self, pd_game):
+        cert = NashCertificate(profile=(0, 0), mode="by-evaluation")
+        result = check_certificate(pd_game, cert)
+        with pytest.raises(ProofRejected):
+            result.raise_if_rejected()
+
+
+class TestNotNashCertificates:
+    def test_refutation_accepts(self, pd_game):
+        cert = build_not_nash_certificate(pd_game, (0, 0))
+        assert check_certificate(pd_game, cert).accepted
+
+    def test_builder_refuses_real_equilibrium(self, pd_game):
+        with pytest.raises(ProofError):
+            build_not_nash_certificate(pd_game, (1, 1))
+
+    def test_bogus_counterexample_rejected(self, pd_game):
+        cert = NotNashCertificate(
+            profile=(1, 1), counterexample=CounterexampleStep(player=0, action=0)
+        )
+        result = check_certificate(pd_game, cert)
+        assert not result.accepted
+        assert "not an improvement" in result.reason
+
+
+class TestAllStrat:
+    def test_full_enumeration_accepts(self, bos_game):
+        cert = build_all_strat_certificate(bos_game)
+        assert check_certificate(bos_game, cert).accepted
+
+    def test_short_enumeration_rejected(self, bos_game):
+        cert = AllStratCertificate(profiles=((0, 0), (0, 1), (1, 0)))
+        result = check_certificate(bos_game, cert)
+        assert not result.accepted
+        assert "profile space has" in result.reason
+
+    def test_duplicate_enumeration_rejected(self, bos_game):
+        cert = AllStratCertificate(profiles=((0, 0), (0, 1), (1, 0), (1, 0)))
+        result = check_certificate(bos_game, cert)
+        assert not result.accepted
+        assert "duplicated" in result.reason
+
+    def test_out_of_space_profile_rejected(self, bos_game):
+        cert = AllStratCertificate(profiles=((0, 0), (0, 1), (1, 0), (5, 5)))
+        assert not check_certificate(bos_game, cert).accepted
+
+
+class TestAllNash:
+    def test_full_classification_accepts(self, bos_game):
+        cert = build_all_nash_certificate(bos_game)
+        assert check_certificate(bos_game, cert).accepted
+        assert {c.profile for c in cert.equilibria} == set(
+            pure_nash_equilibria(bos_game)
+        )
+
+    def test_omitting_equilibrium_rejected(self, bos_game):
+        cert = build_all_nash_certificate(bos_game)
+        # Claim (1, 1) is not an equilibrium by dropping it entirely.
+        tampered = AllNashCertificate(
+            enumeration=cert.enumeration,
+            equilibria=tuple(c for c in cert.equilibria if c.profile != (1, 1)),
+            refutations=cert.refutations,
+        )
+        result = check_certificate(bos_game, tampered)
+        assert not result.accepted
+        assert "misses profile" in result.reason
+
+    def test_false_refutation_rejected(self, bos_game):
+        cert = build_all_nash_certificate(bos_game)
+        # Reclassify the equilibrium (1, 1) as refuted with a fake witness.
+        fake = NotNashCertificate(
+            profile=(1, 1), counterexample=CounterexampleStep(player=0, action=0)
+        )
+        tampered = AllNashCertificate(
+            enumeration=cert.enumeration,
+            equilibria=tuple(c for c in cert.equilibria if c.profile != (1, 1)),
+            refutations=cert.refutations + (fake,),
+        )
+        assert not check_certificate(bos_game, tampered).accepted
+
+    def test_double_classification_rejected(self, bos_game):
+        cert = build_all_nash_certificate(bos_game)
+        dup = AllNashCertificate(
+            enumeration=cert.enumeration,
+            equilibria=cert.equilibria + (cert.equilibria[0],),
+            refutations=cert.refutations,
+        )
+        result = check_certificate(bos_game, dup)
+        assert not result.accepted
+        assert "classified twice" in result.reason
+
+
+class TestMaxNash:
+    def test_coordination_maximal(self):
+        g = coordination_game().to_strategic()
+        cert = build_max_nash_certificate(g, (1, 1))
+        assert check_certificate(g, cert).accepted
+
+    def test_builder_refuses_dominated_candidate(self):
+        g = coordination_game().to_strategic()
+        with pytest.raises(ProofError):
+            build_max_nash_certificate(g, (0, 0))
+
+    def test_minimal_direction(self):
+        g = coordination_game().to_strategic()
+        cert = build_max_nash_certificate(g, (0, 0), minimal=True)
+        assert cert.minimal
+        assert check_certificate(g, cert).accepted
+
+    def test_minimal_builder_refuses_maximal_candidate(self):
+        g = coordination_game().to_strategic()
+        with pytest.raises(ProofError):
+            build_max_nash_certificate(g, (1, 1), minimal=True)
+
+    def test_incomparable_equilibria_both_maximal(self, bos_game):
+        for candidate in ((0, 0), (1, 1)):
+            cert = build_max_nash_certificate(bos_game, candidate)
+            assert check_certificate(bos_game, cert).accepted
+
+    def test_direction_mismatch_rejected(self):
+        g = coordination_game().to_strategic()
+        cert = build_max_nash_certificate(g, (1, 1))
+        flipped = MaxNashCertificate(
+            candidate=cert.candidate,
+            candidate_proof=cert.candidate_proof,
+            all_nash=cert.all_nash,
+            comparisons=cert.comparisons,
+            minimal=True,  # lie about the direction
+        )
+        assert not check_certificate(g, flipped).accepted
+
+    def test_missing_comparison_rejected(self, bos_game):
+        cert = build_max_nash_certificate(bos_game, (0, 0))
+        tampered = MaxNashCertificate(
+            candidate=cert.candidate,
+            candidate_proof=cert.candidate_proof,
+            all_nash=cert.all_nash,
+            comparisons=(),
+            minimal=False,
+        )
+        result = check_certificate(bos_game, tampered)
+        assert not result.accepted
+        assert "miss equilibria" in result.reason
+
+    def test_stag_hunt_unique_maximal(self):
+        g = stag_hunt().to_strategic()
+        cert = build_max_nash_certificate(g, (0, 0))
+        assert check_certificate(g, cert).accepted
+        with pytest.raises(ProofError):
+            build_max_nash_certificate(g, (1, 1))
+
+    def test_three_player_certificate(self):
+        g = pure_dominance_game()
+        cert = build_max_nash_certificate(g, (1, 1, 1))
+        assert check_certificate(g, cert).accepted
+
+
+class TestKernelAccounting:
+    def test_explicit_and_empty_cost_the_same_oracle_calls(self, pd_game):
+        explicit = build_nash_certificate(pd_game, (1, 1))
+        empty = build_nash_certificate(pd_game, (1, 1), explicit=False)
+        r1 = check_certificate(pd_game, explicit)
+        r2 = check_certificate(pd_game, empty)
+        assert r1.utility_evaluations == r2.utility_evaluations
+
+    def test_all_nash_cost_scales_with_profile_space(self):
+        small = StrategicGame.from_payoff_function((2, 2), lambda i, p: 0)
+        large = StrategicGame.from_payoff_function((4, 4), lambda i, p: 0)
+        cost_small = check_certificate(
+            small, build_all_nash_certificate(small)
+        ).utility_evaluations
+        cost_large = check_certificate(
+            large, build_all_nash_certificate(large)
+        ).utility_evaluations
+        assert cost_large > 4 * cost_small
+
+    def test_kernel_reusable(self, pd_game):
+        kernel = ProofKernel(pd_game)
+        cert = build_nash_certificate(pd_game, (1, 1))
+        first = kernel.check(cert)
+        second = kernel.check(cert)
+        assert first.utility_evaluations == second.utility_evaluations
+
+
+class TestSerialization:
+    def test_round_trip_all_types(self, bos_game):
+        certs = [
+            build_nash_certificate(bos_game, (0, 0)),
+            build_nash_certificate(bos_game, (0, 0), explicit=False),
+            build_not_nash_certificate(bos_game, (0, 1)),
+            build_all_strat_certificate(bos_game),
+            build_all_nash_certificate(bos_game),
+            build_max_nash_certificate(bos_game, (0, 0)),
+        ]
+        for cert in certs:
+            back = certificate_from_json(certificate_to_json(cert))
+            assert back == cert
+            assert check_certificate(bos_game, back).accepted
+
+    def test_size_accounting_positive(self, bos_game):
+        cert = build_max_nash_certificate(bos_game, (0, 0))
+        assert certificate_size_bytes(cert) > 100
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProofError):
+            decode_certificate({"type": "flying-spaghetti"})
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ProofError):
+            decode_certificate({})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProofError):
+            certificate_from_json("{not json")
+
+    def test_tampered_json_changes_verdict(self, bos_game):
+        cert = build_nash_certificate(bos_game, (0, 0))
+        data = encode_certificate(cert)
+        data["profile"] = [0, 1]  # point the proof at a non-equilibrium
+        tampered = decode_certificate(data)
+        assert not check_certificate(bos_game, tampered).accepted
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_game_certificates_round_trip(self, seed):
+        game = random_bimatrix(2, 2, seed=seed).to_strategic()
+        cert = build_all_nash_certificate(game)
+        back = certificate_from_json(certificate_to_json(cert))
+        assert check_certificate(game, back).accepted
+
+
+class TestSoundnessProperty:
+    """The kernel accepts isNash certificates iff the profile is a PNE."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_empty_proof_agrees_with_ground_truth(self, seed, row, col):
+        game = random_bimatrix(4, 4, seed=seed).to_strategic()
+        from repro.equilibria import is_pure_nash
+
+        profile = (row, col)
+        cert = NashCertificate(profile=profile, mode="by-evaluation")
+        assert check_certificate(game, cert).accepted == is_pure_nash(game, profile)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_builder_checker_round_trip_on_random_games(self, seed):
+        game = random_bimatrix(3, 3, seed=seed).to_strategic()
+        equilibria = pure_nash_equilibria(game)
+        for eq in equilibria:
+            cert = build_nash_certificate(game, eq)
+            assert check_certificate(game, cert).accepted
+
+
+class TestDominanceCertificates:
+    def test_build_and_check(self, pd_game):
+        from repro.proofs import build_dominance_certificate
+
+        cert = build_dominance_certificate(pd_game, (1, 1), strict=True)
+        result = check_certificate(pd_game, cert)
+        assert result.accepted
+        # The sweep touches the whole opponent space per player.
+        assert result.utility_evaluations >= 4
+
+    def test_builder_refuses_non_dominant(self, bos_game):
+        from repro.proofs import build_dominance_certificate
+        from repro.errors import ProofError
+
+        with pytest.raises(ProofError):
+            build_dominance_certificate(bos_game, (0, 0))
+
+    def test_kernel_rejects_false_claim(self, bos_game):
+        from repro.proofs import DominanceCertificate
+
+        cert = DominanceCertificate(profile=(0, 0), strict=False)
+        result = check_certificate(bos_game, cert)
+        assert not result.accepted
+        assert "loses to" in result.reason
+
+    def test_strict_flag_matters(self):
+        from repro.proofs import DominanceCertificate
+        from repro.games import StrategicGame
+
+        # Action 1 weakly (not strictly) dominates: ties in one column.
+        game = StrategicGame.two_player(
+            [[1, 0], [1, 1]],
+            [[0, 0], [0, 0]],
+        )
+        weak = DominanceCertificate(profile=(1, 0), strict=False)
+        strict = DominanceCertificate(profile=(1, 0), strict=True)
+        assert check_certificate(game, weak).accepted
+        assert not check_certificate(game, strict).accepted
+
+    def test_serialization_round_trip(self, pd_game):
+        from repro.proofs import build_dominance_certificate
+
+        cert = build_dominance_certificate(pd_game, (1, 1), strict=True)
+        back = certificate_from_json(certificate_to_json(cert))
+        assert back == cert
+        assert check_certificate(pd_game, back).accepted
+
+    def test_certificate_procedure_integration(self, pd_game):
+        from repro.core import (Advice, CertificateProcedure, ProofFormat,
+                                SolutionConcept, VerificationContext)
+        from repro.proofs import build_dominance_certificate, encode_certificate
+        import random as _random
+
+        cert = build_dominance_certificate(pd_game, (1, 1))
+        advice = Advice(
+            game_id="g", agent=0,
+            concept=SolutionConcept.DOMINANT_STRATEGY,
+            proof_format=ProofFormat.CERTIFICATE,
+            suggestion=(1, 1), proof=encode_certificate(cert),
+        )
+        context = VerificationContext(rng=_random.Random(0))
+        verdict = CertificateProcedure("v").verify(pd_game, advice, context)
+        assert verdict.accepted
+        # Mismatched suggestion is rejected before any kernel work.
+        wrong = Advice(
+            game_id="g", agent=0,
+            concept=SolutionConcept.DOMINANT_STRATEGY,
+            proof_format=ProofFormat.CERTIFICATE,
+            suggestion=(0, 0), proof=encode_certificate(cert),
+        )
+        assert not CertificateProcedure("v").verify(pd_game, wrong, context).accepted

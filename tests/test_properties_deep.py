@@ -1,0 +1,203 @@
+"""Deeper cross-module property tests.
+
+These pin the load-bearing relationships *between* subsystems: solver
+outputs always verify, proofs survive serialization and reject
+tampering, online policies conserve mass, backward induction is always
+subgame perfect, and the authority's accounting is self-consistent.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import MixedProfile
+from repro.games.extensive import (
+    backward_induction,
+    continuation_payoffs,
+    is_subgame_perfect,
+    random_extensive_game,
+)
+from repro.games.generators import random_bimatrix, random_coordination
+from repro.equilibria import (
+    check_mixed_nash,
+    is_mixed_nash,
+    lemke_howson,
+    maximal_pure_nash,
+    pure_nash_equilibria,
+    support_enumeration,
+)
+from repro.interactive import P1Prover, P1Verifier, run_p1_exchange
+from repro.proofs import (
+    build_max_nash_certificate,
+    certificate_from_json,
+    certificate_to_json,
+    check_certificate,
+)
+
+
+class TestSolverVerifierContracts:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_support_enumeration_and_lh_agree_on_verification(self, seed):
+        """Two independent solvers, one exact truth: everything either
+        finds is accepted by the same checker."""
+        game = random_bimatrix(3, 3, seed=seed)
+        candidates = list(support_enumeration(game, equal_size_only=True))
+        candidates.append(lemke_howson(game, seed % 6))
+        for eq in candidates:
+            report = check_mixed_nash(game, eq)
+            assert report.is_equilibrium
+            assert report.epsilon == 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_lh_equilibrium_passes_p1(self, seed):
+        game = random_bimatrix(3, 4, seed=seed)
+        eq = lemke_howson(game, seed % 7)
+        row_report, col_report = run_p1_exchange(game, eq)
+        assert row_report.accepted and col_report.accepted
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_maximal_pne_certificates_round_trip(self, seed):
+        game = random_coordination(3, seed=seed).to_strategic()
+        for candidate in maximal_pure_nash(game):
+            cert = build_max_nash_certificate(game, candidate)
+            wire = certificate_to_json(cert)
+            assert check_certificate(game, certificate_from_json(wire)).accepted
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(0, 50))
+    def test_tampered_enumeration_always_rejected(self, seed, drop_index):
+        """Dropping any single profile from an allNash enumeration must
+        be caught (cardinality or coverage)."""
+        from repro.proofs import AllNashCertificate, AllStratCertificate
+        from repro.proofs import build_all_nash_certificate
+
+        game = random_bimatrix(2, 3, seed=seed).to_strategic()
+        cert = build_all_nash_certificate(game)
+        profiles = list(cert.enumeration.profiles)
+        victim = profiles[drop_index % len(profiles)]
+        profiles.remove(victim)
+        tampered = AllNashCertificate(
+            enumeration=AllStratCertificate(profiles=tuple(profiles)),
+            equilibria=cert.equilibria,
+            refutations=cert.refutations,
+        )
+        assert not check_certificate(game, tampered).accepted
+
+
+class TestExtensiveFormProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_backward_induction_is_always_subgame_perfect(self, seed):
+        game = random_extensive_game(seed)
+        strategy, value = backward_induction(game)
+        assert is_subgame_perfect(game, strategy)
+        assert continuation_payoffs(game, strategy) == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_root_deviations_never_profit_against_spe(self, seed):
+        game = random_extensive_game(seed)
+        strategy, value = backward_induction(game)
+        root = game.root
+        from repro.games.extensive import DecisionNode
+
+        if isinstance(root, DecisionNode):
+            for alternative in range(len(root.children)):
+                deviant = dict(strategy)
+                deviant[root.label] = alternative
+                payoff = continuation_payoffs(game, deviant)[root.player]
+                assert payoff <= value[root.player]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=3, max_value=4),
+    )
+    def test_three_player_trees(self, seed, players):
+        game = random_extensive_game(seed, num_players=players)
+        strategy, __ = backward_induction(game)
+        assert is_subgame_perfect(game, strategy)
+
+
+class TestOnlineConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_greedy_conserves_mass(self, loads, m):
+        from repro.online import greedy_schedule
+
+        final = greedy_schedule(loads, m)
+        assert sum(final) == pytest.approx(sum(loads))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_inventor_simulation_conserves_mass(self, loads, m):
+        from repro.online import DynamicAverageStatistics, simulate_inventor
+
+        makespan = simulate_inventor(loads, m, DynamicAverageStatistics())
+        assert makespan <= sum(loads) + 1e-9
+        assert makespan >= sum(loads) / m - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=2, max_size=25),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_verified_session_equals_direct_simulation(self, loads, m):
+        from repro.crypto import KeyRegistry
+        from repro.online import DynamicAverageStatistics, simulate_inventor
+        from repro.online.consultation import (
+            OnlineLinkInventorService,
+            run_verified_session,
+        )
+
+        registry = KeyRegistry()
+        service = OnlineLinkInventorService(m, len(loads), registry)
+        result = run_verified_session(loads, m, service)
+        assert result.all_verified
+        baseline = simulate_inventor(loads, m, DynamicAverageStatistics())
+        assert result.makespan == pytest.approx(baseline, rel=1e-9)
+
+
+class TestAuthorityAccounting:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000))
+    def test_bus_bytes_balance(self, seed):
+        """Total bytes sent equals total bytes received, always."""
+        from repro.core import (AuthorityAgent, PureNashInventor,
+                                RationalityAuthority, standard_procedures)
+        from repro.games.generators import random_coordination
+
+        authority = RationalityAuthority(seed=seed)
+        authority.register_verifiers(standard_procedures())
+        authority.register_inventor(PureNashInventor("inv"))
+        authority.register_agent(AuthorityAgent("agent"))
+        authority.publish_game(
+            "inv", "g", random_coordination(2, seed=seed).to_strategic()
+        )
+        authority.consult("agent", "g")
+        endpoints = authority.bus.endpoints()
+        sent = sum(authority.bus.bytes_sent(e) for e in endpoints)
+        received = sum(authority.bus.bytes_received(e) for e in endpoints)
+        assert sent == received == authority.bus.total_bytes()
+
+    def test_reputation_scores_bounded(self):
+        from repro.core import ReputationStore
+
+        store = ReputationStore()
+        rng = random.Random(4)
+        for i in range(200):
+            store.record_vote(f"v{i % 7}", rng.random() < 0.5)
+        for name, score in store.ranking():
+            assert Fraction(0) < score < Fraction(1)
