@@ -7,10 +7,17 @@ Every bench prints a paper-vs-measured table and also writes it under
 * ``quick``   — smoke-test sizes (seconds);
 * ``default`` — laptop-scale, shape-faithful (the committed numbers);
 * ``full``    — the paper's parameters where applicable (minutes).
+
+Besides the human-readable ``.txt`` tables, benches can emit
+machine-readable ``BENCH_<name>.json`` files via :func:`record_metrics`
+so the performance trajectory is trackable across PRs: each file carries
+the bench name, the scale it ran at, the solver backend, and a list of
+``{"metric", "value"}`` pairs (plus free-form context per metric).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -42,5 +49,42 @@ def record_table(results_dir):
         print(text)
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+@pytest.fixture
+def record_metrics(results_dir, bench_scale):
+    """Persist machine-readable metrics to results/BENCH_<name>.json.
+
+    ``metrics`` is a list of dicts, each at least ``{"metric": str,
+    "value": number}``; extra keys (e.g. ``"size"``, ``"unit"``) ride
+    along verbatim.  ``backend`` names the solver backend the numbers
+    were measured on (``"exact"``, ``"float+certify"``, "auto", or
+    ``"mixed"`` for comparative benches).
+
+    The bare ``BENCH_<name>.json`` filename is reserved for the
+    committed default scale; quick/full runs write
+    ``BENCH_<name>.<scale>.json`` instead, so a smoke run never
+    clobbers the cross-PR trajectory data.
+    """
+
+    def _record(name: str, metrics: list[dict], backend: str = "exact") -> None:
+        for entry in metrics:
+            if "metric" not in entry or "value" not in entry:
+                raise ValueError(
+                    f"metric entries need 'metric' and 'value' keys: {entry!r}"
+                )
+        payload = {
+            "bench": name,
+            "scale": bench_scale,
+            "backend": backend,
+            "metrics": metrics,
+        }
+        suffix = "" if bench_scale == "default" else f".{bench_scale}"
+        path = results_dir / f"BENCH_{name}{suffix}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8"
+        )
 
     return _record

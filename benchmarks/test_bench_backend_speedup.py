@@ -1,0 +1,124 @@
+"""B1 — the two-phase pipeline: float search + exact certification.
+
+The paper's asymmetry (search is PPAD-hard, verification is cheap and
+must be exact) predicts that moving *search* onto a float backend while
+keeping *certification* exact should give a large constant-factor win
+with zero loss of soundness.  This bench measures exactly that claim on
+the two inventor-side solvers:
+
+* support enumeration over equal-cardinality supports at n = m (the
+  acceptance target: float+certify >= 3x faster at default scale);
+* Lemke-Howson from label 0 at a larger size (trajectory data).
+
+Soundness is asserted, not sampled: every profile the float pipeline
+returns must pass the seed's exact verifier, and on these seeds the
+returned equilibrium *sets* must match the exact pipeline bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import PaperComparison, TextTable
+from repro.equilibria.lemke_howson import lemke_howson
+from repro.equilibria.mixed import is_mixed_nash
+from repro.equilibria.support_enumeration import support_enumeration
+from repro.games.generators import random_bimatrix
+
+_REQUIRED_SPEEDUP = 3.0
+
+
+def _sizes(bench_scale):
+    # (support-enumeration size, Lemke-Howson size)
+    return {
+        "quick": (6, 12),
+        "default": (8, 24),
+        "full": (9, 32),
+    }[bench_scale]
+
+
+def test_bench_backend_speedup(benchmark, bench_scale, record_table, record_metrics):
+    se_size, lh_size = _sizes(bench_scale)
+
+    # --- Support enumeration: the acceptance target. ---
+    game = random_bimatrix(se_size, se_size, seed=2000 + se_size)
+    start = time.perf_counter()
+    exact_eqs = support_enumeration(game, equal_size_only=True)
+    exact_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    float_eqs = support_enumeration(
+        game, equal_size_only=True, policy="float+certify"
+    )
+    float_seconds = time.perf_counter() - start
+
+    assert all(is_mixed_nash(game, p) for p in float_eqs), (
+        "an uncertified profile escaped the float pipeline"
+    )
+    assert (
+        {p.distributions for p in exact_eqs}
+        == {p.distributions for p in float_eqs}
+    ), "float+certify returned a different equilibrium set than exact"
+    se_speedup = exact_seconds / float_seconds if float_seconds > 0 else float("inf")
+
+    # --- Lemke-Howson: trajectory data at a larger size. ---
+    lh_game = random_bimatrix(lh_size, lh_size, seed=3000 + lh_size)
+    start = time.perf_counter()
+    lh_exact = lemke_howson(lh_game, 0)
+    lh_exact_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    lh_float = lemke_howson(lh_game, 0, policy="float+certify")
+    lh_float_seconds = time.perf_counter() - start
+    assert is_mixed_nash(lh_game, lh_exact)
+    assert is_mixed_nash(lh_game, lh_float)
+    lh_speedup = (
+        lh_exact_seconds / lh_float_seconds if lh_float_seconds > 0 else float("inf")
+    )
+
+    table = TextTable(
+        ["solver", "n = m", "exact (s)", "float+certify (s)", "speedup", "equilibria"],
+        title="B1: two-phase pipeline vs exact-everywhere",
+    )
+    table.add_row(
+        "support-enumeration", se_size, f"{exact_seconds:.3f}",
+        f"{float_seconds:.3f}", f"{se_speedup:.1f}x", len(float_eqs),
+    )
+    table.add_row(
+        "lemke-howson", lh_size, f"{lh_exact_seconds:.4f}",
+        f"{lh_float_seconds:.4f}", f"{lh_speedup:.1f}x", 1,
+    )
+    record_table("b1_backend_speedup", table.render())
+    record_metrics(
+        "backend_speedup",
+        [
+            {"metric": "support_enumeration_speedup", "value": se_speedup,
+             "size": se_size, "unit": "x"},
+            {"metric": "support_enumeration_exact_seconds",
+             "value": exact_seconds, "size": se_size, "unit": "s"},
+            {"metric": "support_enumeration_float_seconds",
+             "value": float_seconds, "size": se_size, "unit": "s"},
+            {"metric": "equilibria_found", "value": len(float_eqs),
+             "size": se_size},
+            {"metric": "lemke_howson_speedup", "value": lh_speedup,
+             "size": lh_size, "unit": "x"},
+        ],
+        backend="mixed",
+    )
+
+    comparison = PaperComparison("B1 / two-phase pipeline")
+    comparison.add(
+        "float search + exact certify beats exact search",
+        f">= {_REQUIRED_SPEEDUP:.0f}x",
+        f"{se_speedup:.1f}x",
+        se_speedup >= _REQUIRED_SPEEDUP,
+    )
+    comparison.add(
+        "no approximate profile escapes to core",
+        "all certified exactly",
+        "all certified exactly",
+        all(is_mixed_nash(game, p) for p in float_eqs),
+    )
+    record_table("b1_backend_comparison", comparison.render())
+    assert comparison.all_match()
+
+    # Timed target for pytest-benchmark: the float+certify hard step.
+    benchmark(lambda: lemke_howson(lh_game, 0, policy="float+certify"))

@@ -28,7 +28,7 @@ def _sizes(bench_scale):
     }[bench_scale]
 
 
-def test_bench_p1_verifier_scaling(benchmark, bench_scale, record_table):
+def test_bench_p1_verifier_scaling(benchmark, bench_scale, record_table, record_metrics):
     sizes = _sizes(bench_scale)
     table = TextTable(
         ["n = m", "verify (ms)", "bare solve (ms)", "ratio", "prover bits", "n+m"],
@@ -94,6 +94,16 @@ def test_bench_p1_verifier_scaling(benchmark, bench_scale, record_table):
     )
     record_table("e4_p1_comparison", comparison.render())
     assert comparison.all_match()
+    record_metrics(
+        "p1_scaling",
+        [
+            {"metric": "verify_seconds", "value": v, "size": size, "unit": "s"}
+            for size, __, v, __ in rows
+        ]
+        + [{"metric": "worst_verify_to_solve_ratio", "value": worst_ratio,
+            "unit": "x"}],
+        backend="exact",
+    )
 
     # Timed target for pytest-benchmark: mid-size verification.
     size = sizes[-1]

@@ -4,7 +4,8 @@ PODC 2011 brief announcement, LNCS 9295 full version).
 
 The package layers, bottom to top:
 
-* :mod:`repro.linalg` — exact rational linear algebra;
+* :mod:`repro.linalg` — rational linear algebra plus the pluggable
+  numeric-backend seam (see *Architecture & backends* below);
 * :mod:`repro.games` — strategic-form / bimatrix / symmetric /
   participation / congestion games;
 * :mod:`repro.equilibria` — best replies, pure and mixed Nash,
@@ -18,6 +19,35 @@ The package layers, bottom to top:
   model, the inventor's statistics and the Fig. 7 simulation;
 * :mod:`repro.core` — the rationality authority itself: actors,
   advice, verifier registry, reputation, audit, sessions.
+
+Architecture & backends
+=======================
+
+The paper's central asymmetry — *finding* an equilibrium is PPAD-hard
+while *verifying* one is cheap and must be exact — is mirrored by a
+two-phase solver pipeline rooted in :mod:`repro.linalg.backend`:
+
+1. **Search** runs on a pluggable
+   :class:`~repro.linalg.backend.NumericBackend`.  The default
+   :class:`~repro.linalg.backend.ExactBackend` keeps the original
+   Fraction semantics bit for bit; the stdlib-only
+   :class:`~repro.linalg.backend.FloatBackend` runs the same
+   elimination/simplex in float64 with pivot tolerances, avoiding the
+   rational coefficient growth that dominates exact pivoting.
+2. **Certification** is always exact.  Float-found candidates are
+   reconstructed as Fractions by a support-restricted exact re-solve
+   and must pass the exact Lemma-1 conditions
+   (:func:`repro.equilibria.mixed.certify_mixed_profile`) before they
+   leave the solver layer; any doubt falls back to the exact path.
+
+Callers select a mode through
+:class:`~repro.linalg.backend.BackendPolicy` — ``"exact"``,
+``"float+certify"`` or ``"auto"`` — which the inventors in
+:mod:`repro.core.actors` accept, advertise on each
+:class:`~repro.core.advice.Advice`, and the session records in the
+audit log.  Verification procedures stay exact in every mode: the
+backend changes what the *inventor's search* costs, never what a proof
+obliges.
 """
 
 __version__ = "1.0.0"

@@ -24,6 +24,12 @@ from typing import Any
 from repro.core.advice import Advice, ProofFormat, SolutionConcept
 from repro.errors import EquilibriumError, ProtocolError
 from repro.games.base import Game
+from repro.linalg.backend import (
+    MODE_EXACT,
+    MODE_FLOAT_CERTIFY,
+    BackendPolicy,
+    resolve_policy,
+)
 from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
 from repro.games.participation import ParticipationGame
 from repro.games.profiles import MixedProfile
@@ -97,25 +103,55 @@ class PureNashInventor(GameInventor):
 
 class BimatrixInventor(GameInventor):
     """Computes a mixed equilibrium (the PPAD-hard step) and proves it
-    interactively: P1 when privacy is "open", P2 when "private"."""
+    interactively: P1 when privacy is "open", P2 when "private".
+
+    ``backend`` selects the numeric search policy for the hard step
+    (``"exact"``, ``"float+certify"`` or ``"auto"``; also accepts a
+    :class:`~repro.linalg.backend.BackendPolicy`).  The solvers certify
+    float-found candidates exactly before returning, so in every mode
+    the advice is an exact, certified equilibrium carrying the same
+    proof obligations — only the inventor's search cost changes.  On
+    degenerate games with multiple equilibria the float search may
+    settle on a *different* (equally exact) equilibrium than the exact
+    search would, which is why the mode that actually ran is recorded
+    on the advice for the audit log.
+    """
 
     def __init__(self, name: str, method: str = "lemke-howson",
-                 commitment_mode: bool = False, rng: random.Random | None = None):
+                 commitment_mode: bool = False, rng: random.Random | None = None,
+                 backend: str | BackendPolicy | None = None):
         super().__init__(name)
         if method not in ("lemke-howson", "support-enumeration"):
             raise ProtocolError(f"unknown solve method {method!r}")
         self._method = method
         self._commitments = commitment_mode
         self._rng = rng or random.Random(0)
+        self._policy = resolve_policy(backend)
         self._cache: dict[str, MixedProfile] = {}
+
+    @property
+    def backend_mode(self) -> str:
+        """The search mode this inventor was configured with."""
+        return self._policy.mode
+
+    def effective_backend(self, game: BimatrixGame) -> str:
+        """The mode the policy actually resolves to for this game.
+
+        This — not the requested mode — is what the advice records: an
+        "auto" policy that stayed exact on a small game must not be
+        audited as an approximate search.
+        """
+        n, m = game.action_counts
+        backend = self._policy.search_backend(n + m)
+        return MODE_EXACT if backend.exact else MODE_FLOAT_CERTIFY
 
     def solve(self, game_id: str, game: BimatrixGame) -> MixedProfile:
         """The inventor's expensive step, cached per game."""
         if game_id not in self._cache:
             if self._method == "lemke-howson":
-                self._cache[game_id] = lemke_howson(game, 0)
+                self._cache[game_id] = lemke_howson(game, 0, policy=self._policy)
             else:
-                self._cache[game_id] = find_one_equilibrium(game)
+                self._cache[game_id] = find_one_equilibrium(game, policy=self._policy)
         return self._cache[game_id]
 
     def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
@@ -138,6 +174,7 @@ class BimatrixInventor(GameInventor):
                 suggestion=equilibrium.distribution(agent_index),
                 proof=None,
                 inventor=self.name,
+                backend=self.effective_backend(game),
             )
             return AdvicePackage(advice=advice, prover=prover)
         announcement = P1Prover(game, equilibrium).announce()
@@ -157,21 +194,42 @@ class BimatrixInventor(GameInventor):
                 "column_support": list(announcement.column_support),
             },
             inventor=self.name,
+            backend=self.effective_backend(game),
         )
         return AdvicePackage(advice=advice)
 
 
 class ParticipationInventor(GameInventor):
-    """Sect. 5: computes the symmetric equilibrium p and advises it to all."""
+    """Sect. 5: computes the symmetric equilibrium p and advises it to all.
 
-    def __init__(self, name: str, prefer: str = "small"):
+    ``backend`` selects the root-scan policy (the advised p is an exact
+    rational in every mode — only the grid scan that brackets it runs in
+    float under "float+certify"/"auto").
+    """
+
+    def __init__(self, name: str, prefer: str = "small",
+                 backend: str | BackendPolicy | None = None):
         super().__init__(name)
         self._prefer = prefer
+        self._policy = resolve_policy(backend)
         self._cache: dict[str, Fraction] = {}
+
+    @property
+    def backend_mode(self) -> str:
+        """The search mode this inventor was configured with."""
+        return self._policy.mode
+
+    def effective_backend(self, game: ParticipationGame) -> str:
+        """The mode the policy resolves to for this game (see
+        :meth:`BimatrixInventor.effective_backend`)."""
+        backend = self._policy.search_backend(game.num_players)
+        return MODE_EXACT if backend.exact else MODE_FLOAT_CERTIFY
 
     def equilibrium_probability(self, game_id: str, game: ParticipationGame) -> Fraction:
         if game_id not in self._cache:
-            self._cache[game_id] = participation_equilibrium(game, prefer=self._prefer)
+            self._cache[game_id] = participation_equilibrium(
+                game, prefer=self._prefer, policy=self._policy
+            )
         return self._cache[game_id]
 
     def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
@@ -186,6 +244,7 @@ class ParticipationInventor(GameInventor):
             suggestion=p,
             proof={"identity": "eq5", "p": f"{p.numerator}/{p.denominator}"},
             inventor=self.name,
+            backend=self.effective_backend(game),
         )
         return AdvicePackage(advice=advice)
 
@@ -207,7 +266,9 @@ class TwoFacedParticipationInventor(ParticipationInventor):
     def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
         if not isinstance(game, ParticipationGame):
             raise ProtocolError("ParticipationInventor advises participation games")
-        roots = [p for p in symmetric_equilibria(game) if 0 < p < 1]
+        roots = [
+            p for p in symmetric_equilibria(game, policy=self._policy) if 0 < p < 1
+        ]
         if len(roots) < 2:
             return super().advise(game_id, game, agent, privacy)
         p = roots[self._flip % len(roots)]
@@ -220,6 +281,7 @@ class TwoFacedParticipationInventor(ParticipationInventor):
             suggestion=p,
             proof={"identity": "eq5", "p": f"{p.numerator}/{p.denominator}"},
             inventor=self.name,
+            backend=self.effective_backend(game),
         )
         return AdvicePackage(advice=advice)
 
@@ -307,6 +369,7 @@ class MisadvisingInventor(GameInventor):
             suggestion=self._corrupt(advice.suggestion),
             proof=advice.proof,
             inventor=self.name,
+            backend=advice.backend,
         )
         return AdvicePackage(advice=corrupted, prover=package.prover)
 

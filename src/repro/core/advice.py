@@ -19,6 +19,11 @@ from typing import Any
 
 from repro.errors import ProtocolError
 from repro.games.profiles import MixedProfile
+from repro.linalg.backend import MODE_EXACT, MODE_FLOAT_CERTIFY
+
+#: Advice records the backend that actually ran, so "auto" (a request,
+#: not a resolution) is deliberately not accepted here.
+RESOLVED_BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY)
 
 
 class SolutionConcept(enum.Enum):
@@ -159,6 +164,14 @@ class Advice:
     dependent payload (an encoded certificate, an equilibrium for the
     interactive provers, the claimed p, or the inputs of a deterministic
     recomputation).
+
+    ``backend`` records which numeric search mode actually produced the
+    suggestion — ``"exact"`` or ``"float+certify"``; an "auto" *policy*
+    must be resolved to one of the two before advising, so the audit
+    trail always shows what ran.  Whatever the search mode, the
+    suggestion's numbers are exact rationals — float-backed inventors
+    certify before they advise — so the proof obligations are identical
+    in every mode.
     """
 
     game_id: str
@@ -168,6 +181,7 @@ class Advice:
     suggestion: Any
     proof: Any
     inventor: str = ""
+    backend: str = MODE_EXACT
 
     def __post_init__(self):
         info = CONCEPT_LIBRARY.get(self.concept)
@@ -178,6 +192,11 @@ class Advice:
                 f"{self.proof_format.value} proofs cannot establish "
                 f"{self.concept.value}"
             )
+        if self.backend not in RESOLVED_BACKEND_MODES:
+            raise ProtocolError(
+                f"unknown solver backend {self.backend!r}; "
+                f"expected one of {RESOLVED_BACKEND_MODES}"
+            )
 
     def concept_info(self) -> ConceptInfo:
         """The library entry the verifier shows the user."""
@@ -187,8 +206,14 @@ class Advice:
 def describe_advice(advice: Advice) -> str:
     """The verifier-side notice: concept, consequences, proof format."""
     info = advice.concept_info()
-    return (
+    notice = (
         f"Solution concept: {info.concept.value}. {info.description} "
         f"Consequences: {info.consequences} "
         f"Proof format: {advice.proof_format.value}."
     )
+    if advice.backend != MODE_EXACT:
+        notice += (
+            f" Solver backend: {advice.backend} (search was approximate; "
+            f"the suggestion itself is exact and certified)."
+        )
+    return notice

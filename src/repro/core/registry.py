@@ -53,10 +53,19 @@ class Verdict:
 
 @dataclass
 class VerificationContext:
-    """Everything a procedure may need beyond the game and the advice."""
+    """Everything a procedure may need beyond the game and the advice.
+
+    ``backend`` echoes the solver mode the advice declares (see
+    :class:`~repro.linalg.backend.BackendPolicy`).  It is informational:
+    verification procedures are the certification side of the two-phase
+    pipeline and always evaluate the proof obligations with exact
+    arithmetic, whatever backend the *inventor* searched on.  Procedures
+    may use it to annotate their verdicts or price their service.
+    """
 
     rng: random.Random
     prover: Any = None  # live prover handle for interactive formats
+    backend: str = "exact"
 
 
 class VerificationProcedure(abc.ABC):

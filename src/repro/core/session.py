@@ -79,6 +79,7 @@ def advice_wire_summary(advice: Advice) -> dict[str, Any]:
         "proof_format": advice.proof_format.value,
         "suggestion": suggestion,
         "proof": proof,
+        "backend": advice.backend,
     }
 
 
@@ -156,6 +157,7 @@ class ConsultationSession:
             game_id=self._game_id,
             concept=package.advice.concept.value,
             proof_format=package.advice.proof_format.value,
+            backend=package.advice.backend,
         )
         self._package = package
         self._state = _ADVISED
@@ -183,7 +185,9 @@ class ConsultationSession:
         verdicts = []
         for name in chosen_names:
             procedure = self._registry.get(name)
-            context = VerificationContext(rng=self._rng, prover=package.prover)
+            context = VerificationContext(
+                rng=self._rng, prover=package.prover, backend=advice.backend
+            )
             try:
                 verdict = procedure.verify(self._game, advice, context)
             except Exception as exc:  # noqa: BLE001 - a crashing verifier

@@ -95,3 +95,15 @@ def best_reply_gap(game: Game, player: int, mixed: MixedProfile) -> Fraction:
     best = max(payoffs)
     current = game.expected_payoff(player, mixed)
     return best - current
+
+
+def best_reply_gaps(game: Game, mixed: MixedProfile) -> tuple[Fraction, ...]:
+    """Every player's deviation gap at ``mixed`` (all zero iff Nash).
+
+    The vector the certification gate and the epsilon-Nash checks both
+    consume; computing it in one pass keeps the exact verification cost
+    at Lemma 1's one-solve scale.
+    """
+    return tuple(
+        best_reply_gap(game, player, mixed) for player in game.players()
+    )

@@ -6,6 +6,11 @@ for every player, all supported actions attain the maximal expected
 payoff against the others.  Checking this is polynomial given the profile
 — which is precisely why verification can be cheap while computation is
 PPAD-hard.
+
+In the two-phase solver pipeline this module is the *certification*
+side: whatever numeric backend a search ran on, its candidates pass
+through :func:`certify_mixed_profile` (exact arithmetic, no epsilon)
+before they are allowed out of the solver layer.
 """
 
 from __future__ import annotations
@@ -16,7 +21,11 @@ from fractions import Fraction
 from repro.fractions_util import to_fraction
 from repro.games.base import Game
 from repro.games.profiles import MixedProfile
-from repro.equilibria.best_reply import best_reply_gap, mixed_action_payoffs
+from repro.equilibria.best_reply import (
+    best_reply_gap,
+    best_reply_gaps,
+    mixed_action_payoffs,
+)
 
 
 @dataclass(frozen=True)
@@ -51,13 +60,25 @@ def is_mixed_nash(game: Game, mixed: MixedProfile) -> bool:
 
 def check_mixed_nash(game: Game, mixed: MixedProfile) -> MixedNashReport:
     """Full report: equilibrium flag, per-player gaps and values."""
-    gaps = tuple(best_reply_gap(game, player, mixed) for player in game.players())
+    gaps = best_reply_gaps(game, mixed)
     values = tuple(game.expected_payoff(player, mixed) for player in game.players())
     return MixedNashReport(
         is_equilibrium=all(g == 0 for g in gaps),
         gaps=gaps,
         values=values,
     )
+
+
+def certify_mixed_profile(game: Game, candidate: MixedProfile) -> MixedProfile | None:
+    """The exact certification gate of the two-phase pipeline.
+
+    Returns ``candidate`` itself when it passes the exact support
+    characterization, None otherwise.  Search backends (float or exact)
+    must route every candidate through this gate after rational
+    reconstruction; a None sends the caller back to the exact search
+    path, so no approximate profile ever reaches :mod:`repro.core`.
+    """
+    return candidate if is_mixed_nash(game, candidate) else None
 
 
 def is_epsilon_nash(game: Game, mixed: MixedProfile, epsilon) -> bool:

@@ -1,4 +1,4 @@
-"""Support enumeration for bimatrix games — exact, exhaustive, slow.
+"""Support enumeration for bimatrix games — exact answers, pluggable search.
 
 This is the inventor-side computation whose *hardness* motivates the
 paper: finding a mixed equilibrium is PPAD-complete in general, and the
@@ -13,9 +13,15 @@ sides):
 * x is a distribution supported within S1 making all columns in S2 earn
   a common value λ2 and all columns outside S2 earn at most λ2.
 
-Each side is an exact LP feasibility question solved with
-:mod:`repro.linalg.lp`.  Everything is Fractions end to end, so returned
-equilibria verify *exactly*.
+Each side is an LP feasibility question.  The *search* for a feasible
+point runs on a configurable :class:`~repro.linalg.backend.NumericBackend`
+(two-phase pipeline): with the default exact backend everything is
+Fractions end to end, exactly as the seed behaved; with a float backend
+the feasibility screen runs in float64, positive candidates are
+reconstructed as Fractions by a support-restricted exact re-solve, and
+every reconstruction is checked against the exact Lemma-1 conditions
+before it is returned — an inconclusive or uncertifiable float answer
+falls back to the exact LP, so no approximate profile ever escapes.
 """
 
 from __future__ import annotations
@@ -24,13 +30,148 @@ import itertools
 from fractions import Fraction
 from typing import Iterator, Sequence
 
-from repro.errors import EquilibriumError
+from repro.errors import BackendError, EquilibriumError, LinearAlgebraError
 from repro.games.bimatrix import BimatrixGame
 from repro.games.profiles import MixedProfile
+from repro.linalg.backend import NumericBackend, float_matrix, resolve_policy
+from repro.linalg.exact import solve_linear_system
 from repro.linalg.lp import find_feasible_point
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
+
+#: Fallback support threshold for backends that do not define one.
+_SUPPORT_TOL = 1e-7
+
+
+def _feasibility_rows(
+    payoff_rows: Sequence[Sequence],
+    own_support: tuple[int, ...],
+    other_support: tuple[int, ...],
+    zero,
+    one,
+) -> tuple[list, list, int]:
+    """The Lemma-1 one-side feasibility system over any arithmetic.
+
+    Variables: the mix q over ``other_support``, λ = λ⁺ - λ⁻ (free), and
+    one slack per off-support action of ours.  Returns (rows, rhs,
+    num_vars); ``zero``/``one`` select the arithmetic (Fraction or float).
+    """
+    num_own = len(payoff_rows)
+    off_support = tuple(i for i in range(num_own) if i not in set(own_support))
+    k = len(other_support)
+    num_vars = k + 2 + len(off_support)  # q..., lam_plus, lam_minus, slacks...
+    lam_plus = k
+    lam_minus = k + 1
+    rows: list[list] = []
+    rhs: list = []
+
+    # Supported actions: payoff(i) - λ = 0.
+    for i in own_support:
+        row = [zero] * num_vars
+        for idx, j in enumerate(other_support):
+            row[idx] = payoff_rows[i][j]
+        row[lam_plus] = -one
+        row[lam_minus] = one
+        rows.append(row)
+        rhs.append(zero)
+
+    # Off-support actions: payoff(i) + slack = λ  (i.e. payoff(i) <= λ).
+    for slack_idx, i in enumerate(off_support):
+        row = [zero] * num_vars
+        for idx, j in enumerate(other_support):
+            row[idx] = payoff_rows[i][j]
+        row[lam_plus] = -one
+        row[lam_minus] = one
+        row[k + 2 + slack_idx] = one
+        rows.append(row)
+        rhs.append(zero)
+
+    # The mix is a probability distribution over the support.
+    row = [zero] * num_vars
+    for idx in range(k):
+        row[idx] = one
+    rows.append(row)
+    rhs.append(one)
+    return rows, rhs, num_vars
+
+
+def _exact_one_side(
+    payoff_rows: Sequence[Sequence[Fraction]],
+    own_support: tuple[int, ...],
+    other_support: tuple[int, ...],
+    num_other_actions: int,
+) -> tuple[tuple[Fraction, ...], Fraction] | None:
+    """The seed path: exact LP feasibility, Fractions end to end."""
+    rows, rhs, __ = _feasibility_rows(
+        payoff_rows, own_support, other_support, _ZERO, _ONE
+    )
+    k = len(other_support)
+    point = find_feasible_point(rows, rhs)
+    if point is None:
+        return None
+    full_mix = [_ZERO] * num_other_actions
+    for idx, j in enumerate(other_support):
+        full_mix[j] = point[idx]
+    value = point[k] - point[k + 1]
+    return tuple(full_mix), value
+
+
+def reconstruct_one_side(
+    payoff_rows: Sequence[Sequence[Fraction]],
+    own_support: tuple[int, ...],
+    refined_other: tuple[int, ...],
+    num_other_actions: int,
+) -> tuple[tuple[Fraction, ...], Fraction] | None:
+    """Exact support-restricted re-solve of a float candidate.
+
+    Solves the *linear system* "all of ``own_support`` earns a common λ
+    under a mix on ``refined_other`` summing to one" exactly, then checks
+    the full Lemma-1 side conditions (probabilities in [0, 1], every
+    off-``own_support`` action earning at most λ) with exact arithmetic.
+    Returns None when the system is inconsistent, underdetermined, or the
+    checks fail — the caller then falls back to the exact LP.
+
+    This is shared certification infrastructure: both the support-
+    enumeration screen and the Lemke-Howson float endpoint rebuild their
+    candidates through it.
+    """
+    if not refined_other:
+        return None
+    k = len(refined_other)
+    # Unknowns: q over refined_other, then λ (free sign — plain system).
+    matrix: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    for i in own_support:
+        row = [payoff_rows[i][j] for j in refined_other]
+        row.append(-_ONE)
+        matrix.append(row)
+        rhs.append(_ZERO)
+    matrix.append([_ONE] * k + [_ZERO])
+    rhs.append(_ONE)
+    try:
+        particular, basis = solve_linear_system(matrix, rhs)
+    except LinearAlgebraError:
+        return None
+    if basis:
+        return None  # underdetermined: let the exact LP pick a vertex
+    q = particular[:k]
+    value = particular[k]
+    if any(p < 0 or p > 1 for p in q):
+        return None
+    full_mix = [_ZERO] * num_other_actions
+    for idx, j in enumerate(refined_other):
+        full_mix[j] = q[idx]
+    own = set(own_support)
+    for i in range(len(payoff_rows)):
+        if i in own:
+            continue
+        earned = sum(
+            (payoff_rows[i][j] * full_mix[j] for j in refined_other), start=_ZERO
+        )
+        if earned > value:
+            return None
+    return tuple(full_mix), value
 
 
 def solve_one_side(
@@ -38,6 +179,8 @@ def solve_one_side(
     own_support: Sequence[int],
     other_support: Sequence[int],
     num_other_actions: int,
+    backend: NumericBackend | None = None,
+    float_rows: Sequence[Sequence[float]] | None = None,
 ) -> tuple[tuple[Fraction, ...], Fraction] | None:
     """Find the *other* player's mix that makes ``own_support`` optimal.
 
@@ -45,85 +188,79 @@ def solve_one_side(
     player's action j.  Returns ``(full_mix, value)`` where ``full_mix``
     is the other player's distribution (length ``num_other_actions``) and
     ``value`` is our common supported payoff λ — or None if infeasible.
-
-    Variables of the feasibility LP: the mix q over ``other_support``,
-    λ = λ⁺ - λ⁻ (free), and one slack per off-support action of ours.
+    The returned values are always exact Fractions, whatever ``backend``
+    the search phase ran on; ``float_rows`` optionally carries a
+    pre-converted float copy of ``payoff_rows`` so enumeration loops do
+    not re-convert the payoff matrix per support pair.
     """
     own_support = tuple(own_support)
     other_support = tuple(other_support)
-    num_own = len(payoff_rows)
     if not own_support or not other_support:
         return None
-    off_support = tuple(i for i in range(num_own) if i not in set(own_support))
 
-    k = len(other_support)
-    num_vars = k + 2 + len(off_support)  # q..., lam_plus, lam_minus, slacks...
-    lam_plus = k
-    lam_minus = k + 1
-    rows: list[list[Fraction]] = []
-    rhs: list[Fraction] = []
-
-    # Supported actions: payoff(i) - λ = 0.
-    for i in own_support:
-        row = [_ZERO] * num_vars
-        for idx, j in enumerate(other_support):
-            row[idx] = payoff_rows[i][j]
-        row[lam_plus] = -_ONE
-        row[lam_minus] = _ONE
-        rows.append(row)
-        rhs.append(_ZERO)
-
-    # Off-support actions: payoff(i) + slack = λ  (i.e. payoff(i) <= λ).
-    for slack_idx, i in enumerate(off_support):
-        row = [_ZERO] * num_vars
-        for idx, j in enumerate(other_support):
-            row[idx] = payoff_rows[i][j]
-        row[lam_plus] = -_ONE
-        row[lam_minus] = _ONE
-        row[k + 2 + slack_idx] = _ONE
-        rows.append(row)
-        rhs.append(_ZERO)
-
-    # The mix is a probability distribution over the support.
-    row = [_ZERO] * num_vars
-    for idx in range(k):
-        row[idx] = _ONE
-    rows.append(row)
-    rhs.append(_ONE)
-
-    point = find_feasible_point(rows, rhs)
-    if point is None:
-        return None
-    full_mix = [_ZERO] * num_other_actions
-    for idx, j in enumerate(other_support):
-        full_mix[j] = point[idx]
-    value = point[lam_plus] - point[lam_minus]
-    return tuple(full_mix), value
+    if backend is not None and not backend.exact:
+        if float_rows is None:
+            float_rows = float_matrix(payoff_rows)
+        rows, rhs, __ = _feasibility_rows(
+            float_rows, own_support, other_support, 0.0, 1.0
+        )
+        try:
+            point = backend.find_feasible_point(rows, rhs)
+        except BackendError:
+            point = None
+            inconclusive = True
+        else:
+            inconclusive = False
+            if point is None:
+                return None  # confidently infeasible — pruned
+        if not inconclusive:
+            support_tol = getattr(backend, "support_tol", _SUPPORT_TOL)
+            refined = tuple(
+                j for idx, j in enumerate(other_support)
+                if point[idx] > support_tol
+            )
+            reconstructed = reconstruct_one_side(
+                payoff_rows, own_support, refined, num_other_actions
+            )
+            if reconstructed is not None:
+                return reconstructed
+        # Inconclusive float answer or failed certification: exact path.
+    return _exact_one_side(
+        payoff_rows, own_support, other_support, num_other_actions
+    )
 
 
 def equilibrium_for_supports(
     game: BimatrixGame,
     row_support: Sequence[int],
     col_support: Sequence[int],
+    backend: NumericBackend | None = None,
+    _float_cache: tuple | None = None,
 ) -> tuple[MixedProfile, Fraction, Fraction] | None:
     """One exact equilibrium with the given supports, or None.
 
     Returns ``(profile, λ1, λ2)``.  The returned profile's supports may be
     *subsets* of the requested ones (a feasible point may put zero weight
     on a requested action); callers that need support-exact equilibria
-    should compare :meth:`MixedProfile.supports`.
+    should compare :meth:`MixedProfile.supports`.  Whatever the search
+    backend, the returned profile is exact (see :func:`solve_one_side`).
     """
     a = game.row_matrix
-    b = game.column_matrix
+    b_cols = game.column_matrix_transposed
     n, m = game.action_counts
+    a_float, b_cols_float = _float_cache if _float_cache else (None, None)
 
     # The column mix y makes the row support indifferent (uses A).
-    y_solution = solve_one_side(a, row_support, col_support, m)
+    y_solution = solve_one_side(
+        a, row_support, col_support, m, backend=backend, float_rows=a_float
+    )
     if y_solution is None:
         return None
     # The row mix x makes the column support indifferent (uses B columns).
-    b_cols = tuple(tuple(b[i][j] for i in range(n)) for j in range(m))
-    x_solution = solve_one_side(b_cols, col_support, row_support, n)
+    x_solution = solve_one_side(
+        b_cols, col_support, row_support, n, backend=backend,
+        float_rows=b_cols_float,
+    )
     if x_solution is None:
         return None
 
@@ -154,24 +291,66 @@ def support_pairs(
             yield rs, cs
 
 
+def _search_setup(game: BimatrixGame, policy):
+    """Resolve the policy to a backend and float payoff caches."""
+    n, m = game.action_counts
+    backend = resolve_policy(policy).search_backend(n + m)
+    if backend.exact:
+        return None, None
+    cache = (
+        float_matrix(game.row_matrix),
+        float_matrix(game.column_matrix_transposed),
+    )
+    return backend, cache
+
+
+def _certified(game: BimatrixGame, profile: MixedProfile) -> bool:
+    """The exact certification gate every search candidate passes through."""
+    from repro.equilibria.mixed import certify_mixed_profile
+
+    return certify_mixed_profile(game, profile) is not None
+
+
 def support_enumeration(
-    game: BimatrixGame, equal_size_only: bool = False
+    game: BimatrixGame, equal_size_only: bool = False, policy=None
 ) -> tuple[MixedProfile, ...]:
     """All equilibria found by support enumeration, deduplicated.
 
     With ``equal_size_only`` the search restricts to equal-cardinality
     supports — complete for non-degenerate games and much faster; the
     default scans every pair, which also picks up degenerate equilibria
-    such as the Fig. 5 continuum's extreme points.
+    such as the Fig. 5 continuum's extreme points.  ``policy`` selects
+    the numeric search backend (``None``/"exact" is the seed behaviour;
+    "float+certify" screens support pairs in float64 and certifies every
+    candidate exactly before it is returned).
+
+    Soundness is unconditional in every mode: nothing uncertified is
+    ever returned.  *Completeness* of the float screen is heuristic:
+    the float LP row-equilibrates and treats only clear margins as
+    infeasible (anything borderline is re-decided exactly), but a
+    knife-edge support pair whose feasibility margin sits below float
+    resolution can in principle be pruned.  Callers that must not miss
+    any equilibrium use the exact policy.
     """
+    backend, float_cache = _search_setup(game, policy)
     seen: set[tuple] = set()
     out: list[MixedProfile] = []
     n, m = game.action_counts
     for rs, cs in support_pairs(n, m, equal_size_only=equal_size_only):
-        result = equilibrium_for_supports(game, rs, cs)
+        result = equilibrium_for_supports(
+            game, rs, cs, backend=backend, _float_cache=float_cache
+        )
         if result is None:
             continue
         profile, __, __ = result
+        if backend is not None and not _certified(game, profile):
+            # A candidate slipped past the exact reconstruction (it
+            # cannot, but the gate is the guarantee, not the search):
+            # recompute this pair on the exact path.
+            result = equilibrium_for_supports(game, rs, cs)
+            if result is None:
+                continue
+            profile = result[0]
         key = profile.distributions
         if key not in seen:
             seen.add(key)
@@ -179,17 +358,28 @@ def support_enumeration(
     return tuple(out)
 
 
-def find_one_equilibrium(game: BimatrixGame) -> MixedProfile:
+def find_one_equilibrium(game: BimatrixGame, policy=None) -> MixedProfile:
     """The first equilibrium support enumeration finds (smallest support).
 
     Every finite game has one (Nash 1950), so exhausting the support pairs
-    without a hit indicates an internal error.
+    without a hit indicates an internal error — or, on a float search
+    backend, an over-aggressive screen; in that case the scan is repeated
+    on the exact path before concluding anything.
     """
+    backend, float_cache = _search_setup(game, policy)
     n, m = game.action_counts
     for rs, cs in support_pairs(n, m):
-        result = equilibrium_for_supports(game, rs, cs)
+        result = equilibrium_for_supports(
+            game, rs, cs, backend=backend, _float_cache=float_cache
+        )
         if result is not None:
-            return result[0]
+            profile = result[0]
+            if backend is None or _certified(game, profile):
+                return profile
+    if backend is not None:
+        # The float screen may have pruned a knife-edge support pair;
+        # the exact rescan is the authoritative answer.
+        return find_one_equilibrium(game)
     raise EquilibriumError(
         "support enumeration found no equilibrium; this contradicts Nash's theorem"
     )

@@ -24,9 +24,14 @@ from repro.errors import EquilibriumError, GameError
 from repro.fractions_util import to_fraction
 from repro.games.participation import ParticipationGame
 from repro.games.symmetric import SymmetricTwoActionGame
+from repro.linalg.backend import resolve_policy
 
 _DEFAULT_TOL = Fraction(1, 10**12)
 _DEFAULT_GRID = 256
+
+#: Float pre-scan: grid values within this relative band of zero are
+#: treated as sign-ambiguous and re-decided exactly.
+_FLOAT_ZERO_BAND = 1e-9
 
 
 def exact_sqrt(value: Fraction) -> Fraction | None:
@@ -69,10 +74,56 @@ def solve_k2_closed_form(game: ParticipationGame) -> tuple[Fraction, Fraction] |
     return small, large
 
 
+def _float_gap_table(game: SymmetricTwoActionGame) -> list[float]:
+    """``float(u(1, x) - u(0, x))`` for every opponent count ``x``.
+
+    The difference is taken in exact arithmetic *before* the float
+    conversion: payoffs sharing a huge common term (u = B + small) would
+    otherwise cancel catastrophically and flatten the table to zero.
+    """
+    return [
+        float(game.compact_payoff(1, x) - game.compact_payoff(0, x))
+        for x in range(game.num_players)
+    ]
+
+
+def _float_gap(coeffs: list[float], opponents: int, p: float) -> float:
+    """The indifference gap at ``p`` in float64 (search phase only).
+
+    ``coeffs[x]`` is ``comb(opponents, x) * table[x]`` — the binomial
+    weights are constant across the grid, so they are folded in once by
+    the caller rather than recomputed for all 257 grid points.
+    """
+    gap = 0.0
+    q = 1.0 - p
+    for x in range(opponents + 1):
+        gap += coeffs[x] * (p ** x) * (q ** (opponents - x))
+    return gap
+
+
+def _candidate_intervals(values: list[float], scale: float) -> list[int]:
+    """Grid intervals a float scan cannot rule out as root-bearing.
+
+    An interval qualifies when the endpoint signs differ, or either
+    endpoint sits inside the zero band (float cannot call the sign).
+    ``scale`` is the magnitude of the gap *table* — the binomial sum's
+    error is a few ulps of that, not of the (possibly cancelled) sum
+    itself.  Everything returned is re-decided with exact arithmetic.
+    """
+    band = _FLOAT_ZERO_BAND * (scale or 1.0)
+    out = []
+    for i in range(len(values) - 1):
+        lo, hi = values[i], values[i + 1]
+        if abs(lo) <= band or abs(hi) <= band or (lo < 0.0) != (hi < 0.0):
+            out.append(i)
+    return out
+
+
 def find_interior_equilibria(
     game: SymmetricTwoActionGame,
     tolerance: Fraction = _DEFAULT_TOL,
     grid: int = _DEFAULT_GRID,
+    policy=None,
 ) -> tuple[Fraction, ...]:
     """Interior symmetric equilibria: roots of the indifference gap in (0, 1).
 
@@ -80,17 +131,54 @@ def find_interior_equilibria(
     each bracket with exact rational arithmetic until the bracket width
     is below ``tolerance``.  Exact rational roots hit by the scan or by a
     bisection midpoint are returned exactly.
+
+    ``policy`` selects the search backend for the *scan*: on the float
+    backend the grid is evaluated in float64 (the exact binomial sums
+    over a 256-point grid dominate the seed's cost) and only the
+    intervals the floats cannot rule out are re-evaluated exactly; the
+    bisection itself, and therefore every returned root, is exact
+    arithmetic in every mode.
     """
     tolerance = to_fraction(tolerance)
     if tolerance <= 0:
         raise GameError("tolerance must be positive")
     points = [Fraction(i, grid) for i in range(grid + 1)]
-    values = [game.indifference_gap(p) for p in points]
+    backend = resolve_policy(policy).search_backend(game.num_players)
+
+    use_float = not backend.exact
+    if use_float:
+        try:
+            table = _float_gap_table(game)
+            opponents = game.num_players - 1
+            coeffs = [
+                math.comb(opponents, x) * t for x, t in enumerate(table)
+            ]
+            float_values = [
+                _float_gap(coeffs, opponents, i / grid) for i in range(grid + 1)
+            ]
+        except OverflowError:
+            # math.comb or a payoff magnitude exceeded float range (very
+            # large player counts); the scan re-routes to the exact path.
+            use_float = False
+        else:
+            table_scale = max((abs(t) for t in table), default=0.0)
+            intervals = _candidate_intervals(float_values, table_scale)
+            values = {}  # exact values, computed lazily per needed point
+    if not use_float:
+        intervals = range(grid)
+        values = [game.indifference_gap(p) for p in points]
+
+    def exact_value(i: int) -> Fraction:
+        if not use_float:
+            return values[i]
+        if i not in values:
+            values[i] = game.indifference_gap(points[i])
+        return values[i]
 
     roots: list[Fraction] = []
-    for i in range(len(points) - 1):
+    for i in intervals:
         p_lo, p_hi = points[i], points[i + 1]
-        v_lo, v_hi = values[i], values[i + 1]
+        v_lo, v_hi = exact_value(i), exact_value(i + 1)
         if v_lo == 0 and 0 < p_lo < 1:
             if p_lo not in roots:
                 roots.append(p_lo)
@@ -99,9 +187,8 @@ def find_interior_equilibria(
             root = _bisect(game, p_lo, p_hi, v_lo, tolerance)
             if root not in roots:
                 roots.append(root)
-    # The right endpoint can be an exact interior zero too.
-    if values[-1] == 0 and 0 < points[-1] < 1 and points[-1] not in roots:
-        roots.append(points[-1])
+    # The right grid endpoint is p = 1, a boundary point by definition,
+    # so no separate interior-zero check is needed there.
     return tuple(sorted(roots))
 
 
@@ -129,12 +216,15 @@ def symmetric_equilibria(
     game: SymmetricTwoActionGame,
     tolerance: Fraction = _DEFAULT_TOL,
     grid: int = _DEFAULT_GRID,
+    policy=None,
 ) -> tuple[Fraction, ...]:
     """All symmetric equilibria: exact boundary checks plus interior roots."""
     out: list[Fraction] = []
     if game.is_symmetric_equilibrium(0):
         out.append(Fraction(0))
-    out.extend(find_interior_equilibria(game, tolerance=tolerance, grid=grid))
+    out.extend(
+        find_interior_equilibria(game, tolerance=tolerance, grid=grid, policy=policy)
+    )
     if game.is_symmetric_equilibrium(1):
         out.append(Fraction(1))
     return tuple(sorted(set(out)))
@@ -144,6 +234,7 @@ def participation_equilibrium(
     game: ParticipationGame,
     prefer: str = "small",
     tolerance: Fraction = _DEFAULT_TOL,
+    policy=None,
 ) -> Fraction:
     """The inventor's advised participation probability p.
 
@@ -152,7 +243,10 @@ def participation_equilibrium(
     ``prefer`` selects among multiple interior equilibria: the paper's
     example uses the *smaller* root (p = 1/4, not 3/4), and the existence
     of the other root is exactly why agents must cross-check that the
-    inventor sent everyone the same p.
+    inventor sent everyone the same p.  ``policy`` selects the scan
+    backend (the roots themselves are exact in every mode); a float scan
+    that comes back empty is re-run exactly before concluding there is
+    no equilibrium.
     """
     if prefer not in ("small", "large"):
         raise GameError("prefer must be 'small' or 'large'")
@@ -162,7 +256,9 @@ def participation_equilibrium(
         candidates = [p for p in (small, large) if 0 < p < 1]
         if candidates:
             return candidates[0] if prefer == "small" else candidates[-1]
-    roots = find_interior_equilibria(game, tolerance=tolerance)
+    roots = find_interior_equilibria(game, tolerance=tolerance, policy=policy)
+    if not roots and not resolve_policy(policy).search_backend(game.num_players).exact:
+        roots = find_interior_equilibria(game, tolerance=tolerance)
     if not roots:
         raise EquilibriumError(
             "no interior symmetric equilibrium; the fee may exceed the "

@@ -30,6 +30,17 @@ class LinearAlgebraError(ReproError):
     """Exact linear algebra failed (singular system, inconsistent system)."""
 
 
+class BackendError(LinearAlgebraError):
+    """A numeric search backend could not reach a trustworthy answer.
+
+    Raised by approximate (float) backends when a solve is inconclusive —
+    an iteration cap, a near-singular pivot, a result too close to a
+    tolerance boundary.  Never raised by the exact backend.  Callers in
+    the two-phase pipeline catch this and fall back to the exact path, so
+    the error is a routing signal, not a failure of the library.
+    """
+
+
 class ProofError(ReproError):
     """A formal proof certificate is structurally invalid."""
 

@@ -46,15 +46,32 @@ def to_fraction(value) -> Fraction:
 
 
 def fraction_vector(values: Iterable) -> tuple[Fraction, ...]:
-    """Convert an iterable of numbers to a tuple of Fractions."""
+    """Convert an iterable of numbers to a tuple of Fractions.
+
+    Already-exact input — a tuple whose entries are all Fractions — is
+    returned unchanged.  Games normalize their payoffs once at
+    construction, so the hot solver paths hit this fast path and skip
+    re-converting (and re-allocating) the same exact data per call.
+    """
+    if type(values) is tuple and all(type(v) is Fraction for v in values):
+        return values
     return tuple(to_fraction(v) for v in values)
 
 
 def fraction_matrix(rows: Iterable[Iterable]) -> tuple[tuple[Fraction, ...], ...]:
     """Convert a 2-D iterable of numbers to a tuple-of-tuples of Fractions.
 
-    Raises ``ValueError`` if the rows are ragged.
+    Raises ``ValueError`` if the rows are ragged.  Like
+    :func:`fraction_vector`, a tuple-of-tuples of Fractions (the form
+    every game stores) passes through untouched after a shape check.
     """
+    if type(rows) is tuple and all(
+        type(row) is tuple and all(type(v) is Fraction for v in row)
+        for row in rows
+    ):
+        if rows and any(len(row) != len(rows[0]) for row in rows):
+            raise ValueError("matrix rows have unequal lengths")
+        return rows
     out = tuple(fraction_vector(row) for row in rows)
     if out and any(len(row) != len(out[0]) for row in out):
         raise ValueError("matrix rows have unequal lengths")

@@ -34,6 +34,7 @@ class BimatrixGame(Game, UtilityTableMixin):
         if len(self._a) != len(self._b) or len(self._a[0]) != len(self._b[0]):
             raise GameError("A and B must have identical shapes")
         self._name = name or "BimatrixGame"
+        self._b_transposed: tuple[tuple[Fraction, ...], ...] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -96,6 +97,18 @@ class BimatrixGame(Game, UtilityTableMixin):
         """The column agent's payoff matrix B."""
         return self._b
 
+    @property
+    def column_matrix_transposed(self) -> tuple[tuple[Fraction, ...], ...]:
+        """``B^T``, computed once and cached.
+
+        The support-enumeration loop views the column agent through its
+        own payoff rows; materializing the transpose per support pair
+        was an O(n·m) tax on every one of the 2^(n+m) pairs.
+        """
+        if self._b_transposed is None:
+            self._b_transposed = tuple(zip(*self._b))
+        return self._b_transposed
+
     def payoff(self, player: int, profile: PureProfile) -> Fraction:
         profile = self.validate_profile(profile)
         row, col = profile
@@ -114,6 +127,21 @@ class BimatrixGame(Game, UtilityTableMixin):
         x, y = self._unpack(mixed)
         matrix = self._a if player == ROW else self._b
         return dot(vec_mat(x, matrix), y)
+
+    def expected_action_payoff(self, player: int, action: int, mixed: MixedProfile) -> Fraction:
+        """Closed-form λ(action): one bilinear row, not a profile sweep.
+
+        Overrides the base class's profile-space enumeration — the exact
+        certification gate calls this for every action of every player,
+        so the generic O(n·m)-profiles-per-action path made verification
+        quadratically more expensive than Lemma 1 promises.
+        """
+        x, y = self._unpack(mixed)
+        if player == ROW:
+            return dot(self._a[action], y)
+        if player == COLUMN:
+            return dot(x, self.column_matrix_transposed[action])
+        raise GameError(f"player {player} out of range for a bimatrix game")
 
     def row_payoffs_against(self, y: Sequence) -> tuple[Fraction, ...]:
         """Expected payoff of each pure row against column mix ``y``: (A y)_i.

@@ -1,4 +1,4 @@
-"""Exact rational linear algebra.
+"""Rational linear algebra with pluggable numeric search backends.
 
 The equilibrium provers and proof verifiers in this library work over
 :class:`fractions.Fraction` so that "provable" means *exactly checkable*.
@@ -8,9 +8,32 @@ This package supplies the few primitives they need:
   inverse, nullspace and general/particular solutions of ``Ax = b``;
 * :mod:`repro.linalg.lp` — a small exact simplex solver used for
   feasibility questions (e.g. under-determined support systems in the
-  P1 verifier).
+  P1 verifier);
+* :mod:`repro.linalg.backend` — the two-phase "search fast, certify
+  exact" seam: :class:`~repro.linalg.backend.ExactBackend` (the seed
+  semantics), :class:`~repro.linalg.backend.FloatBackend` (float64
+  search with tolerances, stdlib-only) and
+  :class:`~repro.linalg.backend.BackendPolicy` (``exact`` /
+  ``float+certify`` / ``auto``) that the solver stack and the core
+  authority plumb through.
 """
 
+from repro.linalg.backend import (
+    AUTO_POLICY,
+    BACKEND_MODES,
+    EXACT_BACKEND,
+    EXACT_POLICY,
+    FLOAT_BACKEND,
+    FLOAT_CERTIFY_POLICY,
+    MODE_AUTO,
+    MODE_EXACT,
+    MODE_FLOAT_CERTIFY,
+    BackendPolicy,
+    ExactBackend,
+    FloatBackend,
+    NumericBackend,
+    resolve_policy,
+)
 from repro.linalg.exact import (
     gaussian_elimination,
     identity_matrix,
@@ -22,6 +45,20 @@ from repro.linalg.exact import (
 from repro.linalg.lp import LPResult, solve_lp, find_feasible_point
 
 __all__ = [
+    "AUTO_POLICY",
+    "BACKEND_MODES",
+    "EXACT_BACKEND",
+    "EXACT_POLICY",
+    "FLOAT_BACKEND",
+    "FLOAT_CERTIFY_POLICY",
+    "MODE_AUTO",
+    "MODE_EXACT",
+    "MODE_FLOAT_CERTIFY",
+    "BackendPolicy",
+    "ExactBackend",
+    "FloatBackend",
+    "NumericBackend",
+    "resolve_policy",
     "gaussian_elimination",
     "identity_matrix",
     "matrix_rank",

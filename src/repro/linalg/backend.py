@@ -1,0 +1,332 @@
+"""Pluggable numeric backends: search fast, certify exact.
+
+The paper's central asymmetry — *finding* an equilibrium is PPAD-hard
+while *verifying* one is cheap and must be exact — maps onto a two-phase
+solver pipeline:
+
+1. **Search** runs on a :class:`NumericBackend`.  The
+   :class:`ExactBackend` is the seed behaviour (Fraction Gaussian
+   elimination and simplex, authoritative by construction).  The
+   :class:`FloatBackend` runs the same algorithms in float64 with pivot
+   tolerances — orders of magnitude faster because rational coefficient
+   growth is the dominant cost of exact pivoting.
+2. **Certification** is always exact.  Every candidate a float search
+   produces is reconstructed as Fractions (support-restricted exact
+   re-solve) and checked against the exact Lemma-1 conditions before it
+   is returned; candidates that fail are recomputed on the exact path.
+   No approximate value ever escapes the solver layer.
+
+:class:`BackendPolicy` names the three modes callers can request —
+``"exact"``, ``"float+certify"`` and ``"auto"`` — and is what the core
+layer plumbs through advice packages and the audit log.
+
+Float routines here are stdlib-only (plain lists of floats, no numpy).
+A float backend signals an *inconclusive* solve by raising
+:class:`~repro.errors.BackendError`; pipeline callers treat that exactly
+like a certification failure and fall back to the exact path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import BackendError, LinearAlgebraError
+from repro.linalg import exact as _exact
+from repro.linalg import lp as _lp
+
+#: The three backend modes the core layer can request per advice package.
+MODE_EXACT = "exact"
+MODE_FLOAT_CERTIFY = "float+certify"
+MODE_AUTO = "auto"
+BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY, MODE_AUTO)
+
+
+class NumericBackend:
+    """The solver-facing arithmetic seam.
+
+    A backend answers the two numeric questions the equilibrium searches
+    ask: "solve this square system" and "find a nonnegative feasible
+    point of ``Ax = b``".  Exact backends answer authoritatively; float
+    backends answer quickly and may raise :class:`BackendError` when the
+    numerics are inconclusive.
+
+    The current pipeline drives search through
+    :meth:`find_feasible_point` only; :meth:`solve_square` completes the
+    seam for the follow-on backends the ROADMAP names (numpy-vectorized
+    elimination, sharded screens) whose reconstruction pre-checks run on
+    square indifference systems.
+    """
+
+    #: Human-readable backend name, recorded in audit logs and benches.
+    name: str = "abstract"
+    #: True iff results need no downstream certification.
+    exact: bool = True
+
+    def solve_square(self, matrix: Sequence[Sequence], rhs: Sequence):
+        raise NotImplementedError
+
+    def find_feasible_point(
+        self, a_eq: Sequence[Sequence], b_eq: Sequence,
+        upper_bounds: Sequence | None = None,
+    ):
+        raise NotImplementedError
+
+
+class ExactBackend(NumericBackend):
+    """The seed semantics: Fraction elimination and simplex, unchanged."""
+
+    name = "exact"
+    exact = True
+
+    def solve_square(self, matrix, rhs):
+        return _exact.solve_square(matrix, rhs)
+
+    def find_feasible_point(self, a_eq, b_eq, upper_bounds=None):
+        return _lp.find_feasible_point(a_eq, b_eq, upper_bounds=upper_bounds)
+
+
+class FloatBackend(NumericBackend):
+    """float64 elimination and two-phase simplex with pivot tolerances.
+
+    ``feastol`` separates "confidently infeasible" from "inconclusive":
+    a phase-1 optimum above ``feastol`` rejects the system, one within
+    ``(pivot_tol, feastol]`` raises :class:`BackendError` so the caller
+    re-decides exactly.  ``max_iterations`` caps simplex pivoting (the
+    float path uses Dantzig's rule, which is fast but not anti-cycling);
+    hitting the cap is likewise inconclusive, never an answer.
+
+    ``support_tol`` is the threshold below which a probability in a
+    float solution is read as "off the support" when solvers extract
+    candidate supports for exact reconstruction; it lives here so all
+    phases of a pipeline run share one set of tolerances.
+    """
+
+    name = "float64"
+    exact = False
+
+    def __init__(self, feastol: float = 1e-7, pivot_tol: float = 1e-9,
+                 max_iterations: int | None = None,
+                 support_tol: float = 1e-7):
+        if feastol <= 0 or pivot_tol <= 0 or support_tol <= 0:
+            raise LinearAlgebraError("tolerances must be positive")
+        self.feastol = float(feastol)
+        self.pivot_tol = float(pivot_tol)
+        self.support_tol = float(support_tol)
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    # Square solves
+    # ------------------------------------------------------------------
+
+    def solve_square(self, matrix, rhs):
+        a = [[float(x) for x in row] for row in matrix]
+        b = [float(x) for x in rhs]
+        n = len(a)
+        if any(len(row) != n for row in a):
+            raise LinearAlgebraError("solve_square requires a square matrix")
+        if len(b) != n:
+            raise LinearAlgebraError("rhs length does not match matrix")
+        scale = max((abs(x) for row in a for x in row), default=1.0) or 1.0
+        for col in range(n):
+            pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+            if abs(a[pivot][col]) <= self.pivot_tol * scale:
+                raise BackendError("float pivot below tolerance (near-singular)")
+            a[col], a[pivot] = a[pivot], a[col]
+            b[col], b[pivot] = b[pivot], b[col]
+            inv = 1.0 / a[col][col]
+            for r in range(n):
+                if r != col and a[r][col] != 0.0:
+                    factor = a[r][col] * inv
+                    arow, prow = a[r], a[col]
+                    for j in range(col, n):
+                        arow[j] -= factor * prow[j]
+                    b[r] -= factor * b[col]
+        return [b[i] / a[i][i] for i in range(n)]
+
+    # ------------------------------------------------------------------
+    # Feasibility (two-phase simplex over floats)
+    # ------------------------------------------------------------------
+
+    def find_feasible_point(self, a_eq, b_eq, upper_bounds=None):
+        a = [[float(x) for x in row] for row in a_eq]
+        b = [float(x) for x in b_eq]
+        ncols = len(a[0]) if a else 0
+        if upper_bounds is not None:
+            ubs = [float(u) for u in upper_bounds]
+            if len(ubs) != ncols:
+                raise LinearAlgebraError("upper bound length does not match variables")
+            nslack = len(ubs)
+            for row in a:
+                row.extend([0.0] * nslack)
+            for j, u in enumerate(ubs):
+                bound_row = [0.0] * (ncols + nslack)
+                bound_row[j] = 1.0
+                bound_row[ncols + j] = 1.0
+                a.append(bound_row)
+                b.append(u)
+        point = self._phase1(a, b)
+        if point is None:
+            return None
+        return point[:ncols]
+
+    def _phase1(self, a, b) -> list[float] | None:
+        """Feasible point of ``Ax = b, x >= 0`` or None (raises if unsure)."""
+        nrows = len(a)
+        ncols = len(a[0]) if a else 0
+        if any(len(row) != ncols for row in a):
+            raise LinearAlgebraError("LP constraint matrix has ragged rows")
+        if len(b) != nrows:
+            raise LinearAlgebraError("LP rhs length does not match constraints")
+        a = [row[:] for row in a]
+        b = b[:]
+        # Row equilibration: divide each constraint by its largest
+        # coefficient so the absolute tolerances below act relatively.
+        # Feasibility of {Ax = b, x >= 0} is unchanged, but a system with
+        # payoffs in the billions no longer swamps a 1e-7 feastol.
+        for i in range(nrows):
+            scale = max(max(abs(x) for x in a[i]), abs(b[i])) if a[i] else abs(b[i])
+            if scale > 0.0:
+                inv = 1.0 / scale
+                a[i] = [x * inv for x in a[i]]
+                b[i] *= inv
+        for i in range(nrows):
+            if b[i] < 0.0:
+                a[i] = [-x for x in a[i]]
+                b[i] = -b[i]
+        total = ncols + nrows
+        tableau = [
+            a[i] + [1.0 if j == i else 0.0 for j in range(nrows)] + [b[i]]
+            for i in range(nrows)
+        ]
+        basis = list(range(ncols, ncols + nrows))
+        # Phase-1 objective row: minimize the sum of artificials.
+        objective = [0.0] * ncols + [1.0] * nrows + [0.0]
+        for i in range(nrows):
+            for j in range(total + 1):
+                objective[j] -= tableau[i][j]
+        cap = self.max_iterations or (64 + 16 * (nrows + ncols))
+        for _iteration in range(cap):
+            entering = None
+            best = -self.pivot_tol
+            for j in range(total):
+                if objective[j] < best:  # Dantzig: most negative reduced cost
+                    best = objective[j]
+                    entering = j
+            if entering is None:
+                break
+            leaving = None
+            best_ratio = None
+            for i in range(nrows):
+                coef = tableau[i][entering]
+                if coef > self.pivot_tol:
+                    ratio = tableau[i][-1] / coef
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio - self.pivot_tol
+                        or (abs(ratio - best_ratio) <= self.pivot_tol
+                            and basis[i] < basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving is None:
+                raise BackendError("float phase-1 unbounded (numerical trouble)")
+            self._pivot(tableau, basis, objective, leaving, entering, total)
+        else:
+            raise BackendError("float simplex hit its iteration cap")
+        infeasibility = -objective[-1]
+        if infeasibility > self.feastol:
+            return None  # confidently infeasible
+        if infeasibility > self.pivot_tol:
+            raise BackendError("float phase-1 optimum too close to tolerance")
+        x = [0.0] * total
+        for i, var in enumerate(basis):
+            x[var] = tableau[i][-1]
+        return x
+
+    @staticmethod
+    def _pivot(tableau, basis, objective, row_idx, col_idx, total):
+        inv = 1.0 / tableau[row_idx][col_idx]
+        tableau[row_idx] = [x * inv for x in tableau[row_idx]]
+        pivot_row = tableau[row_idx]
+        for i in range(len(tableau)):
+            if i != row_idx and tableau[i][col_idx] != 0.0:
+                factor = tableau[i][col_idx]
+                tableau[i] = [x - factor * y for x, y in zip(tableau[i], pivot_row)]
+        factor = objective[col_idx]
+        if factor != 0.0:
+            for j in range(total + 1):
+                objective[j] -= factor * pivot_row[j]
+        basis[row_idx] = col_idx
+
+
+#: Shared default instances — the backends are stateless between solves.
+EXACT_BACKEND = ExactBackend()
+FLOAT_BACKEND = FloatBackend()
+
+
+@dataclass(frozen=True)
+class BackendPolicy:
+    """Which backend a solver run should search on.
+
+    ``auto`` sizes the decision: small systems pivot exactly about as
+    fast as they certify, so auto keeps them on the exact path and
+    switches to float search once the action-count hint reaches
+    ``auto_threshold`` (total actions, n + m for a bimatrix game).
+    """
+
+    mode: str = MODE_EXACT
+    auto_threshold: int = 10
+
+    def __post_init__(self):
+        if self.mode not in BACKEND_MODES:
+            raise LinearAlgebraError(
+                f"unknown backend mode {self.mode!r}; expected one of {BACKEND_MODES}"
+            )
+        if self.auto_threshold < 0:
+            raise LinearAlgebraError("auto_threshold must be non-negative")
+
+    def search_backend(self, size_hint: int = 0) -> NumericBackend:
+        """The backend candidate search should run on for this size."""
+        if self.mode == MODE_EXACT:
+            return EXACT_BACKEND
+        if self.mode == MODE_FLOAT_CERTIFY:
+            return FLOAT_BACKEND
+        return FLOAT_BACKEND if size_hint >= self.auto_threshold else EXACT_BACKEND
+
+
+#: Canonical policy instances.
+EXACT_POLICY = BackendPolicy(MODE_EXACT)
+FLOAT_CERTIFY_POLICY = BackendPolicy(MODE_FLOAT_CERTIFY)
+AUTO_POLICY = BackendPolicy(MODE_AUTO)
+
+_POLICY_BY_MODE = {
+    MODE_EXACT: EXACT_POLICY,
+    MODE_FLOAT_CERTIFY: FLOAT_CERTIFY_POLICY,
+    MODE_AUTO: AUTO_POLICY,
+}
+
+
+def resolve_policy(policy) -> BackendPolicy:
+    """Normalize ``None`` / mode string / policy object to a policy.
+
+    ``None`` means the seed behaviour: everything exact.
+    """
+    if policy is None:
+        return EXACT_POLICY
+    if isinstance(policy, BackendPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return _POLICY_BY_MODE[policy]
+        except KeyError:
+            raise LinearAlgebraError(
+                f"unknown backend mode {policy!r}; expected one of {BACKEND_MODES}"
+            ) from None
+    raise LinearAlgebraError(f"cannot interpret backend policy {policy!r}")
+
+
+def float_matrix(rows: Sequence[Sequence]) -> list[list[float]]:
+    """Convert a rational matrix to plain float lists for the search phase."""
+    return [[float(x) for x in row] for row in rows]

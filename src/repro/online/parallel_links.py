@@ -53,6 +53,56 @@ def argmin_link(loads: Sequence) -> int:
     return best
 
 
+class LeastLoadedTracker:
+    """Incremental :func:`argmin_link`, ties to the lowest index.
+
+    The simulations pick the least-loaded link once per arrival;
+    scanning all ``m`` links each time makes the loop O(n·m).  This
+    tracker keeps a lazy heap of ``(load, index)`` entries over a load
+    sequence it *mutates in place* (a list or a 1-D numpy array works),
+    making each arrival O(log m) amortized while reproducing the scan's
+    tie-breaking exactly: heap order on ``(load, index)`` is the
+    lowest-index rule.  Works for exact (Fraction/int) and float loads
+    alike.
+    """
+
+    def __init__(self, loads):
+        self._loads = loads  # shared, mutated in place by add()
+        self._heap = [(value, j) for j, value in enumerate(loads)]
+        heapq.heapify(self._heap)
+
+    def argmin(self) -> int:
+        """Index of the least-loaded link (lowest index on ties)."""
+        heap = self._heap
+        while True:
+            value, j = heap[0]
+            if value == self._loads[j]:
+                return j
+            heapq.heappop(heap)  # stale entry from an earlier add()
+
+    def add(self, index: int, load) -> None:
+        """Put ``load`` onto link ``index`` (any link, not just the argmin)."""
+        self._loads[index] = self._loads[index] + load
+        heapq.heappush(self._heap, (self._loads[index], index))
+
+    def assign_least_loaded(self, load) -> int:
+        """Greedy step: add ``load`` to the least-loaded link, return it.
+
+        Pops the minimum and reinserts its updated value, so a pure
+        greedy trajectory keeps the heap at exactly one entry per link
+        (no stale-entry growth).
+        """
+        heap = self._heap
+        loads = self._loads
+        while True:
+            value, j = heapq.heappop(heap)
+            if value == loads[j]:
+                break
+        loads[j] = value + load
+        heapq.heappush(heap, (loads[j], j))
+        return j
+
+
 def greedy_assign(loads: list, load) -> int:
     """Greedy policy: put ``load`` on the least-loaded link; returns the link."""
     j = argmin_link(loads)
@@ -229,21 +279,24 @@ def place_equal_quanta_fast(loads: np.ndarray, quantum: float, count: int) -> np
 
 
 def inventor_suggestion(
-    loads: Sequence, own_load, expected_load, future_count: int, fast: bool = True
+    loads: Sequence, own_load, expected_load, future_count: int, fast: bool = True,
+    least_loaded: int | None = None,
 ) -> int:
     """The link LPT assigns to ``own_load`` among the phantom future loads.
 
     ``loads`` are the current link loads, ``expected_load`` is the
     inventor's per-agent estimate w̄, ``future_count`` is n - i.  Ties in
     the descending LPT order put the agent's own load before equal
-    phantom loads.
+    phantom loads.  ``least_loaded`` optionally carries a precomputed
+    ``argmin_link(loads)`` (simulation loops track it incrementally) so
+    the own-load-first case costs O(1) instead of a link scan.
     """
     if future_count < 0:
         raise GameError("future_count must be non-negative")
     if len(loads) == 0:
         raise GameError("need at least one link")
     if future_count == 0 or own_load >= expected_load:
-        return argmin_link(loads)
+        return least_loaded if least_loaded is not None else argmin_link(loads)
     if fast:
         arr = np.asarray(loads, dtype=float)
         after = place_equal_quanta_fast(arr, float(expected_load), future_count)
@@ -283,12 +336,18 @@ def makespan(loads: Sequence) -> float:
 
 
 def greedy_schedule(weights: Sequence, num_links: int) -> list:
-    """Run the pure greedy policy over a whole arrival sequence."""
+    """Run the pure greedy policy over a whole arrival sequence.
+
+    Uses the incremental least-loaded tracker (O(log m) per arrival,
+    identical tie-breaking to :func:`argmin_link`); works for exact
+    (Fraction/int) and float weights alike.
+    """
     if num_links < 1:
         raise GameError("need at least one link")
     loads = [0] * num_links
+    tracker = LeastLoadedTracker(loads)
     for w in weights:
-        greedy_assign(loads, w)
+        tracker.assign_least_loaded(w)
     return loads
 
 
@@ -298,8 +357,9 @@ def lpt_schedule(weights: Sequence, num_links: int) -> list:
     if num_links < 1:
         raise GameError("need at least one link")
     loads = [0] * num_links
+    tracker = LeastLoadedTracker(loads)
     for w in sorted(weights, reverse=True):
-        greedy_assign(loads, w)
+        tracker.assign_least_loaded(w)
     return loads
 
 

@@ -1,0 +1,122 @@
+"""Property tests for the certification gate of the two-phase pipeline.
+
+The contract under test: *no approximate profile ever escapes to core*.
+Whatever the float search produces — correct points, garbage points, or
+blanket infeasibility claims — everything the solver layer returns must
+pass the seed's exact Nash checker, because candidates are reconstructed
+as Fractions and certified before release, and failures fall back to the
+exact path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equilibria.lemke_howson import lemke_howson_all
+from repro.equilibria.mixed import certify_mixed_profile, is_mixed_nash
+from repro.equilibria.support_enumeration import (
+    find_one_equilibrium,
+    solve_one_side,
+    support_enumeration,
+)
+from repro.games.generators import random_bimatrix
+from repro.linalg.backend import FloatBackend
+from repro.rng import make_rng
+
+SEEDS = tuple(range(12))
+
+
+def _shapes(seed):
+    rng = make_rng(seed, "certification:shape")
+    return rng.randint(2, 4), rng.randint(2, 4)
+
+
+class TestFloatPipelineSoundness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_float_equilibrium_is_exactly_certified(self, seed):
+        n, m = _shapes(seed)
+        game = random_bimatrix(n, m, seed=seed)
+        for profile in support_enumeration(game, policy="float+certify"):
+            assert is_mixed_nash(game, profile)
+            assert certify_mixed_profile(game, profile) is profile
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_float_set_matches_exact_set(self, seed):
+        n, m = _shapes(seed)
+        game = random_bimatrix(n, m, seed=seed)
+        exact = {p.distributions for p in support_enumeration(game)}
+        fast = {
+            p.distributions
+            for p in support_enumeration(game, policy="float+certify")
+        }
+        assert exact == fast
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_find_one_and_lemke_howson_certify(self, seed):
+        n, m = _shapes(seed)
+        game = random_bimatrix(n, m, seed=seed)
+        assert is_mixed_nash(game, find_one_equilibrium(game, policy="float+certify"))
+        for profile in lemke_howson_all(game, policy="float+certify"):
+            assert is_mixed_nash(game, profile)
+
+
+class _GarbagePointBackend(FloatBackend):
+    """Claims feasibility everywhere and returns nonsense points."""
+
+    name = "garbage"
+
+    def find_feasible_point(self, a_eq, b_eq, upper_bounds=None):
+        ncols = len(a_eq[0]) if a_eq else 0
+        return [0.7] * ncols  # not feasible, not a distribution, not anything
+
+
+class _BlanketInfeasibleBackend(FloatBackend):
+    """Claims every system is infeasible (maximally aggressive pruning)."""
+
+    name = "blanket-no"
+
+    def find_feasible_point(self, a_eq, b_eq, upper_bounds=None):
+        return None
+
+
+class TestAdversarialBackends:
+    """Even a lying backend cannot push an uncertified profile out."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_garbage_points_never_escape(self, seed):
+        from repro.equilibria.support_enumeration import (
+            equilibrium_for_supports,
+            support_pairs,
+        )
+
+        n, m = _shapes(seed)
+        game = random_bimatrix(n, m, seed=seed)
+        backend = _GarbagePointBackend()
+        # A garbage feasibility claim forces the exact reconstruction;
+        # whatever survives it satisfies the exact side conditions, so
+        # every emitted profile must be an exact Nash equilibrium.
+        for rs, cs in support_pairs(n, m):
+            out = equilibrium_for_supports(game, rs, cs, backend=backend)
+            if out is not None:
+                profile = out[0]
+                assert certify_mixed_profile(game, profile) is profile
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_blanket_pruning_still_yields_an_exact_equilibrium(
+        self, seed, monkeypatch
+    ):
+        import repro.linalg.backend as backend_mod
+
+        n, m = _shapes(seed)
+        game = random_bimatrix(n, m, seed=seed)
+        # find_one_equilibrium rescans exactly when the screen prunes
+        # everything, so Nash's theorem is never "refuted" by a backend.
+        monkeypatch.setattr(
+            backend_mod, "FLOAT_BACKEND", _BlanketInfeasibleBackend()
+        )
+        profile = find_one_equilibrium(game, policy="float+certify")
+        assert is_mixed_nash(game, profile)
+        # And the blanket screen prunes every one-side solve outright.
+        assert solve_one_side(
+            game.row_matrix, (0,), (0,), m, backend=_BlanketInfeasibleBackend()
+        ) is None

@@ -1,0 +1,150 @@
+"""Degenerate bimatrix games through both solvers and both backends.
+
+Degeneracy — duplicate payoff rows, all-zero matrices, continua of
+equilibria — is exactly where float search is most likely to disagree
+with exact search, so these tests pin the contract: whatever the search
+backend, every returned profile passes the exact certifier, and on the
+committed instances the float+certify pipeline returns bit-identical
+equilibrium sets.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.equilibria.lemke_howson import lemke_howson_all
+from repro.equilibria.mixed import is_mixed_nash
+from repro.equilibria.support_enumeration import (
+    find_one_equilibrium,
+    support_enumeration,
+)
+from repro.games.bimatrix import BimatrixGame
+
+POLICIES = (None, "float+certify")
+
+
+def _distribution_set(profiles):
+    return {p.distributions for p in profiles}
+
+
+class TestDuplicateRows:
+    """A game whose row player has two identical pure strategies."""
+
+    def game(self):
+        return BimatrixGame(
+            [[3, 0], [3, 0], [0, 2]],
+            [[1, 2], [1, 2], [4, 0]],
+            name="DuplicateRows",
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_support_enumeration_certifies_everything(self, policy):
+        game = self.game()
+        equilibria = support_enumeration(game, policy=policy)
+        assert equilibria, "duplicate rows must not hide every equilibrium"
+        assert all(is_mixed_nash(game, p) for p in equilibria)
+
+    def test_backends_agree(self):
+        game = self.game()
+        assert _distribution_set(support_enumeration(game)) == _distribution_set(
+            support_enumeration(game, policy="float+certify")
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_lemke_howson_certifies(self, policy):
+        game = self.game()
+        profiles = lemke_howson_all(game, policy=policy)
+        assert profiles
+        assert all(is_mixed_nash(game, p) for p in profiles)
+
+
+class TestAllZeroGame:
+    """Every profile of the all-zero game is an equilibrium."""
+
+    def game(self):
+        zero = [[0, 0], [0, 0]]
+        return BimatrixGame(zero, zero, name="AllZero")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_everything_returned_is_an_equilibrium(self, policy):
+        game = self.game()
+        equilibria = support_enumeration(game, policy=policy)
+        assert equilibria
+        assert all(is_mixed_nash(game, p) for p in equilibria)
+
+    def test_backends_agree(self):
+        game = self.game()
+        assert _distribution_set(support_enumeration(game)) == _distribution_set(
+            support_enumeration(game, policy="float+certify")
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_find_one_returns_pure_corner(self, policy):
+        # Smallest-support-first order makes the first hit the (0, 0) corner.
+        profile = find_one_equilibrium(self.game(), policy=policy)
+        assert profile.distributions == (
+            (Fraction(1), Fraction(0)),
+            (Fraction(1), Fraction(0)),
+        )
+
+
+class TestFig5Continuum:
+    """The paper's Fig. 5 game: a continuum of equilibria (qD <= 1/2)."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_extreme_points_found_and_certified(self, policy):
+        game = BimatrixGame.fig5_example()
+        equilibria = support_enumeration(game, policy=policy)
+        assert all(is_mixed_nash(game, p) for p in equilibria)
+        # The two extreme points of the continuum: column plays C, and
+        # column mixes (1/2, 1/2); row plays A in both.
+        found = _distribution_set(equilibria)
+        pure_a_c = ((Fraction(1), Fraction(0)), (Fraction(1), Fraction(0)))
+        half_half = (
+            (Fraction(1), Fraction(0)),
+            (Fraction(1, 2), Fraction(1, 2)),
+        )
+        assert pure_a_c in found
+        assert half_half in found
+
+    def test_backends_agree(self):
+        game = BimatrixGame.fig5_example()
+        assert _distribution_set(support_enumeration(game)) == _distribution_set(
+            support_enumeration(game, policy="float+certify")
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_lemke_howson_certifies(self, policy):
+        game = BimatrixGame.fig5_example()
+        profiles = lemke_howson_all(game, policy=policy)
+        assert profiles
+        assert all(is_mixed_nash(game, p) for p in profiles)
+
+
+class TestIdenticalColumns:
+    """Column player indifferent everywhere: another continuum shape."""
+
+    def game(self):
+        return BimatrixGame(
+            [[2, 2], [1, 1]],
+            [[5, 5], [5, 5]],
+            name="IdenticalColumns",
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_certified_and_row_plays_top(self, policy):
+        game = self.game()
+        equilibria = support_enumeration(game, policy=policy)
+        assert equilibria
+        for profile in equilibria:
+            assert is_mixed_nash(game, profile)
+            # Row strictly prefers the top row whatever column does.
+            assert profile.distributions[0] == (Fraction(1), Fraction(0))
+
+    def test_backends_agree(self):
+        game = self.game()
+        assert _distribution_set(support_enumeration(game)) == _distribution_set(
+            support_enumeration(game, policy="float+certify")
+        )
