@@ -19,7 +19,7 @@ import abc
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.advice import Advice, ProofFormat, SolutionConcept
 from repro.errors import EquilibriumError, ProtocolError
@@ -66,6 +66,44 @@ class GameInventor(abc.ABC):
         verification switch to P2-style disclosure when asked.
         """
 
+    def prepare_games(self, games: "Sequence[tuple[str, Game]]") -> None:
+        """Batch hook: pre-solve a stream of games before advising.
+
+        The base inventor has no shared solver state, so this is a
+        no-op.  Inventors whose hard step benefits from amortized
+        setup (a warm solver cache, a live worker pool) override it —
+        see :meth:`BimatrixInventor.prepare_games` — so that a batch of
+        consultations pays for backend and executor setup once, not per
+        query.
+        """
+
+    def close(self) -> None:
+        """Release any long-lived solver resources (worker pools).
+
+        No-op by default; sharding inventors override it.  The authority
+        calls this for every registered inventor on its own
+        :meth:`~repro.core.authority.RationalityAuthority.close`.
+        """
+
+    def advise_many(
+        self, requests: "Sequence[tuple[str, Game, Any, str]]"
+    ) -> "list[AdvicePackage]":
+        """Answer a batch of ``(game_id, game, agent, privacy)`` requests.
+
+        Pre-solves every distinct game through :meth:`prepare_games`,
+        then advises in request order.  Results are identical to calling
+        :meth:`advise` per request — batching amortizes the inventor's
+        search cost, never changes its answers.
+        """
+        distinct: dict[str, Game] = {}
+        for game_id, game, __, __ in requests:
+            distinct.setdefault(game_id, game)
+        self.prepare_games(list(distinct.items()))
+        return [
+            self.advise(game_id, game, agent, privacy)
+            for game_id, game, agent, privacy in requests
+        ]
+
 
 class PureNashInventor(GameInventor):
     """Advises a (maximal) pure Nash equilibrium with a Fig. 2 certificate."""
@@ -106,15 +144,22 @@ class BimatrixInventor(GameInventor):
     interactively: P1 when privacy is "open", P2 when "private".
 
     ``backend`` selects the numeric search policy for the hard step
-    (``"exact"``, ``"float+certify"`` or ``"auto"``; also accepts a
+    (``"exact"``, ``"float+certify"``, ``"numpy"``, ``"sharded"`` or
+    ``"auto"``; also accepts a
     :class:`~repro.linalg.backend.BackendPolicy`).  The solvers certify
-    float-found candidates exactly before returning, so in every mode
-    the advice is an exact, certified equilibrium carrying the same
+    approximately-found candidates exactly before returning, so in every
+    mode the advice is an exact, certified equilibrium carrying the same
     proof obligations — only the inventor's search cost changes.  On
-    degenerate games with multiple equilibria the float search may
+    degenerate games with multiple equilibria an approximate search may
     settle on a *different* (equally exact) equilibrium than the exact
     search would, which is why the mode that actually ran is recorded
     on the advice for the audit log.
+
+    A policy with ``workers > 1`` shards support-pair screening across
+    a process pool.  The pool is created lazily, shared across every
+    solve this inventor performs (that is the batch-consultation
+    amortization: :meth:`prepare_games` pre-solves a stream of games
+    against one pool), and released by :meth:`close`.
     """
 
     def __init__(self, name: str, method: str = "lemke-howson",
@@ -128,6 +173,8 @@ class BimatrixInventor(GameInventor):
         self._rng = rng or random.Random(0)
         self._policy = resolve_policy(backend)
         self._cache: dict[str, MixedProfile] = {}
+        self._executor = None
+        self._executor_used: dict[str, str] = {}
 
     @property
     def backend_mode(self) -> str:
@@ -142,17 +189,68 @@ class BimatrixInventor(GameInventor):
         audited as an approximate search.
         """
         n, m = game.action_counts
-        backend = self._policy.search_backend(n + m)
-        return MODE_EXACT if backend.exact else MODE_FLOAT_CERTIFY
+        return self._policy.search_backend(n + m).mode
+
+    def effective_executor(self, game_id: str) -> str:
+        """The executor that actually ran the game's search.
+
+        ``"sharded"`` only when the solve really fanned screening across
+        a pool; a pool that could not start (restricted sandbox) records
+        the serial fallback that did the work instead.
+        """
+        return self._executor_used.get(game_id, "serial")
+
+    def _wants_sharding(self, game: BimatrixGame) -> bool:
+        if self._method != "support-enumeration":
+            return False  # Lemke-Howson is path-following: nothing to shard
+        n, m = game.action_counts
+        if self._policy.search_backend(n + m).exact:
+            return False
+        return self._policy.resolved_workers() > 1
+
+    def _screening_executor(self):
+        """The shared (lazily created) screening pool."""
+        if self._executor is None:
+            from repro.equilibria.executors import make_executor
+
+            self._executor = make_executor(self._policy.resolved_workers())
+        return self._executor
+
+    def close(self) -> None:
+        """Release the shared screening pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     def solve(self, game_id: str, game: BimatrixGame) -> MixedProfile:
         """The inventor's expensive step, cached per game."""
         if game_id not in self._cache:
             if self._method == "lemke-howson":
                 self._cache[game_id] = lemke_howson(game, 0, policy=self._policy)
+                self._executor_used[game_id] = "serial"
+            elif self._wants_sharding(game):
+                executor = self._screening_executor()
+                self._cache[game_id] = find_one_equilibrium(
+                    game, policy=self._policy, executor=executor
+                )
+                self._executor_used[game_id] = getattr(
+                    executor, "effective_name", executor.name
+                )
             else:
                 self._cache[game_id] = find_one_equilibrium(game, policy=self._policy)
+                self._executor_used[game_id] = "serial"
         return self._cache[game_id]
+
+    def prepare_games(self, games: Sequence[tuple[str, BimatrixGame]]) -> None:
+        """Pre-solve a batch of games against one shared screening pool.
+
+        This is the inventor half of the batch-consultation path: the
+        worker pool (when the policy shards) and the per-run float
+        payoff conversions are paid once for the whole stream, and every
+        subsequent :meth:`advise` for these games hits the cache.
+        """
+        for game_id, game in games:
+            self.solve(game_id, game)
 
     def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
         if not isinstance(game, BimatrixGame):
@@ -175,6 +273,7 @@ class BimatrixInventor(GameInventor):
                 proof=None,
                 inventor=self.name,
                 backend=self.effective_backend(game),
+                executor=self.effective_executor(game_id),
             )
             return AdvicePackage(advice=advice, prover=prover)
         announcement = P1Prover(game, equilibrium).announce()
@@ -195,6 +294,7 @@ class BimatrixInventor(GameInventor):
             },
             inventor=self.name,
             backend=self.effective_backend(game),
+            executor=self.effective_executor(game_id),
         )
         return AdvicePackage(advice=advice)
 
@@ -222,8 +322,7 @@ class ParticipationInventor(GameInventor):
     def effective_backend(self, game: ParticipationGame) -> str:
         """The mode the policy resolves to for this game (see
         :meth:`BimatrixInventor.effective_backend`)."""
-        backend = self._policy.search_backend(game.num_players)
-        return MODE_EXACT if backend.exact else MODE_FLOAT_CERTIFY
+        return self._policy.search_backend(game.num_players).mode
 
     def equilibrium_probability(self, game_id: str, game: ParticipationGame) -> Fraction:
         if game_id not in self._cache:
@@ -370,6 +469,7 @@ class MisadvisingInventor(GameInventor):
             proof=advice.proof,
             inventor=self.name,
             backend=advice.backend,
+            executor=advice.executor,
         )
         return AdvicePackage(advice=corrupted, prover=package.prover)
 

@@ -19,11 +19,16 @@ from typing import Any
 
 from repro.errors import ProtocolError
 from repro.games.profiles import MixedProfile
-from repro.linalg.backend import MODE_EXACT, MODE_FLOAT_CERTIFY
+from repro.linalg.backend import (
+    EXECUTOR_NAMES,
+    MODE_EXACT,
+    MODE_FLOAT_CERTIFY,
+    MODE_NUMPY,
+)
 
 #: Advice records the backend that actually ran, so "auto" (a request,
 #: not a resolution) is deliberately not accepted here.
-RESOLVED_BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY)
+RESOLVED_BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY, MODE_NUMPY)
 
 
 class SolutionConcept(enum.Enum):
@@ -166,12 +171,16 @@ class Advice:
     recomputation).
 
     ``backend`` records which numeric search mode actually produced the
-    suggestion — ``"exact"`` or ``"float+certify"``; an "auto" *policy*
-    must be resolved to one of the two before advising, so the audit
-    trail always shows what ran.  Whatever the search mode, the
-    suggestion's numbers are exact rationals — float-backed inventors
-    certify before they advise — so the proof obligations are identical
-    in every mode.
+    suggestion — ``"exact"``, ``"float+certify"`` or ``"numpy"``; an
+    "auto" *policy* must be resolved to one of them before advising, so
+    the audit trail always shows what ran.  ``executor`` likewise
+    records how the search was executed — ``"serial"`` in process, or
+    ``"sharded"`` across a worker pool (and if a sharded run fell back
+    to in-process screening, the fallback is what gets recorded).
+    Whatever the search mode, the suggestion's numbers are exact
+    rationals — approximately-searching inventors certify before they
+    advise, in their own process — so the proof obligations are
+    identical in every mode.
     """
 
     game_id: str
@@ -182,6 +191,7 @@ class Advice:
     proof: Any
     inventor: str = ""
     backend: str = MODE_EXACT
+    executor: str = "serial"
 
     def __post_init__(self):
         info = CONCEPT_LIBRARY.get(self.concept)
@@ -196,6 +206,11 @@ class Advice:
             raise ProtocolError(
                 f"unknown solver backend {self.backend!r}; "
                 f"expected one of {RESOLVED_BACKEND_MODES}"
+            )
+        if self.executor not in EXECUTOR_NAMES:
+            raise ProtocolError(
+                f"unknown search executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_NAMES}"
             )
 
     def concept_info(self) -> ConceptInfo:
@@ -215,5 +230,11 @@ def describe_advice(advice: Advice) -> str:
         notice += (
             f" Solver backend: {advice.backend} (search was approximate; "
             f"the suggestion itself is exact and certified)."
+        )
+    if advice.executor != "serial":
+        notice += (
+            f" Search executor: {advice.executor} (screening was fanned "
+            f"across worker processes; certification ran in the "
+            f"inventor's own process)."
         )
     return notice

@@ -32,6 +32,7 @@ EVENT_AGENT_BLAMED = "blame.agent"
 EVENT_RULE_VIOLATION = "gameauthority.violation"
 EVENT_CROSS_CHECK = "advice.cross-check"
 EVENT_STATISTICS_AUDIT = "statistics.audit"
+EVENT_BATCH_CONSULTATION = "consultation.batch"
 
 
 @dataclass(frozen=True)

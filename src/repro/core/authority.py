@@ -26,6 +26,7 @@ from typing import Sequence
 from repro.core.actors import AuthorityAgent, GameInventor
 from repro.core.advice import Advice
 from repro.core.audit import (
+    EVENT_BATCH_CONSULTATION,
     EVENT_CROSS_CHECK,
     EVENT_GAME_PUBLISHED,
     EVENT_STATISTICS_AUDIT,
@@ -163,6 +164,71 @@ class RationalityAuthority:
         session.request_advice(inventor, privacy=privacy)
         session.verify()
         return session.conclude()
+
+    def consult_many(
+        self,
+        agent_name: str,
+        game_ids: Sequence[str],
+        privacy: str = "open",
+    ) -> tuple[SessionOutcome, ...]:
+        """Batch consultation: one call, a stream of games.
+
+        Outcomes are identical to calling :meth:`consult` per game, in
+        the same order — batching is a cost optimization, never a
+        semantic one.  The games are grouped by owning inventor and each
+        inventor's hard solves are pre-run through its
+        :meth:`~repro.core.actors.GameInventor.prepare_games` hook, so a
+        sharding inventor pays for its worker pool (and a caching one
+        for its solver setup) once per batch instead of once per
+        consultation.  Every session then proceeds through the usual
+        advise → verify → conclude flow, with the resolved backend and
+        executor recorded per advice in the audit log.
+        """
+        if not game_ids:
+            return ()
+        by_inventor: dict[str, list[str]] = {}
+        for game_id in game_ids:
+            inventor = self.inventor_of(game_id)  # validates the id
+            by_inventor.setdefault(inventor.name, []).append(game_id)
+        for inventor_name, ids in by_inventor.items():
+            inventor = self._inventors[inventor_name]
+            distinct: dict[str, Game] = {}
+            for game_id in ids:
+                distinct.setdefault(game_id, self._games[game_id])
+            self.audit.record(
+                "-", self.AUTHORITY_NAME, EVENT_BATCH_CONSULTATION,
+                inventor=inventor_name,
+                games=sorted(distinct),
+                agent=agent_name,
+            )
+            inventor.prepare_games(list(distinct.items()))
+        return tuple(
+            self.consult(agent_name, game_id, privacy=privacy)
+            for game_id in game_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every registered inventor's long-lived resources.
+
+        Sharding inventors keep a worker pool open between solves (that
+        is the batch amortization); the authority owns their lifecycle,
+        so hosts should ``close()`` it — or use the authority as a
+        context manager — when consultations are done.  Closing is
+        idempotent and pools are recreated lazily on the next solve.
+        """
+        for inventor in self._inventors.values():
+            inventor.close()
+
+    def __enter__(self) -> "RationalityAuthority":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Sect. 5 cross-check and footnote-3 statistics audit

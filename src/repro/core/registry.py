@@ -66,6 +66,10 @@ class VerificationContext:
     rng: random.Random
     prover: Any = None  # live prover handle for interactive formats
     backend: str = "exact"
+    #: Echo of the advice's search executor ("serial" / "sharded") —
+    #: informational, like ``backend``: certification is process-local
+    #: and exact whatever fan-out the inventor's search used.
+    executor: str = "serial"
 
 
 class VerificationProcedure(abc.ABC):

@@ -80,6 +80,7 @@ def advice_wire_summary(advice: Advice) -> dict[str, Any]:
         "suggestion": suggestion,
         "proof": proof,
         "backend": advice.backend,
+        "executor": advice.executor,
     }
 
 
@@ -158,6 +159,7 @@ class ConsultationSession:
             concept=package.advice.concept.value,
             proof_format=package.advice.proof_format.value,
             backend=package.advice.backend,
+            executor=package.advice.executor,
         )
         self._package = package
         self._state = _ADVISED
@@ -186,7 +188,8 @@ class ConsultationSession:
         for name in chosen_names:
             procedure = self._registry.get(name)
             context = VerificationContext(
-                rng=self._rng, prover=package.prover, backend=advice.backend
+                rng=self._rng, prover=package.prover, backend=advice.backend,
+                executor=advice.executor,
             )
             try:
                 verdict = procedure.verify(self._game, advice, context)

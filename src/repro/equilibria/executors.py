@@ -1,0 +1,145 @@
+"""Screening executors: serial or sharded across worker processes.
+
+The staged candidate engine in :mod:`repro.equilibria.support_enumeration`
+splits enumeration into *screening* (approximate, embarrassingly
+parallel, produces plain picklable candidates) and *certification*
+(exact Fractions, always in the calling process).  The executor seam
+covers only the screening half, which is what makes sharding sound by
+construction: worker processes never produce anything the parent
+believes without exact reconstruction and the Lemma-1 gate.
+
+Determinism contract: both executors consume the *same* pre-chunked
+work list and return chunk results in submission order, so the
+enumeration output is bit-identical for every worker count (including
+the serial path).  Chunk boundaries are fixed by the caller, never by
+the pool.
+
+:class:`ShardedExecutor` degrades gracefully: sandboxes and restricted
+interpreters that cannot fork/spawn process pools (or whose pools break
+mid-flight) fall back to in-process execution and record the fact on
+:attr:`ShardedExecutor.fell_back` — callers audit the executor that
+*actually ran*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+class SerialExecutor:
+    """In-process chunk execution (the default, and the fallback)."""
+
+    name = "serial"
+    workers = 1
+
+    def map_chunks(self, fn: Callable, chunks: Sequence) -> list:
+        """Apply ``fn`` to every chunk, in order."""
+        return [fn(chunk) for chunk in chunks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class ShardedExecutor:
+    """Fan chunks across a process pool, preserving submission order.
+
+    The pool is created lazily on first use and kept open until
+    :meth:`close`, so a batch of consultations (or a stream of
+    enumeration runs) amortizes worker startup across calls.  Results
+    come back in submission order whatever the completion order, and
+    chunking is the caller's, so worker count never changes answers.
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("ShardedExecutor needs at least one worker")
+        self.workers = workers
+        self._pool = None
+        self.fell_back = False
+        self._serial = SerialExecutor()
+
+    @property
+    def effective_name(self) -> str:
+        """What actually ran: ``sharded``, or ``serial`` after a fallback."""
+        return self._serial.name if self.fell_back else self.name
+
+    def _ensure_pool(self):
+        if self.fell_back or self._pool is not None:
+            return self._pool
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+        except (ImportError, NotImplementedError, OSError, PermissionError,
+                ValueError):
+            # Restricted sandbox (no fork/spawn, no semaphores): screen
+            # in process instead.  Same chunks, same order, same answers.
+            self.fell_back = True
+            return None
+        self._pool = pool
+        return pool
+
+    def map_chunks(self, fn: Callable, chunks: Sequence) -> list:
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._serial.map_chunks(fn, chunks)
+        futures = []
+        try:
+            for chunk in chunks:
+                futures.append(pool.submit(fn, chunk))
+            return [future.result() for future in futures]
+        except BaseException as exc:
+            # A broken pool (killed worker, unpicklable payload, sandbox
+            # revoking forks mid-run) must not lose the enumeration:
+            # rerun the whole batch serially.  Worker screening has no
+            # side effects, so a clean restart is safe.
+            from concurrent.futures.process import BrokenProcessPool
+
+            if not isinstance(exc, (BrokenProcessPool, OSError, PermissionError)):
+                raise
+            self.fell_back = True
+            self.close()
+            return self._serial.map_chunks(fn, chunks)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def make_executor(workers: int = 1) -> SerialExecutor | ShardedExecutor:
+    """The executor for a resolved worker count (1 means serial)."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ShardedExecutor(workers=workers)
+
+
+def chunk_list(items: Sequence, chunk_size: int) -> list:
+    """Deterministic fixed-size chunking (the last chunk may be short).
+
+    Chunk boundaries depend only on ``chunk_size`` — never on worker
+    count — which is what keeps sharded screening reproducible and lets
+    warm-start caches reset at identical points on every execution plan.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [
+        list(items[start:start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]

@@ -36,14 +36,16 @@ from typing import Sequence
 from repro.errors import EquilibriumError
 from repro.games.bimatrix import BimatrixGame
 from repro.games.profiles import MixedProfile
-from repro.linalg.backend import resolve_policy
+from repro.linalg.backend import DEFAULT_SUPPORT_TOL, resolve_policy
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
 
-#: Fallback tolerances for backends that do not define their own.
+#: Fallback pivot tolerance for backends that do not define their own.
+#: The support threshold has no module-level copy: it is the backend's
+#: :attr:`~repro.linalg.backend.NumericBackend.support_tol`, one
+#: documented default for every phase of the pipeline.
 _FLOAT_PIVOT_TOL = 1e-9
-_FLOAT_SUPPORT_TOL = 1e-7
 
 
 class _Tableau:
@@ -205,7 +207,7 @@ def _follow_path(game: BimatrixGame, initial_label: int, use_float: bool,
 
 def _certify_float_endpoint(
     game: BimatrixGame, x: Sequence[float], y: Sequence[float],
-    support_tol: float = _FLOAT_SUPPORT_TOL,
+    support_tol: float = DEFAULT_SUPPORT_TOL,
 ) -> MixedProfile | None:
     """Exact reconstruction + certification of a float LH endpoint.
 
@@ -258,7 +260,7 @@ def lemke_howson(
     backend = resolve_policy(policy).search_backend(n + m)
     if not backend.exact:
         pivot_tol = getattr(backend, "pivot_tol", _FLOAT_PIVOT_TOL)
-        support_tol = getattr(backend, "support_tol", _FLOAT_SUPPORT_TOL)
+        support_tol = backend.support_tol
         try:
             x, y = _follow_path(
                 game, initial_label, use_float=True, pivot_tol=pivot_tol

@@ -1,4 +1,4 @@
-"""Support enumeration for bimatrix games — exact answers, pluggable search.
+"""Support enumeration for bimatrix games — a staged candidate engine.
 
 This is the inventor-side computation whose *hardness* motivates the
 paper: finding a mixed equilibrium is PPAD-complete in general, and the
@@ -13,15 +13,32 @@ sides):
 * x is a distribution supported within S1 making all columns in S2 earn
   a common value λ2 and all columns outside S2 earn at most λ2.
 
-Each side is an LP feasibility question.  The *search* for a feasible
-point runs on a configurable :class:`~repro.linalg.backend.NumericBackend`
-(two-phase pipeline): with the default exact backend everything is
-Fractions end to end, exactly as the seed behaved; with a float backend
-the feasibility screen runs in float64, positive candidates are
-reconstructed as Fractions by a support-restricted exact re-solve, and
-every reconstruction is checked against the exact Lemma-1 conditions
-before it is returned — an inconclusive or uncertifiable float answer
-falls back to the exact LP, so no approximate profile ever escapes.
+Each side is an LP feasibility question.  The search is organized as an
+explicit four-stage pipeline::
+
+    generate  →  screen  →  reconstruct  →  certify
+
+**Generate** lists candidate support pairs in a fixed deterministic
+order.  **Screen** decides, approximately and cheaply, which pairs can
+possibly carry an equilibrium; it runs on a configurable
+:class:`~repro.linalg.backend.NumericBackend` (the vectorized numpy
+backend decides whole stacks of Lemma-1 systems at once; the stdlib
+float backend screens one pair at a time, warm-starting from the
+previous pair's basis when only one action changed) and can be sharded
+across worker processes by a pluggable executor — workers return plain
+picklable verdicts, nothing else.  **Reconstruct** re-solves surviving
+candidates as exact Fractions (support-restricted), always in the
+calling process.  **Certify** passes every reconstruction through the
+exact Lemma-1 gate before it is returned; an inconclusive or
+uncertifiable screen verdict falls back to the seed's exact LP for that
+pair, so no approximate profile ever escapes and soundness is
+unconditional in every mode.  With the default exact backend there is no
+screen at all: everything is Fractions end to end, exactly as the seed
+behaved.
+
+Determinism: support pairs, chunk boundaries and resolution order are
+all fixed before any executor runs, so the returned equilibrium tuple is
+identical for every worker count (serial included).
 """
 
 from __future__ import annotations
@@ -30,18 +47,28 @@ import itertools
 from fractions import Fraction
 from typing import Iterator, Sequence
 
+from repro.equilibria.executors import make_executor
 from repro.errors import BackendError, EquilibriumError, LinearAlgebraError
 from repro.games.bimatrix import BimatrixGame
 from repro.games.profiles import MixedProfile
-from repro.linalg.backend import NumericBackend, float_matrix, resolve_policy
+from repro.linalg.backend import (
+    INCONCLUSIVE,
+    NumericBackend,
+    float_matrix,
+    resolve_policy,
+)
 from repro.linalg.exact import solve_linear_system
 from repro.linalg.lp import find_feasible_point
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
 
-#: Fallback support threshold for backends that do not define one.
-_SUPPORT_TOL = 1e-7
+#: Support pairs screened per work chunk.  Fixed (policy-overridable but
+#: never worker-count-dependent), so sharding cannot change results.
+#: 1024 amortizes the vectorized screen's per-stack overhead while still
+#: cutting a default-scale enumeration into enough shards to feed a
+#: multi-core pool.
+DEFAULT_CHUNK_SIZE = 1024
 
 
 def _feasibility_rows(
@@ -214,7 +241,7 @@ def solve_one_side(
             if point is None:
                 return None  # confidently infeasible — pruned
         if not inconclusive:
-            support_tol = getattr(backend, "support_tol", _SUPPORT_TOL)
+            support_tol = backend.support_tol
             refined = tuple(
                 j for idx, j in enumerate(other_support)
                 if point[idx] > support_tol
@@ -311,75 +338,403 @@ def _certified(game: BimatrixGame, profile: MixedProfile) -> bool:
     return certify_mixed_profile(game, profile) is not None
 
 
+# ----------------------------------------------------------------------
+# Stage 2: the approximate screen (runs in workers when sharded)
+# ----------------------------------------------------------------------
+
+#: Screen verdict codes — plain ints so chunk results pickle trivially.
+SCREEN_PRUNED = 0      # confidently infeasible: drop the pair
+SCREEN_CANDIDATE = 1   # feasible both sides: carries refined supports
+SCREEN_EXACT = 2       # inconclusive: re-decide the pair exactly
+
+
+def _variable_keys(num_own: int, own_support, other_support):
+    """Stable identities for one side-system's columns.
+
+    Basis reuse across neighbouring support pairs needs to know which
+    column in the *new* system corresponds to a basic column of the
+    *old* one; position is meaningless across systems, so columns are
+    keyed by meaning: the mix variable of an opponent action, λ⁺/λ⁻, or
+    the slack of one of our off-support actions.
+    """
+    keys = [("q", j) for j in other_support]
+    keys.append(("L", "+"))
+    keys.append(("L", "-"))
+    own = set(own_support)
+    keys.extend(("s", i) for i in range(num_own) if i not in own)
+    return keys
+
+
+def _one_action_apart(prev_own, prev_other, own, other) -> bool:
+    """True when at most one action was added, removed, or swapped."""
+    delta = len(set(prev_own) ^ set(own)) + len(set(prev_other) ^ set(other))
+    return delta <= 2
+
+
+class _SideScreener:
+    """Sequential one-side screening with warm-started bases.
+
+    Used on backends without a batched screen (the stdlib float
+    backend).  After each feasible pair the final simplex basis is
+    remembered under the column keys of :func:`_variable_keys`; when the
+    next pair is at most one action away, the old basis is remapped onto
+    the new system (swapped actions substitute for each other) and tried
+    as a crash basis — one small square solve instead of a full phase-1
+    run.  Any miss falls back to the cold screen, so warm starts change
+    cost, never verdicts' soundness.
+    """
+
+    def __init__(self, backend: NumericBackend, float_rows):
+        self._backend = backend
+        self._rows = float_rows
+        self._num_own = len(float_rows)
+        self._prev = None  # (own, other, basis_keys)
+
+    def _warm_columns(self, own, other, keys):
+        if self._prev is None:
+            return None
+        # Underdetermined sides (fewer indifference equations than mix
+        # variables) have many feasible vertices; a warm basis may land
+        # on a different one than the cold simplex, which on degenerate
+        # games changes *which* exact equilibrium the pair yields.  Warm
+        # starts are therefore restricted to sides whose Lemma-1 system
+        # generically pins a unique mix — there, any feasible point is
+        # the same point, and reuse changes cost but never answers.
+        if len(own) < len(other):
+            return None
+        prev_own, prev_other, prev_keys = self._prev
+        if not prev_keys or not _one_action_apart(prev_own, prev_other, own, other):
+            return None
+        # Swapped actions map onto each other, kind for kind.
+        swaps = {}
+        gone_q = sorted(set(prev_other) - set(other))
+        new_q = sorted(set(other) - set(prev_other))
+        if len(gone_q) == len(new_q):
+            swaps.update(
+                {("q", g): ("q", a) for g, a in zip(gone_q, new_q)}
+            )
+        prev_off = set(range(self._num_own)) - set(prev_own)
+        off = set(range(self._num_own)) - set(own)
+        gone_s = sorted(prev_off - off)
+        new_s = sorted(off - prev_off)
+        if len(gone_s) == len(new_s):
+            swaps.update(
+                {("s", g): ("s", a) for g, a in zip(gone_s, new_s)}
+            )
+        key_to_col = {key: col for col, key in enumerate(keys)}
+        columns = []
+        for key in prev_keys:
+            if key not in key_to_col:
+                key = swaps.get(key)
+                if key is None or key not in key_to_col:
+                    return None
+            columns.append(key_to_col[key])
+        return columns
+
+    def screen(self, own, other):
+        """Feasible point, ``None``, or :data:`INCONCLUSIVE` for one side."""
+        rows, rhs, __ = _feasibility_rows(self._rows, own, other, 0.0, 1.0)
+        keys = _variable_keys(self._num_own, own, other)
+        warm_columns = self._warm_columns(own, other, keys)
+        if warm_columns is not None:
+            point = self._backend.try_basis(rows, rhs, warm_columns)
+            if point is not None:
+                self._prev = (own, other, [keys[c] for c in warm_columns])
+                return point
+        try:
+            solved = self._backend.find_feasible_basis(rows, rhs)
+        except BackendError:
+            self._prev = None
+            return INCONCLUSIVE
+        if solved is None:
+            self._prev = None
+            return None
+        point, basis_columns = solved
+        self._prev = (own, other, [keys[c] for c in basis_columns])
+        return point
+
+
+def _refine(point, other_support, support_tol):
+    """The support a screened feasible point actually stands on."""
+    return tuple(
+        j for idx, j in enumerate(other_support) if point[idx] > support_tol
+    )
+
+
+def _triage(y_point, x_point, rs, cs, support_tol):
+    """Map one pair's two side-points to a screen verdict.
+
+    Shared by the batched and scalar screens so the verdict encoding
+    cannot diverge between them.  ``x_point`` may be omitted (None is
+    ambiguous, so the caller passes it only when the y-side survived).
+    """
+    if y_point is None or x_point is None:
+        return (SCREEN_PRUNED,)
+    if y_point is INCONCLUSIVE or x_point is INCONCLUSIVE:
+        return (SCREEN_EXACT,)
+    return (
+        SCREEN_CANDIDATE,
+        _refine(y_point, cs, support_tol),
+        _refine(x_point, rs, support_tol),
+    )
+
+
+def screen_support_chunk(payload):
+    """Screen one chunk of support pairs; plain data in, plain data out.
+
+    ``payload`` is ``(backend, a_float, b_cols_float, pairs)``.  Returns
+    one verdict per pair, in order: ``(SCREEN_PRUNED,)``,
+    ``(SCREEN_CANDIDATE, refined_cols, refined_rows)`` or
+    ``(SCREEN_EXACT,)``.  This is the sharding unit — it is a top-level
+    function over picklable values so a process pool can run it, and it
+    performs no exact arithmetic at all: certification never leaves the
+    parent process.
+
+    Backends with a batched screen decide all y-sides of the chunk in
+    one stack, then all x-sides of the survivors in another; scalar
+    backends screen pair by pair with warm-started bases.
+    """
+    backend, a_float, b_cols_float, pairs = payload
+    support_tol = backend.support_tol
+    if getattr(backend, "batched_screen", False):
+        y_systems = [
+            _feasibility_rows(a_float, rs, cs, 0.0, 1.0)[:2] for rs, cs in pairs
+        ]
+        y_points = backend.screen_feasible(y_systems)
+        survivors = [
+            idx for idx, point in enumerate(y_points)
+            if point is not None and point is not INCONCLUSIVE
+        ]
+        x_systems = [
+            _feasibility_rows(
+                b_cols_float, pairs[idx][1], pairs[idx][0], 0.0, 1.0
+            )[:2]
+            for idx in survivors
+        ]
+        x_points = dict(zip(survivors, backend.screen_feasible(x_systems)))
+        return [
+            _triage(
+                y_points[idx],
+                x_points.get(idx, INCONCLUSIVE) if y_points[idx] is not None
+                else None,
+                rs, cs, support_tol,
+            )
+            for idx, (rs, cs) in enumerate(pairs)
+        ]
+
+    y_screener = _SideScreener(backend, a_float)
+    x_screener = _SideScreener(backend, b_cols_float)
+    verdicts = []
+    for rs, cs in pairs:
+        y_point = y_screener.screen(rs, cs)
+        x_point = None
+        if y_point is not None and y_point is not INCONCLUSIVE:
+            x_point = x_screener.screen(cs, rs)
+        elif y_point is INCONCLUSIVE:
+            x_point = INCONCLUSIVE  # the pair is exact-bound either way
+        verdicts.append(_triage(y_point, x_point, rs, cs, support_tol))
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# Stages 3 + 4: exact reconstruction and certification (parent only)
+# ----------------------------------------------------------------------
+
+
+def _resolve_screened_pair(game, rs, cs, verdict):
+    """Turn one screen verdict into an exact result (or None).
+
+    Everything here is Fractions: candidates reconstruct through the
+    support-restricted exact re-solve and pass the Lemma-1 gate; any
+    failure — and any inconclusive screen — re-decides the pair on the
+    seed's exact LP.  Pruned pairs were rejected with a clear margin and
+    cost nothing further.
+    """
+    if verdict[0] == SCREEN_PRUNED:
+        return None
+    if verdict[0] == SCREEN_CANDIDATE:
+        __, refined_cols, refined_rows = verdict
+        n, m = game.action_counts
+        y_side = reconstruct_one_side(game.row_matrix, rs, refined_cols, m)
+        x_side = reconstruct_one_side(
+            game.column_matrix_transposed, cs, refined_rows, n
+        )
+        if y_side is not None and x_side is not None:
+            profile = MixedProfile((x_side[0], y_side[0]))
+            if _certified(game, profile):
+                return profile
+        # Reconstruction or certification failed: the screen suggested
+        # supports the exact side conditions reject.  Fall through to
+        # the authoritative exact decision for this pair.
+    result = equilibrium_for_supports(game, rs, cs)
+    return result[0] if result is not None else None
+
+
+#: Chunk size for *scalar* screening when only the first hit matters:
+#: a lazy scan usually resolves within the first few pairs, so big
+#: chunks would screen ~1000 pairs it never looks at.  The vectorized
+#: screen keeps DEFAULT_CHUNK_SIZE — stack width is its whole speedup.
+SCALAR_FIND_CHUNK_SIZE = 16
+
+
+def _screened_pairs(game, backend, pair_stream, chunk_size, executor):
+    """Stream ``((rs, cs), verdict)`` in pair order, one wave at a time.
+
+    Pairs come off the generator wave by wave (one chunk per worker, a
+    single chunk when serial), so the exponential pair space is never
+    materialized and memory is bounded by the in-flight wave.  Chunk
+    boundaries depend only on ``chunk_size``, and verdicts are yielded
+    strictly in pair order whatever the pool's completion order — the
+    two determinism invariants callers rely on.
+    """
+    a_float = float_matrix(game.row_matrix)
+    b_cols_float = float_matrix(game.column_matrix_transposed)
+    wave_width = max(1, getattr(executor, "workers", 1)) if executor else 1
+    while True:
+        wave = [
+            chunk
+            for chunk in (
+                list(itertools.islice(pair_stream, chunk_size))
+                for __ in range(wave_width)
+            )
+            if chunk
+        ]
+        if not wave:
+            return
+        payloads = [(backend, a_float, b_cols_float, chunk) for chunk in wave]
+        if executor is None:
+            verdict_lists = [
+                screen_support_chunk(payload) for payload in payloads
+            ]
+        else:
+            verdict_lists = executor.map_chunks(screen_support_chunk, payloads)
+        for chunk, verdicts in zip(wave, verdict_lists):
+            yield from zip(chunk, verdicts)
+
+
 def support_enumeration(
-    game: BimatrixGame, equal_size_only: bool = False, policy=None
+    game: BimatrixGame,
+    equal_size_only: bool = False,
+    policy=None,
+    executor=None,
 ) -> tuple[MixedProfile, ...]:
     """All equilibria found by support enumeration, deduplicated.
 
     With ``equal_size_only`` the search restricts to equal-cardinality
     supports — complete for non-degenerate games and much faster; the
     default scans every pair, which also picks up degenerate equilibria
-    such as the Fig. 5 continuum's extreme points.  ``policy`` selects
-    the numeric search backend (``None``/"exact" is the seed behaviour;
-    "float+certify" screens support pairs in float64 and certifies every
-    candidate exactly before it is returned).
+    such as the Fig. 5 continuum's extreme points.
+
+    ``policy`` selects the numeric search backend and sharding
+    (``None``/"exact" is the seed behaviour; "float+certify" screens
+    support pairs one at a time in float64; "numpy" screens whole stacks
+    of pairs vectorized; "sharded" additionally fans screening chunks
+    across worker processes).  ``executor`` optionally supplies a live
+    :class:`~repro.equilibria.executors.ShardedExecutor` so a stream of
+    enumeration runs (e.g. a batch consultation) shares one worker pool;
+    when omitted, the policy's worker count decides and any pool is
+    scoped to this call.
 
     Soundness is unconditional in every mode: nothing uncertified is
-    ever returned.  *Completeness* of the float screen is heuristic:
-    the float LP row-equilibrates and treats only clear margins as
-    infeasible (anything borderline is re-decided exactly), but a
-    knife-edge support pair whose feasibility margin sits below float
-    resolution can in principle be pruned.  Callers that must not miss
-    any equilibrium use the exact policy.
+    ever returned, and exact certification runs only in the calling
+    process.  *Completeness* of the approximate screens is heuristic:
+    they row-equilibrate and treat only clear margins as infeasible
+    (anything borderline is re-decided exactly), but a knife-edge
+    support pair whose feasibility margin sits below float resolution
+    can in principle be pruned.  Callers that must not miss any
+    equilibrium use the exact policy.  Results are deterministic for
+    every worker count.
     """
-    backend, float_cache = _search_setup(game, policy)
+    resolved = resolve_policy(policy)
+    backend, __ = _search_setup(game, resolved)
+    n, m = game.action_counts
     seen: set[tuple] = set()
     out: list[MixedProfile] = []
-    n, m = game.action_counts
-    for rs, cs in support_pairs(n, m, equal_size_only=equal_size_only):
-        result = equilibrium_for_supports(
-            game, rs, cs, backend=backend, _float_cache=float_cache
-        )
-        if result is None:
-            continue
-        profile, __, __ = result
-        if backend is not None and not _certified(game, profile):
-            # A candidate slipped past the exact reconstruction (it
-            # cannot, but the gate is the guarantee, not the search):
-            # recompute this pair on the exact path.
+
+    if backend is None:
+        # The seed path: exact LP per pair, no screen, no executor, and
+        # no materialization — pairs stream straight off the generator.
+        for rs, cs in support_pairs(n, m, equal_size_only=equal_size_only):
             result = equilibrium_for_supports(game, rs, cs)
             if result is None:
                 continue
             profile = result[0]
-        key = profile.distributions
-        if key not in seen:
-            seen.add(key)
-            out.append(profile)
+            if profile.distributions not in seen:
+                seen.add(profile.distributions)
+                out.append(profile)
+        return tuple(out)
+
+    chunk_size = resolved.chunk_size or DEFAULT_CHUNK_SIZE
+    pair_stream = support_pairs(n, m, equal_size_only=equal_size_only)
+    own_executor = executor is None
+    if own_executor and resolved.resolved_workers() > 1:
+        executor = make_executor(resolved.resolved_workers())
+    try:
+        for (rs, cs), verdict in _screened_pairs(
+            game, backend, pair_stream, chunk_size, executor
+        ):
+            profile = _resolve_screened_pair(game, rs, cs, verdict)
+            if profile is not None and profile.distributions not in seen:
+                seen.add(profile.distributions)
+                out.append(profile)
+    finally:
+        if own_executor and executor is not None:
+            executor.close()
     return tuple(out)
 
 
-def find_one_equilibrium(game: BimatrixGame, policy=None) -> MixedProfile:
+def find_one_equilibrium(
+    game: BimatrixGame, policy=None, executor=None
+) -> MixedProfile:
     """The first equilibrium support enumeration finds (smallest support).
 
     Every finite game has one (Nash 1950), so exhausting the support pairs
-    without a hit indicates an internal error — or, on a float search
-    backend, an over-aggressive screen; in that case the scan is repeated
-    on the exact path before concluding anything.
+    without a hit indicates an internal error — or, on an approximate
+    search backend, an over-aggressive screen; in that case the scan is
+    repeated on the exact path before concluding anything.
+
+    Screening is chunked and *lazy*: pairs stream off the generator one
+    wave at a time and the scan stops inside the first wave containing a
+    certified equilibrium, so the exponential pair space is never
+    materialized.  With a sharded ``executor`` (or a policy asking for
+    one) each wave fans one chunk per worker across the pool; candidates
+    are still resolved strictly in pair order, so the returned
+    equilibrium is identical for every worker count — wave width only
+    changes how much screening beyond the answer is wasted.
     """
-    backend, float_cache = _search_setup(game, policy)
+    resolved = resolve_policy(policy)
+    backend, __ = _search_setup(game, resolved)
     n, m = game.action_counts
-    for rs, cs in support_pairs(n, m):
-        result = equilibrium_for_supports(
-            game, rs, cs, backend=backend, _float_cache=float_cache
+    if backend is None:
+        for rs, cs in support_pairs(n, m):
+            result = equilibrium_for_supports(game, rs, cs)
+            if result is not None:
+                return result[0]
+        raise EquilibriumError(
+            "support enumeration found no equilibrium; "
+            "this contradicts Nash's theorem"
         )
-        if result is not None:
-            profile = result[0]
-            if backend is None or _certified(game, profile):
+
+    if resolved.chunk_size:
+        chunk_size = resolved.chunk_size
+    elif backend.batched_screen:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    else:
+        chunk_size = SCALAR_FIND_CHUNK_SIZE
+    pair_stream = support_pairs(n, m)
+    own_executor = executor is None
+    if own_executor and resolved.resolved_workers() > 1:
+        executor = make_executor(resolved.resolved_workers())
+    try:
+        for (rs, cs), verdict in _screened_pairs(
+            game, backend, pair_stream, chunk_size, executor
+        ):
+            profile = _resolve_screened_pair(game, rs, cs, verdict)
+            if profile is not None:
                 return profile
-    if backend is not None:
-        # The float screen may have pruned a knife-edge support pair;
-        # the exact rescan is the authoritative answer.
-        return find_one_equilibrium(game)
-    raise EquilibriumError(
-        "support enumeration found no equilibrium; this contradicts Nash's theorem"
-    )
+    finally:
+        if own_executor and executor is not None:
+            executor.close()
+    # The approximate screen may have pruned a knife-edge support pair;
+    # the exact rescan is the authoritative answer.
+    return find_one_equilibrium(game)

@@ -14,7 +14,10 @@ import numbers
 from fractions import Fraction
 from typing import Iterable, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 Rational = Fraction
 
@@ -40,7 +43,7 @@ def to_fraction(value) -> Fraction:
         return Fraction(value)
     if isinstance(value, float):
         return Fraction(value)
-    if isinstance(value, np.floating):
+    if np is not None and isinstance(value, np.floating):
         return Fraction(float(value))
     raise TypeError(f"cannot convert {type(value).__name__} to Fraction")
 
@@ -87,9 +90,17 @@ def is_probability_vector(values: Sequence[Fraction]) -> bool:
     return sum(values) == 1
 
 
-def as_floats(values: Iterable[Fraction]) -> np.ndarray:
-    """Convert exact rationals to a float numpy array (for reporting)."""
-    return np.array([float(v) for v in values], dtype=float)
+def as_floats(values: Iterable[Fraction]):
+    """Convert exact rationals to floats for reporting.
+
+    Returns a numpy array when numpy is available, a plain list of
+    floats otherwise — reporting code treats both uniformly (iteration
+    and indexing), so the library's stdlib-only mode keeps working.
+    """
+    floats = [float(v) for v in values]
+    if np is None:
+        return floats
+    return np.array(floats, dtype=float)
 
 
 def dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:

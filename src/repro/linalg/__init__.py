@@ -23,15 +23,24 @@ from repro.linalg.backend import (
     BACKEND_MODES,
     EXACT_BACKEND,
     EXACT_POLICY,
+    EXECUTOR_NAMES,
+    EXECUTOR_SERIAL,
+    EXECUTOR_SHARDED,
     FLOAT_BACKEND,
     FLOAT_CERTIFY_POLICY,
+    INCONCLUSIVE,
     MODE_AUTO,
     MODE_EXACT,
     MODE_FLOAT_CERTIFY,
+    MODE_NUMPY,
+    NUMPY_BACKEND,
+    NUMPY_POLICY,
+    SHARDED_POLICY,
     BackendPolicy,
     ExactBackend,
     FloatBackend,
     NumericBackend,
+    numpy_available,
     resolve_policy,
 )
 from repro.linalg.exact import (
@@ -49,15 +58,24 @@ __all__ = [
     "BACKEND_MODES",
     "EXACT_BACKEND",
     "EXACT_POLICY",
+    "EXECUTOR_NAMES",
+    "EXECUTOR_SERIAL",
+    "EXECUTOR_SHARDED",
     "FLOAT_BACKEND",
     "FLOAT_CERTIFY_POLICY",
+    "INCONCLUSIVE",
     "MODE_AUTO",
     "MODE_EXACT",
     "MODE_FLOAT_CERTIFY",
+    "MODE_NUMPY",
+    "NUMPY_BACKEND",
+    "NUMPY_POLICY",
+    "SHARDED_POLICY",
     "BackendPolicy",
     "ExactBackend",
     "FloatBackend",
     "NumericBackend",
+    "numpy_available",
     "resolve_policy",
     "gaussian_elimination",
     "identity_matrix",

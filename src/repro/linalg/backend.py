@@ -36,11 +36,40 @@ from repro.errors import BackendError, LinearAlgebraError
 from repro.linalg import exact as _exact
 from repro.linalg import lp as _lp
 
-#: The three backend modes the core layer can request per advice package.
+#: The backend modes the core layer can request per advice package.
 MODE_EXACT = "exact"
 MODE_FLOAT_CERTIFY = "float+certify"
+MODE_NUMPY = "numpy"
 MODE_AUTO = "auto"
-BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY, MODE_AUTO)
+BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY, MODE_NUMPY, MODE_AUTO)
+
+#: Executor names a policy can resolve to (see BackendPolicy.workers).
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_SHARDED = "sharded"
+EXECUTOR_NAMES = (EXECUTOR_SERIAL, EXECUTOR_SHARDED)
+
+
+#: Default threshold below which a probability in an approximate
+#: solution is read as "off the support" when solvers extract candidate
+#: supports for exact reconstruction.  This is *the* support tolerance:
+#: every backend exposes it as :attr:`NumericBackend.support_tol`
+#: (exact backends keep the default but never consult it), so all
+#: phases of a pipeline run share one threshold instead of each module
+#: shadowing its own copy.
+DEFAULT_SUPPORT_TOL = 1e-7
+
+#: Sentinel a batched screen returns for a system it could not decide
+#: (the list-level analogue of raising :class:`BackendError`).  Callers
+#: must re-decide such systems on the exact path.
+INCONCLUSIVE = type("_Inconclusive", (), {
+    "__repr__": lambda self: "INCONCLUSIVE",
+    "__reduce__": lambda self: (_inconclusive_singleton, ()),
+})()
+
+
+def _inconclusive_singleton():
+    """Unpickle :data:`INCONCLUSIVE` to the same identity-comparable object."""
+    return INCONCLUSIVE
 
 
 class NumericBackend:
@@ -52,17 +81,27 @@ class NumericBackend:
     backends answer quickly and may raise :class:`BackendError` when the
     numerics are inconclusive.
 
-    The current pipeline drives search through
-    :meth:`find_feasible_point` only; :meth:`solve_square` completes the
-    seam for the follow-on backends the ROADMAP names (numpy-vectorized
-    elimination, sharded screens) whose reconstruction pre-checks run on
-    square indifference systems.
+    Two batched/warm-start hooks complete the seam for the staged
+    candidate engine: :meth:`screen_feasible` decides many feasibility
+    systems at once (vectorized backends override it; the default is a
+    sequential loop), and :meth:`try_basis` attempts a crash solve from
+    a known-good basis so enumeration loops can warm-start neighbouring
+    support pairs.
     """
 
     #: Human-readable backend name, recorded in audit logs and benches.
     name: str = "abstract"
+    #: The resolved policy-mode string this backend answers for (what
+    #: advice packages and the audit log record).
+    mode: str = "exact"
     #: True iff results need no downstream certification.
     exact: bool = True
+    #: Off-support threshold shared by every search/reconstruction phase.
+    support_tol: float = DEFAULT_SUPPORT_TOL
+    #: True iff :meth:`screen_feasible` genuinely batches (vectorized
+    #: stacks); screening loops prefer warm-started scalar solves when
+    #: it does not.
+    batched_screen: bool = False
 
     def solve_square(self, matrix: Sequence[Sequence], rhs: Sequence):
         raise NotImplementedError
@@ -73,11 +112,63 @@ class NumericBackend:
     ):
         raise NotImplementedError
 
+    def screen_feasible(self, systems: Sequence[tuple]) -> list:
+        """Decide a batch of ``Ax = b, x >= 0`` feasibility systems.
+
+        ``systems`` is a sequence of ``(rows, rhs)`` pairs.  Returns one
+        entry per system: a feasible point (sequence), ``None`` for
+        confidently infeasible, or :data:`INCONCLUSIVE` where the
+        numerics cannot decide (callers re-solve those exactly).  The
+        base implementation screens sequentially; vectorized backends
+        stack same-shaped systems and decide them in bulk.
+        """
+        results = []
+        for rows, rhs in systems:
+            try:
+                results.append(self.find_feasible_point(rows, rhs))
+            except BackendError:
+                results.append(INCONCLUSIVE)
+        return results
+
+    def try_basis(self, a_eq: Sequence[Sequence], b_eq: Sequence,
+                  basis_columns: Sequence[int]):
+        """Crash solve: the basic solution of ``Ax = b`` for a given basis.
+
+        ``basis_columns`` selects one column per constraint row.  If the
+        basis matrix is nonsingular and the induced basic solution is
+        nonnegative, the full feasible point is returned; otherwise
+        ``None`` (the caller falls back to a cold feasibility solve).
+        This is the warm-start primitive: a neighbouring support pair's
+        final basis very often stays feasible when one action changes.
+        """
+        nrows = len(a_eq)
+        ncols = len(a_eq[0]) if a_eq else 0
+        columns = list(basis_columns)
+        if len(columns) != nrows or len(set(columns)) != nrows:
+            return None
+        if any(not 0 <= c < ncols for c in columns):
+            return None
+        sub = [[row[c] for c in columns] for row in a_eq]
+        try:
+            basic_values = self.solve_square(sub, b_eq)
+        except (BackendError, LinearAlgebraError):
+            return None
+        tol = 0 if self.exact else self.support_tol
+        if any(v < -tol for v in basic_values):
+            return None
+        zero = basic_values[0] * 0 if basic_values else 0
+        point = [zero] * ncols
+        for c, v in zip(columns, basic_values):
+            # Clip the tolerated tiny negatives so callers see x >= 0.
+            point[c] = v if (self.exact or v > 0) else zero
+        return point
+
 
 class ExactBackend(NumericBackend):
     """The seed semantics: Fraction elimination and simplex, unchanged."""
 
     name = "exact"
+    mode = MODE_EXACT
     exact = True
 
     def solve_square(self, matrix, rhs):
@@ -97,18 +188,19 @@ class FloatBackend(NumericBackend):
     float path uses Dantzig's rule, which is fast but not anti-cycling);
     hitting the cap is likewise inconclusive, never an answer.
 
-    ``support_tol`` is the threshold below which a probability in a
-    float solution is read as "off the support" when solvers extract
-    candidate supports for exact reconstruction; it lives here so all
-    phases of a pipeline run share one set of tolerances.
+    ``support_tol`` overrides :data:`DEFAULT_SUPPORT_TOL` per instance;
+    it lives on the backend so all phases of a pipeline run share one
+    set of tolerances (solvers must consult ``backend.support_tol``
+    rather than shadowing their own constants).
     """
 
     name = "float64"
+    mode = MODE_FLOAT_CERTIFY
     exact = False
 
     def __init__(self, feastol: float = 1e-7, pivot_tol: float = 1e-9,
                  max_iterations: int | None = None,
-                 support_tol: float = 1e-7):
+                 support_tol: float = DEFAULT_SUPPORT_TOL):
         if feastol <= 0 or pivot_tol <= 0 or support_tol <= 0:
             raise LinearAlgebraError("tolerances must be positive")
         self.feastol = float(feastol)
@@ -166,13 +258,38 @@ class FloatBackend(NumericBackend):
                 bound_row[ncols + j] = 1.0
                 a.append(bound_row)
                 b.append(u)
-        point = self._phase1(a, b)
-        if point is None:
+        solved = self._phase1(a, b)
+        if solved is None:
             return None
-        return point[:ncols]
+        return solved[0][:ncols]
 
-    def _phase1(self, a, b) -> list[float] | None:
-        """Feasible point of ``Ax = b, x >= 0`` or None (raises if unsure)."""
+    def find_feasible_basis(
+        self, a_eq: Sequence[Sequence], b_eq: Sequence,
+    ) -> tuple[list[float], list[int]] | None:
+        """Like :meth:`find_feasible_point` but also returns the final basis.
+
+        Returns ``(point, basis_columns)`` where ``basis_columns`` has
+        one structural-column index per constraint row, or ``None`` when
+        confidently infeasible.  A basis that still contains a phase-1
+        artificial (possible on degenerate systems) is reported as
+        unusable by raising nothing and returning an empty basis list —
+        callers treat an empty basis as "no warm-start hint".  No upper
+        bounds here: the warm-start path is for plain ``Ax = b, x >= 0``
+        screens.
+        """
+        a = [[float(x) for x in row] for row in a_eq]
+        b = [float(x) for x in b_eq]
+        ncols = len(a[0]) if a else 0
+        solved = self._phase1(a, b)
+        if solved is None:
+            return None
+        point, basis = solved
+        if any(var >= ncols for var in basis):
+            return point[:ncols], []  # artificial left basic: no hint
+        return point[:ncols], list(basis)
+
+    def _phase1(self, a, b) -> tuple[list[float], list[int]] | None:
+        """``(x, basis)`` of ``Ax = b, x >= 0`` or None (raises if unsure)."""
         nrows = len(a)
         ncols = len(a[0]) if a else 0
         if any(len(row) != ncols for row in a):
@@ -243,7 +360,7 @@ class FloatBackend(NumericBackend):
         x = [0.0] * total
         for i, var in enumerate(basis):
             x[var] = tableau[i][-1]
-        return x
+        return x, basis
 
     @staticmethod
     def _pivot(tableau, basis, objective, row_idx, col_idx, total):
@@ -265,19 +382,54 @@ class FloatBackend(NumericBackend):
 EXACT_BACKEND = ExactBackend()
 FLOAT_BACKEND = FloatBackend()
 
+# The numpy-vectorized backend is optional: the library must run (and
+# the stdlib float path must screen) on a bare interpreter.  Importing
+# it here keeps the gating in one place; everything downstream asks
+# this module, never numpy itself.
+try:
+    from repro.linalg.numpy_backend import NumpyBackend
+
+    NUMPY_BACKEND: NumericBackend | None = NumpyBackend()
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    NumpyBackend = None  # type: ignore[assignment]
+    NUMPY_BACKEND = None
+
+
+def numpy_available() -> bool:
+    """True iff the vectorized numpy backend imported successfully."""
+    return NUMPY_BACKEND is not None
+
+
+def _best_approximate_backend() -> NumericBackend:
+    """The fastest available non-exact backend (numpy if importable)."""
+    return NUMPY_BACKEND if NUMPY_BACKEND is not None else FLOAT_BACKEND
+
 
 @dataclass(frozen=True)
 class BackendPolicy:
-    """Which backend a solver run should search on.
+    """Which backend — and how many shards — a solver run should search on.
 
     ``auto`` sizes the decision: small systems pivot exactly about as
     fast as they certify, so auto keeps them on the exact path and
-    switches to float search once the action-count hint reaches
+    switches to approximate search once the action-count hint reaches
     ``auto_threshold`` (total actions, n + m for a bimatrix game).
+    Approximate ``auto`` search prefers the vectorized numpy backend and
+    falls back to the stdlib float backend when numpy is unavailable;
+    ``mode="numpy"`` requested explicitly falls back the same way, so a
+    policy never fails to resolve on a bare interpreter.
+
+    ``workers`` selects the screening executor: ``1`` screens in
+    process (``serial``); ``> 1`` shards support-pair chunks across that
+    many worker processes (``sharded``); ``0`` means "one worker per
+    CPU".  ``chunk_size`` overrides the deterministic chunking used by
+    both executors (the default is picked by the enumeration layer);
+    results are identical for every worker count by construction.
     """
 
     mode: str = MODE_EXACT
     auto_threshold: int = 10
+    workers: int = 1
+    chunk_size: int | None = None
 
     def __post_init__(self):
         if self.mode not in BACKEND_MODES:
@@ -286,6 +438,10 @@ class BackendPolicy:
             )
         if self.auto_threshold < 0:
             raise LinearAlgebraError("auto_threshold must be non-negative")
+        if self.workers < 0:
+            raise LinearAlgebraError("workers must be non-negative (0 = one per CPU)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise LinearAlgebraError("chunk_size must be positive")
 
     def search_backend(self, size_hint: int = 0) -> NumericBackend:
         """The backend candidate search should run on for this size."""
@@ -293,25 +449,44 @@ class BackendPolicy:
             return EXACT_BACKEND
         if self.mode == MODE_FLOAT_CERTIFY:
             return FLOAT_BACKEND
-        return FLOAT_BACKEND if size_hint >= self.auto_threshold else EXACT_BACKEND
+        if self.mode == MODE_NUMPY:
+            return _best_approximate_backend()
+        if size_hint >= self.auto_threshold:
+            return _best_approximate_backend()
+        return EXACT_BACKEND
+
+    def resolved_workers(self) -> int:
+        """The concrete worker count (``0`` resolved to the CPU count)."""
+        if self.workers == 0:
+            import os
+
+            return max(1, os.cpu_count() or 1)
+        return self.workers
 
 
 #: Canonical policy instances.
 EXACT_POLICY = BackendPolicy(MODE_EXACT)
 FLOAT_CERTIFY_POLICY = BackendPolicy(MODE_FLOAT_CERTIFY)
+NUMPY_POLICY = BackendPolicy(MODE_NUMPY)
 AUTO_POLICY = BackendPolicy(MODE_AUTO)
+#: "sharded" as a mode string: vectorized search, one worker per CPU.
+SHARDED_POLICY = BackendPolicy(MODE_NUMPY, workers=0)
 
 _POLICY_BY_MODE = {
     MODE_EXACT: EXACT_POLICY,
     MODE_FLOAT_CERTIFY: FLOAT_CERTIFY_POLICY,
+    MODE_NUMPY: NUMPY_POLICY,
     MODE_AUTO: AUTO_POLICY,
+    "sharded": SHARDED_POLICY,
 }
 
 
 def resolve_policy(policy) -> BackendPolicy:
     """Normalize ``None`` / mode string / policy object to a policy.
 
-    ``None`` means the seed behaviour: everything exact.
+    ``None`` means the seed behaviour: everything exact.  Mode strings
+    accept the four backend modes plus ``"sharded"`` (numpy search,
+    process-pool screening with one worker per CPU).
     """
     if policy is None:
         return EXACT_POLICY
@@ -322,7 +497,8 @@ def resolve_policy(policy) -> BackendPolicy:
             return _POLICY_BY_MODE[policy]
         except KeyError:
             raise LinearAlgebraError(
-                f"unknown backend mode {policy!r}; expected one of {BACKEND_MODES}"
+                f"unknown backend mode {policy!r}; expected one of "
+                f"{BACKEND_MODES + ('sharded',)}"
             ) from None
     raise LinearAlgebraError(f"cannot interpret backend policy {policy!r}")
 

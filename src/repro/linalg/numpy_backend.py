@@ -1,0 +1,320 @@
+"""The numpy-vectorized search backend: dense tableaus, batched screens.
+
+This module is the vectorized float arm of the two-phase pipeline.  It
+implements the same numeric contract as the stdlib
+:class:`~repro.linalg.backend.FloatBackend` — answers are *suggestions*,
+anything borderline is inconclusive, and certification downstream is
+always exact — but stages the work for hardware:
+
+* :meth:`NumpyBackend.solve_square` runs float64 Gaussian elimination
+  with partial pivoting as whole-matrix numpy operations, guarded by a
+  condition-number check (near-singular systems are inconclusive, never
+  answers);
+* :meth:`NumpyBackend.find_feasible_point` runs a dense-tableau phase-1
+  simplex whose pivots are rank-1 ndarray updates;
+* :meth:`NumpyBackend.screen_feasible` is the batched screening entry
+  point the support-enumeration engine drives: it stacks many small
+  Lemma-1 feasibility systems by shape and pivots *all systems of a
+  shape group simultaneously* — one entering/leaving/ratio computation
+  per iteration for the whole stack, which is where the bulk-rejection
+  speedup over one-at-a-time screening comes from.
+
+Tolerance discipline mirrors the stdlib backend exactly: a phase-1
+optimum above ``feastol`` is confidently infeasible; one inside
+``(pivot_tol, feastol]`` is inconclusive (:data:`INCONCLUSIVE` in batch
+answers, :class:`BackendError` in scalar ones); hitting the iteration
+cap is likewise inconclusive.  No result of this module is ever returned
+to a caller of the solver layer without exact reconstruction and the
+Lemma-1 gate.
+
+This module imports numpy unconditionally; :mod:`repro.linalg.backend`
+gates the import so the rest of the library keeps working (and the
+stdlib float path keeps screening) when numpy is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import BackendError, LinearAlgebraError
+from repro.linalg.backend import (
+    DEFAULT_SUPPORT_TOL,
+    INCONCLUSIVE,
+    MODE_NUMPY,
+    FloatBackend,
+)
+
+# Status codes for systems moving through the batched phase-1 loop.
+_ACTIVE = 0
+_OPTIMAL = 1
+_UNDECIDED = 2  # unbounded ray / iteration cap: inconclusive
+
+
+class NumpyBackend(FloatBackend):
+    """Vectorized float64 search with batched feasibility screening.
+
+    Subclasses :class:`FloatBackend` so the tolerance semantics (and the
+    basis-returning scalar simplex used for warm starts) are shared; the
+    square solver and the screening paths are overridden with ndarray
+    implementations.  ``max_condition`` bounds the condition number a
+    square solve will vouch for — anything worse is inconclusive.
+    """
+
+    name = "numpy"
+    mode = MODE_NUMPY
+    exact = False
+    batched_screen = True
+
+    def __init__(self, feastol: float = 1e-7, pivot_tol: float = 1e-9,
+                 max_iterations: int | None = None,
+                 support_tol: float = DEFAULT_SUPPORT_TOL,
+                 max_condition: float = 1e12):
+        super().__init__(feastol=feastol, pivot_tol=pivot_tol,
+                         max_iterations=max_iterations,
+                         support_tol=support_tol)
+        if max_condition <= 0:
+            raise LinearAlgebraError("max_condition must be positive")
+        self.max_condition = float(max_condition)
+
+    # ------------------------------------------------------------------
+    # Square solves
+    # ------------------------------------------------------------------
+
+    def solve_square(self, matrix, rhs):
+        try:
+            a = np.asarray(
+                [[float(x) for x in row] for row in matrix], dtype=np.float64
+            )
+        except ValueError:
+            raise LinearAlgebraError("solve_square requires a square matrix") from None
+        b = np.asarray([float(x) for x in rhs], dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise LinearAlgebraError("solve_square requires a square matrix")
+        if b.shape != (a.shape[0],):
+            raise LinearAlgebraError("rhs length does not match matrix")
+        if a.size == 0:
+            return []
+        try:
+            x = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError:
+            raise BackendError("numpy solve: singular matrix") from None
+        if not np.all(np.isfinite(x)):
+            raise BackendError("numpy solve produced non-finite values")
+        # Near-singular systems solve without error but cannot be
+        # vouched for; the condition estimate is the analogue of the
+        # stdlib backend's pivot-below-tolerance test.
+        condition = np.linalg.cond(a)
+        if not np.isfinite(condition) or condition > self.max_condition:
+            raise BackendError("numpy solve: matrix condition beyond tolerance")
+        return x.tolist()
+
+    # ------------------------------------------------------------------
+    # Scalar feasibility (a batch of one through the dense tableau)
+    # ------------------------------------------------------------------
+
+    def find_feasible_point(self, a_eq, b_eq, upper_bounds=None):
+        a = [[float(x) for x in row] for row in a_eq]
+        b = [float(x) for x in b_eq]
+        ncols = len(a[0]) if a else 0
+        if any(len(row) != ncols for row in a):
+            raise LinearAlgebraError("LP constraint matrix has ragged rows")
+        if len(b) != len(a):
+            raise LinearAlgebraError("LP rhs length does not match constraints")
+        if upper_bounds is not None:
+            ubs = [float(u) for u in upper_bounds]
+            if len(ubs) != ncols:
+                raise LinearAlgebraError("upper bound length does not match variables")
+            nslack = len(ubs)
+            for row in a:
+                row.extend([0.0] * nslack)
+            for j, u in enumerate(ubs):
+                bound_row = [0.0] * (ncols + nslack)
+                bound_row[j] = 1.0
+                bound_row[ncols + j] = 1.0
+                a.append(bound_row)
+                b.append(u)
+        outcome = self._phase1_batch(
+            np.asarray([a], dtype=np.float64) if a else np.zeros((1, 0, ncols)),
+            np.asarray([b], dtype=np.float64).reshape(1, -1),
+        )[0]
+        if outcome is INCONCLUSIVE:
+            raise BackendError("numpy phase-1 inconclusive")
+        if outcome is None:
+            return None
+        return list(outcome[:ncols])
+
+    # ------------------------------------------------------------------
+    # Batched screening
+    # ------------------------------------------------------------------
+
+    def screen_feasible(self, systems: Sequence[tuple]) -> list:
+        """Decide many ``Ax = b, x >= 0`` systems, stacked by shape.
+
+        Same-shaped systems (the common case: Lemma-1 sides of support
+        pairs with equal cardinalities) are screened as one ndarray
+        stack; distinct shapes form separate stacks.  Output order
+        matches input order regardless of grouping, so callers can rely
+        on positional correspondence.
+        """
+        results: list = [None] * len(systems)
+        groups: dict[tuple[int, int], list[int]] = {}
+        for idx, (rows, rhs) in enumerate(systems):
+            nrows = len(rows)
+            ncols = len(rows[0]) if rows else 0
+            if any(len(row) != ncols for row in rows) or len(rhs) != nrows:
+                raise LinearAlgebraError("screen_feasible: malformed system")
+            groups.setdefault((nrows, ncols), []).append(idx)
+        for (nrows, ncols), indices in groups.items():
+            a = np.empty((len(indices), nrows, ncols), dtype=np.float64)
+            b = np.empty((len(indices), nrows), dtype=np.float64)
+            for pos, idx in enumerate(indices):
+                rows, rhs = systems[idx]
+                a[pos] = rows
+                b[pos] = rhs
+            outcomes = self._phase1_batch(a, b)
+            for pos, idx in enumerate(indices):
+                outcome = outcomes[pos]
+                if outcome is None or outcome is INCONCLUSIVE:
+                    results[idx] = outcome
+                else:
+                    results[idx] = tuple(outcome[:ncols])
+        return results
+
+    def _phase1_batch(self, a: np.ndarray, b: np.ndarray) -> list:
+        """Batched phase-1 simplex over a (batch, rows, cols) stack.
+
+        Returns one entry per system: the full variable vector
+        (structural + artificial) on feasibility, ``None`` on confident
+        infeasibility, :data:`INCONCLUSIVE` otherwise.  All systems of
+        the stack pivot in lockstep; finished systems are masked out.
+        The Dantzig entering rule and the smallest-basis-label ratio
+        tie-break make every trajectory deterministic, so the batch
+        decomposition (and hence any sharding of it) cannot change
+        answers.
+        """
+        batch, nrows, ncols = a.shape
+        if batch == 0:
+            return []
+        if nrows == 0:
+            return [np.zeros(ncols)] * batch
+
+        a = a.copy()
+        b = b.copy()
+        # Row equilibration, exactly as the stdlib backend: relative
+        # tolerances via per-row scaling, then flip rows negative on b.
+        scale = np.maximum(
+            np.abs(a).max(axis=2) if ncols else 0.0, np.abs(b)
+        )
+        scale[scale == 0.0] = 1.0
+        a /= scale[:, :, None]
+        b /= scale
+        flip = b < 0.0
+        a[flip] = -a[flip]
+        b[flip] = -b[flip]
+
+        total = ncols + nrows
+        tableau = np.concatenate(
+            [
+                a,
+                np.broadcast_to(np.eye(nrows), (batch, nrows, nrows)).copy(),
+                b[:, :, None],
+            ],
+            axis=2,
+        )
+        basis = np.tile(np.arange(ncols, ncols + nrows), (batch, 1))
+        # Phase-1 objective: minimize the artificial sum.  Reduced-cost
+        # row = artificial costs minus the sum of all constraint rows.
+        objective = np.zeros((batch, total + 1))
+        objective[:, ncols:ncols + nrows] = 1.0
+        objective -= tableau.sum(axis=1)
+
+        # The stack pivots in lockstep but systems finish at different
+        # times; finished systems are *compacted out* of the working
+        # arrays (not masked), so per-iteration cost tracks the number
+        # of still-undecided systems, not the original batch size.
+        results: list = [INCONCLUSIVE] * batch
+        origin = np.arange(batch)
+
+        def finalize(keep: np.ndarray) -> None:
+            """Record answers for optimal systems not in ``keep``."""
+            nonlocal tableau, objective, basis, origin
+            done = ~keep
+            if done.any():
+                done_obj = objective[done]
+                done_tab = tableau[done]
+                done_basis = basis[done]
+                infeasibility = -done_obj[:, -1]
+                for pos, index in enumerate(origin[done]):
+                    if infeasibility[pos] > self.feastol:
+                        results[index] = None  # confidently infeasible
+                    elif infeasibility[pos] > self.pivot_tol:
+                        results[index] = INCONCLUSIVE  # too close to call
+                    else:
+                        x = np.zeros(total)
+                        x[done_basis[pos]] = done_tab[pos, :, -1]
+                        results[index] = x
+            tableau = tableau[keep]
+            objective = objective[keep]
+            basis = basis[keep]
+            origin = origin[keep]
+
+        def drop(keep: np.ndarray) -> None:
+            """Discard undecidable systems not in ``keep`` (stay INCONCLUSIVE)."""
+            nonlocal tableau, objective, basis, origin
+            tableau = tableau[keep]
+            objective = objective[keep]
+            basis = basis[keep]
+            origin = origin[keep]
+
+        cap = self.max_iterations or (64 + 16 * (nrows + ncols))
+        for _iteration in range(cap):
+            if origin.size == 0:
+                break
+            reduced = objective[:, :total]
+            entering = reduced.argmin(axis=1)
+            alive = np.arange(origin.size)
+            best = reduced[alive, entering]
+            still = best < -self.pivot_tol
+            if not still.all():
+                finalize(still)
+                if origin.size == 0:
+                    break
+                entering = entering[still]
+                alive = np.arange(origin.size)
+
+            column = np.take_along_axis(
+                tableau, entering[:, None, None], axis=2
+            )[:, :, 0]
+            positive = column > self.pivot_tol
+            bounded = positive.any(axis=1)
+            if not bounded.all():
+                drop(bounded)  # unbounded ray: numerical trouble, no answer
+                if origin.size == 0:
+                    continue
+                entering = entering[bounded]
+                column = column[bounded]
+                positive = positive[bounded]
+                alive = np.arange(origin.size)
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(
+                    positive, tableau[:, :, -1] / column, np.inf
+                )
+            best_ratio = ratios.min(axis=1)
+            # Ties within pivot_tol break on the smallest basis label —
+            # the deterministic anti-stalling rule of the stdlib backend.
+            tied = positive & (ratios <= best_ratio[:, None] + self.pivot_tol)
+            labels = np.where(tied, basis, total + 1)
+            leaving = labels.argmin(axis=1)
+
+            pivot_coef = column[alive, leaving]
+            pivot_rows = tableau[alive, leaving] / pivot_coef[:, None]
+            tableau -= column[:, :, None] * pivot_rows[:, None, :]
+            tableau[alive, leaving] = pivot_rows
+            obj_coef = objective[alive, entering]
+            objective -= obj_coef[:, None] * pivot_rows
+            basis[alive, leaving] = entering
+        # Whatever is still pivoting at the cap stays INCONCLUSIVE.
+        return results

@@ -16,7 +16,10 @@ import abc
 from dataclasses import dataclass
 from fractions import Fraction
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # sampling needs numpy; make_np_rng raises the clear error
 
 from repro.errors import GameError
 from repro.rng import make_np_rng

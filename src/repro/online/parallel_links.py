@@ -38,7 +38,10 @@ import heapq
 from fractions import Fraction
 from typing import Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from repro.errors import GameError
 from repro.fractions_util import to_fraction
@@ -220,14 +223,18 @@ def place_equal_quanta_exact(loads: Sequence, quantum, count: int) -> list:
     return [v + quantum * k for v, k in zip(values, base)]
 
 
-def place_equal_quanta_fast(loads: np.ndarray, quantum: float, count: int) -> np.ndarray:
+def place_equal_quanta_fast(loads: "np.ndarray", quantum: float, count: int) -> "np.ndarray":
     """Vectorized float placement for Fig. 7 scale.
 
     Water-fill by bisection to within one quantum, then a short heap pass
     for the residual (< m quanta), so the result matches the greedy
     process up to float rounding.  For small counts the heap reference is
-    used directly.
+    used directly.  Requires numpy (callers on a bare interpreter use
+    :func:`place_equal_quanta_heap`; :func:`inventor_suggestion` falls
+    back automatically).
     """
+    if np is None:
+        raise ImportError("place_equal_quanta_fast requires numpy")
     if count < 0:
         raise GameError("count must be non-negative")
     m = loads.shape[0]
@@ -297,7 +304,7 @@ def inventor_suggestion(
         raise GameError("need at least one link")
     if future_count == 0 or own_load >= expected_load:
         return least_loaded if least_loaded is not None else argmin_link(loads)
-    if fast:
+    if fast and np is not None:
         arr = np.asarray(loads, dtype=float)
         after = place_equal_quanta_fast(arr, float(expected_load), future_count)
         return int(after.argmin())

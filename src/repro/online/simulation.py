@@ -21,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # the Fig. 7 sweep needs numpy; make_np_rng raises clearly
 
 from repro.errors import GameError
 from repro.online.arrivals import LoadDistribution, UniformLoads

@@ -20,7 +20,10 @@ from __future__ import annotations
 import hashlib
 import random
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 _SEED_BYTES = 8
 
@@ -44,8 +47,17 @@ def make_rng(seed: int, label: str = "") -> random.Random:
     return random.Random(seed)
 
 
-def make_np_rng(seed: int, label: str = "") -> np.random.Generator:
-    """Return a numpy ``Generator`` seeded from ``seed`` (and optional label)."""
+def make_np_rng(seed: int, label: str = "") -> "np.random.Generator":
+    """Return a numpy ``Generator`` seeded from ``seed`` (and optional label).
+
+    Requires numpy (the bulk simulations that use this are the numpy-
+    dependent corner of the library); the protocol layers draw from
+    :func:`make_rng` and run on a bare interpreter.
+    """
+    if np is None:
+        raise ImportError(
+            "make_np_rng requires numpy; the stdlib protocol paths use make_rng"
+        )
     if label:
         seed = derive_seed(seed, label)
     return np.random.default_rng(seed)

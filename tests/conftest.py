@@ -1,10 +1,48 @@
-"""Shared fixtures: canonical games and seeded randomness."""
+"""Shared fixtures: canonical games and seeded randomness.
+
+Setting ``REPRO_NO_NUMPY=1`` installs an import blocker for numpy
+*before any test module loads*, simulating a bare interpreter: the CI
+job that proves the stdlib path fully works runs the suite this way
+(and additionally without numpy installed at all).  Tests covering the
+numpy-dependent corners (vectorized backend, bulk simulations) declare
+themselves with the ``requires_numpy`` marker / ``HAVE_NUMPY`` flag
+below and skip cleanly.
+"""
 
 from __future__ import annotations
 
+import os
 import random
+import sys
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    class _NumpyBlocker:
+        """Meta-path hook that makes ``import numpy`` fail loudly."""
+
+        def find_spec(self, name, path=None, target=None):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ModuleNotFoundError(
+                    "numpy is disabled for this run (REPRO_NO_NUMPY=1)",
+                    name=name,
+                )
+            return None
+
+    sys.meta_path.insert(0, _NumpyBlocker())
+    for _mod in [m for m in sys.modules if m == "numpy" or m.startswith("numpy.")]:
+        del sys.modules[_mod]
 
 import pytest
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="needs numpy (stdlib-only run)"
+)
 
 from repro.games import BimatrixGame, ParticipationGame
 from repro.games.generators import (

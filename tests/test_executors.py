@@ -1,0 +1,134 @@
+"""Executor-seam tests: sharded determinism and graceful degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.equilibria.executors import (
+    SerialExecutor,
+    ShardedExecutor,
+    chunk_list,
+    make_executor,
+)
+from repro.equilibria.support_enumeration import (
+    DEFAULT_CHUNK_SIZE,
+    support_enumeration,
+)
+from repro.games.generators import random_bimatrix
+from repro.linalg.backend import (
+    MODE_FLOAT_CERTIFY,
+    MODE_NUMPY,
+    BackendPolicy,
+    numpy_available,
+)
+
+
+def _double(chunk):
+    return [2 * x for x in chunk]
+
+
+class TestChunking:
+    def test_fixed_boundaries(self):
+        assert chunk_list(list(range(7)), 3) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert chunk_list([], 3) == []
+        with pytest.raises(ValueError):
+            chunk_list([1], 0)
+
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        sharded = make_executor(3)
+        assert isinstance(sharded, ShardedExecutor)
+        assert sharded.workers == 3
+        sharded.close()
+
+
+class TestSerialExecutor:
+    def test_order(self):
+        with SerialExecutor() as executor:
+            out = executor.map_chunks(_double, [[1, 2], [3], [4, 5]])
+        assert out == [[2, 4], [6], [8, 10]]
+
+
+class TestShardedExecutor:
+    def test_results_in_submission_order(self):
+        chunks = chunk_list(list(range(40)), 7)
+        with ShardedExecutor(workers=2) as executor:
+            out = executor.map_chunks(_double, chunks)
+        assert out == [_double(chunk) for chunk in chunks]
+
+    def test_pool_is_reused_across_calls(self):
+        with ShardedExecutor(workers=2) as executor:
+            executor.map_chunks(_double, [[1]])
+            pool = executor._pool
+            executor.map_chunks(_double, [[2]])
+            assert executor._pool is pool
+
+    def test_falls_back_serially_when_pools_unavailable(self, monkeypatch):
+        """A sandbox that cannot start process pools still screens."""
+        import concurrent.futures
+
+        def refuse(*args, **kwargs):
+            raise OSError("no forks in this sandbox")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", refuse
+        )
+        executor = ShardedExecutor(workers=4)
+        out = executor.map_chunks(_double, [[1, 2], [3]])
+        assert out == [[2, 4], [6]]
+        assert executor.fell_back
+        assert executor.effective_name == "serial"
+        executor.close()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(workers=0)
+
+
+MODE = MODE_NUMPY if numpy_available() else MODE_FLOAT_CERTIFY
+
+
+class TestShardedEnumerationDeterminism:
+    """Identical results and ordering for every worker count."""
+
+    def test_workers_1_2_4_identical(self):
+        game = random_bimatrix(5, 5, seed=77)
+        reference = None
+        for workers in (1, 2, 4):
+            policy = BackendPolicy(MODE, workers=workers, chunk_size=16)
+            result = [
+                profile.distributions
+                for profile in support_enumeration(game, policy=policy)
+            ]
+            if reference is None:
+                reference = result
+            assert result == reference, f"workers={workers} changed the output"
+        exact = [
+            profile.distributions for profile in support_enumeration(game)
+        ]
+        assert sorted(reference) == sorted(exact)
+
+    def test_chunk_size_never_depends_on_workers(self):
+        # The determinism guarantee rests on this: boundaries are fixed
+        # by the policy (or the default), never by the pool.
+        pairs = list(range(3 * DEFAULT_CHUNK_SIZE + 1))
+        boundaries = [len(c) for c in chunk_list(pairs, DEFAULT_CHUNK_SIZE)]
+        assert boundaries == [DEFAULT_CHUNK_SIZE] * 3 + [1]
+
+    def test_enumeration_survives_pool_refusal(self, monkeypatch):
+        """Sharded policy on a pool-less box falls back and still answers."""
+        import concurrent.futures
+
+        def refuse(*args, **kwargs):
+            raise PermissionError("sandbox")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", refuse
+        )
+        game = random_bimatrix(4, 4, seed=11)
+        policy = BackendPolicy(MODE, workers=4, chunk_size=16)
+        sharded = support_enumeration(game, policy=policy)
+        exact = support_enumeration(game)
+        assert {p.distributions for p in sharded} == {
+            p.distributions for p in exact
+        }

@@ -36,6 +36,7 @@ class TestRng:
         assert [a.random() for _ in range(4)] == [b.random() for _ in range(4)]
 
     def test_np_rng_reproducible(self):
+        pytest.importorskip("numpy", reason="needs numpy (stdlib-only run)")
         a = make_np_rng(7, "x").uniform(size=5)
         b = make_np_rng(7, "x").uniform(size=5)
         assert (a == b).all()

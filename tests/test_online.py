@@ -5,7 +5,10 @@ statistics (footnote 3 audit) and the Fig. 7 simulation."""
 import random
 from fractions import Fraction
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:
+    np = None
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -52,7 +55,12 @@ small_fractions = st.fractions(
     min_value=Fraction(0), max_value=Fraction(20), max_denominator=6
 )
 
+requires_numpy = pytest.mark.skipif(
+    np is None, reason="needs numpy (stdlib-only run)"
+)
 
+
+@requires_numpy
 class TestArrivals:
     def test_uniform_bounds(self):
         loads = draw_load_sequence(UniformLoads(0, 10), 100, seed=1)
@@ -195,6 +203,7 @@ class TestEqualQuantaPlacement:
         assert place_equal_quanta_exact(loads, quantum, count) == \
             place_equal_quanta_heap(loads, quantum, count)
 
+    @requires_numpy
     def test_fast_matches_heap_large(self):
         rng = np.random.default_rng(5)
         loads = rng.uniform(0, 100, size=16)
@@ -202,6 +211,7 @@ class TestEqualQuantaPlacement:
         heap = place_equal_quanta_heap(loads.tolist(), 3.5, 1000)
         assert np.allclose(sorted(fast), sorted(heap))
 
+    @requires_numpy
     def test_fast_small_count_delegates_to_heap(self):
         loads = np.array([1.0, 2.0])
         fast = place_equal_quanta_fast(loads, 1.0, 3)
@@ -394,6 +404,7 @@ class TestInventorStatistics:
         assert any(f.kind == "wrong-average" for f in findings)
 
 
+@requires_numpy
 class TestFig7Simulation:
     def test_greedy_simulation_matches_schedule(self):
         loads = [5.0, 1.0, 3.0, 1.0]

@@ -8,7 +8,7 @@ import pytest
 from repro.core import AuditLog
 from repro.crypto import KeyRegistry
 from repro.errors import GameError
-from repro.online import UniformLoads, draw_load_sequence, simulate_inventor
+from repro.online import simulate_inventor
 from repro.online.consultation import (
     DeviousLinkInventor,
     OnlineLinkInventorService,
@@ -19,7 +19,10 @@ from repro.online.inventor_stats import DynamicAverageStatistics, audit_statisti
 
 @pytest.fixture
 def loads():
-    return draw_load_sequence(UniformLoads(0, 100), 40, seed=21).tolist()
+    # Stdlib draws so the consultation protocol tests (pure protocol
+    # code, no bulk simulation) also run on a numpy-free interpreter.
+    rng = random.Random(21)
+    return [rng.uniform(0, 100) for _ in range(40)]
 
 
 class TestHonestService:
