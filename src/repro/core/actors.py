@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import random
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Sequence
@@ -35,7 +36,10 @@ from repro.games.participation import ParticipationGame
 from repro.games.profiles import MixedProfile
 from repro.equilibria.lemke_howson import lemke_howson
 from repro.equilibria.pure import maximal_pure_nash, pure_nash_equilibria
-from repro.equilibria.support_enumeration import find_one_equilibrium
+from repro.equilibria.support_enumeration import (
+    equilibrium_for_supports,
+    find_one_equilibrium,
+)
 from repro.equilibria.symmetric import participation_equilibrium, symmetric_equilibria
 from repro.interactive.p1 import P1Prover
 from repro.interactive.p2 import P2Prover
@@ -84,6 +88,28 @@ class GameInventor(abc.ABC):
         calls this for every registered inventor on its own
         :meth:`~repro.core.authority.RationalityAuthority.close`.
         """
+
+    def attach_solve_cache(self, cache) -> None:
+        """Offer this inventor a cross-run solve cache.
+
+        No-op by default: only inventors whose hard step is cacheable
+        by exact payoff fingerprint (see :meth:`BimatrixInventor
+        .attach_solve_cache`) opt in.  The consultation service calls
+        this for every registered inventor, so attaching must be cheap
+        and idempotent; an inventor constructed with its own cache
+        keeps it.
+        """
+
+    @property
+    def solve_cache(self):
+        """The cross-run solve cache this inventor uses, if any.
+
+        The consultation service aggregates drain telemetry over the
+        caches its inventors *actually* consult — which, when an
+        inventor was constructed with (or earlier attached to) a
+        different cache, is not necessarily the service's own.
+        """
+        return None
 
     def advise_many(
         self, requests: "Sequence[tuple[str, Game, Any, str]]"
@@ -160,11 +186,21 @@ class BimatrixInventor(GameInventor):
     solve this inventor performs (that is the batch-consultation
     amortization: :meth:`prepare_games` pre-solves a stream of games
     against one pool), and released by :meth:`close`.
+
+    ``solve_cache`` optionally supplies a cross-run
+    :class:`~repro.service.cache.SolveCache`: solves are then keyed by
+    the game's canonical payoff fingerprint, so an exact repeat (same
+    payoff bytes, any game id) serves the previously certified profile
+    without searching, and a near-repeat of the same shape tries the
+    cache's winning-support hints — one exact support-restricted solve —
+    before falling back to a full screen.  The consultation service
+    attaches its cache here via :meth:`attach_solve_cache`.
     """
 
     def __init__(self, name: str, method: str = "lemke-howson",
                  commitment_mode: bool = False, rng: random.Random | None = None,
-                 backend: str | BackendPolicy | None = None):
+                 backend: str | BackendPolicy | None = None,
+                 solve_cache=None):
         super().__init__(name)
         if method not in ("lemke-howson", "support-enumeration"):
             raise ProtocolError(f"unknown solve method {method!r}")
@@ -175,6 +211,9 @@ class BimatrixInventor(GameInventor):
         self._cache: dict[str, MixedProfile] = {}
         self._executor = None
         self._executor_used: dict[str, str] = {}
+        self._solve_cache = solve_cache
+        self._cache_status: dict[str, str] = {}
+        self._solve_ms: dict[str, float] = {}
 
     @property
     def backend_mode(self) -> str:
@@ -222,24 +261,102 @@ class BimatrixInventor(GameInventor):
             self._executor.close()
             self._executor = None
 
+    def attach_solve_cache(self, cache) -> None:
+        """Adopt a cross-run solve cache unless one was set at construction."""
+        if self._solve_cache is None:
+            self._solve_cache = cache
+
+    @property
+    def solve_cache(self):
+        """The cross-run cache this inventor consults (None when uncached)."""
+        return self._solve_cache
+
+    def cache_state(self, game_id: str) -> str:
+        """What the cross-run cache did for this game's solve (see
+        :data:`~repro.core.advice.CACHE_STATES`)."""
+        return self._cache_status.get(game_id, "")
+
+    def solve_millis(self, game_id: str) -> float:
+        """Measured wall time of this game's hard step (ms; -1 unknown)."""
+        return self._solve_ms.get(game_id, -1.0)
+
+    def _try_support_hints(self, game: BimatrixGame, hints):
+        """One exact support-restricted solve per cached winning pair.
+
+        The cross-run warm start: a near-repeat game very often carries
+        its equilibrium on a support pair that already won for an
+        earlier same-shaped game.  Each hint is re-decided from scratch
+        on *this* game's exact payoffs (``equilibrium_for_supports``
+        enforces the full Lemma-1 side conditions), so a stale hint can
+        cost one exact solve, never an uncertified answer.  Note that
+        on any game with several equilibria (degenerate or not) a hint
+        may legitimately settle on a different (equally exact)
+        equilibrium than the cold enumeration order would — which is
+        why the solve is recorded as ``"warm"``.
+        """
+        n, m = game.action_counts
+        for rs, cs in hints:
+            if not rs or not cs or max(rs) >= n or max(cs) >= m:
+                continue
+            result = equilibrium_for_supports(game, rs, cs)
+            if result is not None:
+                return result[0]
+        return None
+
     def solve(self, game_id: str, game: BimatrixGame) -> MixedProfile:
-        """The inventor's expensive step, cached per game."""
-        if game_id not in self._cache:
-            if self._method == "lemke-howson":
-                self._cache[game_id] = lemke_howson(game, 0, policy=self._policy)
-                self._executor_used[game_id] = "serial"
-            elif self._wants_sharding(game):
-                executor = self._screening_executor()
-                self._cache[game_id] = find_one_equilibrium(
-                    game, policy=self._policy, executor=executor
+        """The inventor's expensive step, cached per game id *and* — when
+        a cross-run cache is attached — per exact payoff fingerprint."""
+        if game_id in self._cache:
+            return self._cache[game_id]
+        started = time.perf_counter()
+        cache = self._solve_cache
+        fingerprint = mode = None
+        if cache is not None:
+            fingerprint = getattr(game, "payoff_fingerprint", None)
+            mode = self.effective_backend(game)
+            if fingerprint is not None:
+                cached = cache.lookup_profile(fingerprint, self._method, mode)
+                if cached is not None:
+                    self._cache[game_id] = cached
+                    self._executor_used[game_id] = "serial"
+                    self._cache_status[game_id] = "hit"
+                    self._solve_ms[game_id] = (
+                        time.perf_counter() - started
+                    ) * 1000.0
+                    return cached
+        status = "" if fingerprint is None else "miss"
+        executor_name = "serial"
+        profile = None
+        if self._method == "lemke-howson":
+            profile = lemke_howson(game, 0, policy=self._policy)
+        else:
+            if cache is not None:
+                profile = self._try_support_hints(
+                    game, cache.support_hints(game.action_counts)
                 )
-                self._executor_used[game_id] = getattr(
-                    executor, "effective_name", executor.name
-                )
-            else:
-                self._cache[game_id] = find_one_equilibrium(game, policy=self._policy)
-                self._executor_used[game_id] = "serial"
-        return self._cache[game_id]
+                if profile is not None:
+                    status = "warm" if fingerprint is not None else ""
+            if profile is None:
+                if self._wants_sharding(game):
+                    executor = self._screening_executor()
+                    profile = find_one_equilibrium(
+                        game, policy=self._policy, executor=executor
+                    )
+                    executor_name = getattr(
+                        executor, "effective_name", executor.name
+                    )
+                else:
+                    profile = find_one_equilibrium(game, policy=self._policy)
+        if cache is not None and fingerprint is not None:
+            cache.store_profile(fingerprint, self._method, mode, profile)
+            cache.note_solved(warm=(status == "warm"))
+            if self._method == "support-enumeration":
+                cache.note_hint(game.action_counts, profile.supports())
+        self._cache[game_id] = profile
+        self._executor_used[game_id] = executor_name
+        self._cache_status[game_id] = status
+        self._solve_ms[game_id] = (time.perf_counter() - started) * 1000.0
+        return profile
 
     def prepare_games(self, games: Sequence[tuple[str, BimatrixGame]]) -> None:
         """Pre-solve a batch of games against one shared screening pool.
@@ -274,6 +391,8 @@ class BimatrixInventor(GameInventor):
                 inventor=self.name,
                 backend=self.effective_backend(game),
                 executor=self.effective_executor(game_id),
+                cache=self.cache_state(game_id),
+                solve_ms=self.solve_millis(game_id),
             )
             return AdvicePackage(advice=advice, prover=prover)
         announcement = P1Prover(game, equilibrium).announce()
@@ -295,6 +414,8 @@ class BimatrixInventor(GameInventor):
             inventor=self.name,
             backend=self.effective_backend(game),
             executor=self.effective_executor(game_id),
+            cache=self.cache_state(game_id),
+            solve_ms=self.solve_millis(game_id),
         )
         return AdvicePackage(advice=advice)
 
@@ -457,6 +578,17 @@ class MisadvisingInventor(GameInventor):
         self._inner = inner
         self._corrupt = corrupt
 
+    def attach_solve_cache(self, cache) -> None:
+        """The wrapped inventor does the solving, so it gets the cache."""
+        self._inner.attach_solve_cache(cache)
+
+    @property
+    def solve_cache(self):
+        return self._inner.solve_cache
+
+    def close(self) -> None:
+        self._inner.close()
+
     def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
         package = self._inner.advise(game_id, game, agent, privacy)
         advice = package.advice
@@ -470,6 +602,8 @@ class MisadvisingInventor(GameInventor):
             inventor=self.name,
             backend=advice.backend,
             executor=advice.executor,
+            cache=advice.cache,
+            solve_ms=advice.solve_ms,
         )
         return AdvicePackage(advice=corrupted, prover=package.prover)
 

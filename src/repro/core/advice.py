@@ -30,6 +30,14 @@ from repro.linalg.backend import (
 #: not a resolution) is deliberately not accepted here.
 RESOLVED_BACKEND_MODES = (MODE_EXACT, MODE_FLOAT_CERTIFY, MODE_NUMPY)
 
+#: What the cross-run solve cache did for this advice's hard step:
+#: ``""`` — no cache attached; ``"hit"`` — the certified solution was
+#: served straight from the cache (no search at all); ``"warm"`` — a
+#: cached support hint resolved the game with one exact solve, skipping
+#: the screen; ``"miss"`` — a full cold search ran (and populated the
+#: cache).
+CACHE_STATES = ("", "hit", "warm", "miss")
+
 
 class SolutionConcept(enum.Enum):
     """The solution concepts the verifier library can speak about."""
@@ -181,6 +189,14 @@ class Advice:
     rationals — approximately-searching inventors certify before they
     advise, in their own process — so the proof obligations are
     identical in every mode.
+
+    ``cache`` records what the cross-run solve cache did for the hard
+    step (see :data:`CACHE_STATES`): a ``"hit"`` advice carries a
+    previously certified solution and skipped the search entirely —
+    the proof obligations are unchanged, which is why serving it is
+    sound.  ``solve_ms`` is the inventor-measured wall time of the hard
+    step in milliseconds (negative when the inventor did not measure),
+    so the audit trail can price cache hits against cold solves.
     """
 
     game_id: str
@@ -192,6 +208,8 @@ class Advice:
     inventor: str = ""
     backend: str = MODE_EXACT
     executor: str = "serial"
+    cache: str = ""
+    solve_ms: float = -1.0
 
     def __post_init__(self):
         info = CONCEPT_LIBRARY.get(self.concept)
@@ -211,6 +229,11 @@ class Advice:
             raise ProtocolError(
                 f"unknown search executor {self.executor!r}; "
                 f"expected one of {EXECUTOR_NAMES}"
+            )
+        if self.cache not in CACHE_STATES:
+            raise ProtocolError(
+                f"unknown cache state {self.cache!r}; "
+                f"expected one of {CACHE_STATES}"
             )
 
     def concept_info(self) -> ConceptInfo:
@@ -236,5 +259,15 @@ def describe_advice(advice: Advice) -> str:
             f" Search executor: {advice.executor} (screening was fanned "
             f"across worker processes; certification ran in the "
             f"inventor's own process)."
+        )
+    if advice.cache == "hit":
+        notice += (
+            " Solve cache: hit (a previously certified solution for these "
+            "exact payoffs was served; the proof obligations are unchanged)."
+        )
+    elif advice.cache == "warm":
+        notice += (
+            " Solve cache: warm (a cached support hint resolved the game "
+            "with one exact solve, skipping the screening phase)."
         )
     return notice

@@ -15,6 +15,7 @@ and how often.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -33,6 +34,8 @@ EVENT_RULE_VIOLATION = "gameauthority.violation"
 EVENT_CROSS_CHECK = "advice.cross-check"
 EVENT_STATISTICS_AUDIT = "statistics.audit"
 EVENT_BATCH_CONSULTATION = "consultation.batch"
+EVENT_SERVICE_COMPLETED = "service.consultation.completed"
+EVENT_SERVICE_DRAINED = "service.queue.drained"
 
 
 @dataclass(frozen=True)
@@ -47,22 +50,29 @@ class AuditRecord:
 
 
 class AuditLog:
-    """Append-only audit trail with blame queries."""
+    """Append-only audit trail with blame queries.
+
+    Appends are serialized by a lock so the log stays consistent when
+    the consultation service runs verifiers concurrently; the logical
+    clock remains strictly increasing and gap-free in every mode.
+    """
 
     def __init__(self):
         self._records: list[AuditRecord] = []
         self._clock = 0
+        self._lock = threading.Lock()
 
     def record(self, session_id: str, actor: str, event: str, **details) -> AuditRecord:
-        self._clock += 1
-        entry = AuditRecord(
-            clock=self._clock,
-            session_id=session_id,
-            actor=actor,
-            event=event,
-            details=dict(details),
-        )
-        self._records.append(entry)
+        with self._lock:
+            self._clock += 1
+            entry = AuditRecord(
+                clock=self._clock,
+                session_id=session_id,
+                actor=actor,
+                event=event,
+                details=dict(details),
+            )
+            self._records.append(entry)
         return entry
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ the statistics audit hook of footnote 3.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
@@ -26,7 +27,6 @@ from typing import Sequence
 from repro.core.actors import AuthorityAgent, GameInventor
 from repro.core.advice import Advice
 from repro.core.audit import (
-    EVENT_BATCH_CONSULTATION,
     EVENT_CROSS_CHECK,
     EVENT_GAME_PUBLISHED,
     EVENT_STATISTICS_AUDIT,
@@ -69,6 +69,8 @@ class RationalityAuthority:
         self._inventors: dict[str, GameInventor] = {}
         self._agents: dict[str, AuthorityAgent] = {}
         self._session_counter = 0
+        self._service = None  # lazily created AuthorityService
+        self._service_lock = threading.Lock()
         self.bus.register(self.AUTHORITY_NAME)
 
     # ------------------------------------------------------------------
@@ -130,15 +132,29 @@ class RationalityAuthority:
         self.game(game_id)
         return self._inventors[self._game_owner[game_id]]
 
+    def inventor_named(self, name: str) -> GameInventor:
+        try:
+            return self._inventors[name]
+        except KeyError:
+            raise ProtocolError(f"unknown inventor {name!r}") from None
+
+    @property
+    def inventors(self) -> tuple[GameInventor, ...]:
+        """Every registered inventor (the service attaches caches here)."""
+        return tuple(self._inventors.values())
+
+    def agent(self, name: str) -> AuthorityAgent:
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise ProtocolError(f"unknown agent {name!r}") from None
+
     # ------------------------------------------------------------------
     # Consultation
     # ------------------------------------------------------------------
 
     def open_session(self, agent_name: str, game_id: str) -> ConsultationSession:
-        try:
-            agent = self._agents[agent_name]
-        except KeyError:
-            raise ProtocolError(f"unknown agent {agent_name!r}") from None
+        agent = self.agent(agent_name)
         game = self.game(game_id)
         self._session_counter += 1
         session_id = f"session-{self._session_counter:04d}"
@@ -155,15 +171,52 @@ class RationalityAuthority:
             rng=rng,
         )
 
+    @property
+    def service(self):
+        """The async, future-based consultation surface over this authority.
+
+        Created lazily (one
+        :class:`~repro.service.service.AuthorityService` per authority,
+        with a fresh cross-run
+        :class:`~repro.service.cache.SolveCache` attached to every
+        cacheable inventor).  Hosts that want different service
+        parameters — a shared cache, off-path verifier threads —
+        construct their own ``AuthorityService(authority, ...)``
+        instead; the synchronous :meth:`consult` / :meth:`consult_many`
+        shims always use this default instance.
+        """
+        with self._service_lock:
+            if self._service is None:
+                from repro.service.cache import SolveCache
+                from repro.service.service import AuthorityService
+
+                # The default service keeps the synchronous shims
+                # strictly reproducible: exact-fingerprint hits only
+                # (deterministic solvers make those bit-identical to a
+                # fresh solve), no near-repeat support hints — on any
+                # game with several equilibria a hint may settle on a
+                # different (equally exact) equilibrium than cold
+                # enumeration order, which a behavior-identical shim
+                # must not do.
+                self._service = AuthorityService(
+                    self, solve_cache=SolveCache(use_hints=False)
+                )
+        return self._service
+
     def consult(
         self, agent_name: str, game_id: str, privacy: str = "open"
     ) -> SessionOutcome:
-        """The full flow: request, verify with the majority, conclude."""
-        session = self.open_session(agent_name, game_id)
-        inventor = self.inventor_of(game_id)
-        session.request_advice(inventor, privacy=privacy)
-        session.verify()
-        return session.conclude()
+        """The full flow: request, verify with the majority, conclude.
+
+        .. deprecated:: PR 3
+            This is a thin synchronous shim over the consultation
+            service — ``self.service.submit(...).result()`` — kept
+            behavior-identical for existing hosts.  New code should use
+            :attr:`service` directly (``submit`` / ``submit_many`` for
+            futures, ``async_consult`` under asyncio) to get admission
+            queueing, off-path verification and cache telemetry.
+        """
+        return self.service.submit(agent_name, game_id, privacy=privacy).result()
 
     def consult_many(
         self,
@@ -181,31 +234,17 @@ class RationalityAuthority:
         sharding inventor pays for its worker pool (and a caching one
         for its solver setup) once per batch instead of once per
         consultation.  Every session then proceeds through the usual
-        advise → verify → conclude flow, with the resolved backend and
-        executor recorded per advice in the audit log.
+        advise → verify → conclude flow, with the resolved backend,
+        executor and cache state recorded per advice in the audit log.
+
+        .. deprecated:: PR 3
+            Like :meth:`consult`, this is a synchronous shim — one
+            atomic :meth:`~repro.service.service.AuthorityService
+            .submit_many` batch, drained inline — kept
+            behavior-identical.  Prefer the service API for new code.
         """
-        if not game_ids:
-            return ()
-        by_inventor: dict[str, list[str]] = {}
-        for game_id in game_ids:
-            inventor = self.inventor_of(game_id)  # validates the id
-            by_inventor.setdefault(inventor.name, []).append(game_id)
-        for inventor_name, ids in by_inventor.items():
-            inventor = self._inventors[inventor_name]
-            distinct: dict[str, Game] = {}
-            for game_id in ids:
-                distinct.setdefault(game_id, self._games[game_id])
-            self.audit.record(
-                "-", self.AUTHORITY_NAME, EVENT_BATCH_CONSULTATION,
-                inventor=inventor_name,
-                games=sorted(distinct),
-                agent=agent_name,
-            )
-            inventor.prepare_games(list(distinct.items()))
-        return tuple(
-            self.consult(agent_name, game_id, privacy=privacy)
-            for game_id in game_ids
-        )
+        futures = self.service.submit_many(agent_name, game_ids, privacy=privacy)
+        return tuple(future.result() for future in futures)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -218,8 +257,15 @@ class RationalityAuthority:
         is the batch amortization); the authority owns their lifecycle,
         so hosts should ``close()`` it — or use the authority as a
         context manager — when consultations are done.  Closing is
-        idempotent and pools are recreated lazily on the next solve.
+        idempotent, never final: pools are recreated lazily on the next
+        solve, and every call releases the pools of *all currently
+        registered* inventors — including ones registered (or warmed
+        up) after an earlier ``close()``.  The consultation service is
+        closed first so its queue drains and its verifier pool is
+        released before the inventors' screening pools go away.
         """
+        if self._service is not None:
+            self._service.close()
         for inventor in self._inventors.values():
             inventor.close()
 

@@ -9,6 +9,7 @@ communication cost of every protocol built on top.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Callable, Iterable
 
@@ -28,6 +29,7 @@ class MessageBus:
         self._bytes_sent: dict[str, int] = defaultdict(int)
         self._bytes_received: dict[str, int] = defaultdict(int)
         self._sequence = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Registration
@@ -55,18 +57,21 @@ class MessageBus:
             raise ProtocolError(f"unknown sender {sender!r}")
         if recipient not in self._endpoints:
             raise ProtocolError(f"unknown recipient {recipient!r}")
-        self._sequence += 1
-        message = Message(
-            sender=sender,
-            recipient=recipient,
-            kind=kind,
-            payload=payload,
-            sequence=self._sequence,
-        )
-        size = message.size_bytes()  # raises ProtocolError on bad payloads
-        self._log.append(message)
-        self._bytes_sent[sender] += size
-        self._bytes_received[recipient] += size
+        # Sequencing, logging and byte accounting are one atomic step so
+        # concurrent verification sessions keep the log gap-free.
+        with self._lock:
+            self._sequence += 1
+            message = Message(
+                sender=sender,
+                recipient=recipient,
+                kind=kind,
+                payload=payload,
+                sequence=self._sequence,
+            )
+            size = message.size_bytes()  # raises ProtocolError on bad payloads
+            self._log.append(message)
+            self._bytes_sent[sender] += size
+            self._bytes_received[recipient] += size
         hook = self._endpoints[recipient]
         if hook is not None:
             hook(message)

@@ -70,6 +70,11 @@ class VerificationContext:
     #: informational, like ``backend``: certification is process-local
     #: and exact whatever fan-out the inventor's search used.
     executor: str = "serial"
+    #: Echo of the advice's solve-cache state ("", "hit", "warm",
+    #: "miss") — informational: a cache hit serves a previously
+    #: certified solution, and the proof obligations this procedure
+    #: checks are identical either way.
+    cache: str = ""
 
 
 class VerificationProcedure(abc.ABC):

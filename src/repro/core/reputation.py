@@ -9,6 +9,7 @@ grows with history.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -33,23 +34,31 @@ class ReputationScore:
 
 
 class ReputationStore:
-    """Scores per verifier, updated from majority outcomes."""
+    """Scores per verifier, updated from majority outcomes.
+
+    Vote recording is serialized by a lock so concurrent verification
+    sessions (the consultation service's off-path verifiers) cannot
+    lose updates.
+    """
 
     def __init__(self):
         self._scores: dict[str, ReputationScore] = {}
+        self._lock = threading.Lock()
 
     def ensure(self, name: str) -> ReputationScore:
-        return self._scores.setdefault(name, ReputationScore())
+        with self._lock:
+            return self._scores.setdefault(name, ReputationScore())
 
     def score(self, name: str) -> Fraction:
         return self.ensure(name).score
 
     def record_vote(self, name: str, agreed_with_majority: bool) -> None:
         entry = self.ensure(name)
-        if agreed_with_majority:
-            entry.agreements += 1
-        else:
-            entry.disagreements += 1
+        with self._lock:
+            if agreed_with_majority:
+                entry.agreements += 1
+            else:
+                entry.disagreements += 1
 
     def update_from_outcome(self, outcome) -> None:
         """Apply one session's majority outcome to all participating verifiers."""

@@ -81,6 +81,13 @@ def advice_wire_summary(advice: Advice) -> dict[str, Any]:
         "proof": proof,
         "backend": advice.backend,
         "executor": advice.executor,
+        # cache state is protocol-relevant (a verifier may price a hit
+        # differently) and deterministic; the solve's wall time is
+        # telemetry and deliberately NOT on the wire — the bus accounts
+        # communication bytes exactly, and a timing float would make
+        # the byte counts vary run to run.  Timings live on the Advice
+        # itself and in the audit log.
+        "cache": advice.cache,
     }
 
 
@@ -160,6 +167,8 @@ class ConsultationSession:
             proof_format=package.advice.proof_format.value,
             backend=package.advice.backend,
             executor=package.advice.executor,
+            cache=package.advice.cache,
+            solve_ms=package.advice.solve_ms,
         )
         self._package = package
         self._state = _ADVISED
@@ -189,7 +198,7 @@ class ConsultationSession:
             procedure = self._registry.get(name)
             context = VerificationContext(
                 rng=self._rng, prover=package.prover, backend=advice.backend,
-                executor=advice.executor,
+                executor=advice.executor, cache=advice.cache,
             )
             try:
                 verdict = procedure.verify(self._game, advice, context)

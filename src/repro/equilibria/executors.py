@@ -23,7 +23,23 @@ mid-flight) fall back to in-process execution and record the fact on
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Sequence
+
+
+def pools_disabled() -> bool:
+    """True when ``REPRO_FORCE_SERIAL`` forces all fan-out in process.
+
+    The CI job that proves the stack degrades cleanly on a bare
+    interpreter sets this: worker pools are never started (and verifier
+    thread pools run inline), so every code path that *would* shard
+    exercises its serial fallback instead.  By the determinism contract
+    this changes cost only, never answers.  The conventional falsy
+    spellings (``0``, ``false``, ``no``, empty) leave pools enabled, so
+    a CI matrix can set the variable on both legs.
+    """
+    value = os.environ.get("REPRO_FORCE_SERIAL", "")
+    return value.strip().lower() not in ("", "0", "false", "no")
 
 
 class SerialExecutor:
@@ -75,6 +91,9 @@ class ShardedExecutor:
     def _ensure_pool(self):
         if self.fell_back or self._pool is not None:
             return self._pool
+        if pools_disabled():
+            self.fell_back = True
+            return None
         try:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -124,8 +143,12 @@ class ShardedExecutor:
 
 
 def make_executor(workers: int = 1) -> SerialExecutor | ShardedExecutor:
-    """The executor for a resolved worker count (1 means serial)."""
-    if workers <= 1:
+    """The executor for a resolved worker count (1 means serial).
+
+    With ``REPRO_FORCE_SERIAL`` set (see :func:`pools_disabled`) every
+    worker count resolves to the serial executor.
+    """
+    if workers <= 1 or pools_disabled():
         return SerialExecutor()
     return ShardedExecutor(workers=workers)
 

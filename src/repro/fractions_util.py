@@ -10,6 +10,7 @@ strings, numpy scalars) and exact rationals.
 
 from __future__ import annotations
 
+import hashlib
 import numbers
 from fractions import Fraction
 from typing import Iterable, Sequence
@@ -79,6 +80,35 @@ def fraction_matrix(rows: Iterable[Iterable]) -> tuple[tuple[Fraction, ...], ...
     if out and any(len(row) != len(out[0]) for row in out):
         raise ValueError("matrix rows have unequal lengths")
     return out
+
+
+def exact_fingerprint(*matrices: Iterable[Iterable], label: str = "") -> str:
+    """Canonical fingerprint of exact rational matrices (SHA-256 hex).
+
+    The key property is *exact-equality semantics*: two matrix tuples
+    fingerprint identically iff every entry is the same rational number
+    (``Fraction`` normalizes, so ``0.5``, ``"1/2"`` and ``Fraction(2, 4)``
+    all hash as ``1/2``), and any difference in shape, entry order or
+    value — however small — changes the digest.  This is the one place
+    that defines how a game's payoffs are canonicalized into a cache
+    key; every solve cache (the per-inventor one and the cross-run
+    :class:`~repro.service.cache.SolveCache`) must key through here so
+    their notions of "the same game" cannot drift apart.
+
+    ``label`` namespaces the digest (e.g. the game class) so two
+    structurally different objects with coincidentally equal matrices
+    do not collide across kinds.
+    """
+    digest = hashlib.sha256()
+    digest.update(label.encode("utf-8"))
+    for matrix in matrices:
+        digest.update(b"|M")
+        for row in matrix:
+            digest.update(b"|R")
+            for value in row:
+                f = to_fraction(value)
+                digest.update(b"%d/%d;" % (f.numerator, f.denominator))
+    return digest.hexdigest()
 
 
 def is_probability_vector(values: Sequence[Fraction]) -> bool:

@@ -14,7 +14,14 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.errors import GameError, ProfileError
-from repro.fractions_util import dot, fraction_matrix, fraction_vector, mat_vec, vec_mat
+from repro.fractions_util import (
+    dot,
+    exact_fingerprint,
+    fraction_matrix,
+    fraction_vector,
+    mat_vec,
+    vec_mat,
+)
 from repro.games.base import Game, UtilityTableMixin
 from repro.games.profiles import MixedProfile, PureProfile
 
@@ -35,6 +42,7 @@ class BimatrixGame(Game, UtilityTableMixin):
             raise GameError("A and B must have identical shapes")
         self._name = name or "BimatrixGame"
         self._b_transposed: tuple[tuple[Fraction, ...], ...] | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -108,6 +116,25 @@ class BimatrixGame(Game, UtilityTableMixin):
         if self._b_transposed is None:
             self._b_transposed = tuple(zip(*self._b))
         return self._b_transposed
+
+    @property
+    def payoff_fingerprint(self) -> str:
+        """Canonical fingerprint of the exact payoff matrices (A, B).
+
+        Two games fingerprint identically iff every payoff entry is the
+        same rational number — the name (and any float-vs-Fraction input
+        representation of equal values) does not matter.  Solve caches
+        key on this, so a re-published or re-constructed game with the
+        same payoffs is "the same game" to them.  Computed once and
+        cached; delegates to
+        :func:`repro.fractions_util.exact_fingerprint`, the single
+        canonicalization helper all caches share.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = exact_fingerprint(
+                self._a, self._b, label="bimatrix"
+            )
+        return self._fingerprint
 
     def payoff(self, player: int, profile: PureProfile) -> Fraction:
         profile = self.validate_profile(profile)

@@ -35,6 +35,7 @@ from repro.online.parallel_links import (
     argmin_link,
     inventor_suggestion,
     verify_suggestion,
+    verify_suggestions,
 )
 
 
@@ -156,19 +157,57 @@ def verify_advices(advices: Sequence[LinkAdvice]) -> list[bool]:
 
     Each advice is self-contained (it carries its own snapshot), so the
     batch check is exactly the per-advice deterministic recomputation,
-    amortized over the stream.  Returns one verdict per advice, in
+    amortized over the stream (delegating to
+    :func:`repro.online.parallel_links.verify_suggestions`, the one
+    batch recomputation helper).  Returns one verdict per advice, in
     order.
     """
-    return [
-        verify_suggestion(
-            list(advice.loads_snapshot),
-            advice.own_load,
-            advice.expected_load,
-            advice.future_count,
-            advice.suggested_link,
+    return verify_suggestions(
+        [
+            (
+                list(advice.loads_snapshot),
+                advice.own_load,
+                advice.expected_load,
+                advice.future_count,
+                advice.suggested_link,
+            )
+            for advice in advices
+        ]
+    )
+
+
+def resolve_advice(
+    advice: LinkAdvice,
+    link_loads: Sequence[float],
+    rule_ok: bool,
+    audit: AuditLog | None,
+    session_id: str,
+    identity: str,
+) -> tuple[bool, int]:
+    """The agent's follow-or-fallback step for one verified-or-not advice.
+
+    Returns ``(verified, chosen_link)``: the suggestion when the
+    recomputation verdict holds *and* the advice's snapshot matches the
+    loads the agent actually observes; otherwise the greedy fallback,
+    with the inventor blamed in ``audit`` (when given).  Shared by the
+    synchronous session driver and the future-based burst adapter so
+    rejection semantics and blame wording cannot drift.
+    """
+    snapshot_ok = advice.loads_snapshot == tuple(link_loads)
+    if rule_ok and snapshot_ok:
+        return True, advice.suggested_link
+    if audit is not None:
+        reason = (
+            "fails recomputation" if snapshot_ok
+            else "was computed against stale loads"
         )
-        for advice in advices
-    ]
+        audit.blame_inventor(
+            session_id,
+            identity,
+            f"arrival {advice.agent_index}: suggested link "
+            f"{advice.suggested_link} {reason}",
+        )
+    return False, argmin_link(link_loads)
 
 
 def run_verified_session(
@@ -212,24 +251,14 @@ def run_verified_session(
         verdicts = verify_advices(block_advices)
         for w, advice, rule_ok in zip(block, block_advices, verdicts):
             advices.append(advice)
-            snapshot_ok = advice.loads_snapshot == tuple(link_loads)
-            if rule_ok and snapshot_ok:
+            ok, chosen = resolve_advice(
+                advice, link_loads, rule_ok, audit, session_id,
+                service.identity,
+            )
+            if ok:
                 verified += 1
-                chosen = advice.suggested_link
             else:
                 rejected += 1
-                chosen = argmin_link(link_loads)
-                if audit is not None:
-                    reason = (
-                        "fails recomputation" if snapshot_ok
-                        else "was computed against stale loads"
-                    )
-                    audit.blame_inventor(
-                        session_id,
-                        service.identity,
-                        f"arrival {advice.agent_index}: suggested link "
-                        f"{advice.suggested_link} {reason}",
-                    )
             link_loads[chosen] += float(w)
     return VerifiedSessionResult(
         final_loads=tuple(link_loads),

@@ -1,0 +1,24 @@
+"""The consultation service layer: queue → pool → certify → cache.
+
+An async, future-based surface over the core authority
+(:class:`AuthorityService`), the cross-run fingerprint-keyed
+:class:`SolveCache` beneath it, and the future-based burst adapter for
+the online parallel-links game.  The synchronous
+``RationalityAuthority.consult`` / ``consult_many`` calls are thin
+shims over this package.
+"""
+
+from repro.service.cache import CacheStats, SolveCache, game_fingerprint
+from repro.service.futures import ConsultationFuture
+from repro.service.online import BurstLinkAdviser, VerifiedLinkAdvice
+from repro.service.service import AuthorityService
+
+__all__ = [
+    "AuthorityService",
+    "ConsultationFuture",
+    "SolveCache",
+    "CacheStats",
+    "game_fingerprint",
+    "BurstLinkAdviser",
+    "VerifiedLinkAdvice",
+]

@@ -1,0 +1,286 @@
+"""The cross-run solve cache: certified solutions keyed by payoff bytes.
+
+The PPAD-hard step of a consultation is the inventor's equilibrium
+search; a production authority answering a stream of queries sees the
+same games — and near-misses of them — over and over.  This cache makes
+repeats cheap without touching the soundness story:
+
+* **Keys are exact.**  A game is identified by the canonical fingerprint
+  of its exact payoff matrices
+  (:func:`repro.fractions_util.exact_fingerprint`, via
+  ``BimatrixGame.payoff_fingerprint``) — two games share an entry iff
+  every payoff is the same rational number.  There is no tolerance
+  anywhere in the key, so a cache hit is a *proof-preserving* event: the
+  stored solution was certified for bit-identical inputs.
+
+* **Values are certified.**  The cache stores what the solvers
+  returned — exact, Lemma-1-gated profiles (and whole enumeration
+  sets).  Serving one skips the search phase only; the verification a
+  consultation performs downstream is identical either way.
+
+* **Near-repeats warm-start.**  For games that are *not* exact repeats
+  the cache keeps per-shape support hints — the winning support pairs
+  of recent solves.  A hinted pair is re-decided from scratch on the
+  new game's exact arithmetic (one support-restricted exact solve, the
+  cross-run analogue of the within-run warm-started bases in
+  ``support_enumeration._SideScreener``), so a stale hint can cost
+  time, never correctness.
+
+Entries are keyed by ``(fingerprint, method, mode)`` for single
+solutions: a hit returns exactly the certified profile this cache
+stored for those payoff bytes under that configuration.  With
+``use_hints=False`` that is also bit-identical to a fresh cold solve
+(the solvers are deterministic given the three key parts); with hints
+on, an entry populated through a warm hint may — on any game with
+several equilibria, degenerate or not — be a different (equally exact,
+equally certified) equilibrium than cold enumeration order would pick.  Enumeration *sets* are keyed
+by fingerprint alone — the backend-parity guarantee (sets are
+bit-identical across every search mode) makes the mode irrelevant to
+the value.
+
+The cache is thread-safe and intended to be shared: one instance can
+back several services, inventors and runs (that is the "cross-run" in
+the name).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.profiles import MixedProfile
+
+
+def game_fingerprint(game) -> str | None:
+    """The canonical exact-payoff fingerprint of ``game``, or ``None``.
+
+    Games expose their own cached ``payoff_fingerprint`` (see
+    :attr:`repro.games.bimatrix.BimatrixGame.payoff_fingerprint`, which
+    delegates to the single canonicalization helper in
+    :mod:`repro.fractions_util`); game kinds that do not are simply not
+    cacheable and every lookup for them misses harmlessly.
+    """
+    return getattr(game, "payoff_fingerprint", None)
+
+
+@dataclass
+class CacheStats:
+    """Counters the service reports into the audit log."""
+
+    hits: int = 0
+    warm_hits: int = 0
+    misses: int = 0
+    set_hits: int = 0
+    set_misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.warm_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Exact-hit fraction of all solution lookups (0.0 when none)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "warm_hits": self.warm_hits,
+            "misses": self.misses,
+            "set_hits": self.set_hits,
+            "set_misses": self.set_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """Immutable copy of the counters, for delta reporting."""
+
+    hits: int
+    warm_hits: int
+    misses: int
+
+
+class SolveCache:
+    """Cross-run cache of certified solves, support hints and sets.
+
+    ``max_hints_per_shape`` bounds the per-shape support-hint list
+    (most-recently-confirmed first); ``use_hints=False`` disables the
+    near-repeat warm path entirely, leaving only exact-fingerprint
+    hits — useful when bit-reproducibility of *which* equilibrium a
+    degenerate game yields must not depend on cache warmth.
+
+    ``max_entries`` bounds each of the profile and set stores
+    (least-recently-used entries are evicted) so an always-on service
+    answering a long stream of mostly-distinct games holds steady
+    memory; ``None`` removes the bound.  Eviction only ever costs a
+    re-solve — an evicted entry's next lookup is an ordinary miss.
+    """
+
+    DEFAULT_MAX_ENTRIES = 4096
+
+    def __init__(self, max_hints_per_shape: int = 8, use_hints: bool = True,
+                 max_entries: int | None = DEFAULT_MAX_ENTRIES):
+        if max_hints_per_shape < 0:
+            raise ValueError("max_hints_per_shape must be non-negative")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+        self._profiles: dict[tuple[str, str, str], MixedProfile] = {}
+        self._sets: dict[tuple[str, bool], tuple[MixedProfile, ...]] = {}
+        self._hints: dict[tuple[int, int], list] = {}
+        self._max_hints = max_hints_per_shape
+        self._max_entries = max_entries
+        self._use_hints = use_hints
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def _touch(self, store: dict, key) -> None:
+        """Mark ``key`` most-recently-used (dicts iterate oldest-first)."""
+        store[key] = store.pop(key)
+
+    def _evict(self, store: dict) -> None:
+        if self._max_entries is None:
+            return
+        while len(store) > self._max_entries:
+            store.pop(next(iter(store)))
+
+    # ------------------------------------------------------------------
+    # Single certified solutions (the inventor's find-one path)
+    # ------------------------------------------------------------------
+
+    def lookup_profile(
+        self, fingerprint: str, method: str, mode: str
+    ) -> MixedProfile | None:
+        """The cached certified profile for this exact configuration.
+
+        A miss is *not* counted here — the caller decides whether the
+        cold solve that follows was hint-warmed or fully cold and
+        reports it via :meth:`note_solved`.
+        """
+        with self._lock:
+            key = (fingerprint, method, mode)
+            profile = self._profiles.get(key)
+            if profile is not None:
+                self.stats.hits += 1
+                self._touch(self._profiles, key)
+            return profile
+
+    def store_profile(
+        self, fingerprint: str, method: str, mode: str, profile: MixedProfile
+    ) -> None:
+        with self._lock:
+            self._profiles[(fingerprint, method, mode)] = profile
+            self._evict(self._profiles)
+
+    def note_solved(self, warm: bool) -> None:
+        """Record how a non-hit solve resolved (hint-warmed or cold)."""
+        with self._lock:
+            if warm:
+                self.stats.warm_hits += 1
+            else:
+                self.stats.misses += 1
+
+    # ------------------------------------------------------------------
+    # Support hints (the cross-run warm-start seam)
+    # ------------------------------------------------------------------
+
+    def support_hints(self, shape: tuple[int, int]) -> tuple:
+        """Recently winning ``(row_support, col_support)`` pairs for a shape."""
+        if not self._use_hints:
+            return ()
+        with self._lock:
+            return tuple(self._hints.get(tuple(shape), ()))
+
+    def note_hint(self, shape: tuple[int, int], pair) -> None:
+        """Promote a freshly confirmed winning support pair to the front."""
+        if not self._use_hints or self._max_hints == 0:
+            return
+        shape = tuple(shape)
+        with self._lock:
+            hints = self._hints.setdefault(shape, [])
+            if pair in hints:
+                hints.remove(pair)
+            hints.insert(0, pair)
+            del hints[self._max_hints:]
+
+    # ------------------------------------------------------------------
+    # Certified equilibrium sets (full enumeration results)
+    # ------------------------------------------------------------------
+
+    def equilibrium_set(
+        self,
+        game: BimatrixGame,
+        policy=None,
+        executor=None,
+        equal_size_only: bool = False,
+    ) -> tuple[MixedProfile, ...]:
+        """All equilibria of ``game``, served from cache on exact repeats.
+
+        Keyed by payoff fingerprint only: every search mode provably
+        returns the same (bit-identical, exact) set, so a set computed
+        under one policy answers for all of them.  Cold calls delegate
+        to :func:`repro.equilibria.support_enumeration.support_enumeration`
+        with the given policy/executor and store the certified result.
+        """
+        from repro.equilibria.support_enumeration import support_enumeration
+
+        fingerprint = game_fingerprint(game)
+        key = (fingerprint, equal_size_only)
+        if fingerprint is not None:
+            with self._lock:
+                cached = self._sets.get(key)
+                if cached is not None:
+                    self.stats.set_hits += 1
+                    self._touch(self._sets, key)
+                    return cached
+        result = support_enumeration(
+            game, equal_size_only=equal_size_only, policy=policy,
+            executor=executor,
+        )
+        with self._lock:
+            self.stats.set_misses += 1
+            if fingerprint is not None:
+                self._sets[key] = result
+                self._evict(self._sets)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profiles) + len(self._sets)
+
+    def snapshot(self) -> _Snapshot:
+        """Counter snapshot for delta reporting (see the service drain)."""
+        with self._lock:
+            return _Snapshot(
+                hits=self.stats.hits,
+                warm_hits=self.stats.warm_hits,
+                misses=self.stats.misses,
+            )
+
+    def delta_since(self, snapshot: _Snapshot) -> dict:
+        """Hit/warm/miss counts accumulated since ``snapshot``."""
+        with self._lock:
+            hits = self.stats.hits - snapshot.hits
+            warm = self.stats.warm_hits - snapshot.warm_hits
+            misses = self.stats.misses - snapshot.misses
+        lookups = hits + warm + misses
+        return {
+            "cache_hits": hits,
+            "cache_warm_hits": warm,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._profiles.clear()
+            self._sets.clear()
+            self._hints.clear()
+            self.stats = CacheStats()

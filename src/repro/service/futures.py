@@ -1,0 +1,109 @@
+"""Futures for the consultation service.
+
+A :class:`ConsultationFuture` is the caller's handle on one admitted
+submission: it resolves to a
+:class:`~repro.core.session.SessionOutcome` (or raises the submission's
+failure) and carries the service-level telemetry — queue depth at
+admission and end-to-end latency — that the audit log records per
+completion.
+
+The future is backed by a :class:`concurrent.futures.Future`, so it
+bridges cleanly into ``asyncio`` (``asyncio.wrap_future`` on
+:attr:`inner`), thread pools and plain blocking waits.  Calling
+:meth:`result` on an unresolved future *pumps the service* — the
+admission queue is drained synchronously in the calling thread — so a
+submit-then-result sequence never deadlocks even with no background
+worker anywhere.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from typing import Any, Callable
+
+
+class ConsultationFuture:
+    """One pending consultation: resolves to its session outcome."""
+
+    def __init__(self, submission_id: int, agent: str, game_id: str,
+                 service, queue_depth: int):
+        self.submission_id = submission_id
+        self.agent = agent
+        self.game_id = game_id
+        #: Pending submissions ahead of this one at admission time.
+        self.queue_depth = queue_depth
+        self._service = service
+        self._inner: concurrent.futures.Future = concurrent.futures.Future()
+        self._submitted_at = time.perf_counter()
+        #: Seconds from admission to resolution; ``None`` until resolved.
+        self.latency: float | None = None
+
+    # ------------------------------------------------------------------
+    # Caller side
+    # ------------------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def result(self, timeout: float | None = None):
+        """The session outcome, draining the service first if needed.
+
+        Note on ``timeout``: an unresolved future pumps the service
+        *synchronously* — the drain (solves and all) is not bounded by
+        the timeout, which only limits the wait on the resolved value
+        afterwards.  Callers that need a hard wall-clock bound should
+        have something else pump the queue (``service.drain()`` /
+        ``async_drain()``) and poll :meth:`done`, or wait on
+        :attr:`inner` directly.
+        """
+        if not self._inner.done() and self._service is not None:
+            self._service.drain()
+        return self._inner.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        """Like :meth:`result` — including the timeout caveat — but
+        returns the submission's exception (or None) instead of raising."""
+        if not self._inner.done() and self._service is not None:
+            self._service.drain()
+        return self._inner.exception(timeout)
+
+    def add_done_callback(self, fn: Callable[["ConsultationFuture"], None]) -> None:
+        """Call ``fn(self)`` once resolved (immediately if already done)."""
+        self._inner.add_done_callback(lambda _inner: fn(self))
+
+    @property
+    def inner(self) -> concurrent.futures.Future:
+        """The backing stdlib future (for ``asyncio.wrap_future`` et al.).
+
+        Note that nothing resolves it until the service drains; bridge
+        it only when something else is pumping the service.
+        """
+        return self._inner
+
+    @property
+    def latency_ms(self) -> float | None:
+        return None if self.latency is None else self.latency * 1000.0
+
+    # ------------------------------------------------------------------
+    # Service side
+    # ------------------------------------------------------------------
+
+    def _resolve(self, outcome: Any) -> None:
+        if self._inner.done():
+            return
+        self.latency = time.perf_counter() - self._submitted_at
+        self._inner.set_result(outcome)
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._inner.done():
+            return
+        self.latency = time.perf_counter() - self._submitted_at
+        self._inner.set_exception(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return (
+            f"ConsultationFuture(#{self.submission_id} {self.agent!r}/"
+            f"{self.game_id!r} {state})"
+        )

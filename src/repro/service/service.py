@@ -1,0 +1,455 @@
+"""The authority as a service: admission queue, futures, shared pools.
+
+The paper's authority is an always-on loop — agents submit games,
+inventors advise, verifiers certify — not a batch script.
+:class:`AuthorityService` is that loop as an API:
+
+* :meth:`submit` / :meth:`submit_many` admit consultations and return
+  :class:`~repro.service.futures.ConsultationFuture`\\ s immediately;
+* the admission queue drains onto the inventors' long-lived solver
+  state — one shared sharded screening pool per inventor (the
+  ``equilibria/executors`` seam) and the cross-run
+  :class:`~repro.service.cache.SolveCache` the service attaches at
+  registration — so repeat and near-repeat games skip whole screens;
+* verification runs *off the solve path*: with ``verify_workers > 1``
+  each admitted session's verify/conclude phase is handed to a thread
+  pool while the drain loop moves on to the next solve, so certifying
+  query *n* overlaps searching query *n + 1* (certification itself
+  stays exact, Fractions-only, and in this process — threads are not
+  workers in the soundness story);
+* ``asyncio`` callers get the same core via :meth:`async_consult`,
+  :meth:`async_consult_many`, :meth:`aclose` and ``async with``.
+
+Draining is demand-driven and thread-safe: any caller blocking on a
+future's ``result()`` pumps the queue (one drainer at a time; others
+wait and find their futures resolved).  There is deliberately no
+background thread — "async" here means *admission is decoupled from
+execution*, which composes with any host: a sync caller, an asyncio
+loop, or a real server front-end.
+
+Audit integration: every drain appends a ``service.queue.drained``
+record with the queue depth, cache hit/miss/warm counts and the hit
+rate for that drain; every completion appends a
+``service.consultation.completed`` record with the future's end-to-end
+latency and the advice's cache state.  Batch submissions keep emitting
+the same per-inventor ``consultation.batch`` records (and
+``prepare_games`` pre-solve) that ``consult_many`` always did.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.audit import (
+    EVENT_BATCH_CONSULTATION,
+    EVENT_SERVICE_COMPLETED,
+    EVENT_SERVICE_DRAINED,
+)
+from repro.core.session import ConsultationSession, SessionOutcome
+from repro.equilibria.executors import pools_disabled
+from repro.errors import ProtocolError
+from repro.games.base import Game
+from repro.service.cache import SolveCache
+from repro.service.futures import ConsultationFuture
+
+
+@dataclass
+class _Submission:
+    """One admitted consultation request."""
+
+    agent: str
+    game_id: str
+    privacy: str
+    future: ConsultationFuture
+
+
+@dataclass
+class _Batch:
+    """A unit of admission: one or many submissions, drained atomically.
+
+    ``batched`` marks batches admitted through :meth:`submit_many`;
+    they get the ``consultation.batch`` audit record and the
+    ``prepare_games`` pre-solve, exactly like ``consult_many`` —
+    single submissions skip both, exactly like ``consult``.
+    """
+
+    submissions: list = field(default_factory=list)
+    batched: bool = False
+
+
+class AuthorityService:
+    """Async, future-based consultation facade over one authority.
+
+    ``verify_workers`` sizes the off-path verification pool (``<= 1``
+    verifies inline on the draining thread, which keeps the audit
+    record order of the synchronous shims bit-identical to the
+    pre-service code; ``> 1`` overlaps verification with the next
+    solve).  ``solve_cache`` supplies a cross-run
+    :class:`~repro.service.cache.SolveCache` (one is created when
+    omitted); ``attach_cache=False`` leaves the inventors' caching
+    exactly as constructed.
+    """
+
+    def __init__(self, authority, solve_cache: SolveCache | None = None,
+                 verify_workers: int = 1, attach_cache: bool = True):
+        if verify_workers < 0:
+            raise ProtocolError("verify_workers must be non-negative")
+        self._authority = authority
+        self.cache = solve_cache if solve_cache is not None else SolveCache()
+        self._verify_workers = verify_workers
+        self._attach = attach_cache
+        self._queue: deque[_Batch] = deque()
+        self._admission_lock = threading.Lock()
+        self._drain_lock = threading.Lock()
+        self._verify_pool = None
+        self._verify_pool_broken = False
+        self._submission_counter = 0
+        self._completed = 0
+        self._attach_cache()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(self, agent_name: str, game_id: str,
+               privacy: str = "open") -> ConsultationFuture:
+        """Admit one consultation; returns its future immediately.
+
+        The request is validated eagerly (unknown agents and games are
+        rejected here, not at drain time); the hard work happens when
+        the queue drains.
+        """
+        (future,) = self._admit(agent_name, [game_id], privacy, batched=False)
+        return future
+
+    def submit_many(self, agent_name: str, game_ids, privacy: str = "open",
+                    ) -> tuple[ConsultationFuture, ...]:
+        """Admit a stream of consultations as one atomic batch.
+
+        The batch drains exactly like :meth:`RationalityAuthority
+        .consult_many` executed: grouped by owning inventor, one
+        ``consultation.batch`` audit record and one
+        ``prepare_games`` pre-solve per group, then the individual
+        sessions in submission order.
+        """
+        if not game_ids:
+            return ()
+        return self._admit(agent_name, list(game_ids), privacy, batched=True)
+
+    def _admit(self, agent_name: str, game_ids, privacy: str,
+               batched: bool) -> tuple[ConsultationFuture, ...]:
+        authority = self._authority
+        authority.agent(agent_name)  # raises on unknown agents
+        for game_id in game_ids:
+            authority.inventor_of(game_id)  # raises on unknown games
+        batch = _Batch(batched=batched)
+        with self._admission_lock:
+            depth = sum(len(b.submissions) for b in self._queue)
+            futures = []
+            for game_id in game_ids:
+                self._submission_counter += 1
+                future = ConsultationFuture(
+                    submission_id=self._submission_counter,
+                    agent=agent_name,
+                    game_id=game_id,
+                    service=self,
+                    queue_depth=depth + len(futures),
+                )
+                batch.submissions.append(
+                    _Submission(agent_name, game_id, privacy, future)
+                )
+                futures.append(future)
+            self._queue.append(batch)
+        return tuple(futures)
+
+    @property
+    def pending_count(self) -> int:
+        """Submissions admitted but not yet drained."""
+        with self._admission_lock:
+            return sum(len(b.submissions) for b in self._queue)
+
+    @property
+    def completed_count(self) -> int:
+        return self._completed
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Process the admission queue to empty; returns completions.
+
+        One drainer runs at a time; concurrent callers block on the
+        lock and, once inside, drain whatever was admitted meanwhile
+        (usually nothing — their futures were resolved by the first
+        drainer).  Verification jobs dispatched off-path are all
+        awaited before the drain returns, so every future admitted
+        before the call is resolved afterwards.
+        """
+        with self._drain_lock:
+            self._attach_cache()  # pick up inventors registered since
+            depth_at_start = self.pending_count
+            if depth_at_start == 0:
+                return 0
+            snapshots = [
+                (cache, cache.snapshot()) for cache in self._active_caches()
+            ]
+            verification_jobs: list = []
+            processed: list[ConsultationFuture] = []
+            try:
+                while True:
+                    with self._admission_lock:
+                        if not self._queue:
+                            break
+                        batch = self._queue.popleft()
+                    self._process_batch(batch, verification_jobs, processed)
+                for job in verification_jobs:
+                    job.result()  # failures land in the futures, never here
+            except BaseException as exc:
+                # KeyboardInterrupt / SystemExit mid-solve: abort the
+                # drain immediately (the synchronous shims propagate it
+                # right away, as they always did), but fail every
+                # not-yet-resolved future first so nothing waits forever
+                # on work that will never run.
+                self._abort_outstanding(exc, processed)
+                raise
+            self._completed += len(processed)
+            latencies = [f.latency_ms for f in processed if f.latency_ms is not None]
+            self._authority.audit.record(
+                "-", self._authority.AUTHORITY_NAME, EVENT_SERVICE_DRAINED,
+                submissions=len(processed),
+                queue_depth=depth_at_start,
+                verify_workers=self._effective_verify_workers(),
+                max_latency_ms=max(latencies, default=0.0),
+                **self._cache_deltas(snapshots),
+            )
+            return len(processed)
+
+    def _abort_outstanding(self, exc: BaseException, processed: list) -> None:
+        """Fail every unresolved future this drain was responsible for."""
+        for future in processed:
+            future._fail(exc)
+        while True:
+            with self._admission_lock:
+                if not self._queue:
+                    return
+                batch = self._queue.popleft()
+            for submission in batch.submissions:
+                submission.future._fail(exc)
+
+    def _active_caches(self) -> list:
+        """Every solve cache this drain's solves can actually touch.
+
+        Usually just :attr:`cache`, but an inventor constructed with —
+        or previously attached to — a different cache keeps it, and the
+        drain telemetry must count *that* cache's hits, not silently
+        report zeros from an unused one.
+        """
+        caches = {id(self.cache): self.cache}
+        for inventor in self._authority.inventors:
+            cache = getattr(inventor, "solve_cache", None)
+            if cache is not None:
+                caches.setdefault(id(cache), cache)
+        return list(caches.values())
+
+    @staticmethod
+    def _cache_deltas(snapshots) -> dict:
+        """Aggregate hit/warm/miss deltas across the active caches."""
+        totals = {"cache_hits": 0, "cache_warm_hits": 0, "cache_misses": 0}
+        for cache, snapshot in snapshots:
+            delta = cache.delta_since(snapshot)
+            for key in totals:
+                totals[key] += delta[key]
+        lookups = sum(totals.values())
+        totals["cache_hit_rate"] = (
+            totals["cache_hits"] / lookups if lookups else 0.0
+        )
+        return totals
+
+    def _process_batch(self, batch: _Batch, verification_jobs: list,
+                       processed: list) -> None:
+        authority = self._authority
+        if batch.batched:
+            by_inventor: dict[str, list[str]] = {}
+            for submission in batch.submissions:
+                inventor = authority.inventor_of(submission.game_id)
+                by_inventor.setdefault(inventor.name, []).append(
+                    submission.game_id
+                )
+            agent_name = batch.submissions[0].agent
+            try:
+                for inventor_name, ids in by_inventor.items():
+                    inventor = authority.inventor_named(inventor_name)
+                    distinct: dict[str, Game] = {}
+                    for game_id in ids:
+                        distinct.setdefault(game_id, authority.game(game_id))
+                    authority.audit.record(
+                        "-", authority.AUTHORITY_NAME, EVENT_BATCH_CONSULTATION,
+                        inventor=inventor_name,
+                        games=sorted(distinct),
+                        agent=agent_name,
+                    )
+                    inventor.prepare_games(list(distinct.items()))
+            except Exception as exc:
+                # A failed pre-solve fails the whole batch, exactly as
+                # consult_many used to propagate it; other batches in
+                # the queue are unaffected.  (BaseException — a
+                # caller's Ctrl-C — aborts the whole drain instead.)
+                for submission in batch.submissions:
+                    submission.future._fail(exc)
+                    processed.append(submission.future)
+                return
+        for submission in batch.submissions:
+            future = submission.future
+            processed.append(future)
+            try:
+                session = authority.open_session(
+                    submission.agent, submission.game_id
+                )
+                inventor = authority.inventor_of(submission.game_id)
+                session.request_advice(inventor, privacy=submission.privacy)
+            except Exception as exc:
+                future._fail(exc)
+                continue
+            pool = self._verification_pool()
+            if pool is None:
+                self._verify_and_conclude(session, future)
+            else:
+                verification_jobs.append(
+                    pool.submit(self._verify_and_conclude, session, future)
+                )
+
+    def _verify_and_conclude(self, session: ConsultationSession,
+                             future: ConsultationFuture) -> None:
+        """The off-path half: verify, conclude, resolve, audit."""
+        outcome: SessionOutcome | None = None
+        try:
+            session.verify()
+            outcome = session.conclude()
+        except Exception as exc:
+            future._fail(exc)
+        else:
+            future._resolve(outcome)
+        details = {
+            "game_id": future.game_id,
+            "agent": future.agent,
+            "queue_depth": future.queue_depth,
+            "latency_ms": future.latency_ms,
+        }
+        if outcome is not None:
+            details["cache"] = outcome.advice.cache
+            details["accepted"] = outcome.majority.accepted
+        else:
+            details["failed"] = True
+        self._authority.audit.record(
+            session.session_id, self._authority.AUTHORITY_NAME,
+            EVENT_SERVICE_COMPLETED, **details,
+        )
+
+    # ------------------------------------------------------------------
+    # The off-path verification pool
+    # ------------------------------------------------------------------
+
+    def _effective_verify_workers(self) -> int:
+        return 1 if self._verification_pool() is None else self._verify_workers
+
+    def _verification_pool(self):
+        if self._verify_workers <= 1 or pools_disabled() or self._verify_pool_broken:
+            return None
+        if self._verify_pool is None:
+            try:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._verify_pool = ThreadPoolExecutor(
+                    max_workers=self._verify_workers,
+                    thread_name_prefix="repro-verify",
+                )
+            except (ImportError, NotImplementedError, OSError,
+                    PermissionError, RuntimeError):
+                # Restricted interpreter without threads: verify inline.
+                self._verify_pool_broken = True
+                return None
+        return self._verify_pool
+
+    # ------------------------------------------------------------------
+    # Cache attachment
+    # ------------------------------------------------------------------
+
+    def _attach_cache(self) -> None:
+        if not self._attach:
+            return
+        for inventor in self._authority.inventors:
+            inventor.attach_solve_cache(self.cache)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain outstanding work and release service-held resources.
+
+        Idempotent, and — like the authority's own ``close`` — not
+        final: the service stays usable and recreates its verification
+        pool lazily on the next concurrent drain.  Inventor-held pools
+        belong to the authority's lifecycle, not the service's.
+        """
+        self.drain()
+        pool = self._verify_pool
+        self._verify_pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AuthorityService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # asyncio wrappers — same core, awaitable surface
+    # ------------------------------------------------------------------
+
+    async def async_consult(self, agent_name: str, game_id: str,
+                            privacy: str = "open") -> SessionOutcome:
+        """Awaitable consult: admit, drain off-loop, await the outcome.
+
+        Draining runs in the event loop's default thread pool, so many
+        concurrent ``async_consult`` tasks coalesce: the first drainer
+        pumps everyone's submissions while the rest await resolved
+        futures.
+        """
+        future = self.submit(agent_name, game_id, privacy=privacy)
+        return await self._await_future(future)
+
+    async def async_consult_many(self, agent_name: str, game_ids,
+                                 privacy: str = "open",
+                                 ) -> tuple[SessionOutcome, ...]:
+        """Awaitable batch consult (one atomic batch, like submit_many)."""
+        futures = self.submit_many(agent_name, game_ids, privacy=privacy)
+        if not futures:
+            return ()
+        await self.async_drain()
+        return tuple(future.result() for future in futures)
+
+    async def async_drain(self) -> int:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.drain)
+
+    async def _await_future(self, future: ConsultationFuture) -> SessionOutcome:
+        await self.async_drain()
+        return future.result()
+
+    async def aclose(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.close)
+
+    async def __aenter__(self) -> "AuthorityService":
+        return self
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.aclose()
+        return False

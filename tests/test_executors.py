@@ -9,6 +9,7 @@ from repro.equilibria.executors import (
     ShardedExecutor,
     chunk_list,
     make_executor,
+    pools_disabled,
 )
 from repro.equilibria.support_enumeration import (
     DEFAULT_CHUNK_SIZE,
@@ -37,9 +38,33 @@ class TestChunking:
     def test_make_executor(self):
         assert isinstance(make_executor(1), SerialExecutor)
         sharded = make_executor(3)
-        assert isinstance(sharded, ShardedExecutor)
-        assert sharded.workers == 3
+        if pools_disabled():
+            # REPRO_FORCE_SERIAL resolves every worker count serially.
+            assert isinstance(sharded, SerialExecutor)
+        else:
+            assert isinstance(sharded, ShardedExecutor)
+            assert sharded.workers == 3
         sharded.close()
+
+    def test_force_serial_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_SERIAL", "1")
+        assert pools_disabled()
+        assert isinstance(make_executor(4), SerialExecutor)
+        # A directly constructed sharded executor degrades in place:
+        # no pool is started, the serial fallback runs the chunks, and
+        # the fact is recorded for the audit trail.
+        executor = ShardedExecutor(workers=4)
+        assert executor.map_chunks(_double, [[1], [2, 3]]) == [[2], [4, 6]]
+        assert executor.fell_back
+        assert executor.effective_name == "serial"
+        executor.close()
+
+    def test_force_serial_falsy_spellings_leave_pools_on(self, monkeypatch):
+        for value in ("0", "false", "no", "", "  FALSE "):
+            monkeypatch.setenv("REPRO_FORCE_SERIAL", value)
+            assert not pools_disabled(), value
+        monkeypatch.setenv("REPRO_FORCE_SERIAL", "true")
+        assert pools_disabled()
 
 
 class TestSerialExecutor:

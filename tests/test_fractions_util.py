@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.fractions_util import (
     as_floats,
     dot,
+    exact_fingerprint,
     fraction_matrix,
     fraction_vector,
     is_probability_vector,
@@ -127,3 +128,34 @@ class TestLinearOps:
         size = min(len(a), len(b))
         a, b = a[:size], b[:size]
         assert dot(a, b) == dot(b, a)
+
+
+class TestExactFingerprint:
+    """The one canonicalization every solve cache keys through."""
+
+    def test_equal_rationals_equal_digest(self):
+        assert exact_fingerprint([[0.5, 1]]) == exact_fingerprint(
+            [[Fraction(1, 2), "1/1"]]
+        )
+
+    def test_value_and_shape_sensitivity(self):
+        base = exact_fingerprint([[1, 2], [3, 4]])
+        assert exact_fingerprint([[1, 2], [3, 5]]) != base
+        assert exact_fingerprint([[1, 2, 3, 4]]) != base
+        assert exact_fingerprint([[1, 3], [2, 4]]) != base
+
+    def test_matrix_boundaries_matter(self):
+        # Two matrices vs one concatenated matrix must not collide.
+        assert exact_fingerprint([[1]], [[2]]) != exact_fingerprint([[1], [2]])
+
+    def test_label_namespaces(self):
+        assert exact_fingerprint([[1]], label="a") != exact_fingerprint(
+            [[1]], label="b"
+        )
+
+    @given(st.lists(st.lists(fractions_st, min_size=1, max_size=3),
+                    min_size=1, max_size=3))
+    def test_deterministic(self, rows):
+        width = len(rows[0])
+        rows = [row[:width] + [Fraction(0)] * (width - len(row)) for row in rows]
+        assert exact_fingerprint(rows) == exact_fingerprint(rows)

@@ -1,0 +1,345 @@
+"""The cross-run solve cache: fingerprints, hits, hints and sets.
+
+The cache's contract is proof-preserving caching: keys are exact
+payoff fingerprints (no tolerance anywhere), values are certified
+solutions, and a hit is bit-identical to what a cold solve of the same
+configuration returns — including across backend modes, where the
+backend-parity guarantee makes enumeration sets mode-invariant.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.actors import BimatrixInventor
+from repro.equilibria.support_enumeration import support_enumeration
+from repro.fractions_util import exact_fingerprint
+from repro.games.bimatrix import BimatrixGame
+from repro.games.generators import random_bimatrix
+from repro.linalg.backend import (
+    MODE_EXACT,
+    MODE_FLOAT_CERTIFY,
+    MODE_NUMPY,
+    BackendPolicy,
+)
+from repro.service import SolveCache, game_fingerprint
+
+
+def _scaled(game: BimatrixGame, factor) -> BimatrixGame:
+    """Scale both payoff matrices by a positive rational.
+
+    Positive scaling preserves every equilibrium (best-reply order is
+    unchanged) but changes the payoff bytes — the canonical near-repeat.
+    """
+    scale = Fraction(factor)
+    a = [[x * scale for x in row] for row in game.row_matrix]
+    b = [[x * scale for x in row] for row in game.column_matrix]
+    return BimatrixGame(a, b, name=f"{game.name}-x{factor}")
+
+
+def _degenerate_instances():
+    zero = [[0, 0], [0, 0]]
+    return [
+        BimatrixGame.fig5_example(),
+        BimatrixGame(
+            [[3, 0], [3, 0], [0, 2]], [[1, 2], [1, 2], [4, 0]],
+            name="DuplicateRows",
+        ),
+        BimatrixGame(
+            [[1, 1, 4], [2, 2, 0]], [[3, 3, 1], [0, 0, 5]],
+            name="IdenticalColumns",
+        ),
+        BimatrixGame(zero, zero, name="AllZero"),
+        BimatrixGame(
+            [[2, 2], [2, 2], [0, 1]], [[1, 1], [1, 1], [3, 0]],
+            name="DegenerateTall",
+        ),
+    ]
+
+
+def _bit_identical(left, right) -> bool:
+    """Equal values AND exact types — every probability is a Fraction."""
+    left = [p.distributions for p in left]
+    right = [p.distributions for p in right]
+    if left != right:
+        return False
+    for profile in left:
+        for dist in profile:
+            for value in dist:
+                if type(value) is not Fraction:
+                    return False
+    return True
+
+
+class TestFingerprint:
+    """One canonicalization helper; exact-equality keys that cannot drift."""
+
+    def test_same_payoffs_same_fingerprint(self):
+        g1 = random_bimatrix(4, 4, seed=5)
+        g2 = BimatrixGame(g1.row_matrix, g1.column_matrix, name="other-name")
+        assert g1.payoff_fingerprint == g2.payoff_fingerprint
+
+    def test_value_representation_is_canonical(self):
+        # 0.5 converts exactly to 1/2: equal rationals, equal keys.
+        g1 = BimatrixGame([[0.5, 1], [0, 2]], [[1, 1], [1, 0]])
+        g2 = BimatrixGame(
+            [[Fraction(1, 2), 1], [0, 2]], [[1, 1], [1, 0]]
+        )
+        assert g1.payoff_fingerprint == g2.payoff_fingerprint
+
+    def test_any_payoff_change_changes_the_key(self):
+        g1 = BimatrixGame([[1, 1], [0, 2]], [[1, 1], [1, 0]])
+        g2 = BimatrixGame(
+            [[1, 1], [0, Fraction(2000000001, 1000000000)]],
+            [[1, 1], [1, 0]],
+        )
+        assert g1.payoff_fingerprint != g2.payoff_fingerprint
+
+    def test_shape_and_matrix_order_matter(self):
+        flat = BimatrixGame([[1, 2, 3, 4]], [[4, 3, 2, 1]])
+        tall = BimatrixGame([[1], [2], [3], [4]], [[4], [3], [2], [1]])
+        assert flat.payoff_fingerprint != tall.payoff_fingerprint
+        swapped = BimatrixGame([[4, 3, 2, 1]], [[1, 2, 3, 4]])
+        assert flat.payoff_fingerprint != swapped.payoff_fingerprint
+
+    def test_game_property_delegates_to_the_shared_helper(self):
+        # The dedup satellite: the game's cached fingerprint IS the
+        # fractions_util canonicalization — no second implementation.
+        game = random_bimatrix(3, 3, seed=9)
+        assert game.payoff_fingerprint == exact_fingerprint(
+            game.row_matrix, game.column_matrix, label="bimatrix"
+        )
+        assert game_fingerprint(game) == game.payoff_fingerprint
+
+    def test_uncacheable_games_fingerprint_as_none(self):
+        assert game_fingerprint(object()) is None
+
+
+class TestProfileCache:
+    """Exact repeats serve the stored certified profile."""
+
+    def test_exact_repeat_hits_across_game_ids(self):
+        cache = SolveCache()
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = random_bimatrix(4, 4, seed=21)
+        clone = BimatrixGame(game.row_matrix, game.column_matrix)
+        cold = inventor.solve("g-cold", game)
+        warm = inventor.solve("g-warm", clone)
+        assert warm is cold  # the stored certified object itself
+        assert inventor.cache_state("g-cold") == "miss"
+        assert inventor.cache_state("g-warm") == "hit"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert inventor.solve_millis("g-warm") >= 0.0
+
+    def test_keys_include_method_and_mode(self):
+        cache = SolveCache()
+        game = random_bimatrix(3, 3, seed=22)
+        se = BimatrixInventor(
+            "se", method="support-enumeration", solve_cache=cache
+        )
+        lh = BimatrixInventor("lh", method="lemke-howson", solve_cache=cache)
+        se.solve("g", game)
+        lh.solve("g", game)  # different method: no cross-contamination
+        assert lh.cache_state("g") == "miss"
+        assert cache.stats.misses == 2
+
+    def test_without_cache_state_is_blank(self):
+        inventor = BimatrixInventor("inv", method="support-enumeration")
+        inventor.solve("g", random_bimatrix(3, 3, seed=23))
+        assert inventor.cache_state("g") == ""
+
+
+class TestWarmHints:
+    """Near-repeats resolve through cached winning-support pairs."""
+
+    def test_scaled_near_repeat_is_warm_and_exact(self):
+        cache = SolveCache()
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = random_bimatrix(4, 4, seed=31)
+        near = _scaled(game, 3)
+        cold = inventor.solve("g", game)
+        warm = inventor.solve("g-near", near)
+        assert inventor.cache_state("g-near") == "warm"
+        assert cache.stats.warm_hits == 1
+        # Positive scaling preserves the equilibrium exactly, and the
+        # hint path re-solved it on the new game's exact payoffs.
+        assert warm.distributions == cold.distributions
+        # The warm solve is cached under the near game's own
+        # fingerprint: an exact repeat of it now hits.
+        again = inventor.solve("g-near-2", _scaled(game, 3))
+        assert inventor.cache_state("g-near-2") == "hit"
+        assert again is warm
+
+    def test_hints_can_be_disabled(self):
+        cache = SolveCache(use_hints=False)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = random_bimatrix(4, 4, seed=32)
+        inventor.solve("g", game)
+        inventor.solve("g-near", _scaled(game, 2))
+        assert inventor.cache_state("g-near") == "miss"
+        assert cache.stats.warm_hits == 0
+
+    def test_stale_hints_cannot_corrupt_answers(self):
+        # A hint from an unrelated same-shape game either fails its
+        # exact re-solve (cold path) or lands on a true equilibrium —
+        # never an uncertified answer.  Exercise both outcomes.
+        from repro.equilibria.mixed import certify_mixed_profile
+
+        cache = SolveCache()
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        for i in range(6):
+            game = random_bimatrix(3, 3, seed=300 + i)
+            profile = inventor.solve(f"g{i}", game)
+            assert certify_mixed_profile(game, profile) is not None
+
+    def test_hint_list_is_bounded_and_fresh_first(self):
+        cache = SolveCache(max_hints_per_shape=2)
+        cache.note_hint((3, 3), ((0,), (0,)))
+        cache.note_hint((3, 3), ((1,), (1,)))
+        cache.note_hint((3, 3), ((2,), (2,)))
+        assert cache.support_hints((3, 3)) == (((2,), (2,)), ((1,), (1,)))
+        # Re-confirming an old pair promotes it, not duplicates it.
+        cache.note_hint((3, 3), ((1,), (1,)))
+        assert cache.support_hints((3, 3)) == (((1,), (1,)), ((2,), (2,)))
+
+
+class TestEquilibriumSetCache:
+    """Satellite: cache hits are bit-identical to cold exact solves.
+
+    25 games (20 random + 5 degenerate), each populated under a
+    rotating search mode and then served from cache — the served set
+    must equal a *fresh cold exact* enumeration bit for bit, which is
+    exactly the cross-mode guarantee that makes fingerprint-only set
+    keys sound.
+    """
+
+    MODES = [
+        BackendPolicy(MODE_EXACT),
+        BackendPolicy(MODE_FLOAT_CERTIFY),
+        BackendPolicy(MODE_NUMPY),  # falls back to float without numpy
+    ]
+
+    def _games(self):
+        sizes = [(3, 3), (4, 3), (3, 4), (4, 4)]
+        games = [
+            random_bimatrix(*sizes[i % len(sizes)], seed=7000 + i)
+            for i in range(20)
+        ]
+        games.extend(_degenerate_instances())
+        assert len(games) == 25
+        return games
+
+    def test_cache_hits_bit_identical_to_cold_exact(self):
+        cache = SolveCache()
+        for i, game in enumerate(self._games()):
+            populate_policy = self.MODES[i % len(self.MODES)]
+            cold = cache.equilibrium_set(game, policy=populate_policy)
+            hit = cache.equilibrium_set(
+                game, policy=self.MODES[(i + 1) % len(self.MODES)]
+            )
+            assert hit is cold  # fingerprint hit, any mode
+            exact_reference = support_enumeration(game)  # fresh, no cache
+            assert _bit_identical(hit, exact_reference), game.name
+        assert cache.stats.set_hits == 25
+        assert cache.stats.set_misses == 25
+
+    def test_set_hits_survive_reconstruction_of_the_game(self):
+        cache = SolveCache()
+        game = BimatrixGame.fig5_example()
+        cold = cache.equilibrium_set(game, policy=BackendPolicy(MODE_NUMPY))
+        clone = BimatrixGame(game.row_matrix, game.column_matrix, name="x")
+        assert cache.equilibrium_set(clone) is cold
+
+
+class TestStatsAndLifecycle:
+    def test_hit_rate_and_clear(self):
+        cache = SolveCache()
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = random_bimatrix(3, 3, seed=41)
+        inventor.solve("a", game)
+        inventor.solve("b", BimatrixGame(game.row_matrix, game.column_matrix))
+        stats = cache.stats.as_dict()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert len(cache) > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_lru_eviction_bounds_the_stores(self):
+        cache = SolveCache(max_entries=2)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        games = [random_bimatrix(3, 3, seed=600 + i) for i in range(3)]
+        for i, game in enumerate(games):
+            inventor.solve(f"g{i}", game)
+        # Three distinct fingerprints through a 2-entry store: the
+        # oldest (g0) was evicted, the newer two still hit.
+        fresh = BimatrixInventor(
+            "fresh", method="support-enumeration", solve_cache=cache
+        )
+        fresh.solve("r0", BimatrixGame(games[0].row_matrix, games[0].column_matrix))
+        assert fresh.cache_state("r0") in ("miss", "warm")  # evicted
+        fresh.solve("r2", BimatrixGame(games[2].row_matrix, games[2].column_matrix))
+        assert fresh.cache_state("r2") == "hit"
+        assert SolveCache(max_entries=None)._max_entries is None
+        with pytest.raises(ValueError):
+            SolveCache(max_entries=0)
+
+    def test_lookup_refreshes_lru_order(self):
+        cache = SolveCache(max_entries=2, use_hints=False)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        g0 = random_bimatrix(3, 3, seed=610)
+        g1 = random_bimatrix(3, 3, seed=611)
+        inventor.solve("g0", g0)
+        inventor.solve("g1", g1)
+        # Touch g0 so g1 becomes the LRU entry...
+        inventor.solve("g0-again", BimatrixGame(g0.row_matrix, g0.column_matrix))
+        # ...then insert a third fingerprint, evicting g1, not g0.
+        inventor.solve("g2", random_bimatrix(3, 3, seed=612))
+        probe = BimatrixInventor(
+            "probe", method="support-enumeration", solve_cache=cache
+        )
+        probe.solve("p0", BimatrixGame(g0.row_matrix, g0.column_matrix))
+        assert probe.cache_state("p0") == "hit"
+        probe.solve("p1", BimatrixGame(g1.row_matrix, g1.column_matrix))
+        assert probe.cache_state("p1") == "miss"
+
+    def test_misadvising_wrapper_forwards_the_cache(self):
+        from repro.core.actors import MisadvisingInventor
+
+        cache = SolveCache()
+        inner = BimatrixInventor("inner", method="support-enumeration")
+        wrapper = MisadvisingInventor("wrap", inner, corrupt=lambda s: s)
+        wrapper.attach_solve_cache(cache)
+        assert inner.solve_cache is cache
+        assert wrapper.solve_cache is cache
+
+    def test_delta_reporting(self):
+        cache = SolveCache()
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = random_bimatrix(3, 3, seed=42)
+        inventor.solve("a", game)
+        snapshot = cache.snapshot()
+        inventor.solve("b", BimatrixGame(game.row_matrix, game.column_matrix))
+        delta = cache.delta_since(snapshot)
+        assert delta["cache_hits"] == 1
+        assert delta["cache_misses"] == 0
+        assert delta["cache_hit_rate"] == 1.0
