@@ -286,18 +286,43 @@ class BimatrixInventor(GameInventor):
         The cross-run warm start: a near-repeat game very often carries
         its equilibrium on a support pair that already won for an
         earlier same-shaped game.  Each hint is re-decided from scratch
-        on *this* game's exact payoffs (``equilibrium_for_supports``
-        enforces the full Lemma-1 side conditions), so a stale hint can
-        cost one exact solve, never an uncertified answer.  Note that
-        on any game with several equilibria (degenerate or not) a hint
-        may legitimately settle on a different (equally exact)
-        equilibrium than the cold enumeration order would — which is
-        why the solve is recorded as ``"warm"``.
+        on *this* game's exact payoffs, so a stale hint can cost one
+        exact solve, never an uncertified answer.  The cheap route runs
+        first: both Lemma-1 sides re-solved as linear systems on the
+        fraction-free Bareiss kernel and the result pushed through the
+        integer-lattice certification gate — when the hinted system
+        pins a unique mix (the generic case) this decides the hint
+        without touching the exact LP, and the unique solution is
+        necessarily the same profile the LP would return.
+        Underdetermined or uncertified hints fall back to
+        ``equilibrium_for_supports`` (the full exact-LP decision), as
+        before.  Note that on any game with several equilibria
+        (degenerate or not) a hint may legitimately settle on a
+        different (equally exact) equilibrium than the cold enumeration
+        order would — which is why the solve is recorded as ``"warm"``.
         """
+        from repro.equilibria.mixed import certify_mixed_profile
+        from repro.equilibria.support_enumeration import reconstruct_one_side
+        from repro.errors import ProfileError
+
         n, m = game.action_counts
         for rs, cs in hints:
             if not rs or not cs or max(rs) >= n or max(cs) >= m:
                 continue
+            y_side = reconstruct_one_side(game.row_matrix, rs, cs, m)
+            if y_side is not None:
+                x_side = reconstruct_one_side(
+                    game.column_matrix_transposed, cs, rs, n
+                )
+                if x_side is not None:
+                    try:
+                        profile = MixedProfile((x_side[0], y_side[0]))
+                    except ProfileError:
+                        profile = None
+                    if profile is not None and certify_mixed_profile(
+                        game, profile
+                    ) is not None:
+                        return profile
             result = equilibrium_for_supports(game, rs, cs)
             if result is not None:
                 return result[0]
@@ -590,20 +615,15 @@ class MisadvisingInventor(GameInventor):
         self._inner.close()
 
     def advise(self, game_id, game, agent, privacy) -> AdvicePackage:
+        import dataclasses
+
         package = self._inner.advise(game_id, game, agent, privacy)
-        advice = package.advice
-        corrupted = Advice(
-            game_id=advice.game_id,
-            agent=advice.agent,
-            concept=advice.concept,
-            proof_format=advice.proof_format,
-            suggestion=self._corrupt(advice.suggestion),
-            proof=advice.proof,
+        # replace() keeps every honest field (present and future) intact;
+        # only the suggestion is corrupted and the blame redirected here.
+        corrupted = dataclasses.replace(
+            package.advice,
+            suggestion=self._corrupt(package.advice.suggestion),
             inventor=self.name,
-            backend=advice.backend,
-            executor=advice.executor,
-            cache=advice.cache,
-            solve_ms=advice.solve_ms,
         )
         return AdvicePackage(advice=corrupted, prover=package.prover)
 

@@ -197,6 +197,16 @@ class Advice:
     sound.  ``solve_ms`` is the inventor-measured wall time of the hard
     step in milliseconds (negative when the inventor did not measure),
     so the audit trail can price cache hits against cold solves.
+
+    ``verify_ms`` is the session-measured wall time of the verification
+    phase — every selected verifier's run plus the majority vote —
+    in milliseconds (negative until a session has verified the advice;
+    the advice an inventor hands over is necessarily unverified, so the
+    field is populated on the *outcome's* advice).  Together with
+    ``solve_ms`` it makes the paper's search-vs-verify asymmetry
+    observable per consultation: the hard step's price next to the
+    cheap check's.  Like ``solve_ms``, it is telemetry and stays off
+    the wire summary (byte determinism).
     """
 
     game_id: str
@@ -210,6 +220,7 @@ class Advice:
     executor: str = "serial"
     cache: str = ""
     solve_ms: float = -1.0
+    verify_ms: float = -1.0
 
     def __post_init__(self):
         info = CONCEPT_LIBRARY.get(self.concept)

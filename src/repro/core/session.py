@@ -13,7 +13,9 @@ framework's guarantees.
 
 from __future__ import annotations
 
+import dataclasses
 import random
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any
@@ -82,11 +84,11 @@ def advice_wire_summary(advice: Advice) -> dict[str, Any]:
         "backend": advice.backend,
         "executor": advice.executor,
         # cache state is protocol-relevant (a verifier may price a hit
-        # differently) and deterministic; the solve's wall time is
-        # telemetry and deliberately NOT on the wire — the bus accounts
-        # communication bytes exactly, and a timing float would make
-        # the byte counts vary run to run.  Timings live on the Advice
-        # itself and in the audit log.
+        # differently) and deterministic; wall times (solve_ms and
+        # verify_ms alike) are telemetry and deliberately NOT on the
+        # wire — the bus accounts communication bytes exactly, and a
+        # timing float would make the byte counts vary run to run.
+        # Timings live on the Advice itself and in the audit log.
         "cache": advice.cache,
     }
 
@@ -129,6 +131,7 @@ class ConsultationSession:
         self._state = _CREATED
         self._package: AdvicePackage | None = None
         self._majority: MajorityOutcome | None = None
+        self._verify_ms: float | None = None
 
     # ------------------------------------------------------------------
     # Phase 1: advice
@@ -183,6 +186,7 @@ class ConsultationSession:
         package = self._package
         assert package is not None
         advice = package.advice
+        verify_started = time.perf_counter()
 
         supporting = self._registry.supporting(advice)
         if not supporting:
@@ -225,11 +229,16 @@ class ConsultationSession:
             verdicts.append(verdict)
 
         majority = majority_verdict(verdicts)
+        # The verification phase's wall time: every selected verifier's
+        # run plus the vote.  This is the cheap side of the paper's
+        # asymmetry, priced next to Advice.solve_ms in the audit trail.
+        self._verify_ms = (time.perf_counter() - verify_started) * 1000.0
         self._audit.record(
             self.session_id, self._agent.name, EVENT_MAJORITY,
             accepted=majority.accepted,
             accept_votes=majority.accept_votes,
             reject_votes=majority.reject_votes,
+            verify_ms=self._verify_ms,
         )
         self._reputation.update_from_outcome(majority)
         for dissenter in majority.dissenters():
@@ -263,12 +272,17 @@ class ConsultationSession:
             game_id=self._game_id, accepted=majority.accepted,
         )
         self._state = _CLOSED
+        # The outcome's advice carries the measured verification time —
+        # the delivered advice could not (it predates verification).
+        advice = package.advice
+        if self._verify_ms is not None:
+            advice = dataclasses.replace(advice, verify_ms=self._verify_ms)
         return SessionOutcome(
             session_id=self.session_id,
-            advice=package.advice,
+            advice=advice,
             majority=majority,
             adopted=adopted,
-            concept_notice=describe_advice(package.advice),
+            concept_notice=describe_advice(advice),
         )
 
     # ------------------------------------------------------------------

@@ -11,15 +11,30 @@ In the two-phase solver pipeline this module is the *certification*
 side: whatever numeric backend a search ran on, its candidates pass
 through :func:`certify_mixed_profile` (exact arithmetic, no epsilon)
 before they are allowed out of the solver layer.
+
+Certification runs on the **integer lattice** wherever the game supports
+it: a bimatrix game's payoffs are cleared to common-denominator integers
+once (:attr:`~repro.games.bimatrix.BimatrixGame.integer_lattice`, cached)
+and each candidate's mixed strategies are cleared the same way, so the
+Lemma-1 support comparisons reduce to machine-integer dot products —
+order-preserving by construction (everything a comparison touches is
+scaled by the same positive integer), hence exactly equivalent to the
+Fraction check, just without per-operation gcds.  The batched entry
+point :func:`certify_many` shares one integerization across all
+candidates of a game; :func:`fraction_nash_check` keeps the seed's
+Fraction path as the reference (and the fallback for games without a
+lattice).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Sequence
 
 from repro.fractions_util import to_fraction
 from repro.games.base import Game
+from repro.games.bimatrix import BimatrixGame
 from repro.games.profiles import MixedProfile
 from repro.equilibria.best_reply import (
     best_reply_gap,
@@ -47,8 +62,14 @@ class MixedNashReport:
         return max(self.gaps)
 
 
-def is_mixed_nash(game: Game, mixed: MixedProfile) -> bool:
-    """Exact Nash check via the support characterization."""
+def fraction_nash_check(game: Game, mixed: MixedProfile) -> bool:
+    """The seed's Fraction-arithmetic Nash check (reference semantics).
+
+    Exact and game-agnostic; :func:`is_mixed_nash` routes through the
+    integer lattice instead whenever the game provides one, with this
+    function as the authority the lattice path must (and, per the
+    property tests, does) agree with.
+    """
     for player in game.players():
         payoffs = mixed_action_payoffs(game, player, mixed)
         best = max(payoffs)
@@ -56,6 +77,62 @@ def is_mixed_nash(game: Game, mixed: MixedProfile) -> bool:
             if payoffs[action] != best:
                 return False
     return True
+
+
+def _integerized_support(distribution: Sequence[Fraction]):
+    """One player's mix cleared to ints: ``(nonzero (index, weight)), support``.
+
+    Clearing by the LCM of the denominators preserves zeroness, so the
+    support can be read off the integer weights directly.
+    """
+    from repro.linalg.int_exact import integerize_vector
+
+    weights, __ = integerize_vector(distribution)
+    nonzero = tuple((j, w) for j, w in enumerate(weights) if w)
+    return nonzero, tuple(j for j, __ in nonzero)
+
+
+def _lattice_side_optimal(payoff_rows, nonzero_mix, support) -> bool:
+    """One Lemma-1 side on the integer lattice.
+
+    ``payoff_rows`` is one player's integerized payoff matrix (own
+    actions x opponent actions), ``nonzero_mix`` the opponent's cleared
+    mix.  Every quantity compared is the true expected payoff scaled by
+    the same positive integer (payoff scale x mix scale), so the
+    supported-actions-attain-the-max check is exactly the Fraction one.
+    """
+    values = [
+        sum(row[j] * w for j, w in nonzero_mix) for row in payoff_rows
+    ]
+    best = max(values)
+    return all(values[i] == best for i in support)
+
+
+def _lattice_nash_check(game: BimatrixGame, mixed: MixedProfile) -> bool:
+    """Both Lemma-1 sides of a bimatrix candidate on the integer lattice."""
+    x, y = game._unpack(mixed)  # shared shape validation
+    lattice = game.integer_lattice
+    y_ints, y_support = _integerized_support(y)
+    x_ints, x_support = _integerized_support(x)
+    return _lattice_side_optimal(
+        lattice.row_payoffs, y_ints, x_support
+    ) and _lattice_side_optimal(
+        lattice.column_payoffs, x_ints, y_support
+    )
+
+
+def is_mixed_nash(game: Game, mixed: MixedProfile) -> bool:
+    """Exact Nash check via the support characterization.
+
+    Bimatrix games are checked on their cached integer lattice (pure
+    ``int`` dot products, no Fraction arithmetic); everything else runs
+    the reference :func:`fraction_nash_check`.  The two paths decide
+    identically — the lattice is an order-preserving image of the
+    payoffs.
+    """
+    if isinstance(game, BimatrixGame):
+        return _lattice_nash_check(game, mixed)
+    return fraction_nash_check(game, mixed)
 
 
 def check_mixed_nash(game: Game, mixed: MixedProfile) -> MixedNashReport:
@@ -79,6 +156,24 @@ def certify_mixed_profile(game: Game, candidate: MixedProfile) -> MixedProfile |
     path, so no approximate profile ever reaches :mod:`repro.core`.
     """
     return candidate if is_mixed_nash(game, candidate) else None
+
+
+def certify_many(
+    game: Game, candidates: Sequence[MixedProfile]
+) -> list[MixedProfile | None]:
+    """Batched exact certification: one lattice, many candidates.
+
+    Returns one entry per candidate, in order — the candidate itself
+    when it passes the exact Lemma-1 gate, ``None`` otherwise (exactly
+    :func:`certify_mixed_profile` per element).  The point of the batch
+    is amortization: all candidates of a game certify against the same
+    pre-cleared integer payoff tensors — the lattice is cached on the
+    game, so the first check pays the clearing and the rest are a few
+    integer dot products each — which is how the support-enumeration
+    certify stage and the service's batch paths keep per-candidate
+    cost flat.
+    """
+    return [certify_mixed_profile(game, candidate) for candidate in candidates]
 
 
 def is_epsilon_nash(game: Game, mixed: MixedProfile, epsilon) -> bool:

@@ -27,12 +27,15 @@ float backend screens one pair at a time, warm-starting from the
 previous pair's basis when only one action changed) and can be sharded
 across worker processes by a pluggable executor — workers return plain
 picklable verdicts, nothing else.  **Reconstruct** re-solves surviving
-candidates as exact Fractions (support-restricted), always in the
-calling process.  **Certify** passes every reconstruction through the
-exact Lemma-1 gate before it is returned; an inconclusive or
-uncertifiable screen verdict falls back to the seed's exact LP for that
-pair, so no approximate profile ever escapes and soundness is
-unconditional in every mode.  With the default exact backend there is no
+candidates exactly (support-restricted, on the fraction-free integer
+Bareiss kernel — bit-identical to Fraction elimination), always in the
+calling process.  **Certify** passes each wave's reconstructions
+through the exact Lemma-1 gate as one
+:func:`~repro.equilibria.mixed.certify_many` batch — all candidates of
+a wave share the game's cached integer-lattice payoffs — before
+anything is returned; an inconclusive or uncertifiable screen verdict
+falls back to the seed's exact LP for that pair, so no approximate
+profile ever escapes and soundness is unconditional in every mode.  With the default exact backend there is no
 screen at all: everything is Fractions end to end, exactly as the seed
 behaved.
 
@@ -57,7 +60,7 @@ from repro.linalg.backend import (
     float_matrix,
     resolve_policy,
 )
-from repro.linalg.exact import solve_linear_system
+from repro.linalg.int_exact import solve_linear_system
 from repro.linalg.lp import find_feasible_point
 
 _ZERO = Fraction(0)
@@ -153,8 +156,10 @@ def reconstruct_one_side(
     """Exact support-restricted re-solve of a float candidate.
 
     Solves the *linear system* "all of ``own_support`` earns a common λ
-    under a mix on ``refined_other`` summing to one" exactly, then checks
-    the full Lemma-1 side conditions (probabilities in [0, 1], every
+    under a mix on ``refined_other`` summing to one" exactly (on the
+    fraction-free integer Bareiss kernel — bit-identical to the seed's
+    Fraction elimination, minus its per-step gcds), then checks the full
+    Lemma-1 side conditions (probabilities in [0, 1], every
     off-``own_support`` action earning at most λ) with exact arithmetic.
     Returns None when the system is inconsistent, underdetermined, or the
     checks fail — the caller then falls back to the exact LP.
@@ -336,6 +341,27 @@ def _certified(game: BimatrixGame, profile: MixedProfile) -> bool:
     from repro.equilibria.mixed import certify_mixed_profile
 
     return certify_mixed_profile(game, profile) is not None
+
+
+def _reconstruct_candidate(game: BimatrixGame, rs, cs, verdict):
+    """Stage 3 for one SCREEN_CANDIDATE verdict: the exact profile, or None.
+
+    Exact support-restricted re-solves of both Lemma-1 sides on the
+    refined supports the screen suggested; ``None`` (either side
+    inconsistent, underdetermined, or side-condition-violating) sends
+    the pair to the authoritative exact LP.
+    """
+    __, refined_cols, refined_rows = verdict
+    n, m = game.action_counts
+    y_side = reconstruct_one_side(game.row_matrix, rs, refined_cols, m)
+    if y_side is None:
+        return None
+    x_side = reconstruct_one_side(
+        game.column_matrix_transposed, cs, refined_rows, n
+    )
+    if x_side is None:
+        return None
+    return MixedProfile((x_side[0], y_side[0]))
 
 
 # ----------------------------------------------------------------------
@@ -553,16 +579,9 @@ def _resolve_screened_pair(game, rs, cs, verdict):
     if verdict[0] == SCREEN_PRUNED:
         return None
     if verdict[0] == SCREEN_CANDIDATE:
-        __, refined_cols, refined_rows = verdict
-        n, m = game.action_counts
-        y_side = reconstruct_one_side(game.row_matrix, rs, refined_cols, m)
-        x_side = reconstruct_one_side(
-            game.column_matrix_transposed, cs, refined_rows, n
-        )
-        if y_side is not None and x_side is not None:
-            profile = MixedProfile((x_side[0], y_side[0]))
-            if _certified(game, profile):
-                return profile
+        profile = _reconstruct_candidate(game, rs, cs, verdict)
+        if profile is not None and _certified(game, profile):
+            return profile
         # Reconstruction or certification failed: the screen suggested
         # supports the exact side conditions reject.  Fall through to
         # the authoritative exact decision for this pair.
@@ -577,15 +596,17 @@ def _resolve_screened_pair(game, rs, cs, verdict):
 SCALAR_FIND_CHUNK_SIZE = 16
 
 
-def _screened_pairs(game, backend, pair_stream, chunk_size, executor):
-    """Stream ``((rs, cs), verdict)`` in pair order, one wave at a time.
+def _screened_verdict_waves(game, backend, pair_stream, chunk_size, executor):
+    """Stream screened waves ``[((rs, cs), verdict), ...]`` in pair order.
 
     Pairs come off the generator wave by wave (one chunk per worker, a
     single chunk when serial), so the exponential pair space is never
     materialized and memory is bounded by the in-flight wave.  Chunk
     boundaries depend only on ``chunk_size``, and verdicts are yielded
     strictly in pair order whatever the pool's completion order — the
-    two determinism invariants callers rely on.
+    two determinism invariants callers rely on.  Yielding whole waves
+    (rather than single pairs) lets the enumeration certify each wave's
+    surviving candidates as one batch.
     """
     a_float = float_matrix(game.row_matrix)
     b_cols_float = float_matrix(game.column_matrix_transposed)
@@ -608,8 +629,57 @@ def _screened_pairs(game, backend, pair_stream, chunk_size, executor):
             ]
         else:
             verdict_lists = executor.map_chunks(screen_support_chunk, payloads)
-        for chunk, verdicts in zip(wave, verdict_lists):
-            yield from zip(chunk, verdicts)
+        yield [
+            pair_verdict
+            for chunk, verdicts in zip(wave, verdict_lists)
+            for pair_verdict in zip(chunk, verdicts)
+        ]
+
+
+def _screened_pairs(game, backend, pair_stream, chunk_size, executor):
+    """Flattened :func:`_screened_verdict_waves` (for first-hit scans)."""
+    for wave in _screened_verdict_waves(
+        game, backend, pair_stream, chunk_size, executor
+    ):
+        yield from wave
+
+
+def _resolve_screened_wave(game, wave, seen, out):
+    """Stages 3+4 for one wave: batch-certify, then resolve in pair order.
+
+    All of the wave's SCREEN_CANDIDATE verdicts are reconstructed first
+    and certified through one :func:`~repro.equilibria.mixed.certify_many`
+    batch (one integer-lattice resolution for the whole wave); pairs
+    whose candidate failed either step — and every SCREEN_EXACT pair —
+    are then re-decided by the authoritative exact LP, strictly in pair
+    order, so results are identical to the pair-at-a-time path.
+    """
+    from repro.equilibria.mixed import certify_many
+
+    candidates: list[MixedProfile] = []
+    candidate_of: dict[int, int] = {}
+    for idx, ((rs, cs), verdict) in enumerate(wave):
+        if verdict[0] == SCREEN_CANDIDATE:
+            profile = _reconstruct_candidate(game, rs, cs, verdict)
+            if profile is not None:
+                candidate_of[idx] = len(candidates)
+                candidates.append(profile)
+    certified = certify_many(game, candidates)
+    for idx, ((rs, cs), verdict) in enumerate(wave):
+        if verdict[0] == SCREEN_PRUNED:
+            continue
+        profile = None
+        slot = candidate_of.get(idx)
+        if slot is not None:
+            profile = certified[slot]
+        if profile is None:
+            # Inconclusive screen, failed reconstruction, or failed
+            # certification: the exact LP decides the pair.
+            result = equilibrium_for_supports(game, rs, cs)
+            profile = result[0] if result is not None else None
+        if profile is not None and profile.distributions not in seen:
+            seen.add(profile.distributions)
+            out.append(profile)
 
 
 def support_enumeration(
@@ -670,13 +740,10 @@ def support_enumeration(
     if own_executor and resolved.resolved_workers() > 1:
         executor = make_executor(resolved.resolved_workers())
     try:
-        for (rs, cs), verdict in _screened_pairs(
+        for wave in _screened_verdict_waves(
             game, backend, pair_stream, chunk_size, executor
         ):
-            profile = _resolve_screened_pair(game, rs, cs, verdict)
-            if profile is not None and profile.distributions not in seen:
-                seen.add(profile.distributions)
-                out.append(profile)
+            _resolve_screened_wave(game, wave, seen, out)
     finally:
         if own_executor and executor is not None:
             executor.close()

@@ -134,25 +134,64 @@ def as_floats(values: Iterable[Fraction]):
 
 
 def dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:
-    """Exact dot product of two equal-length rational vectors."""
+    """Exact dot product of two equal-length rational vectors.
+
+    ``math.sumprod``-style accumulation: one running Fraction total
+    (no per-term temporaries beyond the product) and zero terms are
+    skipped outright — expected-payoff checks dot sparse mixed
+    strategies against payoff rows, so most terms contribute exactly
+    nothing and every skipped term saves a gcd-normalizing Fraction
+    add.  Skipping adds of exact zeros cannot change the exact result.
+    """
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    return sum((x * y for x, y in zip(a, b)), start=Fraction(0))
+    total = Fraction(0)
+    for x, y in zip(a, b):
+        if x and y:
+            total += x * y
+    return total
 
 
 def mat_vec(matrix: Sequence[Sequence[Fraction]], vec: Sequence[Fraction]) -> tuple[Fraction, ...]:
-    """Exact matrix-vector product."""
-    return tuple(dot(row, vec) for row in matrix)
+    """Exact matrix-vector product.
+
+    The vector's nonzero entries are gathered once and shared across
+    every row's accumulation (see :func:`dot` for why skipping exact
+    zeros is free and sound).
+    """
+    nonzero = [(j, v) for j, v in enumerate(vec) if v]
+    nvec = len(vec)
+    out = []
+    for row in matrix:
+        if len(row) != nvec:
+            raise ValueError(f"length mismatch: {len(row)} vs {nvec}")
+        total = Fraction(0)
+        for j, v in nonzero:
+            x = row[j]
+            if x:
+                total += x * v
+        out.append(total)
+    return tuple(out)
 
 
 def vec_mat(vec: Sequence[Fraction], matrix: Sequence[Sequence[Fraction]]) -> tuple[Fraction, ...]:
-    """Exact vector-matrix product (row vector times matrix)."""
+    """Exact vector-matrix product (row vector times matrix).
+
+    Accumulates over the vector's nonzero entries only — one running
+    Fraction per output column, rows with zero weight never touched.
+    """
     if not matrix:
         return ()
     ncols = len(matrix[0])
     if len(vec) != len(matrix):
         raise ValueError(f"length mismatch: {len(vec)} vs {len(matrix)} rows")
-    return tuple(
-        sum((vec[i] * matrix[i][j] for i in range(len(vec))), start=Fraction(0))
-        for j in range(ncols)
-    )
+    totals = [Fraction(0)] * ncols
+    for v, row in zip(vec, matrix):
+        if len(row) != ncols:
+            raise ValueError(f"length mismatch: {len(row)} vs {ncols} columns")
+        if not v:
+            continue
+        for j, x in enumerate(row):
+            if x:
+                totals[j] += v * x
+    return tuple(totals)

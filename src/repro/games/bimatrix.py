@@ -43,6 +43,7 @@ class BimatrixGame(Game, UtilityTableMixin):
         self._name = name or "BimatrixGame"
         self._b_transposed: tuple[tuple[Fraction, ...], ...] | None = None
         self._fingerprint: str | None = None
+        self._integer_lattice = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -135,6 +136,27 @@ class BimatrixGame(Game, UtilityTableMixin):
                 self._a, self._b, label="bimatrix"
             )
         return self._fingerprint
+
+    @property
+    def integer_lattice(self):
+        """The payoffs cleared to a common-denominator integer lattice.
+
+        An :class:`~repro.linalg.int_exact.IntegerLattice` holding
+        ``row_scale * A`` and ``column_scale * B^T`` as Python ints.
+        Computed once per game and cached (like ``payoff_fingerprint``):
+        the exact certification gate and the batched
+        :func:`~repro.equilibria.mixed.certify_many` run their Lemma-1
+        support comparisons on these tensors, so every candidate of a
+        game shares one integerization instead of re-clearing Fractions
+        per check.
+        """
+        if self._integer_lattice is None:
+            from repro.linalg.int_exact import IntegerLattice
+
+            self._integer_lattice = IntegerLattice.from_matrices(
+                self._a, self.column_matrix_transposed
+            )
+        return self._integer_lattice
 
     def payoff(self, player: int, profile: PureProfile) -> Fraction:
         profile = self.validate_profile(profile)

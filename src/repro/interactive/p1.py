@@ -32,7 +32,7 @@ from typing import Sequence
 from repro.errors import EquilibriumError, LinearAlgebraError, TranscriptError
 from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
 from repro.games.profiles import MixedProfile
-from repro.linalg.exact import solve_square
+from repro.linalg.int_exact import solve_square
 from repro.equilibria.support_enumeration import solve_one_side
 from repro.interactive.transcripts import (
     PROVER,

@@ -4,8 +4,13 @@ The equilibrium provers and proof verifiers in this library work over
 :class:`fractions.Fraction` so that "provable" means *exactly checkable*.
 This package supplies the few primitives they need:
 
-* :mod:`repro.linalg.exact` — Gaussian elimination: solve, rank,
-  inverse, nullspace and general/particular solutions of ``Ax = b``;
+* :mod:`repro.linalg.exact` — Gaussian elimination over Fractions:
+  solve, rank, nullspace and general/particular solutions of
+  ``Ax = b`` (the reference semantics every faster kernel must match);
+* :mod:`repro.linalg.int_exact` — the fraction-free exact kernel:
+  integer Bareiss elimination after LCM clearing, bit-identical to
+  :mod:`~repro.linalg.exact` but without per-step gcd normalization —
+  the arithmetic all certification and proof checking runs on;
 * :mod:`repro.linalg.lp` — a small exact simplex solver used for
   feasibility questions (e.g. under-determined support systems in the
   P1 verifier);
@@ -51,6 +56,13 @@ from repro.linalg.exact import (
     solve_linear_system,
     solve_square,
 )
+from repro.linalg.int_exact import (
+    IntegerLattice,
+    bareiss_elimination,
+    integer_utility_table,
+    integerize_matrix,
+    integerize_vector,
+)
 from repro.linalg.lp import LPResult, solve_lp, find_feasible_point
 
 __all__ = [
@@ -83,6 +95,11 @@ __all__ = [
     "nullspace",
     "solve_linear_system",
     "solve_square",
+    "IntegerLattice",
+    "bareiss_elimination",
+    "integer_utility_table",
+    "integerize_matrix",
+    "integerize_vector",
     "LPResult",
     "solve_lp",
     "find_feasible_point",

@@ -33,7 +33,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.errors import BackendError, LinearAlgebraError
-from repro.linalg import exact as _exact
+from repro.linalg import int_exact as _int_exact
 from repro.linalg import lp as _lp
 
 #: The backend modes the core layer can request per advice package.
@@ -165,14 +165,21 @@ class NumericBackend:
 
 
 class ExactBackend(NumericBackend):
-    """The seed semantics: Fraction elimination and simplex, unchanged."""
+    """The seed semantics, bit for bit — on the fraction-free kernel.
+
+    Square solves run integer Bareiss elimination
+    (:mod:`repro.linalg.int_exact`), which returns exactly the Fractions
+    the seed's Fraction-arithmetic elimination did, just without its
+    per-step gcd normalization; LP feasibility stays on the exact
+    simplex.
+    """
 
     name = "exact"
     mode = MODE_EXACT
     exact = True
 
     def solve_square(self, matrix, rhs):
-        return _exact.solve_square(matrix, rhs)
+        return _int_exact.solve_square(matrix, rhs)
 
     def find_feasible_point(self, a_eq, b_eq, upper_bounds=None):
         return _lp.find_feasible_point(a_eq, b_eq, upper_bounds=upper_bounds)

@@ -11,6 +11,14 @@ The kernel never raises on a bad proof — it returns a
 :class:`CheckResult` whose ``reason`` names the first failing step, so
 the rationality authority can log the rejection verbatim and blame the
 inventor (see :mod:`repro.core.audit`).
+
+Arithmetic: for profile-space-scale certificates (``allStrat`` /
+``allNash`` / ``isMaxNash`` / dominance) the kernel clears the game's
+utility table to per-player integers once and runs every utility
+comparison on machine ints (:meth:`CountingGame.payoff_key`) — an
+order-preserving image of the exact payoffs, so accept/reject decisions,
+rejection reasons and evaluation counters are identical to the Fraction
+oracle, at a fraction of the arithmetic cost.
 """
 
 from __future__ import annotations
@@ -61,11 +69,32 @@ class CheckResult:
         return self
 
 
-class ProofKernel:
-    """Checks certificates against one game's utility oracle."""
+#: Certificate kinds whose checking cost is profile-space-scale — for
+#: these the kernel integerizes the utility table up front (the build is
+#: the same order as one ``allStrat`` pass and every subsequent utility
+#: comparison becomes a machine-int compare).  Single-profile
+#: certificates skip it: their Θ(Σ|Ai|) check would not amortize a
+#: Θ(Π|Ai|) table build.
+_SPACE_SCALE_CERTIFICATES = (
+    AllStratCertificate,
+    AllNashCertificate,
+    MaxNashCertificate,
+    DominanceCertificate,
+)
 
-    def __init__(self, game: Game):
+
+class ProofKernel:
+    """Checks certificates against one game's utility oracle.
+
+    ``integerize=False`` pins the kernel to the seed's Fraction oracle —
+    the reference arithmetic the integerized path must agree with
+    (decisions, rejection reasons and both counters are identical; only
+    the cost changes).  The benches use it as the baseline.
+    """
+
+    def __init__(self, game: Game, integerize: bool = True):
         self._oracle = CountingGame(game)
+        self._integerize = integerize
         self._statements = 0
 
     # ------------------------------------------------------------------
@@ -76,6 +105,8 @@ class ProofKernel:
         """Check any top-level certificate; never raises on a bad proof."""
         self._oracle.utility_evaluations = 0
         self._statements = 0
+        if self._integerize and isinstance(certificate, _SPACE_SCALE_CERTIFICATES):
+            self._oracle.prepare_integer_table()
         try:
             if isinstance(certificate, NashCertificate):
                 self._check_nash(certificate)
@@ -300,13 +331,13 @@ class ProofKernel:
             ]
             for others in itertools.product(*opponent_ranges):
                 full = others[:player] + (chosen,) + others[player:]
-                u_chosen = self._oracle.payoff(player, full)
+                u_chosen = self._oracle.payoff_key(player, full)
                 for action in range(counts[player]):
                     if action == chosen:
                         continue
                     self._statements += 1
                     alt = others[:player] + (action,) + others[player:]
-                    u_alt = self._oracle.payoff(player, alt)
+                    u_alt = self._oracle.payoff_key(player, alt)
                     if cert.strict and u_chosen <= u_alt:
                         raise ProofRejected(
                             f"player {player}: action {chosen} is not strictly "
@@ -319,6 +350,13 @@ class ProofKernel:
                         )
 
 
-def check_certificate(game: Game, certificate: Certificate) -> CheckResult:
-    """Convenience one-shot kernel run."""
-    return ProofKernel(game).check(certificate)
+def check_certificate(
+    game: Game, certificate: Certificate, integerize: bool = True
+) -> CheckResult:
+    """Convenience one-shot kernel run.
+
+    ``integerize=False`` forces the Fraction reference oracle (same
+    decisions and counters, slower arithmetic) — the benches use it to
+    price the integerized kernel against the seed path.
+    """
+    return ProofKernel(game, integerize=integerize).check(certificate)

@@ -55,11 +55,23 @@ class CountingGame:
 
     The checking kernel wraps the game in one of these so that every
     certificate check reports exactly how much oracle work it did.
+
+    For profile-space-scale certificates the kernel may ask the oracle
+    to :meth:`prepare_integer_table` first: the whole utility table is
+    cleared to per-player integers once
+    (:func:`repro.linalg.int_exact.integer_utility_table`), after which
+    every primitive comparison runs on machine ints via
+    :meth:`payoff_key` instead of Fraction arithmetic.  The counters are
+    unaffected — a :meth:`payoff_key` lookup costs one utility
+    evaluation exactly like a :meth:`payoff` call, so the Sect. 3 cost
+    story reads identically whichever arithmetic served it.
     """
 
     def __init__(self, game: Game):
         self._game = game
         self.utility_evaluations = 0
+        self._int_table = None
+        self._int_unavailable = False
 
     @property
     def game(self) -> Game:
@@ -73,13 +85,78 @@ class CountingGame:
     def num_players(self) -> int:
         return self._game.num_players
 
+    def prepare_integer_table(self) -> bool:
+        """Clear the whole utility table to per-player integers, once.
+
+        Worth its Θ(players · profiles) build exactly when the
+        certificate itself is profile-space-scale (``allStrat`` /
+        ``allNash`` / ``isMaxNash`` / dominance sweeps).  Games that
+        cannot be tabulated simply keep the Fraction oracle — this is
+        an arithmetic optimization, never a semantic switch.
+        """
+        if self._int_table is None and not self._int_unavailable:
+            from repro.linalg.int_exact import integer_utility_table
+
+            self._int_table = integer_utility_table(self._game)
+            if self._int_table is None:
+                self._int_unavailable = True
+        return self._int_table is not None
+
     def payoff(self, player: int, profile: PureProfile) -> Fraction:
         self.utility_evaluations += 1
         return self._game.payoff(player, profile)
 
+    def tabulated_is_strat(self, profile: PureProfile) -> bool | None:
+        """Table-backed ``isStrat`` decision, or ``None`` when undecidable.
+
+        The integer table's keys cover the profile space exactly, so for
+        a tuple of plain ints membership *is* the bounds check.  Anything
+        else — no table yet, wrong container, non-int entries (bools
+        included: ``type`` is exact) — returns ``None`` and the caller
+        runs the reference validation.  Lives on the oracle because the
+        covers-the-space invariant is this class's to maintain.
+        """
+        table = self._int_table
+        if (
+            table is not None
+            and type(profile) is tuple
+            and all(type(action) is int for action in profile)
+        ):
+            return profile in table
+        return None
+
+    def payoff_key(self, player: int, profile: PureProfile):
+        """An order-preserving payoff for *same-player* comparisons.
+
+        Returns the player's payoff scaled by that player's common
+        denominator (a machine int) when the integer table is prepared,
+        the exact Fraction otherwise.  Keys of *different* players are
+        on different scales and must never be compared — which mirrors
+        the proof language itself: every Fig. 2 predicate compares one
+        player's utilities with each other.  Counts as one utility
+        evaluation.
+        """
+        self.utility_evaluations += 1
+        table = self._int_table
+        if table is not None:
+            entry = table.get(tuple(profile))
+            if entry is not None:
+                return entry[player]
+        return self._game.payoff(player, tuple(profile))
+
 
 def eval_is_strat(oracle: CountingGame, profile: PureProfile) -> bool:
-    """``isStrat``: the profile fits the game's strategy bounds."""
+    """``isStrat``: the profile fits the game's strategy bounds.
+
+    With an integerized utility table on the oracle, the decision is one
+    membership probe (:meth:`CountingGame.tabulated_is_strat`) instead
+    of a per-entry bounds walk; anything the table cannot decide takes
+    the reference validation path, so the answer is identical either
+    way.
+    """
+    decided = oracle.tabulated_is_strat(profile)
+    if decided is not None:
+        return decided
     return is_valid_profile(profile, oracle.action_counts)
 
 
@@ -91,9 +168,14 @@ def eval_eq_strat(profile_a: PureProfile, profile_b: PureProfile) -> bool:
 def eval_deviation(
     oracle: CountingGame, profile: PureProfile, player: int, action: int
 ) -> bool:
-    """One ``isNash`` clause: ``u_i(Si) >= u_i(change(Si, s_i, i))``."""
-    before = oracle.payoff(player, profile)
-    after = oracle.payoff(player, change(tuple(profile), action, player))
+    """One ``isNash`` clause: ``u_i(Si) >= u_i(change(Si, s_i, i))``.
+
+    A same-player comparison, so it runs on the oracle's
+    order-preserving :meth:`~CountingGame.payoff_key` values (machine
+    ints when the utility table was integerized).
+    """
+    before = oracle.payoff_key(player, profile)
+    after = oracle.payoff_key(player, change(tuple(profile), action, player))
     return before >= after
 
 
@@ -101,8 +183,8 @@ def eval_strict_improvement(
     oracle: CountingGame, profile: PureProfile, player: int, action: int
 ) -> bool:
     """The counterexample clause: ``u_i(Si) < u_i(change(Si, s_i, i))``."""
-    before = oracle.payoff(player, profile)
-    after = oracle.payoff(player, change(tuple(profile), action, player))
+    before = oracle.payoff_key(player, profile)
+    after = oracle.payoff_key(player, change(tuple(profile), action, player))
     return after > before
 
 
@@ -111,7 +193,9 @@ def eval_le_strat(
 ) -> bool:
     """``leStrat``: every player weakly prefers ``profile_b`` (Si1 <=_u Si2)."""
     for player in range(oracle.num_players):
-        if oracle.payoff(player, tuple(profile_a)) > oracle.payoff(player, tuple(profile_b)):
+        if oracle.payoff_key(player, tuple(profile_a)) > oracle.payoff_key(
+            player, tuple(profile_b)
+        ):
             return False
     return True
 
@@ -130,6 +214,6 @@ def eval_no_comp(
         return False
     a = tuple(profile_a)
     b = tuple(profile_b)
-    first = oracle.payoff(witness_i, a) < oracle.payoff(witness_i, b)
-    second = oracle.payoff(witness_j, b) < oracle.payoff(witness_j, a)
+    first = oracle.payoff_key(witness_i, a) < oracle.payoff_key(witness_i, b)
+    second = oracle.payoff_key(witness_j, b) < oracle.payoff_key(witness_j, a)
     return first and second

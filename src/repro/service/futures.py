@@ -85,6 +85,22 @@ class ConsultationFuture:
     def latency_ms(self) -> float | None:
         return None if self.latency is None else self.latency * 1000.0
 
+    def peek_outcome(self):
+        """The resolved outcome, or ``None`` — never pumps the service.
+
+        Telemetry accessor: the drain loop reads resolved futures'
+        outcomes (for e.g. per-drain verify-time aggregates) without
+        re-entering :meth:`result`'s drain path and without raising a
+        failed submission's exception.
+        """
+        if (
+            self._inner.done()
+            and not self._inner.cancelled()  # exception() raises on cancelled
+            and self._inner.exception() is None
+        ):
+            return self._inner.result()
+        return None
+
     # ------------------------------------------------------------------
     # Service side
     # ------------------------------------------------------------------

@@ -28,10 +28,12 @@ execution*, which composes with any host: a sync caller, an asyncio
 loop, or a real server front-end.
 
 Audit integration: every drain appends a ``service.queue.drained``
-record with the queue depth, cache hit/miss/warm counts and the hit
-rate for that drain; every completion appends a
-``service.consultation.completed`` record with the future's end-to-end
-latency and the advice's cache state.  Batch submissions keep emitting
+record with the queue depth, cache hit/miss/warm counts, the hit rate
+and the drain's worst verification time (``max_verify_ms``); every
+completion appends a ``service.consultation.completed`` record with the
+future's end-to-end latency, the advice's cache state and its measured
+``verify_ms`` — so the search-vs-verify cost split is visible per
+consultation and per drain.  Batch submissions keep emitting
 the same per-inventor ``consultation.batch`` records (and
 ``prepare_games`` pre-solve) that ``consult_many`` always did.
 """
@@ -218,12 +220,18 @@ class AuthorityService:
                 raise
             self._completed += len(processed)
             latencies = [f.latency_ms for f in processed if f.latency_ms is not None]
+            verify_times = [
+                outcome.advice.verify_ms
+                for outcome in (f.peek_outcome() for f in processed)
+                if outcome is not None and outcome.advice.verify_ms >= 0.0
+            ]
             self._authority.audit.record(
                 "-", self._authority.AUTHORITY_NAME, EVENT_SERVICE_DRAINED,
                 submissions=len(processed),
                 queue_depth=depth_at_start,
                 verify_workers=self._effective_verify_workers(),
                 max_latency_ms=max(latencies, default=0.0),
+                max_verify_ms=max(verify_times, default=0.0),
                 **self._cache_deltas(snapshots),
             )
             return len(processed)
@@ -342,6 +350,7 @@ class AuthorityService:
         if outcome is not None:
             details["cache"] = outcome.advice.cache
             details["accepted"] = outcome.majority.accepted
+            details["verify_ms"] = outcome.advice.verify_ms
         else:
             details["failed"] = True
         self._authority.audit.record(
