@@ -1,0 +1,177 @@
+"""B5 — persistent cache: cold stream vs restarted-warm stream.
+
+The restart economics of the paper's search/verify asymmetry: certified
+solutions saved by one process are cheap to *re-verify* on the next
+process's first serve (the Lemma-1 lattice gate), while recomputing
+them would repeat the PPAD-hard search.  This bench runs the same
+consultation stream through two *separate* authorities sharing only a
+cache file:
+
+* **cold** — a path-bound service solves every game from scratch and
+  persists its warm state on ``close()``;
+* **restarted warm** — a fresh authority (new inventors, empty per-id
+  memos) warm-loads the file and serves the same payoff bytes under
+  new game ids: every consultation is a cache hit whose profile passed
+  the load-time integrity checks and the first-serve exact gate.
+
+Reported: consultations/second for both streams, the restart speedup
+(acceptance: warm-restart ≥ 10x cold at committed scale), save/load
+wall time and the file size.  Soundness is asserted per consultation:
+every advice is majority-certified and every restarted suggestion is
+bit-identical to its cold counterpart.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fractions import Fraction
+
+from repro.analysis import PaperComparison, TextTable
+from repro.core.actors import AuthorityAgent, BimatrixInventor
+from repro.core.audit import EVENT_CACHE_LOADED
+from repro.core.authority import RationalityAuthority
+from repro.core.registry import standard_procedures
+from repro.games.bimatrix import BimatrixGame
+from repro.games.generators import random_bimatrix
+from repro.service import AuthorityService, SolveCache
+
+
+def _scale(bench_scale):
+    """(stream length, game size, required restart speedup) per scale."""
+    return {
+        "quick": (6, 4, 1.5),
+        "default": (16, 5, 10.0),
+        "full": (32, 6, 10.0),
+    }[bench_scale]
+
+
+def _authority(bases, prefix):
+    """A fresh authority over reconstructed copies of ``bases``."""
+    authority = RationalityAuthority(seed=23)
+    inventor = BimatrixInventor(
+        "inv", method="support-enumeration", backend="auto"
+    )
+    authority.register_verifiers(standard_procedures())
+    authority.register_inventor(inventor)
+    authority.register_agent(AuthorityAgent("jane", player_role=0))
+    for i, game in enumerate(bases):
+        authority.publish_game(
+            "inv", f"{prefix}{i}",
+            BimatrixGame(game.row_matrix, game.column_matrix),
+        )
+    return authority
+
+
+def test_bench_persistent_cache(
+    benchmark, bench_scale, record_table, record_metrics, tmp_path
+):
+    count, size, required = _scale(bench_scale)
+    bases = [random_bimatrix(size, size, seed=8200 + i) for i in range(count)]
+    cache_file = tmp_path / "authority-cache.json"
+
+    # --- The cold process: solve everything, persist on close. ---
+    authority = _authority(bases, "cold")
+    service = AuthorityService(authority, cache_path=cache_file)
+    start = time.perf_counter()
+    cold_futures = [service.submit("jane", f"cold{i}") for i in range(count)]
+    service.drain()
+    cold_seconds = time.perf_counter() - start
+    cold = [future.result() for future in cold_futures]
+    start = time.perf_counter()
+    service.close()
+    save_seconds = time.perf_counter() - start
+    authority.close()
+    file_bytes = os.path.getsize(cache_file)
+
+    # --- The restarted process: same payoff bytes, new everything else. ---
+    authority = _authority(bases, "warm")
+    start = time.perf_counter()
+    service = AuthorityService(authority, cache_path=cache_file)
+    load_seconds = time.perf_counter() - start
+    assert authority.audit.events_of(EVENT_CACHE_LOADED)
+    start = time.perf_counter()
+    warm_futures = [service.submit("jane", f"warm{i}") for i in range(count)]
+    service.drain()
+    warm_seconds = time.perf_counter() - start
+    warm = [future.result() for future in warm_futures]
+
+    # --- Soundness: certified, bit-identical, exact, gated. ---
+    assert all(o.majority.accepted and o.adopted for o in cold + warm)
+    assert all(o.advice.cache == "hit" for o in warm)
+    for cold_outcome, warm_outcome in zip(cold, warm):
+        assert warm_outcome.advice.suggestion == cold_outcome.advice.suggestion
+        assert all(
+            isinstance(value, Fraction)
+            for value in warm_outcome.advice.suggestion
+        )
+    assert service.cache.stats.load_rejected == 0
+
+    cold_rate = count / cold_seconds if cold_seconds > 0 else float("inf")
+    warm_rate = count / warm_seconds if warm_seconds > 0 else float("inf")
+    speedup = warm_rate / cold_rate if cold_rate > 0 else float("inf")
+
+    table = TextTable(
+        ["stream", "games", "n = m", "seconds", "consults/s", "cache"],
+        title="B5: persistent cache, cold stream vs restarted-warm stream",
+    )
+    table.add_row("cold (fresh file)", count, size, f"{cold_seconds:.3f}",
+                  f"{cold_rate:.1f}", "miss")
+    table.add_row("restarted (warm-loaded)", count, size, f"{warm_seconds:.3f}",
+                  f"{warm_rate:.1f}", "hit")
+    table.add_row("save", "-", "-", f"{save_seconds:.3f}", "-", "-")
+    table.add_row("load", "-", "-", f"{load_seconds:.3f}", "-", "-")
+    record_table("b5_persistent_cache", table.render())
+
+    record_metrics(
+        "persistent_cache",
+        [
+            {"metric": "cold_consults_per_s", "value": cold_rate,
+             "games": count, "size": size, "unit": "1/s"},
+            {"metric": "restarted_warm_consults_per_s", "value": warm_rate,
+             "games": count, "size": size, "unit": "1/s"},
+            {"metric": "restart_speedup_vs_cold", "value": speedup, "unit": "x"},
+            {"metric": "save_ms", "value": save_seconds * 1000.0, "unit": "ms"},
+            {"metric": "load_ms", "value": load_seconds * 1000.0, "unit": "ms"},
+            {"metric": "cache_file_bytes", "value": file_bytes, "unit": "B"},
+            {"metric": "loaded_profiles_rejected", "value": 0},
+        ],
+        backend="auto",
+    )
+
+    comparison = PaperComparison("B5 / persistent solve cache")
+    comparison.add(
+        "restarted-warm stream throughput above cold",
+        f">= {required:.1f}x",
+        f"{speedup:.1f}x",
+        speedup >= required,
+    )
+    comparison.add(
+        "restarted suggestions bit-identical to cold",
+        "all games",
+        "all games",
+        all(
+            w.advice.suggestion == c.advice.suggestion
+            for c, w in zip(cold, warm)
+        ),
+    )
+    comparison.add(
+        "loaded entries rejected by the Lemma-1 gate",
+        "0",
+        str(service.cache.stats.load_rejected),
+        service.cache.stats.load_rejected == 0,
+    )
+    record_table("b5_persistent_cache_comparison", comparison.render())
+    assert comparison.all_match()
+    service.close()
+    authority.close()
+
+    # Timed target for pytest-benchmark: one full save/load round trip
+    # of the populated cache (the restart overhead itself).
+    def save_load_round_trip():
+        service.cache.save()
+        probe = SolveCache(path=cache_file)
+        assert probe.last_load_report.accepted
+        return probe
+
+    benchmark(save_load_round_trip)

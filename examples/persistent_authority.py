@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Persistent warm state: an authority that survives a restart.
+
+The paper's asymmetry — search is PPAD-hard, verification is
+polynomial — is what makes warm state *restartable*: certified
+equilibria can be kept on disk across process lifetimes because
+re-verifying them on load is cheap, while recomputing them is not.
+This demo walks the full lifecycle:
+
+1. **Cold run.**  A service bound to a cache file answers a stream of
+   consultations the hard way (all cache misses) and persists its warm
+   state on ``close()`` — exact ``num/den`` fractions, schema version,
+   whole-file digest, atomic replace.
+2. **Restart.**  A *fresh* authority (new inventors, empty memos) with
+   the same ``cache_path`` warm-loads the file; the same games under
+   new ids are served as cache hits, each loaded profile re-certified
+   through the Lemma-1 lattice gate before its first serve — and the
+   advice is bit-identical to the cold run's.
+3. **Tampering.**  One flipped byte in the file and the next load is
+   rejected outright: the cache starts empty (clean misses, cold
+   solves, still-certified advice) and the audit log records
+   ``cache.load.rejected`` — corruption can cost time, never soundness.
+
+Run:  python examples/persistent_authority.py
+"""
+
+import os
+import tempfile
+
+from repro.core import (
+    AuthorityAgent,
+    BimatrixInventor,
+    RationalityAuthority,
+    standard_procedures,
+)
+from repro.core.audit import EVENT_CACHE_LOAD_REJECTED, EVENT_CACHE_LOADED
+from repro.games import ROW
+from repro.games.bimatrix import BimatrixGame
+from repro.games.generators import random_bimatrix
+from repro.service import AuthorityService
+
+GAMES = 4
+
+
+def build_authority(bases, prefix: str) -> RationalityAuthority:
+    """A fresh authority — new inventor, empty memos — over ``bases``."""
+    authority = RationalityAuthority(seed=2011)
+    authority.register_verifiers(standard_procedures())
+    inventor = BimatrixInventor("hard-games-inc", method="support-enumeration")
+    authority.register_inventor(inventor)
+    authority.register_agent(AuthorityAgent("jane", player_role=ROW))
+    for i, game in enumerate(bases):
+        # Reconstructed payoffs, new ids: only the payoff *bytes* match.
+        clone = BimatrixGame(game.row_matrix, game.column_matrix)
+        authority.publish_game("hard-games-inc", f"{prefix}{i}", clone)
+    return authority
+
+
+def consult_stream(authority, service, prefix: str):
+    futures = [service.submit("jane", f"{prefix}{i}") for i in range(GAMES)]
+    service.drain()
+    return [future.result() for future in futures]
+
+
+def main() -> None:
+    bases = [random_bimatrix(5, 5, seed=1100 + i) for i in range(GAMES)]
+    cache_file = os.path.join(tempfile.mkdtemp(), "authority-cache.json")
+
+    # -- 1: the cold run populates and persists the cache ----------------
+    authority = build_authority(bases, "cold")
+    service = AuthorityService(authority, cache_path=cache_file)
+    cold = consult_stream(authority, service, "cold")
+    service.close()  # persists the cache file atomically
+    authority.close()
+    print("--- cold run ---")
+    print(f"consultations: {len(cold)}, all adopted: {all(o.adopted for o in cold)}")
+    print(f"cache states:  {[o.advice.cache for o in cold]}")
+    print(f"saved {os.path.getsize(cache_file)} bytes to {cache_file}")
+
+    # -- 2: "restart" — a fresh process image, same cache file -----------
+    authority = build_authority(bases, "warm")
+    service = AuthorityService(authority, cache_path=cache_file)
+    loaded = authority.audit.events_of(EVENT_CACHE_LOADED)[-1]
+    print("\n--- restarted run ---")
+    print(f"warm-loaded: {loaded.details['profiles']} profiles, "
+          f"{loaded.details['hints']} hint shapes")
+    warm = consult_stream(authority, service, "warm")
+    identical = all(
+        w.advice.suggestion == c.advice.suggestion for w, c in zip(warm, cold)
+    )
+    print(f"cache states:  {[o.advice.cache for o in warm]}")
+    print(f"advice bit-identical to the cold run: {identical}")
+    service.close()
+    authority.close()
+
+    # -- 3: tampering is rejected, soundness is untouched -----------------
+    blob = bytearray(open(cache_file, "rb").read())
+    blob[len(blob) // 2] ^= 0x01
+    open(cache_file, "wb").write(bytes(blob))
+    authority = build_authority(bases, "post")
+    service = AuthorityService(authority, cache_path=cache_file)
+    rejected = authority.audit.events_of(EVENT_CACHE_LOAD_REJECTED)[-1]
+    print("\n--- tampered file ---")
+    print(f"load rejected: {rejected.details['reason']}")
+    post = consult_stream(authority, service, "post")
+    print(f"cache states:  {[o.advice.cache for o in post]} (clean misses)")
+    print(f"advice still certified and adopted: {all(o.adopted for o in post)}")
+    authority.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -340,7 +340,9 @@ class BimatrixInventor(GameInventor):
             fingerprint = getattr(game, "payoff_fingerprint", None)
             mode = self.effective_backend(game)
             if fingerprint is not None:
-                cached = cache.lookup_profile(fingerprint, self._method, mode)
+                cached = cache.lookup_profile(
+                    fingerprint, self._method, mode, game=game
+                )
                 if cached is not None:
                     self._cache[game_id] = cached
                     self._executor_used[game_id] = "serial"

@@ -36,6 +36,10 @@ EVENT_STATISTICS_AUDIT = "statistics.audit"
 EVENT_BATCH_CONSULTATION = "consultation.batch"
 EVENT_SERVICE_COMPLETED = "service.consultation.completed"
 EVENT_SERVICE_DRAINED = "service.queue.drained"
+EVENT_CALLBACK_FAILED = "service.callback.failed"
+EVENT_CACHE_LOADED = "cache.load.completed"
+EVENT_CACHE_LOAD_REJECTED = "cache.load.rejected"
+EVENT_CACHE_SAVED = "cache.saved"
 
 
 @dataclass(frozen=True)

@@ -82,6 +82,17 @@ class ProtocolError(ReproError):
     """A rationality-authority session was driven out of protocol order."""
 
 
+class PersistenceError(ReproError):
+    """A persisted solve-cache document could not be trusted or decoded.
+
+    Raised for truncated/bit-flipped files (digest mismatch), stale or
+    unknown schema versions and malformed entries.  The solve cache
+    turns this into a *clean-miss* empty load plus a
+    ``cache.load.rejected`` audit record — rejection never degrades
+    soundness, only warmth.
+    """
+
+
 class AdviceRejected(ReproError):
     """An agent rejected the inventor's advice after verification."""
 

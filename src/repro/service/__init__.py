@@ -2,8 +2,10 @@
 
 An async, future-based surface over the core authority
 (:class:`AuthorityService`), the cross-run fingerprint-keyed
-:class:`SolveCache` beneath it, and the future-based burst adapter for
-the online parallel-links game.  The synchronous
+:class:`SolveCache` beneath it — persistent across process lifetimes
+through the exact, tamper-rejecting on-disk format in
+:mod:`repro.service.persistence` — and the future-based burst adapter
+for the online parallel-links game.  The synchronous
 ``RationalityAuthority.consult`` / ``consult_many`` calls are thin
 shims over this package.
 """
@@ -11,6 +13,14 @@ shims over this package.
 from repro.service.cache import CacheStats, SolveCache, game_fingerprint
 from repro.service.futures import ConsultationFuture
 from repro.service.online import BurstLinkAdviser, VerifiedLinkAdvice
+from repro.service.persistence import (
+    FORMAT_NAME,
+    SCHEMA_VERSION,
+    CacheLoadReport,
+    CacheState,
+    read_cache_file,
+    write_cache_file,
+)
 from repro.service.service import AuthorityService
 
 __all__ = [
@@ -21,4 +31,10 @@ __all__ = [
     "game_fingerprint",
     "BurstLinkAdviser",
     "VerifiedLinkAdvice",
+    "CacheLoadReport",
+    "CacheState",
+    "FORMAT_NAME",
+    "SCHEMA_VERSION",
+    "read_cache_file",
+    "write_cache_file",
 ]

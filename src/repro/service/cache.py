@@ -26,6 +26,17 @@ repeats cheap without touching the soundness story:
   ``support_enumeration._SideScreener``), so a stale hint can cost
   time, never correctness.
 
+* **Warm state survives restarts.**  With ``path=`` set the cache
+  saves its contents through :mod:`repro.service.persistence` — exact
+  ``num/den`` strings, schema version, whole-file digest, atomic
+  replace — and warm-loads them on construction.  Loaded entries are
+  *pending*: each one is re-certified through the Lemma-1 lattice gate
+  against the caller's actual game before it is first served, so a
+  forged file can cost cold solves, never produce unverified advice;
+  a corrupted, truncated or version-mismatched file is rejected
+  outright and the cache starts empty (a clean miss), with the
+  rejection recorded for the service's audit log.
+
 Entries are keyed by ``(fingerprint, method, mode)`` for single
 solutions: a hit returns exactly the certified profile this cache
 stored for those payoff bytes under that configuration.  With
@@ -45,11 +56,19 @@ the name).
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 
+from repro.errors import PersistenceError
 from repro.games.bimatrix import BimatrixGame
 from repro.games.profiles import MixedProfile
+from repro.service.persistence import (
+    CacheLoadReport,
+    CacheState,
+    read_cache_file,
+    write_cache_file,
+)
 
 
 def game_fingerprint(game) -> str | None:
@@ -66,13 +85,25 @@ def game_fingerprint(game) -> str | None:
 
 @dataclass
 class CacheStats:
-    """Counters the service reports into the audit log."""
+    """Counters the service reports into the audit log.
+
+    ``set_misses`` means "cacheable but absent" — a set solved cold for
+    a game that *could* have hit.  Games without a payoff fingerprint
+    are counted under ``uncacheable`` instead, so the set-hit rate is
+    computed over lookups the cache could ever have answered.
+    ``load_rejected`` counts persisted state the cache refused to
+    serve: whole files that failed the integrity/schema checks and
+    individual loaded entries that failed the Lemma-1 gate at first
+    serve.
+    """
 
     hits: int = 0
     warm_hits: int = 0
     misses: int = 0
     set_hits: int = 0
     set_misses: int = 0
+    uncacheable: int = 0
+    load_rejected: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,6 +122,8 @@ class CacheStats:
             "misses": self.misses,
             "set_hits": self.set_hits,
             "set_misses": self.set_misses,
+            "uncacheable": self.uncacheable,
+            "load_rejected": self.load_rejected,
             "hit_rate": self.hit_rate,
         }
 
@@ -113,17 +146,29 @@ class SolveCache:
     hits — useful when bit-reproducibility of *which* equilibrium a
     degenerate game yields must not depend on cache warmth.
 
-    ``max_entries`` bounds each of the profile and set stores
-    (least-recently-used entries are evicted) so an always-on service
-    answering a long stream of mostly-distinct games holds steady
-    memory; ``None`` removes the bound.  Eviction only ever costs a
-    re-solve — an evicted entry's next lookup is an ordinary miss.
+    ``max_entries`` bounds each of the profile, set and hint-shape
+    stores (least-recently-used entries are evicted) so an always-on
+    service answering a long stream of mostly-distinct games holds
+    steady memory; ``None`` removes the bound.  Eviction only ever
+    costs a re-solve — an evicted entry's next lookup is an ordinary
+    miss.
+
+    ``path`` makes the cache persistent: :meth:`load` restores warm
+    state from the file (done automatically at construction when
+    ``autoload`` is true and the file exists) and :meth:`save` /
+    :meth:`close` write it back atomically.  Loading is
+    tamper-rejecting — see :mod:`repro.service.persistence` and
+    :attr:`last_load_report` — and every loaded profile passes the
+    exact Lemma-1 gate against the requesting caller's game before its
+    first serve.
     """
 
     DEFAULT_MAX_ENTRIES = 4096
 
     def __init__(self, max_hints_per_shape: int = 8, use_hints: bool = True,
-                 max_entries: int | None = DEFAULT_MAX_ENTRIES):
+                 max_entries: int | None = DEFAULT_MAX_ENTRIES,
+                 path: str | os.PathLike | None = None,
+                 autoload: bool = True, autosave: bool = True):
         if max_hints_per_shape < 0:
             raise ValueError("max_hints_per_shape must be non-negative")
         if max_entries is not None and max_entries < 1:
@@ -131,11 +176,24 @@ class SolveCache:
         self._profiles: dict[tuple[str, str, str], MixedProfile] = {}
         self._sets: dict[tuple[str, bool], tuple[MixedProfile, ...]] = {}
         self._hints: dict[tuple[int, int], list] = {}
+        # Entries restored from disk, awaiting their first-serve
+        # re-certification through the Lemma-1 gate (they promote into
+        # the live stores above on success, and are dropped — counted
+        # as load_rejected — on failure).
+        self._pending_profiles: dict[tuple[str, str, str], MixedProfile] = {}
+        self._pending_sets: dict[tuple[str, bool], tuple[MixedProfile, ...]] = {}
         self._max_hints = max_hints_per_shape
         self._max_entries = max_entries
         self._use_hints = use_hints
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        self.path = None if path is None else os.fspath(path)
+        self._autosave = autosave
+        #: Outcome of the most recent :meth:`load` (None before any).
+        self.last_load_report: CacheLoadReport | None = None
+        self._load_rejections: list[dict] = []
+        if self.path is not None and autoload and os.path.exists(self.path):
+            self.load()
 
     def _touch(self, store: dict, key) -> None:
         """Mark ``key`` most-recently-used (dicts iterate oldest-first)."""
@@ -147,32 +205,71 @@ class SolveCache:
         while len(store) > self._max_entries:
             store.pop(next(iter(store)))
 
+    def _note_rejection(self, **details) -> None:
+        """Record (under the lock) persisted state refused at load/serve."""
+        self.stats.load_rejected += 1
+        self._load_rejections.append(details)
+
     # ------------------------------------------------------------------
     # Single certified solutions (the inventor's find-one path)
     # ------------------------------------------------------------------
 
     def lookup_profile(
-        self, fingerprint: str, method: str, mode: str
+        self, fingerprint: str, method: str, mode: str,
+        game: BimatrixGame | None = None,
     ) -> MixedProfile | None:
         """The cached certified profile for this exact configuration.
+
+        ``game`` is the game the caller fingerprinted (used only to
+        re-certify entries restored from disk: a pending loaded profile
+        runs the Lemma-1 lattice gate against *this* game's exact
+        payoffs and either promotes to a live hit or is rejected and
+        dropped).  Without a game, pending entries are not servable and
+        the lookup falls through to a miss — live entries are
+        unaffected.
 
         A miss is *not* counted here — the caller decides whether the
         cold solve that follows was hint-warmed or fully cold and
         reports it via :meth:`note_solved`.
         """
+        key = (fingerprint, method, mode)
         with self._lock:
-            key = (fingerprint, method, mode)
             profile = self._profiles.get(key)
             if profile is not None:
                 self.stats.hits += 1
                 self._touch(self._profiles, key)
-            return profile
+                return profile
+            if game is None:
+                # Game-less lookups cannot run the gate; the pending
+                # entry stays put for a caller that can.
+                return None
+            pending = self._pending_profiles.pop(key, None)
+        if pending is None:
+            return None
+        # The first-serve gate: certify outside the lock (pure reads of
+        # the game's cached integer lattice), then commit the verdict.
+        from repro.equilibria.mixed import certify_mixed_profile
+
+        certified = _gate(certify_mixed_profile, game, pending)
+        with self._lock:
+            if certified is None:
+                self._note_rejection(
+                    kind="profile", fingerprint=fingerprint, method=method,
+                    mode=mode, reason="loaded profile failed the Lemma-1 gate",
+                )
+                return None
+            self.stats.hits += 1
+            self._profiles[key] = certified
+            self._evict(self._profiles)
+        return certified
 
     def store_profile(
         self, fingerprint: str, method: str, mode: str, profile: MixedProfile
     ) -> None:
         with self._lock:
-            self._profiles[(fingerprint, method, mode)] = profile
+            key = (fingerprint, method, mode)
+            self._pending_profiles.pop(key, None)
+            self._profiles[key] = profile
             self._evict(self._profiles)
 
     def note_solved(self, warm: bool) -> None:
@@ -191,8 +288,13 @@ class SolveCache:
         """Recently winning ``(row_support, col_support)`` pairs for a shape."""
         if not self._use_hints:
             return ()
+        shape = tuple(shape)
         with self._lock:
-            return tuple(self._hints.get(tuple(shape), ()))
+            hints = self._hints.get(shape)
+            if hints is None:
+                return ()
+            self._touch(self._hints, shape)
+            return tuple(hints)
 
     def note_hint(self, shape: tuple[int, int], pair) -> None:
         """Promote a freshly confirmed winning support pair to the front."""
@@ -200,7 +302,12 @@ class SolveCache:
             return
         shape = tuple(shape)
         with self._lock:
-            hints = self._hints.setdefault(shape, [])
+            if shape in self._hints:
+                hints = self._hints[shape]
+                self._touch(self._hints, shape)
+            else:
+                hints = self._hints[shape] = []
+                self._evict(self._hints)
             if pair in hints:
                 hints.remove(pair)
             hints.insert(0, pair)
@@ -224,11 +331,17 @@ class SolveCache:
         under one policy answers for all of them.  Cold calls delegate
         to :func:`repro.equilibria.support_enumeration.support_enumeration`
         with the given policy/executor and store the certified result.
+        A set restored from disk re-certifies every member through the
+        Lemma-1 gate against ``game`` before its first serve (the
+        membership half of the contract; completeness of a stored set
+        is covered by the file digest — see
+        :mod:`repro.service.persistence`).
         """
         from repro.equilibria.support_enumeration import support_enumeration
 
         fingerprint = game_fingerprint(game)
         key = (fingerprint, equal_size_only)
+        pending = None
         if fingerprint is not None:
             with self._lock:
                 cached = self._sets.get(key)
@@ -236,24 +349,165 @@ class SolveCache:
                     self.stats.set_hits += 1
                     self._touch(self._sets, key)
                     return cached
+                pending = self._pending_sets.pop(key, None)
+        if pending is not None:
+            from repro.equilibria.mixed import certify_many
+
+            verdicts = _gate(certify_many, game, pending) or []
+            if len(verdicts) == len(pending) and all(
+                v is not None for v in verdicts
+            ):
+                with self._lock:
+                    self.stats.set_hits += 1
+                    self._sets[key] = pending
+                    self._evict(self._sets)
+                return pending
+            with self._lock:
+                self._note_rejection(
+                    kind="set", fingerprint=fingerprint,
+                    equal_size_only=equal_size_only,
+                    reason="loaded set member failed the Lemma-1 gate",
+                )
         result = support_enumeration(
             game, equal_size_only=equal_size_only, policy=policy,
             executor=executor,
         )
         with self._lock:
-            self.stats.set_misses += 1
-            if fingerprint is not None:
+            if fingerprint is None:
+                self.stats.uncacheable += 1
+            else:
+                self.stats.set_misses += 1
                 self._sets[key] = result
                 self._evict(self._sets)
         return result
+
+    # ------------------------------------------------------------------
+    # Persistence: exact on-disk warm state
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | os.PathLike | None = None) -> int:
+        """Atomically persist the cache's warm state; returns entry count.
+
+        Still-pending loaded entries ride along unchanged (they were on
+        disk already and keep their not-yet-re-certified status on the
+        next load), ordered before the live stores so a save/load round
+        trip preserves LRU order.  The write itself is snapshot-
+        consistent: contents are copied under the lock, encoded and
+        written outside it, and land via temp file + ``os.replace`` —
+        a save concurrent with an active drain yields a complete,
+        loadable file of *some* consistent recent state.
+        """
+        target = self.path if path is None else os.fspath(path)
+        if target is None:
+            raise PersistenceError("this SolveCache has no path to save to")
+        with self._lock:
+            state = CacheState(
+                profiles={**self._pending_profiles, **self._profiles},
+                sets={**self._pending_sets, **self._sets},
+                hints={
+                    shape: list(pairs) for shape, pairs in self._hints.items()
+                },
+            )
+        write_cache_file(target, state)
+        return state.entry_count
+
+    def load(self, path: str | os.PathLike | None = None) -> CacheLoadReport:
+        """Restore warm state from disk; tamper-rejecting, all-or-nothing.
+
+        On success the file's profiles and sets enter the *pending*
+        stores — each is re-certified through the exact Lemma-1 gate
+        against the requesting caller's game before its first serve —
+        and hints go live directly (a stale or hostile hint can only
+        ever cost one exact re-solve, by construction).  On *any*
+        integrity, schema or decoding failure — including a missing
+        file — nothing is restored: the cache keeps serving clean
+        misses, the report says why, and the rejection is queued for
+        the service's ``cache.load.rejected`` audit record.
+        """
+        target = self.path if path is None else os.fspath(path)
+        if target is None:
+            raise PersistenceError("this SolveCache has no path to load from")
+        try:
+            state = read_cache_file(target)
+        except FileNotFoundError:
+            report = CacheLoadReport(
+                path=target, accepted=False, reason="file not found"
+            )
+            self.last_load_report = report
+            return report
+        except (PersistenceError, OSError) as exc:
+            report = CacheLoadReport(
+                path=target, accepted=False, reason=str(exc)
+            )
+            with self._lock:
+                self._note_rejection(kind="file", path=target, reason=str(exc))
+            self.last_load_report = report
+            return report
+        with self._lock:
+            limit = self._max_entries
+            for key, profile in _newest(state.profiles, limit).items():
+                if key not in self._profiles:
+                    self._pending_profiles[key] = profile
+                    self._evict(self._pending_profiles)
+            for key, profiles in _newest(state.sets, limit).items():
+                if key not in self._sets:
+                    self._pending_sets[key] = profiles
+                    self._evict(self._pending_sets)
+            if self._use_hints:
+                for shape, pairs in _newest(state.hints, limit).items():
+                    merged = self._hints.setdefault(shape, [])
+                    for pair in pairs:
+                        if pair not in merged:
+                            merged.append(pair)
+                    del merged[self._max_hints:]
+                self._evict(self._hints)
+        report = CacheLoadReport(
+            path=target, accepted=True,
+            profiles=len(state.profiles), sets=len(state.sets),
+            hints=len(state.hints),
+        )
+        self.last_load_report = report
+        return report
+
+    @property
+    def autosave(self) -> bool:
+        """Whether :meth:`close` (and a closing service) should save."""
+        return self._autosave
+
+    def drain_rejections(self) -> list[dict]:
+        """Pop the queued load/serve rejection details (for audit)."""
+        with self._lock:
+            rejections = self._load_rejections
+            self._load_rejections = []
+        return rejections
+
+    def close(self) -> None:
+        """Autosave (when a path is set) and return; idempotent.
+
+        The cache stays usable after closing — ``close`` is a flush
+        point, mirroring the service's own non-final ``close``.
+        """
+        if self.path is not None and self._autosave:
+            self.save()
+
+    def __enter__(self) -> "SolveCache":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
+        """Servable entries: live + pending profiles/sets + hint shapes."""
         with self._lock:
-            return len(self._profiles) + len(self._sets)
+            return (
+                len(self._profiles) + len(self._sets) + len(self._hints)
+                + len(self._pending_profiles) + len(self._pending_sets)
+            )
 
     def snapshot(self) -> _Snapshot:
         """Counter snapshot for delta reporting (see the service drain)."""
@@ -283,4 +537,28 @@ class SolveCache:
             self._profiles.clear()
             self._sets.clear()
             self._hints.clear()
+            self._pending_profiles.clear()
+            self._pending_sets.clear()
+            self._load_rejections.clear()
             self.stats = CacheStats()
+
+
+def _newest(store: dict, limit: int | None) -> dict:
+    """The last ``limit`` items of an oldest-first mapping (all if None)."""
+    if limit is None or len(store) <= limit:
+        return store
+    keys = list(store)[-limit:]
+    return {key: store[key] for key in keys}
+
+
+def _gate(check, game, value):
+    """Run a certification check, treating *any* failure as rejection.
+
+    A loaded entry whose shape does not even fit the game (possible
+    only with a forged digest) raises from deep in the gate; that is a
+    rejection, not a crash — the caller falls back to a cold solve.
+    """
+    try:
+        return check(game, value)
+    except Exception:
+        return None

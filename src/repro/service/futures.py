@@ -69,8 +69,33 @@ class ConsultationFuture:
         return self._inner.exception(timeout)
 
     def add_done_callback(self, fn: Callable[["ConsultationFuture"], None]) -> None:
-        """Call ``fn(self)`` once resolved (immediately if already done)."""
-        self._inner.add_done_callback(lambda _inner: fn(self))
+        """Call ``fn(self)`` once resolved (immediately if already done).
+
+        The callback runs on whatever thread resolves the future — the
+        draining thread, an off-path verifier worker, or (when already
+        resolved) the caller itself.  A raising callback is recorded as
+        a ``service.callback.failed`` audit warning (or logged, for a
+        service-less future): the stdlib future underneath would catch
+        and log the exception anyway, but invisibly — the authority's
+        accountability story wants misbehaving consumers in the audit
+        trail, not buried in the logging module.
+        """
+
+        def _isolated(_inner) -> None:
+            try:
+                fn(self)
+            except Exception as exc:
+                service = self._service
+                if service is not None:
+                    service._record_callback_failure(self, exc)
+                else:  # pragma: no cover - no audit log to warn into
+                    import logging
+
+                    logging.getLogger(__name__).exception(
+                        "done-callback for %r raised", self
+                    )
+
+        self._inner.add_done_callback(_isolated)
 
     @property
     def inner(self) -> concurrent.futures.Future:

@@ -47,6 +47,10 @@ from dataclasses import dataclass, field
 
 from repro.core.audit import (
     EVENT_BATCH_CONSULTATION,
+    EVENT_CACHE_LOAD_REJECTED,
+    EVENT_CACHE_LOADED,
+    EVENT_CACHE_SAVED,
+    EVENT_CALLBACK_FAILED,
     EVENT_SERVICE_COMPLETED,
     EVENT_SERVICE_DRAINED,
 )
@@ -93,14 +97,34 @@ class AuthorityService:
     :class:`~repro.service.cache.SolveCache` (one is created when
     omitted); ``attach_cache=False`` leaves the inventors' caching
     exactly as constructed.
+
+    ``cache_path`` makes the service's warm state persistent: a
+    :class:`~repro.service.cache.SolveCache` bound to that file is
+    created, warm-loaded immediately (a rejected — tampered, truncated
+    or stale-schema — file starts the cache empty and appends a
+    ``cache.load.rejected`` audit record), and saved back atomically on
+    :meth:`close` / :meth:`aclose`.  Pass either ``cache_path`` or an
+    explicit ``solve_cache``, not both — a caller-owned cache manages
+    its own persistence.
     """
 
     def __init__(self, authority, solve_cache: SolveCache | None = None,
-                 verify_workers: int = 1, attach_cache: bool = True):
+                 verify_workers: int = 1, attach_cache: bool = True,
+                 cache_path=None):
         if verify_workers < 0:
             raise ProtocolError("verify_workers must be non-negative")
+        if solve_cache is not None and cache_path is not None:
+            raise ProtocolError(
+                "pass either solve_cache or cache_path, not both"
+            )
         self._authority = authority
-        self.cache = solve_cache if solve_cache is not None else SolveCache()
+        # The service persists (and audits) only a cache it created;
+        # a caller-owned cache manages its own persistence.
+        self._cache_owned = solve_cache is None
+        if solve_cache is not None:
+            self.cache = solve_cache
+        else:
+            self.cache = SolveCache(path=cache_path)
         self._verify_workers = verify_workers
         self._attach = attach_cache
         self._queue: deque[_Batch] = deque()
@@ -111,6 +135,13 @@ class AuthorityService:
         self._submission_counter = 0
         self._completed = 0
         self._attach_cache()
+        report = self.cache.last_load_report
+        if cache_path is not None and report is not None and report.accepted:
+            self._authority.audit.record(
+                "-", self._authority.AUTHORITY_NAME, EVENT_CACHE_LOADED,
+                **report.as_dict(),
+            )
+        self._flush_cache_rejections()
 
     # ------------------------------------------------------------------
     # Admission
@@ -219,6 +250,7 @@ class AuthorityService:
                 self._abort_outstanding(exc, processed)
                 raise
             self._completed += len(processed)
+            self._flush_cache_rejections()
             latencies = [f.latency_ms for f in processed if f.latency_ms is not None]
             verify_times = [
                 outcome.advice.verify_ms
@@ -262,6 +294,36 @@ class AuthorityService:
             if cache is not None:
                 caches.setdefault(id(cache), cache)
         return list(caches.values())
+
+    def _flush_cache_rejections(self) -> None:
+        """Turn queued cache load/serve rejections into audit records.
+
+        Covers every active cache (an inventor may carry its own
+        persistent cache): each detail dict a cache refused to serve —
+        a whole rejected file or a loaded entry that failed the Lemma-1
+        gate at first serve — becomes one ``cache.load.rejected``
+        record, so tampered warm state is visible in the audit trail,
+        not just absent from the hit counters.
+        """
+        for cache in self._active_caches():
+            drain = getattr(cache, "drain_rejections", None)
+            if drain is None:
+                continue
+            for details in drain():
+                self._authority.audit.record(
+                    "-", self._authority.AUTHORITY_NAME,
+                    EVENT_CACHE_LOAD_REJECTED, **details,
+                )
+
+    def _record_callback_failure(self, future, exc: BaseException) -> None:
+        """Audit a raising done-callback (see ConsultationFuture)."""
+        self._authority.audit.record(
+            "-", self._authority.AUTHORITY_NAME, EVENT_CALLBACK_FAILED,
+            submission_id=future.submission_id,
+            game_id=future.game_id,
+            agent=future.agent,
+            error=repr(exc),
+        )
 
     @staticmethod
     def _cache_deltas(snapshots) -> dict:
@@ -403,13 +465,23 @@ class AuthorityService:
         Idempotent, and — like the authority's own ``close`` — not
         final: the service stays usable and recreates its verification
         pool lazily on the next concurrent drain.  Inventor-held pools
-        belong to the authority's lifecycle, not the service's.
+        belong to the authority's lifecycle, not the service's.  A
+        path-bound cache is persisted here (atomic replace), so a
+        ``close``\\ d — or context-managed — service never forgets its
+        warm state.
         """
         self.drain()
         pool = self._verify_pool
         self._verify_pool = None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self._cache_owned and self.cache.path is not None \
+                and self.cache.autosave:
+            entries = self.cache.save()
+            self._authority.audit.record(
+                "-", self._authority.AUTHORITY_NAME, EVENT_CACHE_SAVED,
+                path=self.cache.path, entries=entries,
+            )
 
     def __enter__(self) -> "AuthorityService":
         return self

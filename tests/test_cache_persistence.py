@@ -1,0 +1,584 @@
+"""Persistent SolveCache: exact round trips, tamper-rejecting loads.
+
+The contract under test is the restart half of proof-preserving
+caching: a saved-then-loaded cache serves profiles *bit-identical* to
+its in-memory hits, every loaded profile passes the Lemma-1 lattice
+gate before its first serve, and any tampered, truncated or
+version-mismatched file degrades to an empty cache (clean misses) plus
+a ``cache.load.rejected`` audit record — never to unverified advice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from fractions import Fraction
+
+import pytest
+
+from repro.core.actors import AuthorityAgent, BimatrixInventor
+from repro.core.audit import (
+    EVENT_CACHE_LOAD_REJECTED,
+    EVENT_CACHE_LOADED,
+    EVENT_CACHE_SAVED,
+)
+from repro.core.authority import RationalityAuthority
+from repro.core.registry import standard_procedures
+from repro.errors import PersistenceError
+from repro.games.bimatrix import BimatrixGame
+from repro.games.generators import random_bimatrix
+from repro.linalg.backend import (
+    MODE_EXACT,
+    MODE_FLOAT_CERTIFY,
+    MODE_NUMPY,
+    BackendPolicy,
+)
+from repro.service import AuthorityService, SolveCache
+from repro.service.persistence import (
+    FORMAT_NAME,
+    SCHEMA_VERSION,
+    decode_fraction,
+    decode_profile,
+    encode_fraction,
+    encode_profile,
+    payload_digest,
+)
+
+MODES = [
+    BackendPolicy(MODE_EXACT),
+    BackendPolicy(MODE_FLOAT_CERTIFY),
+    BackendPolicy(MODE_NUMPY),  # falls back to the stdlib float path sans numpy
+]
+
+
+def _bit_identical(left, right) -> bool:
+    """Equal values AND exact types — every probability is a Fraction."""
+    if left.distributions != right.distributions:
+        return False
+    return all(
+        type(value) is Fraction
+        for dist in left.distributions
+        for value in dist
+    )
+
+
+def _degenerate_and_rank_deficient():
+    """Degenerate and rank-deficient games — the hard serialization cases.
+
+    Duplicate rows/columns and the all-zero game give rank-deficient
+    payoff matrices and several (often continuum-edge) equilibria, so
+    which profile is stored depends on deterministic enumeration order —
+    exactly what a round trip must preserve bit for bit.
+    """
+    zero = [[0, 0], [0, 0]]
+    return [
+        BimatrixGame.fig5_example(),
+        BimatrixGame(
+            [[3, 0], [3, 0], [0, 2]], [[1, 2], [1, 2], [4, 0]],
+            name="DuplicateRows",
+        ),
+        BimatrixGame(
+            [[1, 1, 4], [2, 2, 0]], [[3, 3, 1], [0, 0, 5]],
+            name="IdenticalColumns",
+        ),
+        BimatrixGame(zero, zero, name="AllZero"),
+        BimatrixGame(
+            [[Fraction(1, 3), Fraction(1, 3)], [Fraction(1, 7), 1]],
+            [[Fraction(2, 3), Fraction(1, 9)], [1, Fraction(1, 7)]],
+            name="SmallFractions",
+        ),
+    ]
+
+
+class TestExactEncoding:
+    """num/den strings, strict decoding — the serialize.py discipline."""
+
+    def test_fraction_round_trip_is_exact(self):
+        for value in (Fraction(0), Fraction(1), Fraction(-7, 3),
+                      Fraction(10**40 + 1, 10**40)):
+            assert decode_fraction(encode_fraction(value)) == value
+
+    @pytest.mark.parametrize("bad", ["0.5", "1", 3, 0.5, None, "1/0", "a/b", "1//2"])
+    def test_non_canonical_encodings_are_rejected(self, bad):
+        with pytest.raises(PersistenceError):
+            decode_fraction(bad)
+
+    def test_profile_round_trip_is_bit_identical(self):
+        profile = BimatrixGame.fig5_example()  # just for a valid shape
+        from repro.games.profiles import MixedProfile
+
+        mixed = MixedProfile.from_rows(
+            [[Fraction(1, 3), Fraction(2, 3)], [Fraction(1), Fraction(0)]]
+        )
+        restored = decode_profile(encode_profile(mixed))
+        assert _bit_identical(restored, mixed)
+        del profile
+
+    def test_non_stochastic_profiles_are_rejected(self):
+        with pytest.raises(PersistenceError):
+            decode_profile([["1/2", "1/3"], ["1/1", "0/1"]])  # sums to 5/6
+        with pytest.raises(PersistenceError):
+            decode_profile([])
+
+
+class TestRoundTrip:
+    """Saved-then-loaded caches serve bit-identical, re-certified hits."""
+
+    @pytest.mark.parametrize("policy", MODES, ids=[p.mode for p in MODES])
+    def test_profiles_bit_identical_across_modes(self, tmp_path, policy):
+        path = tmp_path / "cache.json"
+        cache = SolveCache(path=path)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", backend=policy,
+            solve_cache=cache,
+        )
+        games = _degenerate_and_rank_deficient() + [
+            random_bimatrix(4, 4, seed=900 + i) for i in range(3)
+        ]
+        cold = [inventor.solve(f"g{i}", g) for i, g in enumerate(games)]
+        cache.close()  # autosave
+
+        loaded = SolveCache(path=path)
+        assert loaded.last_load_report.accepted
+        restarted = BimatrixInventor(
+            "inv2", method="support-enumeration", backend=policy,
+            solve_cache=loaded,
+        )
+        for i, game in enumerate(games):
+            clone = BimatrixGame(game.row_matrix, game.column_matrix)
+            warm = restarted.solve(f"r{i}", clone)
+            assert restarted.cache_state(f"r{i}") == "hit", game.name
+            assert _bit_identical(warm, cold[i]), game.name
+        assert loaded.stats.hits == len(games)
+        assert loaded.stats.load_rejected == 0
+
+    def test_sets_and_hints_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = SolveCache(path=path)
+        games = _degenerate_and_rank_deficient()
+        cold_sets = [cache.equilibrium_set(g) for g in games]
+        cache.note_hint((2, 2), ((0,), (0, 1)))
+        assert cache.save() == len(cache)
+
+        loaded = SolveCache(path=path)
+        report = loaded.last_load_report
+        assert report.accepted and report.sets == len(games)
+        for game, cold in zip(games, cold_sets):
+            clone = BimatrixGame(game.row_matrix, game.column_matrix)
+            served = loaded.equilibrium_set(clone)
+            assert len(served) == len(cold)
+            for left, right in zip(served, cold):
+                assert _bit_identical(left, right), game.name
+        assert loaded.stats.set_hits == len(games)
+        assert loaded.support_hints((2, 2))[0] == ((0,), (0, 1))
+
+    def test_lru_order_survives_the_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = SolveCache(path=path, use_hints=False)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        games = [random_bimatrix(3, 3, seed=700 + i) for i in range(3)]
+        for i, game in enumerate(games):
+            inventor.solve(f"g{i}", game)
+        cache.save()
+
+        # Reload into a 2-entry cache: only the two *newest* survive.
+        loaded = SolveCache(path=path, max_entries=2, use_hints=False)
+        probe = BimatrixInventor(
+            "probe", method="support-enumeration", solve_cache=loaded
+        )
+        probe.solve("p0", BimatrixGame(games[0].row_matrix, games[0].column_matrix))
+        assert probe.cache_state("p0") == "miss"  # oldest was dropped
+        probe.solve("p2", BimatrixGame(games[2].row_matrix, games[2].column_matrix))
+        assert probe.cache_state("p2") == "hit"
+
+    def test_gameless_lookup_leaves_pending_entries_servable(self, tmp_path):
+        # A lookup without a game cannot run the gate; it must not
+        # consume the pending entry — the next caller *with* the game
+        # still gets the warm hit.
+        path, games = _populated_file(tmp_path, count=1)
+        cache = SolveCache(path=path)
+        game = games[0]
+        fingerprint = game.payoff_fingerprint
+        assert cache.lookup_profile(
+            fingerprint, "support-enumeration", "exact"
+        ) is None  # pre-PR signature: no game, no serve...
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        inventor.solve("g", BimatrixGame(game.row_matrix, game.column_matrix))
+        assert inventor.cache_state("g") == "hit"  # ...and nothing lost
+        assert cache.stats.load_rejected == 0
+
+    def test_save_preserves_the_target_file_mode(self, tmp_path):
+        # mkstemp temp files are 0600; the atomic replace must not
+        # silently revoke other readers' access to the warm state.
+        import stat
+
+        path, _ = _populated_file(tmp_path)
+        os.chmod(path, 0o644)
+        cache = SolveCache(path=path)
+        cache.save()
+        assert stat.S_IMODE(os.stat(path).st_mode) == 0o644
+
+    def test_pending_entries_ride_along_on_save(self, tmp_path):
+        # Load warm state, serve none of it, save again: nothing is lost.
+        path = tmp_path / "cache.json"
+        cache = SolveCache(path=path)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = random_bimatrix(3, 3, seed=77)
+        inventor.solve("g", game)
+        cache.save()
+        intermediate = SolveCache(path=path)  # loads, serves nothing
+        intermediate.save()
+        final = SolveCache(path=path)
+        assert final.last_load_report.profiles == 1
+        served = BimatrixInventor(
+            "inv2", method="support-enumeration", solve_cache=final
+        )
+        served.solve("h", BimatrixGame(game.row_matrix, game.column_matrix))
+        assert served.cache_state("h") == "hit"
+
+
+def _populated_file(tmp_path, count=2):
+    path = tmp_path / "cache.json"
+    cache = SolveCache(path=path)
+    inventor = BimatrixInventor(
+        "inv", method="support-enumeration", solve_cache=cache
+    )
+    games = [random_bimatrix(3, 3, seed=40 + i) for i in range(count)]
+    for i, game in enumerate(games):
+        inventor.solve(f"g{i}", game)
+    cache.save()
+    return path, games
+
+
+class TestTamperRejection:
+    """Corruption of any kind loads as empty-with-rejection, never advice."""
+
+    def _assert_rejected(self, path, reason_fragment=""):
+        cache = SolveCache(path=path)
+        report = cache.last_load_report
+        assert report is not None and not report.accepted
+        if reason_fragment:
+            assert reason_fragment in report.reason
+        assert len(cache) == 0  # clean misses from here on
+        assert cache.stats.load_rejected == 1
+        rejections = cache.drain_rejections()
+        assert len(rejections) == 1 and rejections[0]["kind"] == "file"
+        return report
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        path, _ = _populated_file(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        self._assert_rejected(path)
+
+    def test_bit_flip_anywhere_is_rejected(self, tmp_path):
+        path, _ = _populated_file(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Flip a digit inside the payload body (keeps the JSON valid in
+        # the common case; the digest must catch it regardless).
+        for offset in (len(data) // 3, len(data) // 2, 2 * len(data) // 3):
+            tampered = bytearray(data)
+            tampered[offset] ^= 0x01
+            path.write_bytes(bytes(tampered))
+            cache = SolveCache(path=path)
+            assert not cache.last_load_report.accepted
+            assert len(cache) == 0
+
+    def test_wrong_schema_version_is_rejected(self, tmp_path):
+        # Even with a *valid* digest, an unknown schema must not load.
+        path, _ = _populated_file(tmp_path)
+        document = json.loads(path.read_text())
+        document["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        self._assert_rejected(path, "schema")
+
+    def test_wrong_format_tag_is_rejected(self, tmp_path):
+        path, _ = _populated_file(tmp_path)
+        document = json.loads(path.read_text())
+        document["format"] = "some.other.format"
+        path.write_text(json.dumps(document))
+        self._assert_rejected(path, "not a solve-cache")
+
+    def test_garbage_and_empty_files_are_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        for blob in (b"", b"not json at all", b"\x00\xff\xfe", b"[1, 2, 3]"):
+            path.write_bytes(blob)
+            cache = SolveCache(path=path)
+            assert not cache.last_load_report.accepted
+            assert len(cache) == 0
+            cache.drain_rejections()
+
+    def test_missing_file_is_a_quiet_cold_start(self, tmp_path):
+        cache = SolveCache(path=tmp_path / "never-written.json")
+        # No load happened (nothing to reject, nothing to audit)...
+        assert cache.last_load_report is None
+        assert cache.drain_rejections() == []
+        # ...and an explicit load reports not-found without a rejection.
+        report = cache.load()
+        assert not report.accepted and report.reason == "file not found"
+        assert cache.stats.load_rejected == 0
+
+    def test_forged_digest_profile_fails_the_gate_at_serve(self, tmp_path):
+        # An adversary who *recomputes* the digest can get structurally
+        # valid junk loaded — but the Lemma-1 gate rejects it at first
+        # serve and the solve falls back to a certified cold answer.
+        from repro.equilibria.mixed import certify_mixed_profile
+
+        path, games = _populated_file(tmp_path, count=1)
+        document = json.loads(path.read_text())
+        entry = document["payload"]["profiles"][0]
+        # A uniform profile is (for these random games) not an equilibrium.
+        entry["profile"] = [["1/3", "1/3", "1/3"], ["1/3", "1/3", "1/3"]]
+        document["digest"] = payload_digest(document["payload"])
+        path.write_text(json.dumps(document))
+
+        cache = SolveCache(path=path)
+        assert cache.last_load_report.accepted  # structurally fine
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = games[0]
+        profile = inventor.solve(
+            "g", BimatrixGame(game.row_matrix, game.column_matrix)
+        )
+        assert inventor.cache_state("g") in ("miss", "warm")  # not served
+        assert certify_mixed_profile(game, profile) is not None
+        assert cache.stats.load_rejected == 1
+        (rejection,) = cache.drain_rejections()
+        assert rejection["kind"] == "profile"
+
+    def test_forged_set_member_fails_the_gate_at_serve(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = SolveCache(path=path)
+        game = random_bimatrix(3, 3, seed=55)
+        cold = cache.equilibrium_set(game)
+        cache.save()
+        document = json.loads(path.read_text())
+        entry = document["payload"]["sets"][0]
+        entry["profiles"][0] = [["1/3", "1/3", "1/3"], ["1/3", "1/3", "1/3"]]
+        document["digest"] = payload_digest(document["payload"])
+        path.write_text(json.dumps(document))
+
+        loaded = SolveCache(path=path)
+        assert loaded.last_load_report.accepted
+        served = loaded.equilibrium_set(
+            BimatrixGame(game.row_matrix, game.column_matrix)
+        )
+        assert [p.distributions for p in served] == [
+            p.distributions for p in cold
+        ]  # re-enumerated cold, bit-identical to the truth
+        assert loaded.stats.load_rejected == 1
+        assert loaded.stats.set_misses == 1  # the forged entry did not hit
+
+    def test_wrong_game_shape_under_a_forged_key_is_rejected(self, tmp_path):
+        # Forge a pending profile under some *other* game's fingerprint:
+        # the gate raises on the shape mismatch, which must read as a
+        # rejection (cold solve), not a crash.
+        path, games = _populated_file(tmp_path, count=1)
+        document = json.loads(path.read_text())
+        entry = document["payload"]["profiles"][0]
+        entry["profile"] = [["1/2", "1/2"], ["1/2", "1/2"]]  # 2x2 vs 3x3
+        document["digest"] = payload_digest(document["payload"])
+        path.write_text(json.dumps(document))
+        cache = SolveCache(path=path)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        game = games[0]
+        inventor.solve("g", BimatrixGame(game.row_matrix, game.column_matrix))
+        assert inventor.cache_state("g") in ("miss", "warm")
+        assert cache.stats.load_rejected == 1
+
+
+def _service_fixture(tmp_path, cache_path=None, games=None, **kwargs):
+    authority = RationalityAuthority(seed=3)
+    authority.register_verifiers(standard_procedures())
+    inventor = BimatrixInventor("inv", method="support-enumeration")
+    authority.register_inventor(inventor)
+    authority.register_agent(AuthorityAgent("jane", player_role=0))
+    for game_id, game in games or ():
+        authority.publish_game("inv", game_id, game)
+    service = AuthorityService(authority, cache_path=cache_path, **kwargs)
+    return authority, service
+
+
+class TestServiceIntegration:
+    """cache_path end-to-end: warm load, audit records, save on close."""
+
+    def test_restart_round_trip_through_the_service(self, tmp_path):
+        path = tmp_path / "service-cache.json"
+        bases = [random_bimatrix(4, 4, seed=80 + i) for i in range(3)]
+        games = [(f"c{i}", g) for i, g in enumerate(bases)]
+        authority, service = _service_fixture(tmp_path, path, games)
+        cold = [service.submit("jane", f"c{i}").result() for i in range(3)]
+        service.close()
+        saved = authority.audit.events_of(EVENT_CACHE_SAVED)
+        assert saved and saved[-1].details["entries"] == len(service.cache)
+        assert path.exists()
+
+        clones = [
+            (f"w{i}", BimatrixGame(g.row_matrix, g.column_matrix))
+            for i, g in enumerate(bases)
+        ]
+        authority2, service2 = _service_fixture(tmp_path, path, clones)
+        loaded = authority2.audit.events_of(EVENT_CACHE_LOADED)
+        assert loaded and loaded[-1].details["profiles"] == 3
+        warm = [service2.submit("jane", f"w{i}").result() for i in range(3)]
+        assert all(o.advice.cache == "hit" for o in warm)
+        for c, w in zip(cold, warm):
+            assert w.advice.suggestion == c.advice.suggestion
+        assert not authority2.audit.events_of(EVENT_CACHE_LOAD_REJECTED)
+        service2.close()
+        authority.close()
+        authority2.close()
+
+    def test_rejected_load_is_audited_and_still_serves(self, tmp_path):
+        path = tmp_path / "service-cache.json"
+        game = random_bimatrix(3, 3, seed=91)
+        authority, service = _service_fixture(
+            tmp_path, path, [("g", game)]
+        )
+        service.submit("jane", "g").result()
+        service.close()
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x02
+        path.write_bytes(bytes(data))
+
+        clone = BimatrixGame(game.row_matrix, game.column_matrix)
+        authority2, service2 = _service_fixture(tmp_path, path, [("g", clone)])
+        rejected = authority2.audit.events_of(EVENT_CACHE_LOAD_REJECTED)
+        assert len(rejected) == 1
+        assert rejected[0].details["kind"] == "file"
+        outcome = service2.submit("jane", "g").result()
+        assert outcome.adopted and outcome.advice.cache == "miss"
+        authority.close()
+        authority2.close()
+
+    def test_caller_owned_cache_is_not_saved_by_the_service(self, tmp_path):
+        # A cache the caller constructed manages its own persistence:
+        # service.close() must not write (or audit) its file behind
+        # the caller's back — only service-created caches autosave.
+        path = tmp_path / "caller-owned.json"
+        cache = SolveCache(path=path)
+        game = random_bimatrix(3, 3, seed=93)
+        authority, service = _service_fixture(
+            tmp_path, games=[("g", game)], solve_cache=cache
+        )
+        service.submit("jane", "g").result()
+        service.close()
+        assert not path.exists()
+        assert not authority.audit.events_of(EVENT_CACHE_SAVED)
+        cache.close()  # the caller's own flush point still works
+        assert path.exists()
+        authority.close()
+
+    def test_cache_path_and_solve_cache_are_mutually_exclusive(self, tmp_path):
+        from repro.errors import ProtocolError
+
+        authority = RationalityAuthority(seed=1)
+        with pytest.raises(ProtocolError):
+            AuthorityService(
+                authority, solve_cache=SolveCache(),
+                cache_path=tmp_path / "x.json",
+            )
+
+    def test_aclose_persists_too(self, tmp_path):
+        path = tmp_path / "async-cache.json"
+        game = random_bimatrix(3, 3, seed=92)
+        authority, service = _service_fixture(tmp_path, path, [("g", game)])
+
+        async def run():
+            async with service:
+                await service.async_consult("jane", "g")
+
+        import asyncio
+
+        asyncio.run(run())
+        assert path.exists()
+        assert SolveCache(path=path).last_load_report.accepted
+        authority.close()
+
+    def test_concurrent_save_during_active_drain_is_consistent(self, tmp_path):
+        # A saver thread hammers save() while the service drains a
+        # stream: every snapshot written must be a complete, loadable
+        # document (atomic replace), and the final state round-trips.
+        path = tmp_path / "concurrent.json"
+        bases = [random_bimatrix(4, 4, seed=120 + i) for i in range(6)]
+        games = [(f"g{i}", g) for i, g in enumerate(bases)]
+        authority, service = _service_fixture(
+            tmp_path, path, games, verify_workers=2
+        )
+        futures = [service.submit("jane", f"g{i}") for i in range(6)]
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def saver():
+            while not stop.is_set():
+                try:
+                    service.cache.save()
+                    if path.exists():
+                        probe = SolveCache(path=path, autoload=False)
+                        report = probe.load()
+                        assert report.accepted or report.reason == "file not found"
+                except BaseException as exc:  # pragma: no cover - fails the test
+                    failures.append(exc)
+                    return
+
+        thread = threading.Thread(target=saver)
+        thread.start()
+        try:
+            outcomes = [future.result() for future in futures]
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not failures, failures
+        assert all(o.adopted for o in outcomes)
+        service.close()
+        final = SolveCache(path=path)
+        assert final.last_load_report.accepted
+        assert final.last_load_report.profiles == 6
+        authority.close()
+
+
+class TestAutosaveSemantics:
+    def test_close_and_context_manager_autosave(self, tmp_path):
+        path = tmp_path / "auto.json"
+        with SolveCache(path=path) as cache:
+            inventor = BimatrixInventor(
+                "inv", method="support-enumeration", solve_cache=cache
+            )
+            inventor.solve("g", random_bimatrix(3, 3, seed=71))
+        assert path.exists()
+        assert SolveCache(path=path).last_load_report.profiles == 1
+
+    def test_autosave_false_leaves_the_disk_alone(self, tmp_path):
+        path = tmp_path / "noauto.json"
+        cache = SolveCache(path=path, autosave=False)
+        inventor = BimatrixInventor(
+            "inv", method="support-enumeration", solve_cache=cache
+        )
+        inventor.solve("g", random_bimatrix(3, 3, seed=72))
+        cache.close()
+        assert not path.exists()
+        cache.save()  # explicit save still works
+        assert path.exists()
+
+    def test_pathless_cache_refuses_save_and_load(self):
+        cache = SolveCache()
+        with pytest.raises(PersistenceError):
+            cache.save()
+        with pytest.raises(PersistenceError):
+            cache.load()
+
+    def test_format_constants_are_stable(self):
+        # The wire format is a compatibility surface: changing either
+        # constant must be a conscious schema bump, not an accident.
+        assert FORMAT_NAME == "repro.solve-cache"
+        assert SCHEMA_VERSION == 1

@@ -133,6 +133,39 @@ class TestSubmitAndFutures:
         future.result()
         assert seen == ["pd"]
 
+    def test_raising_done_callback_cannot_poison_the_drain(self):
+        # Callbacks run on whatever thread resolves the inner future —
+        # the draining thread included.  The stdlib future would catch
+        # and log a raising callback invisibly; the fix records it as
+        # an audit warning, and this pins that the drain completes and
+        # every queued submission still resolves.
+        from repro.core.audit import EVENT_CALLBACK_FAILED
+
+        inventor = PureNashInventor("pure")
+        authority = _authority(inventor, [("pd", prisoners_dilemma())])
+        service = authority.service
+        first = service.submit("jane", "pd")
+        first.add_done_callback(lambda f: 1 / 0)
+        rest = [service.submit("jane", "pd") for __ in range(3)]
+        assert service.drain() == 4  # the drain survives the callback
+        assert first.result().adopted
+        assert all(f.result().adopted for f in rest)
+        (warning,) = authority.audit.events_of(EVENT_CALLBACK_FAILED)
+        assert warning.details["game_id"] == "pd"
+        assert "ZeroDivisionError" in warning.details["error"]
+        authority.close()
+
+    def test_raising_callback_on_resolved_future_is_isolated_too(self):
+        inventor = PureNashInventor("pure")
+        authority = _authority(inventor, [("pd", prisoners_dilemma())])
+        future = authority.service.submit("jane", "pd")
+        future.result()
+        future.add_done_callback(lambda f: 1 / 0)  # fires immediately
+        from repro.core.audit import EVENT_CALLBACK_FAILED
+
+        assert authority.audit.events_of(EVENT_CALLBACK_FAILED)
+        authority.close()
+
 
 class TestShimEquivalence:
     """consult/consult_many are thin shims and stay behavior-identical."""

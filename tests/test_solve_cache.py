@@ -212,6 +212,29 @@ class TestWarmHints:
         cache.note_hint((3, 3), ((1,), (1,)))
         assert cache.support_hints((3, 3)) == (((1,), (1,)), ((2,), (2,)))
 
+    def test_hint_shape_map_is_lru_bounded(self):
+        # The bugfix: max_hints_per_shape bounds each *list*, but a
+        # stream of distinct shapes must not grow the shape map without
+        # bound — it is LRU-evicted under max_entries like the entry
+        # stores, and visible to len().
+        cache = SolveCache(max_entries=2)
+        cache.note_hint((2, 2), ((0,), (0,)))
+        cache.note_hint((3, 3), ((1,), (1,)))
+        assert len(cache) == 2  # hints count toward size accounting
+        # Touch (2, 2) so (3, 3) becomes least-recently-used...
+        assert cache.support_hints((2, 2))
+        cache.note_hint((4, 4), ((2,), (2,)))
+        assert len(cache) == 2
+        assert cache.support_hints((3, 3)) == ()  # evicted
+        assert cache.support_hints((2, 2)) != ()
+        assert cache.support_hints((4, 4)) != ()
+
+    def test_unbounded_cache_keeps_every_shape(self):
+        cache = SolveCache(max_entries=None)
+        for n in range(2, 12):
+            cache.note_hint((n, n), ((0,), (0,)))
+        assert len(cache) == 10
+
 
 class TestEquilibriumSetCache:
     """Satellite: cache hits are bit-identical to cold exact solves.
@@ -259,6 +282,24 @@ class TestEquilibriumSetCache:
         cold = cache.equilibrium_set(game, policy=BackendPolicy(MODE_NUMPY))
         clone = BimatrixGame(game.row_matrix, game.column_matrix, name="x")
         assert cache.equilibrium_set(clone) is cold
+
+    def test_uncacheable_games_do_not_skew_set_miss_telemetry(self):
+        # The bugfix: a game without a payoff fingerprint can never hit,
+        # so counting it as a set miss would drag the set-hit rate down
+        # for lookups the cache was never offered.  It lands in its own
+        # counter; set_misses keeps meaning "cacheable but absent".
+        class _Unfingerprinted(BimatrixGame):
+            payoff_fingerprint = None
+
+        cache = SolveCache()
+        opaque = _Unfingerprinted([[1, 1], [0, 2]], [[1, 1], [1, 0]])
+        first = cache.equilibrium_set(opaque)
+        again = cache.equilibrium_set(opaque)  # still no caching possible
+        assert first == again
+        assert cache.stats.uncacheable == 2
+        assert cache.stats.set_misses == 0 and cache.stats.set_hits == 0
+        assert cache.stats.as_dict()["uncacheable"] == 2
+        assert len(cache) == 0  # nothing was stored
 
 
 class TestStatsAndLifecycle:
