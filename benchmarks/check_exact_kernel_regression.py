@@ -47,22 +47,23 @@ def speedups(path: pathlib.Path) -> dict[str, float]:
     }
 
 
-def main(argv: list[str]) -> int:
-    fresh_path = pathlib.Path(
-        argv[1] if len(argv) > 1 else RESULTS / "BENCH_exact_kernel.quick.json"
-    )
-    baseline_path = pathlib.Path(
-        argv[2] if len(argv) > 2 else RESULTS / "BENCH_exact_kernel.json"
-    )
+def run(fresh_path: pathlib.Path, baseline_path: pathlib.Path, label: str) -> int:
+    """Compare the ``*_speedup`` metrics of two bench JSON files.
+
+    The reusable core shared by this guard and its siblings (e.g.
+    ``check_int_lp_regression.py``): same half-of-baseline floor, same
+    fail-on-unreadable discipline, parameterized only by the two result
+    paths and the label printed in diagnostics.
+    """
     try:
         fresh = speedups(fresh_path)
         baseline = speedups(baseline_path)
     except (OSError, ValueError, KeyError) as exc:
-        print(f"exact-kernel regression check: cannot read results: {exc}")
+        print(f"{label} regression check: cannot read results: {exc}")
         return 1
     shared = sorted(set(fresh) & set(baseline))
     if not shared:
-        print("exact-kernel regression check: no shared speedup metrics")
+        print(f"{label} regression check: no shared speedup metrics")
         return 1
     failures = []
     for metric in shared:
@@ -76,12 +77,22 @@ def main(argv: list[str]) -> int:
             failures.append(metric)
     if failures:
         print(
-            f"exact-kernel bench regressed > {ALLOWED_REGRESSION:.0f}x on: "
+            f"{label} bench regressed > {ALLOWED_REGRESSION:.0f}x on: "
             + ", ".join(failures)
         )
         return 1
-    print("exact-kernel bench within budget")
+    print(f"{label} bench within budget")
     return 0
+
+
+def main(argv: list[str]) -> int:
+    fresh_path = pathlib.Path(
+        argv[1] if len(argv) > 1 else RESULTS / "BENCH_exact_kernel.quick.json"
+    )
+    baseline_path = pathlib.Path(
+        argv[2] if len(argv) > 2 else RESULTS / "BENCH_exact_kernel.json"
+    )
+    return run(fresh_path, baseline_path, "exact-kernel")
 
 
 if __name__ == "__main__":

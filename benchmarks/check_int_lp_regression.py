@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""CI guard: fail when the int-LP bench regresses > 2x vs baseline.
+
+The ``BENCH_int_lp.json`` sibling of ``check_exact_kernel_regression``:
+it compares the fresh ``*_speedup`` metrics of B6 — degenerate-support
+LP fallback, correlated-equilibrium solve, Bayes-Nash certification —
+against the committed default-scale baseline, failing when any measured
+speedup drops below half the committed one.  The comparison core (and
+the same-scale caveats) live in :mod:`check_exact_kernel_regression`;
+see that module's docstring.
+
+Usage::
+
+    python benchmarks/check_int_lp_regression.py [fresh.json] [baseline.json]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from check_exact_kernel_regression import RESULTS, run
+
+
+def main(argv: list[str]) -> int:
+    fresh_path = pathlib.Path(
+        argv[1] if len(argv) > 1 else RESULTS / "BENCH_int_lp.quick.json"
+    )
+    baseline_path = pathlib.Path(
+        argv[2] if len(argv) > 2 else RESULTS / "BENCH_int_lp.json"
+    )
+    return run(fresh_path, baseline_path, "int-lp")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -12,15 +12,20 @@ incentive-compatibility, restoring the paper's separation even for this
 trusted-mediator concept.
 
 * :func:`is_correlated_equilibrium` — exact check of all obedience
-  constraints for an explicit distribution;
+  constraints for an explicit distribution, run as machine-integer dot
+  products on the game's cached integer utility table (with
+  :func:`fraction_correlated_check` kept as the Fraction reference);
 * :func:`correlated_equilibrium_lp` — find one by exact LP (maximizing
-  total expected payoff), via :mod:`repro.linalg.lp`;
+  total expected payoff), via the fraction-free simplex in
+  :mod:`repro.linalg.int_lp`; the constraint system is built once per
+  game on the integer lattice and cached (weakly) for repeat solves;
 * every Nash equilibrium induces a (product) correlated equilibrium —
   pinned as a property test.
 """
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
 from typing import Mapping, Sequence
 
@@ -28,6 +33,8 @@ from repro.errors import EquilibriumError
 from repro.fractions_util import to_fraction
 from repro.games.base import Game
 from repro.games.profiles import MixedProfile, PureProfile, change
+from repro.linalg.int_exact import integer_table_and_scales, integerize_vector
+from repro.linalg.int_lp import solve_lp
 
 Distribution = dict[PureProfile, Fraction]
 
@@ -68,9 +75,53 @@ def obedience_gap(
     return gain
 
 
+def fraction_correlated_check(game: Game, dist: Mapping[PureProfile, object]) -> bool:
+    """Exact obedience check over Fractions — the reference semantics.
+
+    :func:`is_correlated_equilibrium` routes through the integer lattice
+    when the game tabulates; this is the oracle it must (and, per the
+    parity tests, does) agree with bit for bit.
+    """
+    return _fraction_obedience_loop(game, normalize_distribution(game, dist))
+
+
 def is_correlated_equilibrium(game: Game, dist: Mapping[PureProfile, object]) -> bool:
-    """Exact check of every obedience constraint."""
+    """Exact check of every obedience constraint.
+
+    When the game has an integer utility table, each constraint
+    Σ_{s_i = rec} π(s) [u_i(dev, s_-i) - u_i(s)] > 0 is decided on raw
+    integers: the distribution is cleared by one LCM scale τ and player
+    ``i``'s payoffs by the table's per-player scale σ_i, both positive,
+    so the integer total has the sign of the Fraction gap — the verdict
+    is identical, without a single rational operation in the loop.
+    """
     dist = normalize_distribution(game, dist)
+    entry = integer_table_and_scales(game)
+    if entry is None:
+        return _fraction_obedience_loop(game, dist)
+    table, __ = entry
+    support = list(dist.items())
+    weights, __ = integerize_vector([prob for __, prob in support])
+    for player in game.players():
+        by_recommended: dict[int, list[tuple[PureProfile, int]]] = {}
+        for (profile, __), weight in zip(support, weights):
+            by_recommended.setdefault(profile[player], []).append((profile, weight))
+        for recommended, bucket in by_recommended.items():
+            obeyed = sum(w * table[profile][player] for profile, w in bucket)
+            for deviation in game.actions(player):
+                if deviation == recommended:
+                    continue
+                deviated = sum(
+                    w * table[change(profile, deviation, player)][player]
+                    for profile, w in bucket
+                )
+                if deviated > obeyed:
+                    return False
+    return True
+
+
+def _fraction_obedience_loop(game: Game, dist: Distribution) -> bool:
+    """The Fraction obedience loop on an already-normalized distribution."""
     for player in game.players():
         for recommended in game.actions(player):
             for deviation in game.actions(player):
@@ -92,20 +143,40 @@ def product_distribution(game: Game, mixed: MixedProfile) -> Distribution:
     return dist
 
 
-def correlated_equilibrium_lp(game: Game) -> Distribution:
-    """One exact correlated equilibrium maximizing total expected payoff.
+#: Per-game cache of the correlated-equilibrium LP system (profiles,
+#: index, constraints, rhs, costs).  Weakly keyed like the utility-table
+#: cache: repeat solves of the same game — the find-vs-check workloads —
+#: pay the Θ(players · actions² · profiles) constraint build once.
+_LP_SYSTEM_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-    Solved with the exact simplex: variables are the profile
-    probabilities; constraints are the obedience inequalities (one slack
-    each), non-negativity, and normalization.  Always feasible (every
-    Nash equilibrium is one; existence is unconditional).
+
+def _correlated_lp_system(game: Game):
+    """The CE program of ``game``: ``(profiles, index, A, b, c)``.
+
+    Built once per game, on the integer lattice when the game tabulates:
+    each obedience row for player ``i`` is an *integer* row (payoff
+    differences at the table's per-player scale σ_i > 0).  Scaling a row
+    whose slack keeps coefficient 1 and rhs stays 0 rewrites the slack
+    as σ_i times the old one — the feasible set of profile probabilities
+    π, and hence the optimal welfare, are exactly those of the unscaled
+    Fraction build.  The welfare objective needs one cross-player unit,
+    so costs stay exact Fractions (−Σ_i u_i(s)); the fraction-free
+    simplex clears them itself.
     """
+    try:
+        cached = _LP_SYSTEM_CACHE.get(game)
+    except TypeError:  # unhashable/unweakrefable game: build uncached
+        cached = None
+    if cached is not None:
+        return cached
+
     profiles = list(game.enumerate_profiles())
     index = {profile: i for i, profile in enumerate(profiles)}
     num_profiles = len(profiles)
+    entry = integer_table_and_scales(game)
 
-    constraints: list[list[Fraction]] = []
-    rhs: list[Fraction] = []
+    zero = Fraction(0) if entry is None else 0
+    one = Fraction(1) if entry is None else 1
     # Obedience: for each (player, recommended, deviation):
     #   Σ_{s_i = rec} π(s) [u_i(dev, s_-i) - u_i(s)] + slack = 0.
     obedience_rows = []
@@ -114,31 +185,59 @@ def correlated_equilibrium_lp(game: Game) -> Distribution:
             for deviation in game.actions(player):
                 if deviation == recommended:
                     continue
-                row = [Fraction(0)] * num_profiles
+                row = [zero] * num_profiles
                 for profile in profiles:
                     if profile[player] != recommended:
                         continue
                     deviated = change(profile, deviation, player)
-                    row[index[profile]] = game.payoff(player, deviated) - game.payoff(
-                        player, profile
-                    )
+                    if entry is None:
+                        row[index[profile]] = game.payoff(
+                            player, deviated
+                        ) - game.payoff(player, profile)
+                    else:
+                        table = entry[0]
+                        row[index[profile]] = (
+                            table[deviated][player] - table[profile][player]
+                        )
                 obedience_rows.append(row)
     num_slacks = len(obedience_rows)
+    constraints = []
+    rhs = []
     for k, row in enumerate(obedience_rows):
-        slacks = [Fraction(0)] * num_slacks
-        slacks[k] = Fraction(1)
+        slacks = [zero] * num_slacks
+        slacks[k] = one
         constraints.append(row + slacks)
-        rhs.append(Fraction(0))
+        rhs.append(zero)
     # Normalization.
-    constraints.append([Fraction(1)] * num_profiles + [Fraction(0)] * num_slacks)
-    rhs.append(Fraction(1))
+    constraints.append([one] * num_profiles + [zero] * num_slacks)
+    rhs.append(one)
 
-    # Objective: maximize total payoff = minimize its negation.
+    # Objective: maximize total payoff = minimize its negation.  Welfare
+    # sums across players, so it gets no per-player scale: exact
+    # Fractions preserve the true objective value.
     costs = [
         -sum(game.payoffs(profile), start=Fraction(0)) for profile in profiles
     ] + [Fraction(0)] * num_slacks
 
-    from repro.linalg.lp import solve_lp
+    system = (profiles, index, constraints, rhs, costs)
+    try:
+        _LP_SYSTEM_CACHE[game] = system
+    except TypeError:
+        pass
+    return system
+
+
+def correlated_equilibrium_lp(game: Game) -> Distribution:
+    """One exact correlated equilibrium maximizing total expected payoff.
+
+    Solved with the fraction-free exact simplex: variables are the
+    profile probabilities; constraints are the obedience inequalities
+    (one slack each), non-negativity, and normalization — built once per
+    game on the integer lattice (see :func:`_correlated_lp_system`).
+    Always feasible (every Nash equilibrium is one; existence is
+    unconditional).
+    """
+    profiles, index, constraints, rhs, costs = _correlated_lp_system(game)
 
     result = solve_lp(costs, constraints, rhs)
     if not result.is_optimal:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from itertools import product
 from typing import Sequence
 
 from repro.fractions_util import to_fraction
@@ -41,6 +42,7 @@ from repro.equilibria.best_reply import (
     best_reply_gaps,
     mixed_action_payoffs,
 )
+from repro.linalg.int_exact import integer_table_and_scales, integerize_vector
 
 
 @dataclass(frozen=True)
@@ -85,8 +87,6 @@ def _integerized_support(distribution: Sequence[Fraction]):
     Clearing by the LCM of the denominators preserves zeroness, so the
     support can be read off the integer weights directly.
     """
-    from repro.linalg.int_exact import integerize_vector
-
     weights, __ = integerize_vector(distribution)
     nonzero = tuple((j, w) for j, w in enumerate(weights) if w)
     return nonzero, tuple(j for j, __ in nonzero)
@@ -121,18 +121,86 @@ def _lattice_nash_check(game: BimatrixGame, mixed: MixedProfile) -> bool:
     )
 
 
+def lattice_action_values(game: Game, mixed: MixedProfile):
+    """Per-player expected action payoffs on the integer lattice.
+
+    Returns one ``(values, denominator)`` pair per player — ``values[a]``
+    is an int with ``values[a] / denominator`` equal, exactly, to
+    ``expected_action_payoff(player, a, mixed)`` — or ``None`` when the
+    game has no integer utility table or the profile's shape does not
+    match the game (callers fall back to the Fraction oracle).
+
+    The denominator is the player's table scale times the *other*
+    players' mix-clearing scales, all positive, so within one player the
+    integer values compare exactly as the Fractions do; and because the
+    denominator is carried, callers that *report* values (the n-player
+    verifier) reconstruct bit-identical Fractions at the boundary.
+    """
+    entry = integer_table_and_scales(game)
+    if entry is None:
+        return None
+    table, payoff_scales = entry
+    num_players = game.num_players
+    if mixed.num_players != num_players:
+        return None
+    cleared = []
+    for player in game.players():
+        dist = mixed.distribution(player)
+        if len(dist) != game.num_actions(player):
+            return None
+        weights, mix_scale = integerize_vector(dist)
+        cleared.append(
+            (tuple((j, w) for j, w in enumerate(weights) if w), mix_scale)
+        )
+
+    out = []
+    for player in game.players():
+        others = [cleared[q][0] for q in range(num_players) if q != player]
+        denominator = payoff_scales[player]
+        for q in range(num_players):
+            if q != player:
+                denominator *= cleared[q][1]
+        values = [0] * game.num_actions(player)
+        profile = [0] * num_players
+        for combo in product(*others):
+            weight = 1
+            slot = 0
+            for q in range(num_players):
+                if q == player:
+                    continue
+                action, w = combo[slot]
+                profile[q] = action
+                weight *= w
+                slot += 1
+            for action in range(game.num_actions(player)):
+                profile[player] = action
+                values[action] += weight * table[tuple(profile)][player]
+        out.append((tuple(values), denominator))
+    return out
+
+
 def is_mixed_nash(game: Game, mixed: MixedProfile) -> bool:
     """Exact Nash check via the support characterization.
 
     Bimatrix games are checked on their cached integer lattice (pure
-    ``int`` dot products, no Fraction arithmetic); everything else runs
-    the reference :func:`fraction_nash_check`.  The two paths decide
-    identically — the lattice is an order-preserving image of the
+    ``int`` dot products, no Fraction arithmetic); any other game with an
+    integer utility table runs the n-player lattice check
+    (:func:`lattice_action_values`); only games that cannot be tabulated
+    fall back to the reference :func:`fraction_nash_check`.  All paths
+    decide identically — the lattices are order-preserving images of the
     payoffs.
     """
     if isinstance(game, BimatrixGame):
         return _lattice_nash_check(game, mixed)
-    return fraction_nash_check(game, mixed)
+    lattice = lattice_action_values(game, mixed)
+    if lattice is None:
+        return fraction_nash_check(game, mixed)
+    for player, (values, __) in enumerate(lattice):
+        best = max(values)
+        for action in mixed.support(player):
+            if values[action] != best:
+                return False
+    return True
 
 
 def check_mixed_nash(game: Game, mixed: MixedProfile) -> MixedNashReport:

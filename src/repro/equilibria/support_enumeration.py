@@ -61,7 +61,7 @@ from repro.linalg.backend import (
     resolve_policy,
 )
 from repro.linalg.int_exact import solve_linear_system
-from repro.linalg.lp import find_feasible_point
+from repro.linalg.int_lp import find_feasible_point
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)

@@ -12,7 +12,9 @@ supplies the object that claim is about:
   type given everyone's strategies — the quantity each obedience check
   compares;
 * :func:`is_bayes_nash` verifies a strategy profile exactly, in time
-  polynomial in the (explicit) game description;
+  polynomial in the (explicit) game description — on cached per-player
+  integer interim tables (machine-int comparisons), with
+  :func:`fraction_bayes_nash_check` kept as the Fraction reference;
 * :meth:`BayesianGame.to_agent_form` is the Harsanyi agent-form
   reduction to an ordinary strategic game (one player per type), with
   the property — pinned in tests — that Bayes-Nash profiles map to pure
@@ -91,6 +93,8 @@ class BayesianGame:
                     self._payoffs[(player, types, actions)] = to_fraction(
                         payoff_fn(player, types, actions)
                     )
+        # Lazily-built integer interim tables (see _interim_integer_tables).
+        self._interim_cache = None
 
     # ------------------------------------------------------------------
 
@@ -187,6 +191,60 @@ class BayesianGame:
         best = max(payoffs)
         return tuple(a for a, u in enumerate(payoffs) if u == best)
 
+    def _interim_integer_tables(self):
+        """Prior-weighted payoffs on a per-player integer lattice, cached.
+
+        Returns ``(weights, groups)``:
+
+        * ``weights[player][(types, actions)]`` is the integer
+          ``scale_p * prior(types) * payoff(player, types, actions)``
+          over the prior's support — ``scale_p`` one positive LCM per
+          player, so interim comparisons of one player (which share the
+          positive conditioning marginal) are decided by integer sums
+          exactly as the Fraction :meth:`interim_payoff` decides them;
+        * ``groups[player][own_type]`` lists the prior-support type
+          profiles with that own type (empty iff the type has marginal
+          zero, since the stored prior is strictly positive).
+
+        Built once per game; the size matches the already-materialized
+        ``_payoffs`` dict, so this never changes the memory class.
+        """
+        if self._interim_cache is not None:
+            return self._interim_cache
+        from math import lcm
+
+        n = self.num_players
+        action_space = list(
+            itertools.product(*(range(a) for a in self._action_counts))
+        )
+        weights: list[dict[tuple[TypeProfile, ActionProfile], int]] = []
+        for player in range(n):
+            products = {
+                (types, actions): prob * self._payoffs[(player, types, actions)]
+                for types, prob in self._prior.items()
+                for actions in action_space
+            }
+            scale = (
+                lcm(*(v.denominator for v in products.values()))
+                if products
+                else 1
+            )
+            weights.append(
+                {
+                    key: value.numerator * (scale // value.denominator)
+                    for key, value in products.items()
+                }
+            )
+        groups = [
+            [
+                [types for types in self._prior if types[player] == own_type]
+                for own_type in range(self._type_counts[player])
+            ]
+            for player in range(n)
+        ]
+        self._interim_cache = (weights, groups)
+        return self._interim_cache
+
     # ------------------------------------------------------------------
     # Agent form
     # ------------------------------------------------------------------
@@ -227,12 +285,16 @@ class BayesianGame:
         ), agents
 
 
-def is_bayes_nash(
+def fraction_bayes_nash_check(
     game: BayesianGame, strategies: Sequence[Sequence[int]]
 ) -> bool:
-    """Exact Bayes-Nash check: every positive-probability type plays an
-    interim best reply.  Polynomial in the explicit game size — the
-    Tadjouddine claim, executable."""
+    """The Fraction-arithmetic Bayes-Nash check (reference semantics).
+
+    Exact, via :meth:`BayesianGame.best_reply_actions` interim payoffs;
+    :func:`is_bayes_nash` routes through the integer interim tables
+    instead, with this function as the authority the integer path must
+    (and, per the parity tests, does) agree with.
+    """
     if len(strategies) != game.num_players:
         raise GameError("one strategy per player required")
     validated = [
@@ -245,6 +307,50 @@ def is_bayes_nash(
                 continue
             chosen = validated[player][own_type]
             if chosen not in game.best_reply_actions(player, own_type, validated):
+                return False
+    return True
+
+
+def is_bayes_nash(
+    game: BayesianGame, strategies: Sequence[Sequence[int]]
+) -> bool:
+    """Exact Bayes-Nash check: every positive-probability type plays an
+    interim best reply.  Polynomial in the explicit game size — the
+    Tadjouddine claim, executable.
+
+    Runs on the game's cached integer interim tables: for each
+    (player, type), the unnormalized prior-weighted payoff totals of all
+    actions are integer sums, and since every total of one player shares
+    the same positive scale and the same positive conditioning marginal,
+    ``chosen`` maximizes them iff it is an interim best reply — the
+    verdict is bit-identical to :func:`fraction_bayes_nash_check`,
+    without a single Fraction operation per check.
+    """
+    if len(strategies) != game.num_players:
+        raise GameError("one strategy per player required")
+    validated = [
+        game.validate_strategy(player, strategy)
+        for player, strategy in enumerate(strategies)
+    ]
+    weights, groups = game._interim_integer_tables()
+    num_players = game.num_players
+    for player in range(num_players):
+        player_weights = weights[player]
+        actions = range(game.action_counts[player])
+        for own_type in range(game.type_counts[player]):
+            group = groups[player][own_type]
+            if not group:  # zero marginal: the type never materializes
+                continue
+            chosen = validated[player][own_type]
+            totals = [0] * len(actions)
+            for types in group:
+                others = [
+                    validated[other][types[other]] for other in range(num_players)
+                ]
+                for action in actions:
+                    others[player] = action
+                    totals[action] += player_weights[(types, tuple(others))]
+            if totals[chosen] != max(totals):
                 return False
     return True
 

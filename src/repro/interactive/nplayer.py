@@ -25,6 +25,7 @@ from repro.fractions_util import fraction_vector
 from repro.games.base import Game
 from repro.games.profiles import MixedProfile, ProfileError
 from repro.equilibria.best_reply import mixed_action_payoffs
+from repro.equilibria.mixed import lattice_action_values
 from repro.interactive.transcripts import PROVER, Transcript, support_bitvector
 
 
@@ -99,17 +100,35 @@ def verify_nplayer(game: Game, announcement: NPlayerAnnouncement) -> NPlayerRepo
                 zeros,
             )
 
+    # Tabular games check on the integer lattice (pure int comparisons);
+    # the carried denominators reconstruct the exact Fraction payoffs at
+    # the boundary, so reports — values and rejection reasons — are
+    # bit-identical to the Fraction oracle's.
+    lattice = lattice_action_values(game, mixed)
     values = []
     for player in range(game.num_players):
-        payoffs = mixed_action_payoffs(game, player, mixed)
-        best = max(payoffs)
+        if lattice is not None:
+            ints, denominator = lattice[player]
+            best_int = max(ints)
+            payoffs = None
+            best = Fraction(best_int, denominator)
+        else:
+            payoffs = mixed_action_payoffs(game, player, mixed)
+            best = max(payoffs)
         for action in mixed.support(player):
-            if payoffs[action] != best:
-                return NPlayerReport(
-                    False,
-                    f"agent {player} supported action {action} earns "
-                    f"{payoffs[action]} < best {best}",
-                    zeros,
-                )
+            if lattice is not None:
+                if ints[action] == best_int:
+                    continue
+                earned = Fraction(ints[action], denominator)
+            else:
+                if payoffs[action] == best:
+                    continue
+                earned = payoffs[action]
+            return NPlayerReport(
+                False,
+                f"agent {player} supported action {action} earns "
+                f"{earned} < best {best}",
+                zeros,
+            )
         values.append(best)
     return NPlayerReport(True, "n-player equilibrium verified", tuple(values))

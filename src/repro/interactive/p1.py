@@ -20,7 +20,11 @@ sides, which :func:`run_p1_exchange` performs.
 
 The system (1) is square when |S1| = |S2| and generically nonsingular;
 for degenerate games the verifier falls back to exact LP feasibility over
-the same conditions — matching Lemma 1's "LP(n, m)" bound.
+the same conditions — matching Lemma 1's "LP(n, m)" bound.  Both legs
+run fraction-free: the square solve on the integer Bareiss kernel
+(:mod:`repro.linalg.int_exact`) and the LP fallback on the integer
+simplex (:mod:`repro.linalg.int_lp`), each bit-identical to its
+Fraction reference.
 """
 
 from __future__ import annotations

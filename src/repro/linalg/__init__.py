@@ -13,7 +13,11 @@ This package supplies the few primitives they need:
   the arithmetic all certification and proof checking runs on;
 * :mod:`repro.linalg.lp` — a small exact simplex solver used for
   feasibility questions (e.g. under-determined support systems in the
-  P1 verifier);
+  P1 verifier) — kept as the Fraction reference semantics;
+* :mod:`repro.linalg.int_lp` — the fraction-free integer simplex:
+  LCM integerization at the boundary, Bareiss-style exact-division
+  pivoting inside, bit-identical results to :mod:`~repro.linalg.lp` —
+  the LP kernel every hot path routes through;
 * :mod:`repro.linalg.backend` — the two-phase "search fast, certify
   exact" seam: :class:`~repro.linalg.backend.ExactBackend` (the seed
   semantics), :class:`~repro.linalg.backend.FloatBackend` (float64
@@ -63,7 +67,7 @@ from repro.linalg.int_exact import (
     integerize_matrix,
     integerize_vector,
 )
-from repro.linalg.lp import LPResult, solve_lp, find_feasible_point
+from repro.linalg.int_lp import LPResult, solve_lp, find_feasible_point
 
 __all__ = [
     "AUTO_POLICY",

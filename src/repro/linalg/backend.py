@@ -34,7 +34,7 @@ from typing import Sequence
 
 from repro.errors import BackendError, LinearAlgebraError
 from repro.linalg import int_exact as _int_exact
-from repro.linalg import lp as _lp
+from repro.linalg import int_lp as _lp
 
 #: The backend modes the core layer can request per advice package.
 MODE_EXACT = "exact"

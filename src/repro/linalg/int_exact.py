@@ -382,21 +382,14 @@ MAX_TABLE_PROFILES = 1 << 20
 _TABLE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
-def integer_utility_table(game):
-    """Every player's payoffs over the whole profile space, as ints.
+def integer_table_and_scales(game):
+    """Like :func:`integer_utility_table`, plus the per-player scales.
 
-    Returns ``{profile: (int, ...)}`` where entry ``p`` of a profile's
-    tuple is player ``p``'s payoff scaled by that *player's* common
-    denominator — an order-preserving image, so every same-player
-    utility comparison a proof certificate makes becomes a machine-int
-    comparison.  Cross-player entries are deliberately *not* comparable
-    (each player has their own scale), exactly mirroring the proof
-    language, which never compares utilities across players.
-
-    Returns ``None`` when the game cannot be tabulated (oversized
-    profile space, or an oracle that rejects some profile) — callers
-    fall back to the exact Fraction oracle.  Tables are cached per game
-    (weakly), so a game checked repeatedly is cleared once.
+    Returns ``(table, scales)`` where ``table[profile][p] / scales[p]``
+    is player ``p``'s exact payoff — the scales let integer fast paths
+    reconstruct bit-identical Fractions at the boundary (the n-player
+    verifier reports exact values, not just verdicts).  ``None`` when
+    the game cannot be tabulated; cached per game alongside the table.
     """
     from repro.games.profiles import enumerate_profiles, profile_space_size
 
@@ -438,10 +431,31 @@ def integer_utility_table(game):
             )
             for profile, row in payoffs.items()
         }
+        entry = (table, tuple(scales))
     except Exception:  # noqa: BLE001 - any non-tabular game keeps the oracle
         return None
     try:
-        _TABLE_CACHE[game] = table
+        _TABLE_CACHE[game] = entry
     except TypeError:
         pass
-    return table
+    return entry
+
+
+def integer_utility_table(game):
+    """Every player's payoffs over the whole profile space, as ints.
+
+    Returns ``{profile: (int, ...)}`` where entry ``p`` of a profile's
+    tuple is player ``p``'s payoff scaled by that *player's* common
+    denominator — an order-preserving image, so every same-player
+    utility comparison a proof certificate makes becomes a machine-int
+    comparison.  Cross-player entries are deliberately *not* comparable
+    (each player has their own scale), exactly mirroring the proof
+    language, which never compares utilities across players.
+
+    Returns ``None`` when the game cannot be tabulated (oversized
+    profile space, or an oracle that rejects some profile) — callers
+    fall back to the exact Fraction oracle.  Tables are cached per game
+    (weakly), so a game checked repeatedly is cleared once.
+    """
+    entry = integer_table_and_scales(game)
+    return None if entry is None else entry[0]

@@ -1,0 +1,307 @@
+"""Fraction-free exact LP: the integer two-phase simplex.
+
+:mod:`repro.linalg.lp` — the seed's exact simplex — pivots directly on
+:class:`~fractions.Fraction` tableaus, paying a gcd normalization inside
+every add and multiply.  After PR 4 moved elimination and certification
+onto the integer Bareiss kernel, that simplex was the last exact
+decision procedure still running on Fractions: it decides the Lemma-1
+LP-feasibility bound for degenerate support pairs (the P1 verifier's
+``LP(n, m)`` fallback) and solves the correlated-equilibrium program.
+This module removes the Fractions without touching a single decision:
+
+1. **Integerize once.**  The constraint block ``[A | b]`` is cleared to
+   integers with *one global* LCM scale.  Uniform scaling multiplies
+   every phase-1 reduced cost and every ratio-test numerator/denominator
+   pair by the same positive constant, so the reference simplex run on
+   the scaled system takes the *identical* pivot path — per-row scaling
+   would not have this property (it reweights the artificial penalties
+   and perturbs degenerate ties).
+2. **Integer pivoting inside.**  The tableau is maintained as an integer
+   matrix over a single running denominator (the previous pivot), with
+   Bareiss-style cross-multiplication updates and exact divisions —
+   Edmonds' integer-pivoting scheme, the same arithmetic lrs-style exact
+   LP codes use.  Entries are minors of the integerized input by
+   construction: no per-step gcd, bounded coefficient growth, and every
+   division is checked (:func:`repro.linalg.int_exact._exact_div`) so a
+   hypothetical invariant violation is a loud error, never a silently
+   wrong "exact" answer.
+3. **The same anti-cycling pivot rule.**  Entering and leaving variables
+   are chosen lexicographically by variable index (Bland's rule) exactly
+   as the reference does — entering: first negative reduced cost;
+   leaving: minimum ratio, ties broken by smallest basis index — which
+   both guarantees finite termination on cycling instances (Beale's
+   example and friends) and makes the pivot sequence *identical* to the
+   Fraction reference.  Sign tests and ratio comparisons run on raw
+   integers (cross-multiplication by positive denominators), so they
+   decide exactly as the Fraction comparisons would.
+4. **Fractions only at the boundary.**  :func:`solve_lp` and
+   :func:`find_feasible_point` accept and return exactly what the
+   reference accepts and returns — same :class:`LPResult` statuses, same
+   vertex, same objective, bit for bit, on *every* input (the property
+   tests in ``tests/test_int_lp.py`` pin this on random, degenerate,
+   infeasible, unbounded and cycling LPs).
+
+The Fraction implementation stays in :mod:`repro.linalg.lp` as the
+reference semantics for the parity tests; every hot path routes here.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import Sequence
+
+from repro.errors import LinearAlgebraError
+from repro.fractions_util import fraction_matrix, fraction_vector
+from repro.linalg import lp as _fraction_lp
+from repro.linalg.int_exact import _exact_div
+
+#: The result type is shared with the Fraction reference so callers (and
+#: parity tests) compare results of one class, not two lookalikes.
+LPResult = _fraction_lp.LPResult
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class _IntegerTableau:
+    """The simplex tableau as integers over one running denominator.
+
+    Invariant: ``rows[i][j] / den`` is the Fraction tableau the reference
+    simplex would hold after the same pivots, with ``den > 0`` (``den``
+    is the previous pivot value; pivots chosen by the ratio test are
+    positive, and the rare negative pivot — driving an artificial out of
+    a degenerate basis — is followed by a global negation that restores
+    the sign without changing any represented value).  The objective row
+    is carried at its own fixed positive multiple of the reference row
+    (the cost denominators' LCM times ``den``), which leaves every sign
+    test and update unchanged.
+    """
+
+    __slots__ = ("rows", "basis", "den")
+
+    def __init__(self, rows: list[list[int]], basis: list[int]):
+        self.rows = rows
+        self.basis = basis
+        self.den = 1
+
+    # ------------------------------------------------------------------
+
+    def reduced_costs(self, cost: Sequence[Fraction]) -> list[int]:
+        """The objective row (reduced costs + negated objective), scaled.
+
+        Returns ``κ · den`` times the reference's ``_reduced_costs`` row,
+        where ``κ`` is the LCM of the cost denominators — a positive
+        constant, so the entering-variable sign tests are identical.
+        """
+        kappa = lcm(*(f.denominator for f in cost)) if cost else 1
+        int_cost = [f.numerator * (kappa // f.denominator) for f in cost]
+        den = self.den
+        row = [v * den for v in int_cost] + [0]
+        width = len(row)
+        for i, var in enumerate(self.basis):
+            coeff = int_cost[var]
+            if coeff:
+                tab_row = self.rows[i]
+                for j in range(width):
+                    row[j] -= coeff * tab_row[j]
+        return row
+
+    def pivot(self, row_idx: int, col_idx: int, objective_row=None) -> None:
+        """Integer pivot: cross-multiply, divide by the old denominator.
+
+        The pivot row itself is left untouched (it is the new
+        denominator's image of the normalized reference pivot row); every
+        other row — and the objective row, when iterating — takes the
+        fraction-free update ``(pivot·x - factor·y) / den``, exact by the
+        minor structure of integer pivoting.
+        """
+        rows = self.rows
+        den = self.den
+        pivot_row = rows[row_idx]
+        pivot = pivot_row[col_idx]
+        for i, row in enumerate(rows):
+            if i == row_idx:
+                continue
+            factor = row[col_idx]
+            if factor:
+                rows[i] = [
+                    _exact_div(pivot * x - factor * y, den)
+                    for x, y in zip(row, pivot_row)
+                ]
+            elif pivot != den:
+                rows[i] = [_exact_div(pivot * x, den) for x in row]
+        if objective_row is not None:
+            factor = objective_row[col_idx]
+            if factor:
+                objective_row[:] = [
+                    _exact_div(pivot * x - factor * y, den)
+                    for x, y in zip(objective_row, pivot_row)
+                ]
+            elif pivot != den:
+                objective_row[:] = [
+                    _exact_div(pivot * x, den) for x in objective_row
+                ]
+        self.basis[row_idx] = col_idx
+        if pivot < 0:
+            # A driving-out pivot may be negative; renormalize so sign
+            # tests keep reading straight off the integers.
+            for i, row in enumerate(rows):
+                rows[i] = [-x for x in row]
+            if objective_row is not None:
+                objective_row[:] = [-x for x in objective_row]
+            self.den = -pivot
+        else:
+            self.den = pivot
+
+    def iterate(self, objective_row: list[int], limit: int) -> str:
+        """Pivot under Bland's rule until optimal or unbounded.
+
+        Mirrors the reference ``_simplex_iterate`` decision for
+        decision: entering is the first column below ``limit`` with a
+        negative reduced cost; leaving is the minimum-ratio row with
+        ties broken by the smaller basis index.  Ratios are compared by
+        cross-multiplication — both divisors are positive — so every
+        comparison decides exactly as the Fraction one.
+        """
+        rows = self.rows
+        basis = self.basis
+        while True:
+            entering = next(
+                (j for j in range(limit) if objective_row[j] < 0), None
+            )
+            if entering is None:
+                return "optimal"
+            leaving = None
+            best_rhs = best_coef = None  # ratio = rhs / coef, coef > 0
+            for i, row in enumerate(rows):
+                coef = row[entering]
+                if coef > 0:
+                    rhs = row[-1]
+                    if leaving is None:
+                        better = True
+                    else:
+                        lhs = rhs * best_coef
+                        rhs_cmp = best_rhs * coef
+                        better = lhs < rhs_cmp or (
+                            lhs == rhs_cmp and basis[i] < basis[leaving]
+                        )
+                    if better:
+                        best_rhs, best_coef, leaving = rhs, coef, i
+            if leaving is None:
+                return "unbounded"
+            self.pivot(leaving, entering, objective_row)
+
+
+def solve_lp(c: Sequence, a: Sequence[Sequence], b: Sequence) -> LPResult:
+    """Minimize ``c.x`` subject to ``A x = b``, ``x >= 0``, exactly.
+
+    Bit-identical to :func:`repro.linalg.lp.solve_lp` on every input —
+    same statuses, same vertex, same objective — computed fraction-free
+    on the integer lattice.
+    """
+    a_mat = [list(row) for row in fraction_matrix(a)]
+    b_vec = list(fraction_vector(b))
+    c_vec = list(fraction_vector(c))
+    nrows = len(a_mat)
+    ncols = len(c_vec)
+    if any(len(row) != ncols for row in a_mat):
+        raise LinearAlgebraError("LP constraint matrix has ragged rows")
+    if len(b_vec) != nrows:
+        raise LinearAlgebraError("LP rhs length does not match constraints")
+
+    for i in range(nrows):
+        if b_vec[i] < 0:
+            a_mat[i] = [-x for x in a_mat[i]]
+            b_vec[i] = -b_vec[i]
+
+    # One *global* integer clearing of [A | b] (see the module docstring:
+    # uniform scaling preserves the reference pivot trajectory exactly;
+    # per-row scaling would not).  Artificial columns stay at 1.
+    scale = (
+        lcm(
+            *(v.denominator for row in a_mat for v in row),
+            *(v.denominator for v in b_vec),
+        )
+        if (b_vec or any(a_mat))
+        else 1
+    )
+    total = ncols + nrows
+    rows = [
+        [v.numerator * (scale // v.denominator) for v in a_mat[i]]
+        + [1 if j == i else 0 for j in range(nrows)]
+        + [b_vec[i].numerator * (scale // b_vec[i].denominator)]
+        for i in range(nrows)
+    ]
+    tableau = _IntegerTableau(rows, list(range(ncols, ncols + nrows)))
+
+    # --- Phase 1: minimize the sum of artificial variables. ---
+    phase1_cost = [_ZERO] * ncols + [_ONE] * nrows
+    objective_row = tableau.reduced_costs(phase1_cost)
+    tableau.iterate(objective_row, total)
+    if objective_row[-1] != 0:  # phase-1 value is -obj[-1] / (positive scale)
+        return LPResult(status="infeasible", x=(), objective=None)
+
+    # Drive any artificial variables out of the basis (degenerate case).
+    for row_idx, var in enumerate(tableau.basis):
+        if var >= ncols:
+            pivot_col = next(
+                (j for j in range(ncols) if tableau.rows[row_idx][j] != 0),
+                None,
+            )
+            if pivot_col is not None:
+                tableau.pivot(row_idx, pivot_col)
+    # Rows still basic in an artificial variable are redundant; rhs is 0.
+
+    # --- Phase 2: original objective, artificial columns frozen. ---
+    phase2_cost = c_vec + [_ZERO] * nrows
+    objective_row = tableau.reduced_costs(phase2_cost)
+    status = tableau.iterate(objective_row, ncols)
+    if status == "unbounded":
+        return LPResult(status="unbounded", x=(), objective=None)
+
+    x = [_ZERO] * ncols
+    den = tableau.den
+    for row_idx, var in enumerate(tableau.basis):
+        if var < ncols:
+            x[var] = Fraction(tableau.rows[row_idx][-1], den)
+    objective = sum((c_vec[j] * x[j] for j in range(ncols)), start=_ZERO)
+    return LPResult(status="optimal", x=tuple(x), objective=objective)
+
+
+def find_feasible_point(
+    a_eq: Sequence[Sequence],
+    b_eq: Sequence,
+    upper_bounds: Sequence | None = None,
+) -> tuple[Fraction, ...] | None:
+    """Find ``x >= 0`` with ``A x = b`` and optional ``x <= u``, or None.
+
+    Bit-identical to :func:`repro.linalg.lp.find_feasible_point`: the
+    same slack encoding for upper bounds, the same zero-cost phase-2
+    no-op, the same vertex out.
+    """
+    a = [list(row) for row in fraction_matrix(a_eq)]
+    b = list(fraction_vector(b_eq))
+    ncols = len(a[0]) if a else 0
+    if upper_bounds is not None:
+        ubs = list(fraction_vector(upper_bounds))
+        if len(ubs) != ncols:
+            raise LinearAlgebraError("upper bound length does not match variables")
+        # x_j + s_j = u_j adds one slack per bounded variable.
+        nslack = len(ubs)
+        for row in a:
+            row.extend([_ZERO] * nslack)
+        for j, u in enumerate(ubs):
+            bound_row = [_ZERO] * (ncols + nslack)
+            bound_row[j] = _ONE
+            bound_row[ncols + j] = _ONE
+            a.append(bound_row)
+            b.append(u)
+        total_cols = ncols + nslack
+    else:
+        total_cols = ncols
+
+    result = solve_lp([_ZERO] * total_cols, a, b)
+    if not result.is_optimal:
+        return None
+    return result.x[:ncols]

@@ -15,6 +15,14 @@ The implementation is the textbook two-phase simplex on the standard form
 
 with Bland's rule for anti-cycling.  It is written for the small systems
 verification produces (tens of variables), not for scale.
+
+This module is the **reference semantics**: every hot path now routes
+through the fraction-free integer simplex in
+:mod:`repro.linalg.int_lp`, which is bit-identical to this solver on
+every input (statuses, vertex, objective) — a parity the property tests
+in ``tests/test_int_lp.py`` pin on random, degenerate, infeasible,
+unbounded and cycling LPs.  Keep the two in lockstep: any behavioral
+change here must be mirrored there.
 """
 
 from __future__ import annotations

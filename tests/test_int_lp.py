@@ -1,0 +1,211 @@
+"""The fraction-free integer simplex must be bit-identical to the seed.
+
+:mod:`repro.linalg.int_lp` replaces the Fraction two-phase simplex on
+every hot path, so its contract is total parity with
+:mod:`repro.linalg.lp` — not "same status" but the same
+:class:`~repro.linalg.lp.LPResult` object field for field: status,
+vertex, objective, down to Fraction normalization.  The property tests
+pin that on random LPs, forced-degenerate systems (duplicated rows),
+infeasible and unbounded programs, and the classic cycling instances
+that Bland's rule exists for; the validation errors must match too.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LinearAlgebraError
+from repro.linalg import int_lp, lp
+
+small_fraction = st.fractions(
+    min_value=Fraction(-10), max_value=Fraction(10), max_denominator=8
+)
+
+
+def lp_instances(max_rows=5, max_cols=5):
+    """(c, A, b) triples spanning feasible/infeasible/unbounded cases."""
+    return st.integers(min_value=0, max_value=max_rows).flatmap(
+        lambda nr: st.integers(min_value=1, max_value=max_cols).flatmap(
+            lambda nc: st.tuples(
+                st.lists(small_fraction, min_size=nc, max_size=nc),
+                st.lists(
+                    st.lists(small_fraction, min_size=nc, max_size=nc),
+                    min_size=nr,
+                    max_size=nr,
+                ),
+                st.lists(small_fraction, min_size=nr, max_size=nr),
+            )
+        )
+    )
+
+
+def _assert_result_parity(c, a, b):
+    try:
+        expected = lp.solve_lp(c, a, b)
+        expected_error = None
+    except LinearAlgebraError as exc:
+        expected, expected_error = None, str(exc)
+    try:
+        got = int_lp.solve_lp(c, a, b)
+        got_error = None
+    except LinearAlgebraError as exc:
+        got, got_error = None, str(exc)
+    assert got_error == expected_error
+    assert got == expected
+    if got is not None and got.is_optimal:
+        # Bit-identical means types too: normalized Fractions at the
+        # boundary, exactly like the reference.
+        assert all(type(v) is Fraction for v in got.x)
+        assert type(got.objective) is Fraction
+    return got
+
+
+class TestSolveLpParity:
+    @settings(max_examples=200, deadline=None)
+    @given(lp_instances())
+    def test_random_lps_bit_identical(self, instance):
+        c, a, b = instance
+        _assert_result_parity(c, a, b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(lp_instances(), st.integers(min_value=0, max_value=10))
+    def test_degenerate_duplicate_rows(self, instance, which):
+        """Duplicated (and negated) rows force degenerate ratio-test ties."""
+        c, a, b = instance
+        if not a:
+            a, b = [[Fraction(1)] * len(c)], [Fraction(1)]
+        src = which % len(a)
+        a = a + [list(a[src]), [-x for x in a[src]]]
+        b = b[: len(a) - 2] + [b[src], -b[src]]
+        _assert_result_parity(c, a, b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(lp_instances())
+    def test_forced_infeasible(self, instance):
+        """x_0 = 1 and x_0 = 2 cannot hold together; both solvers agree."""
+        c, a, b = instance
+        unit = [Fraction(1)] + [Fraction(0)] * (len(c) - 1)
+        a = a + [unit, list(unit)]
+        b = b + [Fraction(1), Fraction(2)]
+        got = _assert_result_parity(c, a, b)
+        assert got is not None and got.status == "infeasible"
+
+    def test_known_small_programs(self):
+        # Optimal with a fractional vertex.
+        result = int_lp.solve_lp(
+            [Fraction(1, 3), Fraction(-2, 7)],
+            [[Fraction(1, 2), Fraction(3, 5)]],
+            [Fraction(7, 11)],
+        )
+        assert result == lp.solve_lp(
+            [Fraction(1, 3), Fraction(-2, 7)],
+            [[Fraction(1, 2), Fraction(3, 5)]],
+            [Fraction(7, 11)],
+        )
+        assert result.is_optimal
+        # Unbounded: minimize -x1 with x1 - x2 = 0 lets both grow forever.
+        unbounded = int_lp.solve_lp([-1, 0], [[1, -1]], [0])
+        assert unbounded == lp.solve_lp([-1, 0], [[1, -1]], [0])
+        assert unbounded.status == "unbounded"
+        # Negative rhs rows are negated first, exactly like the reference.
+        negated = int_lp.solve_lp([1, 1], [[-1, -1]], [-2])
+        assert negated == lp.solve_lp([1, 1], [[-1, -1]], [-2])
+        assert negated.is_optimal and negated.objective == 2
+
+    def test_validation_errors_identical(self):
+        # Rows wider than the cost vector: the reference's "ragged" error.
+        with pytest.raises(LinearAlgebraError, match="ragged"):
+            int_lp.solve_lp([1], [[1, 2], [1, 2]], [1, 2])
+        with pytest.raises(LinearAlgebraError, match="rhs length"):
+            int_lp.solve_lp([1], [[1]], [1, 2])
+        # Truly ragged input fails shape conversion in both solvers.
+        for solver in (int_lp.solve_lp, lp.solve_lp):
+            with pytest.raises(ValueError, match="unequal lengths"):
+                solver([1, 1], [[1], [1, 2]], [1, 2])
+
+    def test_beale_cycling_instance(self):
+        """Beale's example cycles under naive pivoting; Bland's rule (the
+        reference's and the integer kernel's shared anti-cycling order)
+        must terminate at the optimum -1/20 — identically."""
+        c = [Fraction(-3, 4), 150, Fraction(-1, 50), 6, 0, 0, 0]
+        a = [
+            [Fraction(1, 4), -60, Fraction(-1, 25), 9, 1, 0, 0],
+            [Fraction(1, 2), -90, Fraction(-1, 50), 3, 0, 1, 0],
+            [0, 0, 1, 0, 0, 0, 1],
+        ]
+        b = [0, 0, 1]
+        got = int_lp.solve_lp(c, a, b)
+        assert got == lp.solve_lp(c, a, b)
+        assert got.is_optimal
+        assert got.objective == Fraction(-1, 20)
+
+    def test_kuhn_cycling_instance(self):
+        """Kuhn's degenerate example — every basic feasible solution of
+        phase 2 starts at the origin, the classic cycling trap."""
+        c = [-2, -3, 1, 12, 0, 0]
+        a = [
+            [-2, -9, 1, 9, 1, 0],
+            [Fraction(1, 3), 1, Fraction(-1, 3), -2, 0, 1],
+        ]
+        b = [0, 0]
+        got = int_lp.solve_lp(c, a, b)
+        assert got == lp.solve_lp(c, a, b)
+
+    def test_empty_constraint_system(self):
+        assert int_lp.solve_lp([1, 2], [], []) == lp.solve_lp([1, 2], [], [])
+        assert int_lp.solve_lp([-1], [], []) == lp.solve_lp([-1], [], [])
+
+
+class TestFindFeasiblePointParity:
+    @settings(max_examples=150, deadline=None)
+    @given(lp_instances(), st.data())
+    def test_parity_with_and_without_bounds(self, instance, data):
+        __, a, b = instance
+        ncols = len(a[0]) if a else 0
+        if data.draw(st.booleans()) and ncols:
+            bounds = data.draw(
+                st.lists(
+                    st.fractions(
+                        min_value=Fraction(0),
+                        max_value=Fraction(5),
+                        max_denominator=6,
+                    ),
+                    min_size=ncols,
+                    max_size=ncols,
+                )
+            )
+        else:
+            bounds = None
+        assert int_lp.find_feasible_point(
+            a, b, upper_bounds=bounds
+        ) == lp.find_feasible_point(a, b, upper_bounds=bounds)
+
+    def test_simplex_membership_system(self):
+        """The Lemma-1 shape: probabilities summing to one, bounded by 1."""
+        point = int_lp.find_feasible_point(
+            [[1, 1, 1]], [1], upper_bounds=[1, 1, 1]
+        )
+        assert point == lp.find_feasible_point(
+            [[1, 1, 1]], [1], upper_bounds=[1, 1, 1]
+        )
+        assert point is not None and sum(point) == 1
+
+    def test_infeasible_returns_none(self):
+        assert int_lp.find_feasible_point([[1, 1]], [3], upper_bounds=[1, 1]) is None
+        assert lp.find_feasible_point([[1, 1]], [3], upper_bounds=[1, 1]) is None
+
+    def test_bound_length_error_identical(self):
+        with pytest.raises(LinearAlgebraError, match="upper bound length"):
+            int_lp.find_feasible_point([[1, 1]], [1], upper_bounds=[1])
+
+
+class TestSharedResultType:
+    def test_lpresult_is_the_reference_class(self):
+        """Callers (and parity asserts) must see one LPResult class."""
+        assert int_lp.LPResult is lp.LPResult
+        result = int_lp.solve_lp([0], [[1]], [1])
+        assert isinstance(result, lp.LPResult)

@@ -1,0 +1,329 @@
+"""n-player lattice certification must be bit-identical to the Fractions.
+
+PR 6 extends the integer-lattice rule beyond bimatrix games: strategic
+Nash checks, Bayes-Nash checks, and correlated obedience constraints
+all run as machine-integer comparisons on cached per-player tables.
+The contract mirrors ``tests/test_backend_certification.py``: whatever
+the fast path is asked — equilibria, garbage, tampered advice — its
+verdicts (and, for the n-player verifier, its full *reports*: reasons
+and exact values) must equal the Fraction reference's, bit for bit.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+import repro.equilibria.mixed as mixed_mod
+from repro.equilibria.correlated import (
+    correlated_equilibrium_lp,
+    fraction_correlated_check,
+    is_correlated_equilibrium,
+    normalize_distribution,
+    product_distribution,
+)
+from repro.equilibria.mixed import (
+    fraction_nash_check,
+    is_mixed_nash,
+    lattice_action_values,
+)
+from repro.games.bayesian import (
+    BayesianGame,
+    bayes_nash_equilibria,
+    fraction_bayes_nash_check,
+    is_bayes_nash,
+)
+from repro.games.generators import pure_dominance_game, random_strategic
+from repro.games.profiles import MixedProfile
+from repro.interactive.nplayer import (
+    NPlayerAnnouncement,
+    announce_nplayer,
+    verify_nplayer,
+)
+from repro.rng import make_rng
+
+SEEDS = tuple(range(12))
+
+
+def _rational_strategic(counts, seed):
+    """A strategic game with genuinely rational (non-integer) payoffs."""
+    rng = make_rng(seed, f"nplayer-cert:{counts}")
+
+    def payoff(player, profile):
+        local = make_rng(seed, f"nplayer-cert:{counts}:{player}:{profile}")
+        return Fraction(local.randint(-12, 12), local.randint(1, 9))
+
+    from repro.games.strategic import StrategicGame
+
+    return StrategicGame.from_payoff_function(
+        counts, payoff, name=f"RationalStrategic({counts}/{seed})"
+    )
+
+
+def _degenerate_strategic(counts, seed):
+    """Massive payoff ties: every lattice comparison is a near-tie."""
+    rng = make_rng(seed, f"nplayer-degenerate:{counts}")
+
+    def payoff(player, profile):
+        local = make_rng(seed, f"nplayer-degenerate:{counts}:{player}:{profile}")
+        return Fraction(local.randint(0, 1), 2)
+
+    from repro.games.strategic import StrategicGame
+
+    return StrategicGame.from_payoff_function(counts, payoff)
+
+
+def _games(seed):
+    counts = (2, 3, 2) if seed % 2 else (3, 2, 2)
+    return [
+        random_strategic(counts, seed=seed),
+        _rational_strategic(counts, seed),
+        _degenerate_strategic(counts, seed),
+    ]
+
+
+def _random_mixed(game, seed, tag=""):
+    """A random exact mixed profile over the game's action space."""
+    rng = make_rng(seed, f"nplayer-mix:{game.action_counts}:{tag}")
+    rows = []
+    for count in game.action_counts:
+        weights = [rng.randint(0, 4) for _ in range(count)]
+        if not any(weights):
+            weights[rng.randint(0, count - 1)] = 1
+        total = sum(weights)
+        rows.append(tuple(Fraction(w, total) for w in weights))
+    return MixedProfile(tuple(rows))
+
+
+def _candidates(game, seed):
+    out = [
+        MixedProfile.uniform(game.action_counts),
+        MixedProfile.pure(
+            tuple(0 for _ in game.action_counts), game.action_counts
+        ),
+    ]
+    out += [_random_mixed(game, seed, tag=str(k)) for k in range(4)]
+    return out
+
+
+class TestStrategicLatticeParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_verdicts_bit_identical(self, seed):
+        for game in _games(seed):
+            for candidate in _candidates(game, seed):
+                assert is_mixed_nash(game, candidate) == fraction_nash_check(
+                    game, candidate
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_lattice_values_reconstruct_exact_payoffs(self, seed):
+        from repro.equilibria.best_reply import mixed_action_payoffs
+
+        for game in _games(seed):
+            candidate = _random_mixed(game, seed, tag="values")
+            lattice = lattice_action_values(game, candidate)
+            assert lattice is not None
+            for player, (ints, denominator) in enumerate(lattice):
+                exact = mixed_action_payoffs(game, player, candidate)
+                assert tuple(
+                    Fraction(v, denominator) for v in ints
+                ) == tuple(exact)
+
+    def test_untabulable_game_falls_back(self, monkeypatch):
+        game = pure_dominance_game()
+        candidate = MixedProfile.uniform(game.action_counts)
+        monkeypatch.setattr(
+            mixed_mod, "integer_table_and_scales", lambda game: None
+        )
+        assert lattice_action_values(game, candidate) is None
+        assert is_mixed_nash(game, candidate) == fraction_nash_check(
+            game, candidate
+        )
+
+
+class TestNPlayerVerifierParity:
+    def _reports(self, game, announcement, monkeypatch):
+        """The verifier's report via the lattice and via pure Fractions."""
+        fast = verify_nplayer(game, announcement)
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                mixed_mod, "integer_table_and_scales", lambda game: None
+            )
+            slow = verify_nplayer(game, announcement)
+        return fast, slow
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reports_bit_identical(self, seed, monkeypatch):
+        """Accept/reject, reason strings, and exact values all match."""
+        for game in _games(seed):
+            for candidate in _candidates(game, seed):
+                announcement = announce_nplayer(game, candidate)
+                fast, slow = self._reports(game, announcement, monkeypatch)
+                assert fast == slow
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_tampered_probabilities_rejected_identically(self, seed, monkeypatch):
+        game = _games(seed)[0]
+        candidate = MixedProfile.uniform(game.action_counts)
+        announcement = announce_nplayer(game, candidate)
+        # Tamper: shift mass inside the announced support (still a valid
+        # distribution, so only the payoff comparison can catch it).
+        count = game.action_counts[0]
+        skewed = (Fraction(1, 1),) + (Fraction(0),) * (count - 1)
+        tampered = NPlayerAnnouncement(
+            supports=announcement.supports,
+            probabilities=(skewed,) + announcement.probabilities[1:],
+        )
+        fast, slow = self._reports(game, tampered, monkeypatch)
+        assert fast == slow
+        assert not fast.accepted  # support mismatch or payoff refutation
+
+
+def _random_bayesian(seed):
+    rng = make_rng(seed, "bayes-cert")
+    type_counts = (2, 2)
+    action_counts = (2, 2) if seed % 2 else (2, 3)
+    weights = {
+        (t0, t1): rng.randint(0, 3)
+        for t0 in range(type_counts[0])
+        for t1 in range(type_counts[1])
+    }
+    if not any(weights.values()):
+        weights[(0, 0)] = 1
+    total = sum(weights.values())
+    prior = {
+        types: Fraction(w, total) for types, w in weights.items() if w
+    }
+
+    def payoff(player, types, actions):
+        local = make_rng(seed, f"bayes-cert:{player}:{types}:{actions}")
+        return Fraction(local.randint(-6, 6), local.randint(1, 5))
+
+    return BayesianGame(type_counts, action_counts, prior, payoff)
+
+
+class TestBayesLatticeParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_all_pure_profiles_decide_identically(self, seed):
+        import itertools
+
+        game = _random_bayesian(seed)
+        spaces = [
+            list(
+                itertools.product(
+                    range(game.action_counts[p]), repeat=game.type_counts[p]
+                )
+            )
+            for p in range(game.num_players)
+        ]
+        checked = 0
+        for combo in itertools.product(*spaces):
+            assert is_bayes_nash(game, combo) == fraction_bayes_nash_check(
+                game, combo
+            )
+            checked += 1
+        assert checked == len(spaces[0]) * len(spaces[1])
+
+    def test_enumeration_unchanged_on_reference_game(self):
+        # bayes_nash_equilibria routes through is_bayes_nash; the known
+        # pooling equilibria of the two-type coordination game survive.
+        prior = {(0, 0): Fraction(1, 2), (1, 0): Fraction(1, 2)}
+
+        def payoff(player, types, actions):
+            match = 1 if actions[0] == actions[1] else 0
+            if player == 0:
+                return (2 if actions[0] == types[0] else 1) * match
+            return match
+
+        game = BayesianGame((2, 1), (2, 2), prior, payoff)
+        eqs = set(bayes_nash_equilibria(game))
+        assert ((0, 0), (0,)) in eqs
+        assert ((1, 1), (1,)) in eqs
+        assert ((0, 1), (0,)) not in eqs
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_tampered_equilibria_rejected_identically(self, seed):
+        game = _random_bayesian(seed)
+        eqs = bayes_nash_equilibria(game)
+        if not eqs:
+            pytest.skip("no pure Bayes-Nash equilibrium at this seed")
+        for eq in eqs[:2]:
+            assert is_bayes_nash(game, eq)
+            # Tamper every type's action in turn; verdicts must track the
+            # reference on each single-deviation corruption.
+            for player in range(game.num_players):
+                for own_type in range(game.type_counts[player]):
+                    for action in range(game.action_counts[player]):
+                        strategy = list(eq[player])
+                        strategy[own_type] = action
+                        tampered = (
+                            eq[:player]
+                            + (tuple(strategy),)
+                            + eq[player + 1:]
+                        )
+                        assert is_bayes_nash(
+                            game, tampered
+                        ) == fraction_bayes_nash_check(game, tampered)
+
+
+class TestCorrelatedLatticeParity:
+    def _distributions(self, game, seed):
+        rng = make_rng(seed, "ce-cert")
+        profiles = list(game.enumerate_profiles())
+        out = []
+        for k in range(4):
+            weights = [rng.randint(0, 3) for _ in profiles]
+            if not any(weights):
+                weights[0] = 1
+            total = sum(weights)
+            out.append(
+                {
+                    profile: Fraction(w, total)
+                    for profile, w in zip(profiles, weights)
+                    if w
+                }
+            )
+        # Point mass on a single profile (degenerate support).
+        out.append({profiles[0]: Fraction(1)})
+        return out
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_verdicts_bit_identical(self, seed):
+        for game in _games(seed)[:2]:
+            for dist in self._distributions(game, seed):
+                assert is_correlated_equilibrium(
+                    game, dist
+                ) == fraction_correlated_check(game, dist)
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_lp_output_passes_both_checks(self, seed):
+        game = random_strategic((2, 2), seed=seed)
+        ce = correlated_equilibrium_lp(game)
+        assert normalize_distribution(game, ce) == ce
+        assert is_correlated_equilibrium(game, ce)
+        assert fraction_correlated_check(game, ce)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_nash_product_device_accepted_identically(self, seed):
+        from repro.equilibria.support_enumeration import find_one_equilibrium
+        from repro.games.generators import random_bimatrix
+
+        bimatrix = random_bimatrix(2, 3, seed=seed)
+        game = bimatrix.to_strategic()
+        eq = find_one_equilibrium(bimatrix)
+        dist = product_distribution(game, eq)
+        assert is_correlated_equilibrium(game, dist)
+        assert fraction_correlated_check(game, dist)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_tampered_device_rejected_identically(self, seed):
+        game = random_strategic((2, 2), seed=seed)
+        ce = correlated_equilibrium_lp(game)
+        profiles = list(game.enumerate_profiles())
+        # Move all mass onto the first profile while keeping a valid
+        # distribution — obedience must now be re-decided from scratch.
+        tampered = {profiles[0]: Fraction(1)}
+        assert is_correlated_equilibrium(
+            game, tampered
+        ) == fraction_correlated_check(game, tampered)
