@@ -34,6 +34,8 @@ import pathlib
 import sys
 
 RESULTS = pathlib.Path(__file__).parent / "results"
+#: Where quick/full-scale runs land (see conftest.record_metrics).
+SMOKE = RESULTS / "smoke"
 #: A fresh speedup below baseline / ALLOWED_REGRESSION fails the job.
 ALLOWED_REGRESSION = 2.0
 
@@ -87,7 +89,7 @@ def run(fresh_path: pathlib.Path, baseline_path: pathlib.Path, label: str) -> in
 
 def main(argv: list[str]) -> int:
     fresh_path = pathlib.Path(
-        argv[1] if len(argv) > 1 else RESULTS / "BENCH_exact_kernel.quick.json"
+        argv[1] if len(argv) > 1 else SMOKE / "BENCH_exact_kernel.quick.json"
     )
     baseline_path = pathlib.Path(
         argv[2] if len(argv) > 2 else RESULTS / "BENCH_exact_kernel.json"

@@ -19,12 +19,12 @@ from __future__ import annotations
 import pathlib
 import sys
 
-from check_exact_kernel_regression import RESULTS, run
+from check_exact_kernel_regression import RESULTS, SMOKE, run
 
 
 def main(argv: list[str]) -> int:
     fresh_path = pathlib.Path(
-        argv[1] if len(argv) > 1 else RESULTS / "BENCH_int_lp.quick.json"
+        argv[1] if len(argv) > 1 else SMOKE / "BENCH_int_lp.quick.json"
     )
     baseline_path = pathlib.Path(
         argv[2] if len(argv) > 2 else RESULTS / "BENCH_int_lp.json"

@@ -24,6 +24,31 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+#: Non-default-scale JSON quarantine: quick/full runs write here, so the
+#: committed trajectory directory holds default-scale numbers only.
+SMOKE_DIR = RESULTS_DIR / "smoke"
+
+
+def pytest_sessionstart(session):
+    """Refuse to run with stray scale-suffixed JSON in results/.
+
+    The bare ``results/`` directory is the committed cross-PR
+    trajectory: default-scale ``BENCH_<name>.json`` only.  A
+    ``*.quick.json`` / ``*.full.json`` sitting there (hand-copied, or
+    force-added past the gitignore) would be one ``git add`` away from
+    polluting the trajectory, so fail loudly instead of benching on.
+    Scale-suffixed files belong in ``results/smoke/``.
+    """
+    strays = sorted(
+        str(path.relative_to(RESULTS_DIR.parent))
+        for pattern in ("BENCH_*.quick.json", "BENCH_*.full.json")
+        for path in RESULTS_DIR.glob(pattern)
+    )
+    if strays:
+        raise pytest.UsageError(
+            "scale-suffixed bench JSON must live in results/smoke/, "
+            "not results/: " + ", ".join(strays)
+        )
 
 
 @pytest.fixture(scope="session")
@@ -65,8 +90,9 @@ def record_metrics(results_dir, bench_scale):
 
     The bare ``BENCH_<name>.json`` filename is reserved for the
     committed default scale; quick/full runs write
-    ``BENCH_<name>.<scale>.json`` instead, so a smoke run never
-    clobbers the cross-PR trajectory data.
+    ``BENCH_<name>.<scale>.json`` into ``results/smoke/`` instead, so a
+    smoke run never clobbers — and can never be committed next to —
+    the cross-PR trajectory data.
     """
 
     def _record(name: str, metrics: list[dict], backend: str = "exact") -> None:
@@ -81,8 +107,11 @@ def record_metrics(results_dir, bench_scale):
             "backend": backend,
             "metrics": metrics,
         }
-        suffix = "" if bench_scale == "default" else f".{bench_scale}"
-        path = results_dir / f"BENCH_{name}{suffix}.json"
+        if bench_scale == "default":
+            path = results_dir / f"BENCH_{name}.json"
+        else:
+            SMOKE_DIR.mkdir(exist_ok=True)
+            path = SMOKE_DIR / f"BENCH_{name}.{bench_scale}.json"
         path.write_text(
             json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8"
         )

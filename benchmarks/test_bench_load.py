@@ -1,0 +1,377 @@
+"""L1 — latency under offered load: saturation, pipelining, self-tuning.
+
+Every earlier bench measured closed-loop throughput (submit, drain,
+divide).  This one drives the service **open-loop** — arrivals follow
+their own Poisson/bursty clock, independent of completions — so
+queueing delay appears in the latency numbers instead of silently
+throttling the workload.  Three measurements:
+
+* **saturation scan** — a self-calibrated offered-rate ladder over the
+  mixed cold/repeat/near-repeat stream; reports per-rung p50/p95/p99
+  and the saturation point (the first rate whose p99 blows the bound);
+* **pipelined vs forced-serial drain** — the same mixed stream,
+  verify/conclude off-path (``verify_workers = 4``) vs the
+  ``REPRO_FORCE_SERIAL`` inline fallback, with bit-identity asserted
+  pair by pair.  Note the honest physics: this repo's certification is
+  *cheap by design* (the paper's whole point), so stage 2 is a few
+  percent of the drain and Amdahl caps the overlap win near 1x — the
+  committed number documents that pipelining is free, and the stage
+  queue is the seam that scale-out (heavier verifier panels, slower
+  certification rules) would pay through;
+* **adaptive vs fixed** — a bursty arrival schedule against fixed
+  ``verify_workers`` 1 and 4 and against the EWMA hysteresis
+  controller; the controller must match the best fixed setting.
+
+Soundness is asserted throughout: every completed consultation is
+majority-certified, and every exact repeat's suggestion is bit-identical
+to its cold base's — under load, off-path, at every pool size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import PaperComparison, TextTable
+from repro.core.actors import AuthorityAgent, BimatrixInventor
+from repro.core.audit import EVENT_AUTOTUNE_RESIZED, EVENT_SERVICE_COMPLETED
+from repro.core.authority import RationalityAuthority
+from repro.core.registry import standard_procedures
+from repro.linalg.backend import MODE_NUMPY, BackendPolicy
+from repro.service import (
+    AuthorityService,
+    AutotuneConfig,
+    bursty_arrivals,
+    find_saturation,
+    mixed_game_stream,
+    poisson_arrivals,
+    publish_stream,
+    run_load,
+)
+from repro.service.load import KIND_REPEAT
+
+#: Pipelining must never cost real throughput (the win is capped by the
+#: verify fraction, see module docstring; the floor guards the overhead).
+#: At quick scale the whole warm-heavy drain is tens of milliseconds, so
+#: fixed thread-dispatch overhead is a visible fraction of it — the
+#: tracked number is the default-scale one, quick only smokes gross
+#: regressions.
+_PIPELINE_FLOORS = {"quick": 0.45, "default": 0.85, "full": 0.85}
+#: The controller must stay within this factor of the best fixed pool.
+_AUTOTUNE_FLOOR = 0.75
+
+
+def _scale(bench_scale):
+    """(stream length, game size) per scale."""
+    return {
+        "quick": (36, 4),
+        "default": (80, 6),
+        "full": (160, 7),
+    }[bench_scale]
+
+
+def _fresh(size, count, seed=33, **stream_kwargs):
+    """A fresh authority + published mixed stream (one per measured run,
+    so rungs never share cache state)."""
+    authority = RationalityAuthority(seed=17)
+    authority.register_verifiers(standard_procedures())
+    inventor = BimatrixInventor(
+        "inv", method="support-enumeration",
+        backend=BackendPolicy(MODE_NUMPY),
+    )
+    authority.register_inventor(inventor)
+    authority.register_agent(AuthorityAgent("jane", player_role=0))
+    stream = mixed_game_stream(count, size=size, seed=seed, **stream_kwargs)
+    publish_stream(authority, "inv", stream)
+    return authority, stream
+
+
+def _assert_sound(stream, futures):
+    """Certified advice, repeats bit-identical to their cold bases."""
+    outcomes = {}
+    for entry, future in zip(stream, futures):
+        if future is None:
+            continue
+        outcome = future.peek_outcome()
+        if outcome is None:
+            continue
+        assert outcome.majority.accepted, entry.game_id
+        outcomes[entry.game_id] = outcome
+    for entry in stream:
+        if entry.kind == KIND_REPEAT and entry.game_id in outcomes \
+                and entry.base_id in outcomes:
+            assert (
+                outcomes[entry.game_id].advice.suggestion
+                == outcomes[entry.base_id].advice.suggestion
+            ), f"{entry.game_id} diverged from {entry.base_id}"
+
+
+def _closed_loop(size, count, verify_workers=1, seed=33, **stream_kwargs):
+    """One closed-loop run; returns (seconds, futures, stream)."""
+    authority, stream = _fresh(size, count, seed=seed, **stream_kwargs)
+    service = AuthorityService(authority, verify_workers=verify_workers)
+    started = time.perf_counter()
+    futures = [service.submit("jane", e.game_id) for e in stream]
+    service.drain()
+    seconds = time.perf_counter() - started
+    for future in futures:
+        future.result()
+    _assert_sound(stream, futures)
+    service.close()
+    authority.close()
+    return seconds, futures, stream
+
+
+def test_bench_load_saturation(bench_scale, record_table, record_metrics):
+    count, size = _scale(bench_scale)
+
+    # Calibrate: closed-loop drain throughput bounds any open-loop rate.
+    cal_seconds, cal_futures, __ = _closed_loop(size, count)
+    top_rate = count / cal_seconds
+    # Ten mean service times — but the p99 of a small run is one slow
+    # consultation, and even far below capacity that consultation still
+    # pays its own cold solve (plus a short transient queue behind other
+    # solves).  Keep the bound clear of the calibration stream's own
+    # solve tail and of scheduler noise: sustained overload is caught by
+    # the throughput-deficit signal in ``LoadReport.saturated`` anyway,
+    # so the latency bound only needs to separate "queueing grew" from
+    # "one hard game / one noisy scheduling quantum".
+    slowest_solve_ms = max(
+        (f.result().advice.solve_ms or 0.0) for f in cal_futures
+    )
+    p99_bound_ms = max(10_000.0 / top_rate, 5.0 * slowest_solve_ms, 400.0)
+
+    rungs = []
+
+    def run_at(rate):
+        authority, stream = _fresh(size, count)
+        service = AuthorityService(authority, verify_workers=2)
+        schedule = poisson_arrivals(rate=rate, count=count, seed=7)
+        report = run_load(service, "jane", stream, schedule)
+        rungs.append((rate, report))
+        service.close()
+        authority.close()
+        return report
+
+    ladder = [round(f * top_rate, 2) for f in (0.4, 0.7, 1.1, 1.8, 3.0)]
+    result = find_saturation(run_at, ladder, p99_bound_ms=p99_bound_ms)
+
+    table = TextTable(
+        ["offered/s", "completed", "shed", "throughput/s",
+         "p50 ms", "p95 ms", "p99 ms", "saturated"],
+        title=(
+            f"L1: open-loop saturation scan, mixed stream "
+            f"({count} games, n = m = {size}, p99 bound "
+            f"{p99_bound_ms:.0f} ms)"
+        ),
+    )
+    metrics = [
+        {"metric": "calibrated_closed_loop_rate", "value": top_rate,
+         "games": count, "size": size, "unit": "1/s"},
+        {"metric": "p99_bound_ms", "value": p99_bound_ms, "unit": "ms"},
+    ]
+    for rate, report in rungs:
+        table.add_row(
+            f"{rate:.1f}", report.completed, report.shed,
+            f"{report.throughput:.1f}",
+            f"{report.latency_ms['p50']:.1f}",
+            f"{report.latency_ms['p95']:.1f}",
+            f"{report.latency_ms['p99']:.1f}",
+            "yes" if report.saturated(p99_bound_ms) else "no",
+        )
+        tag = f"rate_{rate:g}"
+        metrics.extend([
+            {"metric": f"{tag}_throughput_per_s", "value": report.throughput,
+             "unit": "1/s"},
+            {"metric": f"{tag}_p50_ms", "value": report.latency_ms["p50"],
+             "unit": "ms"},
+            {"metric": f"{tag}_p95_ms", "value": report.latency_ms["p95"],
+             "unit": "ms"},
+            {"metric": f"{tag}_p99_ms", "value": report.latency_ms["p99"],
+             "unit": "ms"},
+        ])
+    record_table("l1_load_saturation", table.render())
+
+    # A warm stream (all exact repeats after the first cold) closed-loop:
+    # the throughput floor the CI regression gate holds.
+    warm_seconds, __, ___ = _closed_loop(
+        size, count, repeat_fraction=0.97, near_fraction=0.0, seed=41
+    )
+    warm_rate = count / warm_seconds
+
+    sustained = result.sustained_rate or 0.0
+    metrics.extend([
+        {"metric": "sustained_rate_per_s", "value": sustained, "unit": "1/s"},
+        {"metric": "saturation_rate_per_s",
+         "value": result.saturation_rate or -1.0, "unit": "1/s"},
+        {"metric": "warm_stream_consults_per_s", "value": warm_rate,
+         "unit": "1/s"},
+    ])
+    record_metrics("load_service", metrics, backend="numpy")
+
+    comparison = PaperComparison("L1 / latency under offered load")
+    comparison.add(
+        "ladder finds a saturation point", "found",
+        "found" if result.saturation_rate is not None else "never saturated",
+        result.saturation_rate is not None,
+    )
+    comparison.add(
+        "some rate sustained within the p99 bound", "> 0/s",
+        f"{sustained:.1f}/s", sustained > 0.0,
+    )
+    comparison.add(
+        "warm stream above the cold calibration rate",
+        f"> {top_rate:.1f}/s", f"{warm_rate:.1f}/s", warm_rate > top_rate,
+    )
+    record_table("l1_load_saturation_comparison", comparison.render())
+    assert comparison.all_match()
+
+
+def test_bench_pipelined_vs_serial(bench_scale, record_table, record_metrics,
+                                   monkeypatch):
+    count, size = _scale(bench_scale)
+    kwargs = dict(repeat_fraction=0.65, near_fraction=0.2, seed=59)
+
+    # Warm the interpreter (imports, numpy dispatch) off the clock so
+    # neither mode pays the cold-start penalty.
+    _closed_loop(size, max(6, count // 8), **kwargs)
+
+    monkeypatch.setenv("REPRO_FORCE_SERIAL", "1")
+    serial_seconds, serial_futures, stream = _closed_loop(
+        size, count, verify_workers=4, **kwargs
+    )
+    monkeypatch.delenv("REPRO_FORCE_SERIAL")
+    piped_seconds, piped_futures, __ = _closed_loop(
+        size, count, verify_workers=4, **kwargs
+    )
+
+    # Bit-identity pair by pair: threads are never part of the answer.
+    for slow, fast in zip(serial_futures, piped_futures):
+        assert slow.result().advice.suggestion == fast.result().advice.suggestion
+        assert slow.result().advice.cache == fast.result().advice.cache
+
+    serial_rate = count / serial_seconds
+    piped_rate = count / piped_seconds
+    speedup = serial_rate and piped_rate / serial_rate
+
+    table = TextTable(
+        ["drain", "games", "seconds", "consults/s"],
+        title=(
+            f"L2: pipelined vs forced-serial drain, warm-heavy mixed "
+            f"stream ({count} games, n = m = {size})"
+        ),
+    )
+    table.add_row("forced serial (REPRO_FORCE_SERIAL=1)", count,
+                  f"{serial_seconds:.3f}", f"{serial_rate:.1f}")
+    table.add_row("pipelined (verify_workers=4)", count,
+                  f"{piped_seconds:.3f}", f"{piped_rate:.1f}")
+    record_table("l2_pipelined_drain", table.render())
+
+    record_metrics(
+        "load_pipeline",
+        [
+            {"metric": "serial_consults_per_s", "value": serial_rate,
+             "games": count, "size": size, "unit": "1/s"},
+            {"metric": "pipelined_consults_per_s", "value": piped_rate,
+             "games": count, "size": size, "unit": "1/s"},
+            {"metric": "pipelined_speedup", "value": speedup, "unit": "x"},
+        ],
+        backend="numpy",
+    )
+
+    comparison = PaperComparison("L2 / pipelined drain")
+    comparison.add(
+        "pipelined outcomes bit-identical to serial", "all games",
+        "all games", True,
+    )
+    floor = _PIPELINE_FLOORS[bench_scale]
+    comparison.add(
+        f"pipelining costs no real throughput (>= {floor:.2f}x)",
+        f">= {floor:.2f}x", f"{speedup:.2f}x",
+        speedup >= floor,
+    )
+    record_table("l2_pipelined_comparison", comparison.render())
+    assert comparison.all_match()
+
+
+def test_bench_autotune_vs_fixed(bench_scale, record_table, record_metrics):
+    count, size = _scale(bench_scale)
+    burst = max(4, count // 6)
+    bursts = count // burst
+    trimmed = burst * bursts
+
+    def run_one(label, **service_kwargs):
+        authority, stream = _fresh(size, trimmed, seed=71)
+        service = AuthorityService(authority, **service_kwargs)
+        # Bursts sized to spike the queue, gapped so drains interleave.
+        schedule = bursty_arrivals(
+            burst_size=burst, bursts=bursts, gap_s=0.05, within_s=0.01,
+            seed=3,
+        )
+        report = run_load(service, "jane", stream, schedule)
+        # Soundness off the audit trail: every completion certified.
+        accepted = sum(
+            1 for r in authority.audit.events_of(EVENT_SERVICE_COMPLETED)
+            if r.details.get("accepted")
+        )
+        assert accepted == report.completed == len(stream)
+        resizes = len(authority.audit.events_of(EVENT_AUTOTUNE_RESIZED))
+        service.close()
+        authority.close()
+        return label, report, resizes
+
+    fixed1 = run_one("fixed verify_workers=1", verify_workers=1)
+    fixed4 = run_one("fixed verify_workers=4", verify_workers=4)
+    adaptive = run_one(
+        "adaptive (1..4, EWMA hysteresis)",
+        autotune=AutotuneConfig(
+            min_verify_workers=1, max_verify_workers=4,
+            alpha=0.5, cooldown=1, depth_pressure=burst // 2,
+        ),
+    )
+
+    best_fixed = max(fixed1[1].throughput, fixed4[1].throughput)
+    ratio = adaptive[1].throughput / best_fixed if best_fixed else 1.0
+
+    table = TextTable(
+        ["policy", "completed", "throughput/s", "p99 ms", "resizes"],
+        title=(
+            f"L3: adaptive controller vs fixed pools, bursty stream "
+            f"({bursts} bursts x {burst}, n = m = {size})"
+        ),
+    )
+    for label, report, resizes in (fixed1, fixed4, adaptive):
+        table.add_row(
+            label, report.completed, f"{report.throughput:.1f}",
+            f"{report.latency_ms['p99']:.1f}", resizes,
+        )
+    record_table("l3_autotune", table.render())
+
+    record_metrics(
+        "load_autotune",
+        [
+            {"metric": "fixed1_throughput_per_s",
+             "value": fixed1[1].throughput, "unit": "1/s"},
+            {"metric": "fixed4_throughput_per_s",
+             "value": fixed4[1].throughput, "unit": "1/s"},
+            {"metric": "adaptive_throughput_per_s",
+             "value": adaptive[1].throughput, "unit": "1/s"},
+            {"metric": "adaptive_vs_best_fixed", "value": ratio, "unit": "x"},
+            {"metric": "adaptive_resizes", "value": adaptive[2]},
+        ],
+        backend="numpy",
+    )
+
+    comparison = PaperComparison("L3 / telemetry-driven self-tuning")
+    comparison.add(
+        "every submission completed under every policy",
+        f"{trimmed} x 3",
+        f"{fixed1[1].completed + fixed4[1].completed + adaptive[1].completed}",
+        all(r.completed == trimmed for __, r, ___ in (fixed1, fixed4, adaptive)),
+    )
+    comparison.add(
+        f"adaptive within {_AUTOTUNE_FLOOR:.2f}x of best fixed pool",
+        f">= {_AUTOTUNE_FLOOR:.2f}x", f"{ratio:.2f}x",
+        ratio >= _AUTOTUNE_FLOOR,
+    )
+    record_table("l3_autotune_comparison", comparison.render())
+    assert comparison.all_match()

@@ -1,12 +1,20 @@
 """Experiment statistics and reporting helpers."""
 
 from repro.analysis.reporting import PaperComparison, TextTable
-from repro.analysis.stats import SampleSummary, proportion_ci, summarize
+from repro.analysis.stats import (
+    SampleSummary,
+    latency_summary,
+    percentile,
+    proportion_ci,
+    summarize,
+)
 
 __all__ = [
     "PaperComparison",
     "TextTable",
     "SampleSummary",
+    "latency_summary",
+    "percentile",
     "proportion_ci",
     "summarize",
 ]

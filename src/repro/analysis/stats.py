@@ -41,6 +41,43 @@ def summarize(values: Sequence[float]) -> SampleSummary:
     )
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (inclusive), ``q`` in [0, 100].
+
+    The estimator the load telemetry standardizes on: deterministic,
+    needs no interpolation, and for small drains returns an actually
+    observed latency rather than a synthetic midpoint.  The input need
+    not be sorted.
+    """
+    if not values:
+        raise ReproError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ReproError("percentile rank must be within [0, 100]")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def latency_summary(values: Sequence[float]) -> dict[str, float]:
+    """The p50/p95/p99/max summary every latency consumer shares.
+
+    Used by the service's ``service.queue.drained`` audit records and by
+    the open-loop load harness, so the two report the same estimator on
+    the same keys.  An empty sample summarizes to zeros (a drain that
+    resolved nothing still emits a record).
+    """
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+        "max": max(values),
+    }
+
+
 def proportion_ci(successes: int, trials: int) -> tuple[float, float]:
     """Wilson 95% interval for a binomial proportion."""
     if trials <= 0:

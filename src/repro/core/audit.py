@@ -37,6 +37,8 @@ EVENT_BATCH_CONSULTATION = "consultation.batch"
 EVENT_SERVICE_COMPLETED = "service.consultation.completed"
 EVENT_SERVICE_DRAINED = "service.queue.drained"
 EVENT_CALLBACK_FAILED = "service.callback.failed"
+EVENT_AUTOTUNE_RESIZED = "service.autotune.resized"
+EVENT_BACKPRESSURE = "service.admission.backpressure"
 EVENT_CACHE_LOADED = "cache.load.completed"
 EVENT_CACHE_LOAD_REJECTED = "cache.load.rejected"
 EVENT_CACHE_SAVED = "cache.saved"

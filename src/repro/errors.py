@@ -82,6 +82,17 @@ class ProtocolError(ReproError):
     """A rationality-authority session was driven out of protocol order."""
 
 
+class AdmissionError(ProtocolError):
+    """The consultation service refused (or timed out) an admission.
+
+    Raised by :meth:`~repro.service.service.AuthorityService.submit` when
+    the pending queue sits at its configured high-water mark and the
+    backpressure policy is ``"raise"`` — or when a ``"block"``\\ ing
+    admission exceeds its wait budget.  The shed load is recorded in the
+    audit log (``service.admission.backpressure``), so refusing work is
+    an accountable act, not a silent drop."""
+
+
 class PersistenceError(ReproError):
     """A persisted solve-cache document could not be trusted or decoded.
 

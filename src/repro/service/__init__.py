@@ -8,10 +8,35 @@ through the exact, tamper-rejecting on-disk format in
 for the online parallel-links game.  The synchronous
 ``RationalityAuthority.consult`` / ``consult_many`` calls are thin
 shims over this package.
+
+Two operational companions close the loop on load:
+:mod:`repro.service.load` (the open-loop harness measuring
+latency-under-load and saturation) and :mod:`repro.service.autotune`
+(the deterministic hysteresis controller that sizes the verify pool
+and screening shards from the service's own drain telemetry).
 """
 
+from repro.service.autotune import (
+    AdaptiveController,
+    AutotuneConfig,
+    DrainSample,
+    Resize,
+)
 from repro.service.cache import CacheStats, SolveCache, game_fingerprint
 from repro.service.futures import ConsultationFuture
+from repro.service.load import (
+    ArrivalSchedule,
+    LoadReport,
+    SaturationResult,
+    StreamEntry,
+    bursty_arrivals,
+    find_saturation,
+    mixed_game_stream,
+    poisson_arrivals,
+    publish_stream,
+    run_load,
+    uniform_arrivals,
+)
 from repro.service.online import BurstLinkAdviser, VerifiedLinkAdvice
 from repro.service.persistence import (
     FORMAT_NAME,
@@ -37,4 +62,19 @@ __all__ = [
     "SCHEMA_VERSION",
     "read_cache_file",
     "write_cache_file",
+    "AdaptiveController",
+    "AutotuneConfig",
+    "DrainSample",
+    "Resize",
+    "ArrivalSchedule",
+    "LoadReport",
+    "SaturationResult",
+    "StreamEntry",
+    "bursty_arrivals",
+    "find_saturation",
+    "mixed_game_stream",
+    "poisson_arrivals",
+    "publish_stream",
+    "run_load",
+    "uniform_arrivals",
 ]

@@ -1,0 +1,329 @@
+"""Self-tuning for the consultation service: telemetry in, knobs out.
+
+The service's fixed knobs — ``verify_workers`` and the inventors'
+screening shard counts — were operator guesses; the telemetry to choose
+them (``solve_ms``, ``verify_ms``, queue depth) already flows through
+every consultation.  This module closes the loop: an
+:class:`AdaptiveController` consumes one :class:`DrainSample` per drain
+and emits :class:`Resize` decisions that the service applies between
+drains and records in the audit log (``service.autotune.resized``).
+
+Design rules:
+
+* **Deterministic.**  The controller is a pure state machine over the
+  sample stream — no clocks, no randomness — so a fixed telemetry trace
+  replays to the identical decision sequence (tests pin this).  Wall
+  times feed the EWMAs, so two *live* runs may of course tune
+  differently; the *policy* is what is deterministic.
+* **Hysteretic.**  Decisions move one step at a time, only when the
+  smoothed signal leaves a dead band, and never before the per-knob
+  cooldown expires — a noisy drain cannot make the pool breathe on
+  every sample.
+* **Bounded.**  Every knob is clamped to configured bounds; the
+  controller can never resize outside them, whatever the telemetry
+  claims.
+
+The policy itself is the obvious queueing argument.  The drain thread
+solves serially while ``verify_workers`` threads certify off-path, so
+the pipeline is balanced when the verify stage's per-item service time
+divided by its worker count matches the solve stage's: the worker
+target is ``ewma(verify_ms) / ewma(solve_ms)`` clamped to bounds, with
+a persistent backlog (queue depth above ``depth_pressure``) pushing one
+step beyond balance.  Screening shards follow the same shape against
+``shard_solve_ms`` — the per-shard solve-time quantum: an inventor
+whose smoothed solve time is worth ``k`` quanta is offered ``k``
+shards.  This is bounded-resource rationality applied to the authority
+itself: effort adapts to measured load, soundness never depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ProtocolError
+
+#: Backpressure policies (see AutotuneConfig.backpressure).
+BACKPRESSURE_RAISE = "raise"
+BACKPRESSURE_BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class AutotuneConfig:
+    """Bounds and dead bands for the adaptive controller.
+
+    ``min_verify_workers``/``max_verify_workers`` bound the off-path
+    verification pool; ``min_shard_workers``/``max_shard_workers``
+    bound per-inventor screening shard counts, with ``shard_solve_ms``
+    the per-shard solve-time quantum (``None`` leaves screening alone).
+    ``alpha`` is the EWMA smoothing weight of the newest sample;
+    ``grow_band``/``shrink_band`` are the multiplicative dead band the
+    smoothed worker target must leave before a step; ``cooldown``
+    is the number of drains a knob rests after moving.
+    ``depth_pressure`` marks the smoothed queue depth at which the
+    controller grows the verify pool one step past balance.
+
+    ``high_water`` arms admission backpressure: :meth:`~repro.service
+    .service.AuthorityService.submit` refuses (``backpressure="raise"``)
+    or blocks (``"block"``, until the pending count falls to
+    ``low_water``, by default half the high-water mark) once the
+    pending queue holds ``high_water`` submissions.  ``block_timeout``
+    bounds a blocked admission in seconds (``None`` waits forever).
+    """
+
+    min_verify_workers: int = 1
+    max_verify_workers: int = 8
+    alpha: float = 0.4
+    grow_band: float = 1.25
+    shrink_band: float = 0.6
+    cooldown: int = 2
+    depth_pressure: int | None = None
+    shard_solve_ms: float | None = None
+    min_shard_workers: int = 1
+    max_shard_workers: int = 4
+    high_water: int | None = None
+    low_water: int | None = None
+    backpressure: str = BACKPRESSURE_RAISE
+    block_timeout: float | None = None
+
+    def __post_init__(self):
+        if not 1 <= self.min_verify_workers <= self.max_verify_workers:
+            raise ProtocolError("verify-worker bounds out of order")
+        if not 1 <= self.min_shard_workers <= self.max_shard_workers:
+            raise ProtocolError("shard-worker bounds out of order")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ProtocolError("EWMA alpha must be in (0, 1]")
+        if self.grow_band < 1.0 or not 0.0 < self.shrink_band <= 1.0:
+            raise ProtocolError("dead bands out of order")
+        if self.cooldown < 0:
+            raise ProtocolError("cooldown must be non-negative")
+        if self.high_water is not None and self.high_water < 1:
+            raise ProtocolError("high_water must be positive")
+        if self.low_water is not None:
+            if self.high_water is None:
+                raise ProtocolError("low_water needs a high_water mark")
+            if not 0 <= self.low_water < self.high_water:
+                raise ProtocolError("low_water must sit below high_water")
+        if self.backpressure not in (BACKPRESSURE_RAISE, BACKPRESSURE_BLOCK):
+            raise ProtocolError(
+                f"unknown backpressure policy {self.backpressure!r}"
+            )
+        if self.block_timeout is not None and self.block_timeout < 0:
+            raise ProtocolError("block_timeout must be non-negative")
+
+    def resolved_low_water(self) -> int | None:
+        """The release mark for blocked admissions (default: half full)."""
+        if self.high_water is None:
+            return None
+        if self.low_water is not None:
+            return self.low_water
+        return self.high_water // 2
+
+
+@dataclass(frozen=True)
+class DrainSample:
+    """One drain's telemetry, as the controller consumes it.
+
+    ``solve_ms``/``verify_ms`` are the drain's mean per-consultation
+    stage times (negative when unobserved — e.g. a drain of failures);
+    ``queue_depth`` is the pending count the drain started from;
+    ``inventor_solve_ms`` maps inventor names to their own mean solve
+    times, feeding the per-inventor shard policy.
+    """
+
+    submissions: int
+    queue_depth: int
+    solve_ms: float
+    verify_ms: float
+    inventor_solve_ms: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Resize:
+    """One applied-between-drains decision, as audited.
+
+    ``knob`` is ``"verify_workers"`` or ``"screening_workers"`` (the
+    latter carries the target ``inventor``); ``reason`` names the rule
+    that fired.  The EWMA snapshot rides along so the audit record
+    explains the decision without replaying the trace.
+    """
+
+    knob: str
+    previous: int
+    target: int
+    reason: str
+    inventor: str | None = None
+    ewma_solve_ms: float = 0.0
+    ewma_verify_ms: float = 0.0
+    ewma_queue_depth: float = 0.0
+
+    def as_audit_details(self) -> dict:
+        details = {
+            "knob": self.knob,
+            "previous": self.previous,
+            "target": self.target,
+            "reason": self.reason,
+            "ewma_solve_ms": self.ewma_solve_ms,
+            "ewma_verify_ms": self.ewma_verify_ms,
+            "ewma_queue_depth": self.ewma_queue_depth,
+        }
+        if self.inventor is not None:
+            details["inventor"] = self.inventor
+        return details
+
+
+class _Ewma:
+    """One exponentially weighted moving average (first sample seeds it)."""
+
+    def __init__(self, alpha: float):
+        self._alpha = alpha
+        self.value: float | None = None
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value = self._alpha * float(sample) \
+                + (1.0 - self._alpha) * self.value
+        return self.value
+
+    def read(self, default: float = 0.0) -> float:
+        return default if self.value is None else self.value
+
+
+class AdaptiveController:
+    """The hysteresis controller sizing the service's pools.
+
+    Construct with the config and the verify-worker count the service
+    starts from (clamped into the configured bounds); feed one
+    :class:`DrainSample` per drain to :meth:`observe` and apply the
+    returned :class:`Resize` decisions.  The controller assumes its
+    decisions are applied: :attr:`verify_workers` and
+    :meth:`screening_workers` track the targets it has emitted.
+    """
+
+    def __init__(self, config: AutotuneConfig, verify_workers: int = 1):
+        self.config = config
+        self.verify_workers = max(
+            config.min_verify_workers,
+            min(config.max_verify_workers, verify_workers),
+        )
+        self._solve = _Ewma(config.alpha)
+        self._verify = _Ewma(config.alpha)
+        self._depth = _Ewma(config.alpha)
+        self._inventor_solve: dict[str, _Ewma] = {}
+        self._shards: dict[str, int] = {}
+        self._cooldowns: dict[str, int] = {}
+        self.samples = 0
+
+    def screening_workers(self, inventor: str) -> int:
+        """The shard count last targeted for ``inventor`` (1 untouched)."""
+        return self._shards.get(inventor, self.config.min_shard_workers)
+
+    # ------------------------------------------------------------------
+    # The policy
+    # ------------------------------------------------------------------
+
+    def observe(self, sample: DrainSample) -> list[Resize]:
+        """Consume one drain's telemetry; emit the resizes it justifies."""
+        self.samples += 1
+        if sample.solve_ms >= 0.0:
+            self._solve.update(sample.solve_ms)
+        if sample.verify_ms >= 0.0:
+            self._verify.update(sample.verify_ms)
+        self._depth.update(sample.queue_depth)
+        for inventor, solve_ms in sorted(sample.inventor_solve_ms.items()):
+            if solve_ms >= 0.0:
+                self._inventor_solve.setdefault(
+                    inventor, _Ewma(self.config.alpha)
+                ).update(solve_ms)
+        resting = {
+            knob for knob, left in self._cooldowns.items() if left > 0
+        }
+        decisions: list[Resize] = []
+        verify = self._verify_decision()
+        if verify is not None:
+            decisions.append(verify)
+        decisions.extend(self._shard_decisions())
+        # Rest exactly ``cooldown`` samples after a move: knobs that were
+        # already resting tick down; knobs that just moved start fresh.
+        for knob in resting:
+            self._cooldowns[knob] -= 1
+        return decisions
+
+    def _snapshot(self) -> dict:
+        return {
+            "ewma_solve_ms": self._solve.read(),
+            "ewma_verify_ms": self._verify.read(),
+            "ewma_queue_depth": self._depth.read(),
+        }
+
+    def _verify_decision(self) -> Resize | None:
+        config = self.config
+        if self._cooldowns.get("verify_workers", 0) > 0:
+            return None
+        solve = self._solve.read()
+        verify = self._verify.read()
+        if verify <= 0.0:
+            return None
+        # Balance point: one solve feeds W verifiers, so W* = verify/solve.
+        balance = verify / max(solve, 1e-3)
+        reason = "balance"
+        if (
+            config.depth_pressure is not None
+            and self._depth.read() > config.depth_pressure
+        ):
+            balance = max(balance, self.verify_workers + 1)
+            reason = "queue-pressure"
+        target = max(
+            config.min_verify_workers,
+            min(config.max_verify_workers, round(balance)),
+        )
+        current = self.verify_workers
+        if target > current and balance / current >= config.grow_band:
+            step = current + 1
+        elif target < current and balance / current <= config.shrink_band:
+            step = current - 1
+        else:
+            return None
+        self.verify_workers = step
+        self._cooldowns["verify_workers"] = config.cooldown
+        return Resize(
+            knob="verify_workers", previous=current, target=step,
+            reason=reason, **self._snapshot(),
+        )
+
+    def _shard_decisions(self) -> list[Resize]:
+        config = self.config
+        if config.shard_solve_ms is None:
+            return []
+        decisions = []
+        for inventor in sorted(self._inventor_solve):
+            knob = f"screening_workers:{inventor}"
+            if self._cooldowns.get(knob, 0) > 0:
+                continue
+            solve = self._inventor_solve[inventor].read()
+            quanta = solve / config.shard_solve_ms
+            target = max(
+                config.min_shard_workers,
+                min(config.max_shard_workers, int(quanta) + 1),
+            )
+            current = self.screening_workers(inventor)
+            if target > current and quanta / max(current, 1) \
+                    >= config.grow_band:
+                step = current + 1
+            elif target < current and quanta / max(current, 1) \
+                    <= config.shrink_band:
+                step = current - 1
+            else:
+                continue
+            self._shards[inventor] = step
+            self._cooldowns[knob] = config.cooldown
+            decisions.append(
+                Resize(
+                    knob="screening_workers", previous=current, target=step,
+                    reason="shard-quanta", inventor=inventor,
+                    **self._snapshot(),
+                )
+            )
+        return decisions

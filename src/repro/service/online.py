@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.audit import AuditLog
-from repro.errors import GameError
+from repro.core.audit import EVENT_BACKPRESSURE, AuditLog
+from repro.errors import AdmissionError, GameError
 from repro.online.consultation import (
     LinkAdvice,
     OnlineLinkInventorService,
@@ -55,24 +55,58 @@ class BurstLinkAdviser:
     verifies the burst in one batch recomputation pass, resolves every
     future with a :class:`VerifiedLinkAdvice`, and advances the
     tracked load trajectory.
+
+    ``max_pending`` mirrors the core service's admission backpressure:
+    past that many undrained arrivals :meth:`submit` raises
+    :class:`~repro.errors.AdmissionError` (audited as
+    ``service.admission.backpressure`` when an audit log is attached),
+    so an open-loop arrival stream sheds load instead of growing an
+    unbounded burst.
     """
 
     def __init__(self, service: OnlineLinkInventorService, num_links: int,
                  audit: AuditLog | None = None,
-                 session_id: str = "online-links-service"):
+                 session_id: str = "online-links-service",
+                 max_pending: int | None = None):
         if num_links < 1:
             raise GameError("need at least one link")
+        if max_pending is not None and max_pending < 1:
+            raise GameError("max_pending must be positive")
         self._service = service
         self._audit = audit
         self._session_id = session_id
+        self._max_pending = max_pending
         self.loads = [0.0] * num_links
         self._pending: list[tuple[float, ConsultationFuture]] = []
         self._counter = 0
         self.verified_count = 0
         self.rejected_count = 0
+        self.shed_count = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Arrivals admitted but not yet drained."""
+        return len(self._pending)
 
     def submit(self, own_load: float) -> ConsultationFuture:
         """Admit one arrival; the future resolves at the next drain."""
+        if (
+            self._max_pending is not None
+            and len(self._pending) >= self._max_pending
+        ):
+            self.shed_count += 1
+            if self._audit is not None:
+                self._audit.record(
+                    self._session_id, self._service.identity,
+                    EVENT_BACKPRESSURE,
+                    action="rejected", requested=1,
+                    pending=len(self._pending),
+                    high_water=self._max_pending, policy="raise",
+                )
+            raise AdmissionError(
+                f"burst adviser at high-water mark "
+                f"({len(self._pending)}/{self._max_pending} pending)"
+            )
         self._counter += 1
         future = ConsultationFuture(
             submission_id=self._counter,

@@ -11,12 +11,22 @@ inventors advise, verifiers certify — not a batch script.
   ``equilibria/executors`` seam) and the cross-run
   :class:`~repro.service.cache.SolveCache` the service attaches at
   registration — so repeat and near-repeat games skip whole screens;
-* verification runs *off the solve path*: with ``verify_workers > 1``
-  each admitted session's verify/conclude phase is handed to a thread
-  pool while the drain loop moves on to the next solve, so certifying
-  query *n* overlaps searching query *n + 1* (certification itself
-  stays exact, Fractions-only, and in this process — threads are not
-  workers in the soundness story);
+* the drain is an explicit **pipeline**: the draining thread runs the
+  *solve* stage (cache lookup, screening, advice) and hands each
+  session to the *verify/conclude* stage — a queue the off-path pool's
+  workers pull from (``verify_workers > 1``) — so batch *k + 1* solves
+  while batch *k* certifies.  With ``verify_workers <= 1``, under
+  ``REPRO_FORCE_SERIAL``, or on an interpreter without threads, the
+  stage collapses to the inline serial path, and by construction both
+  paths produce bit-identical outcomes (certification itself stays
+  exact, Fractions/int-lattice only, and in this process — threads are
+  not workers in the soundness story);
+* admission applies **backpressure** past a configured high-water mark
+  (:class:`~repro.errors.AdmissionError`, or blocking, per policy) and
+  an :class:`~repro.service.autotune.AdaptiveController` can retune
+  ``verify_workers`` and per-inventor screening shards between drains
+  from the service's own telemetry — every resize lands in the audit
+  log as ``service.autotune.resized``;
 * ``asyncio`` callers get the same core via :meth:`async_consult`,
   :meth:`async_consult_many`, :meth:`aclose` and ``async with``.
 
@@ -28,24 +38,32 @@ execution*, which composes with any host: a sync caller, an asyncio
 loop, or a real server front-end.
 
 Audit integration: every drain appends a ``service.queue.drained``
-record with the queue depth, cache hit/miss/warm counts, the hit rate
-and the drain's worst verification time (``max_verify_ms``); every
-completion appends a ``service.consultation.completed`` record with the
-future's end-to-end latency, the advice's cache state and its measured
+record with the queue depth, cache hit/miss/warm counts, the hit rate,
+the p50/p95/p99/max of the drain's per-consultation latencies and the
+drain's worst verification time (``max_verify_ms``); every completion
+appends a ``service.consultation.completed`` record with the future's
+end-to-end latency, the advice's cache state and its measured
 ``verify_ms`` — so the search-vs-verify cost split is visible per
-consultation and per drain.  Batch submissions keep emitting
-the same per-inventor ``consultation.batch`` records (and
+consultation and per drain.  Shed or blocked admissions append
+``service.admission.backpressure``; controller decisions append
+``service.autotune.resized``.  Batch submissions keep emitting the
+same per-inventor ``consultation.batch`` records (and
 ``prepare_games`` pre-solve) that ``consult_many`` always did.
 """
 
 from __future__ import annotations
 
 import asyncio
+import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.analysis.stats import latency_summary
 from repro.core.audit import (
+    EVENT_AUTOTUNE_RESIZED,
+    EVENT_BACKPRESSURE,
     EVENT_BATCH_CONSULTATION,
     EVENT_CACHE_LOAD_REJECTED,
     EVENT_CACHE_LOADED,
@@ -56,8 +74,15 @@ from repro.core.audit import (
 )
 from repro.core.session import ConsultationSession, SessionOutcome
 from repro.equilibria.executors import pools_disabled
-from repro.errors import ProtocolError
+from repro.errors import AdmissionError, ProtocolError
 from repro.games.base import Game
+from repro.service.autotune import (
+    BACKPRESSURE_BLOCK,
+    BACKPRESSURE_RAISE,
+    AdaptiveController,
+    AutotuneConfig,
+    DrainSample,
+)
 from repro.service.cache import SolveCache
 from repro.service.futures import ConsultationFuture
 
@@ -86,13 +111,88 @@ class _Batch:
     batched: bool = False
 
 
+class _VerifyStage:
+    """The verify/conclude stage of the pipelined drain.
+
+    A plain queue with ``workers`` pool threads pulling from it: the
+    draining thread :meth:`dispatch`\\ es each solved session's
+    verify/conclude job and immediately moves on to the next solve, so
+    certification of consultation *n* overlaps the search for *n + 1*.
+    Jobs route their own failures into their consultation futures, so a
+    worker never dies of a job; :meth:`join` is the per-drain barrier
+    (every future admitted before the drain resolves before it
+    returns), :meth:`stop` retires the pullers.
+
+    The stage outlives a single drain — workers idle on the queue
+    between drains — so a stream of drains pays thread startup once.
+    The pullers are daemon threads: a process that exits without
+    :meth:`stop` must not hang on threads blocked in ``queue.get``,
+    and the :meth:`join` barrier already guarantees no admitted future
+    is left unresolved by a completed drain.
+    """
+
+    def __init__(self, workers: int):
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._outstanding = 0
+        self._pullers = []
+        try:
+            for index in range(workers):
+                puller = threading.Thread(
+                    target=self._pull,
+                    name=f"repro-verify-{index}",
+                    daemon=True,
+                )
+                puller.start()
+                self._pullers.append(puller)
+        except (RuntimeError, OSError):
+            # Restricted interpreter: retire whatever did start and
+            # let the caller fall back to inline verification.
+            self.stop()
+            raise
+
+    def dispatch(self, job) -> None:
+        """Enqueue one verify/conclude job (a no-arg callable)."""
+        with self._lock:
+            self._outstanding += 1
+        self._queue.put(job)
+
+    def _pull(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                job()  # routes its own failures into the future
+            finally:
+                with self._idle:
+                    self._outstanding -= 1
+                    if self._outstanding == 0:
+                        self._idle.notify_all()
+
+    def join(self) -> None:
+        """Block until every dispatched job has completed."""
+        with self._idle:
+            while self._outstanding:
+                self._idle.wait()
+
+    def stop(self) -> None:
+        """Retire the pullers (after a :meth:`join`; idempotent)."""
+        for __ in self._pullers:
+            self._queue.put(None)
+        for puller in self._pullers:
+            puller.join()
+        self._pullers = []
+
+
 class AuthorityService:
     """Async, future-based consultation facade over one authority.
 
     ``verify_workers`` sizes the off-path verification pool (``<= 1``
     verifies inline on the draining thread, which keeps the audit
     record order of the synchronous shims bit-identical to the
-    pre-service code; ``> 1`` overlaps verification with the next
+    pre-service code; ``> 1`` pipelines verification against the next
     solve).  ``solve_cache`` supplies a cross-run
     :class:`~repro.service.cache.SolveCache` (one is created when
     omitted); ``attach_cache=False`` leaves the inventors' caching
@@ -106,17 +206,42 @@ class AuthorityService:
     :meth:`close` / :meth:`aclose`.  Pass either ``cache_path`` or an
     explicit ``solve_cache``, not both — a caller-owned cache manages
     its own persistence.
+
+    ``autotune`` arms the self-tuning loop: pass an
+    :class:`~repro.service.autotune.AutotuneConfig` (or a
+    pre-constructed
+    :class:`~repro.service.autotune.AdaptiveController`) and the
+    service samples its own drain telemetry, resizes the verify pool
+    and the inventors' screening shards within the configured bounds,
+    and audits every decision.  ``max_pending`` arms admission
+    backpressure at a fixed high-water mark with the ``backpressure``
+    policy (``"raise"`` refuses with
+    :class:`~repro.errors.AdmissionError`; ``"block"`` waits — up to
+    ``block_timeout`` seconds — until the pending count falls to half
+    the mark; blocking needs some *other* thread draining, e.g. the
+    load harness's).  An autotune config's own ``high_water`` arms the
+    same mechanism; an explicit ``max_pending`` overrides it.
     """
 
     def __init__(self, authority, solve_cache: SolveCache | None = None,
                  verify_workers: int = 1, attach_cache: bool = True,
-                 cache_path=None):
+                 cache_path=None,
+                 autotune: AutotuneConfig | AdaptiveController | None = None,
+                 max_pending: int | None = None,
+                 backpressure: str = BACKPRESSURE_RAISE,
+                 block_timeout: float | None = None):
         if verify_workers < 0:
             raise ProtocolError("verify_workers must be non-negative")
         if solve_cache is not None and cache_path is not None:
             raise ProtocolError(
                 "pass either solve_cache or cache_path, not both"
             )
+        if backpressure not in (BACKPRESSURE_RAISE, BACKPRESSURE_BLOCK):
+            raise ProtocolError(
+                f"unknown backpressure policy {backpressure!r}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ProtocolError("max_pending must be positive")
         self._authority = authority
         # The service persists (and audits) only a cache it created;
         # a caller-owned cache manages its own persistence.
@@ -129,11 +254,39 @@ class AuthorityService:
         self._attach = attach_cache
         self._queue: deque[_Batch] = deque()
         self._admission_lock = threading.Lock()
+        self._headroom = threading.Condition(self._admission_lock)
+        self._pending_total = 0  # O(1) mirror of the queued submissions
         self._drain_lock = threading.Lock()
-        self._verify_pool = None
+        self._verify_stage: _VerifyStage | None = None
         self._verify_pool_broken = False
         self._submission_counter = 0
         self._completed = 0
+        if isinstance(autotune, AdaptiveController):
+            self.controller: AdaptiveController | None = autotune
+            self._verify_workers = autotune.verify_workers
+        elif autotune is not None:
+            self.controller = AdaptiveController(
+                autotune, verify_workers=max(1, verify_workers)
+            )
+            self._verify_workers = self.controller.verify_workers
+        else:
+            self.controller = None
+        config = self.controller.config if self.controller else None
+        if max_pending is not None:
+            self._high_water: int | None = max_pending
+            self._low_water = max_pending // 2
+            self._backpressure = backpressure
+            self._block_timeout = block_timeout
+        elif config is not None and config.high_water is not None:
+            self._high_water = config.high_water
+            self._low_water = config.resolved_low_water()
+            self._backpressure = config.backpressure
+            self._block_timeout = config.block_timeout
+        else:
+            self._high_water = None
+            self._low_water = None
+            self._backpressure = backpressure
+            self._block_timeout = block_timeout
         self._attach_cache()
         report = self.cache.last_load_report
         if cache_path is not None and report is not None and report.accepted:
@@ -153,7 +306,8 @@ class AuthorityService:
 
         The request is validated eagerly (unknown agents and games are
         rejected here, not at drain time); the hard work happens when
-        the queue drains.
+        the queue drains.  Past the backpressure high-water mark the
+        admission is refused or blocked per the configured policy.
         """
         (future,) = self._admit(agent_name, [game_id], privacy, batched=False)
         return future
@@ -166,7 +320,8 @@ class AuthorityService:
         .consult_many` executed: grouped by owning inventor, one
         ``consultation.batch`` audit record and one
         ``prepare_games`` pre-solve per group, then the individual
-        sessions in submission order.
+        sessions in submission order.  Backpressure treats the batch
+        atomically: it is admitted whole or refused whole.
         """
         if not game_ids:
             return ()
@@ -179,30 +334,116 @@ class AuthorityService:
         for game_id in game_ids:
             authority.inventor_of(game_id)  # raises on unknown games
         batch = _Batch(batched=batched)
-        with self._admission_lock:
-            depth = sum(len(b.submissions) for b in self._queue)
-            futures = []
-            for game_id in game_ids:
-                self._submission_counter += 1
-                future = ConsultationFuture(
-                    submission_id=self._submission_counter,
-                    agent=agent_name,
-                    game_id=game_id,
-                    service=self,
-                    queue_depth=depth + len(futures),
-                )
-                batch.submissions.append(
-                    _Submission(agent_name, game_id, privacy, future)
-                )
-                futures.append(future)
-            self._queue.append(batch)
+        shed = None
+        blocked = None
+        with self._headroom:
+            if (
+                self._high_water is not None
+                and self._pending_total + len(game_ids) > self._high_water
+            ):
+                if self._backpressure == BACKPRESSURE_RAISE:
+                    shed = self._backpressure_details(
+                        "rejected", agent_name, game_ids
+                    )
+                else:
+                    blocked = self._await_headroom(agent_name, game_ids)
+                    if blocked is None:  # timed out
+                        shed = self._backpressure_details(
+                            "timed-out", agent_name, game_ids
+                        )
+            if shed is None:
+                depth = self._pending_total
+                futures = []
+                for game_id in game_ids:
+                    self._submission_counter += 1
+                    future = ConsultationFuture(
+                        submission_id=self._submission_counter,
+                        agent=agent_name,
+                        game_id=game_id,
+                        service=self,
+                        queue_depth=depth + len(futures),
+                    )
+                    batch.submissions.append(
+                        _Submission(agent_name, game_id, privacy, future)
+                    )
+                    futures.append(future)
+                self._queue.append(batch)
+                self._pending_total += len(batch.submissions)
+        # Audit outside the admission lock: the record is bookkeeping,
+        # not part of the atomic admission decision.
+        if shed is not None:
+            self._authority.audit.record(
+                "-", self._authority.AUTHORITY_NAME, EVENT_BACKPRESSURE,
+                **shed,
+            )
+            raise AdmissionError(
+                f"admission queue at high-water mark "
+                f"({shed['pending']}/{self._high_water} pending): "
+                f"{shed['action']}"
+            )
+        if blocked is not None and blocked > 0.0:
+            details = self._backpressure_details(
+                "blocked", agent_name, game_ids
+            )
+            details["waited_ms"] = blocked * 1000.0
+            self._authority.audit.record(
+                "-", self._authority.AUTHORITY_NAME, EVENT_BACKPRESSURE,
+                **details,
+            )
         return tuple(futures)
+
+    def _backpressure_details(self, action: str, agent_name: str,
+                              game_ids) -> dict:
+        return {
+            "action": action,
+            "agent": agent_name,
+            "requested": len(game_ids),
+            "pending": self._pending_total,
+            "high_water": self._high_water,
+            "policy": self._backpressure,
+        }
+
+    def _await_headroom(self, agent_name: str, game_ids) -> float | None:
+        """Block (holding the condition) until the queue falls to the
+        low-water mark; returns seconds waited, or ``None`` on timeout.
+
+        Only another thread's drain can create headroom, so blocking
+        admission is for multi-threaded hosts (the load harness, a
+        server front-end) — a single-threaded submit-then-wait caller
+        should use the ``"raise"`` policy or a ``block_timeout``.
+        """
+        release = self._low_water if self._low_water is not None else 0
+        deadline = (
+            None if self._block_timeout is None
+            else time.monotonic() + self._block_timeout
+        )
+        started = time.monotonic()
+        while self._pending_total > release:
+            if deadline is None:
+                self._headroom.wait()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._headroom.wait(remaining):
+                    if self._pending_total <= release:
+                        break
+                    return None
+        return time.monotonic() - started
+
+    def _note_drained_submissions(self, count: int) -> None:
+        """O(1) pending bookkeeping for a batch leaving the queue."""
+        self._pending_total -= count
+        if (
+            self._high_water is None
+            or self._pending_total <= (self._low_water or 0)
+        ):
+            self._headroom.notify_all()
 
     @property
     def pending_count(self) -> int:
-        """Submissions admitted but not yet drained."""
+        """Submissions admitted but not yet drained (O(1): a running
+        counter, not a queue scan)."""
         with self._admission_lock:
-            return sum(len(b.submissions) for b in self._queue)
+            return self._pending_total
 
     @property
     def completed_count(self) -> int:
@@ -218,9 +459,8 @@ class AuthorityService:
         One drainer runs at a time; concurrent callers block on the
         lock and, once inside, drain whatever was admitted meanwhile
         (usually nothing — their futures were resolved by the first
-        drainer).  Verification jobs dispatched off-path are all
-        awaited before the drain returns, so every future admitted
-        before the call is resolved afterwards.
+        drainer).  The verify stage is joined before the drain returns,
+        so every future admitted before the call is resolved afterwards.
         """
         with self._drain_lock:
             self._attach_cache()  # pick up inventors registered since
@@ -230,17 +470,18 @@ class AuthorityService:
             snapshots = [
                 (cache, cache.snapshot()) for cache in self._active_caches()
             ]
-            verification_jobs: list = []
+            stage = self._verification_stage()
             processed: list[ConsultationFuture] = []
             try:
                 while True:
-                    with self._admission_lock:
+                    with self._headroom:
                         if not self._queue:
                             break
                         batch = self._queue.popleft()
-                    self._process_batch(batch, verification_jobs, processed)
-                for job in verification_jobs:
-                    job.result()  # failures land in the futures, never here
+                        self._note_drained_submissions(len(batch.submissions))
+                    self._process_batch(batch, stage, processed)
+                if stage is not None:
+                    stage.join()  # per-drain barrier of the verify stage
             except BaseException as exc:
                 # KeyboardInterrupt / SystemExit mid-solve: abort the
                 # drain immediately (the synchronous shims propagate it
@@ -252,20 +493,29 @@ class AuthorityService:
             self._completed += len(processed)
             self._flush_cache_rejections()
             latencies = [f.latency_ms for f in processed if f.latency_ms is not None]
-            verify_times = [
-                outcome.advice.verify_ms
+            outcomes = [
+                outcome
                 for outcome in (f.peek_outcome() for f in processed)
-                if outcome is not None and outcome.advice.verify_ms >= 0.0
+                if outcome is not None
             ]
+            verify_times = [
+                o.advice.verify_ms for o in outcomes
+                if o.advice.verify_ms >= 0.0
+            ]
+            summary = latency_summary(latencies)
             self._authority.audit.record(
                 "-", self._authority.AUTHORITY_NAME, EVENT_SERVICE_DRAINED,
                 submissions=len(processed),
                 queue_depth=depth_at_start,
                 verify_workers=self._effective_verify_workers(),
-                max_latency_ms=max(latencies, default=0.0),
+                latency_p50_ms=summary["p50"],
+                latency_p95_ms=summary["p95"],
+                latency_p99_ms=summary["p99"],
+                max_latency_ms=summary["max"],
                 max_verify_ms=max(verify_times, default=0.0),
                 **self._cache_deltas(snapshots),
             )
+            self._autotune_observe(depth_at_start, outcomes, verify_times)
             return len(processed)
 
     def _abort_outstanding(self, exc: BaseException, processed: list) -> None:
@@ -273,10 +523,11 @@ class AuthorityService:
         for future in processed:
             future._fail(exc)
         while True:
-            with self._admission_lock:
+            with self._headroom:
                 if not self._queue:
                     return
                 batch = self._queue.popleft()
+                self._note_drained_submissions(len(batch.submissions))
             for submission in batch.submissions:
                 submission.future._fail(exc)
 
@@ -339,62 +590,90 @@ class AuthorityService:
         )
         return totals
 
-    def _process_batch(self, batch: _Batch, verification_jobs: list,
+    # ------------------------------------------------------------------
+    # The drain pipeline: prepare -> solve -> verify/conclude
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, batch: _Batch, stage: _VerifyStage | None,
                        processed: list) -> None:
-        authority = self._authority
-        if batch.batched:
-            by_inventor: dict[str, list[str]] = {}
-            for submission in batch.submissions:
-                inventor = authority.inventor_of(submission.game_id)
-                by_inventor.setdefault(inventor.name, []).append(
-                    submission.game_id
-                )
-            agent_name = batch.submissions[0].agent
-            try:
-                for inventor_name, ids in by_inventor.items():
-                    inventor = authority.inventor_named(inventor_name)
-                    distinct: dict[str, Game] = {}
-                    for game_id in ids:
-                        distinct.setdefault(game_id, authority.game(game_id))
-                    authority.audit.record(
-                        "-", authority.AUTHORITY_NAME, EVENT_BATCH_CONSULTATION,
-                        inventor=inventor_name,
-                        games=sorted(distinct),
-                        agent=agent_name,
-                    )
-                    inventor.prepare_games(list(distinct.items()))
-            except Exception as exc:
-                # A failed pre-solve fails the whole batch, exactly as
-                # consult_many used to propagate it; other batches in
-                # the queue are unaffected.  (BaseException — a
-                # caller's Ctrl-C — aborts the whole drain instead.)
-                for submission in batch.submissions:
-                    submission.future._fail(exc)
-                    processed.append(submission.future)
-                return
+        """Run one admitted batch through the pipeline stages.
+
+        Stage 0 (batched admissions only): the per-inventor
+        ``prepare_games`` pre-solve.  Stage 1, on the draining thread:
+        open the session and request advice — the inventor's cache
+        lookup and (on a miss) its screening/search happen here.  Stage
+        2: verify/conclude — dispatched to the verify stage's queue
+        when one exists, run inline otherwise.  The stages never
+        reorder work within a submission, and certification is
+        identical code on both paths, so pipelined and serial drains
+        produce bit-identical outcomes.
+        """
+        if batch.batched and not self._stage_prepare(batch, processed):
+            return
         for submission in batch.submissions:
             future = submission.future
             processed.append(future)
             try:
-                session = authority.open_session(
-                    submission.agent, submission.game_id
-                )
-                inventor = authority.inventor_of(submission.game_id)
-                session.request_advice(inventor, privacy=submission.privacy)
+                session = self._stage_solve(submission)
             except Exception as exc:
                 future._fail(exc)
                 continue
-            pool = self._verification_pool()
-            if pool is None:
+            if stage is None:
                 self._verify_and_conclude(session, future)
             else:
-                verification_jobs.append(
-                    pool.submit(self._verify_and_conclude, session, future)
+                stage.dispatch(
+                    lambda s=session, f=future: self._verify_and_conclude(s, f)
                 )
+
+    def _stage_prepare(self, batch: _Batch, processed: list) -> bool:
+        """Stage 0: the batched pre-solve (``consult_many`` semantics).
+
+        Returns False — with every future in the batch failed — when
+        the pre-solve raised; other batches in the queue are
+        unaffected.  (BaseException — a caller's Ctrl-C — aborts the
+        whole drain instead, exactly as before.)
+        """
+        authority = self._authority
+        by_inventor: dict[str, list[str]] = {}
+        for submission in batch.submissions:
+            inventor = authority.inventor_of(submission.game_id)
+            by_inventor.setdefault(inventor.name, []).append(
+                submission.game_id
+            )
+        agent_name = batch.submissions[0].agent
+        try:
+            for inventor_name, ids in by_inventor.items():
+                inventor = authority.inventor_named(inventor_name)
+                distinct: dict[str, Game] = {}
+                for game_id in ids:
+                    distinct.setdefault(game_id, authority.game(game_id))
+                authority.audit.record(
+                    "-", authority.AUTHORITY_NAME, EVENT_BATCH_CONSULTATION,
+                    inventor=inventor_name,
+                    games=sorted(distinct),
+                    agent=agent_name,
+                )
+                inventor.prepare_games(list(distinct.items()))
+        except Exception as exc:
+            for submission in batch.submissions:
+                submission.future._fail(exc)
+                processed.append(submission.future)
+            return False
+        return True
+
+    def _stage_solve(self, submission: _Submission) -> ConsultationSession:
+        """Stage 1: session open + advice (cache lookup / search)."""
+        authority = self._authority
+        session = authority.open_session(
+            submission.agent, submission.game_id
+        )
+        inventor = authority.inventor_of(submission.game_id)
+        session.request_advice(inventor, privacy=submission.privacy)
+        return session
 
     def _verify_and_conclude(self, session: ConsultationSession,
                              future: ConsultationFuture) -> None:
-        """The off-path half: verify, conclude, resolve, audit."""
+        """Stage 2: verify, conclude, resolve, audit."""
         outcome: SessionOutcome | None = None
         try:
             session.verify()
@@ -421,29 +700,77 @@ class AuthorityService:
         )
 
     # ------------------------------------------------------------------
-    # The off-path verification pool
+    # The off-path verification stage
     # ------------------------------------------------------------------
 
     def _effective_verify_workers(self) -> int:
-        return 1 if self._verification_pool() is None else self._verify_workers
+        return 1 if self._verification_stage() is None else self._verify_workers
 
-    def _verification_pool(self):
+    def _verification_stage(self) -> _VerifyStage | None:
         if self._verify_workers <= 1 or pools_disabled() or self._verify_pool_broken:
             return None
-        if self._verify_pool is None:
+        if self._verify_stage is None:
             try:
-                from concurrent.futures import ThreadPoolExecutor
-
-                self._verify_pool = ThreadPoolExecutor(
-                    max_workers=self._verify_workers,
-                    thread_name_prefix="repro-verify",
-                )
+                self._verify_stage = _VerifyStage(self._verify_workers)
             except (ImportError, NotImplementedError, OSError,
                     PermissionError, RuntimeError):
                 # Restricted interpreter without threads: verify inline.
                 self._verify_pool_broken = True
                 return None
-        return self._verify_pool
+        return self._verify_stage
+
+    def _shutdown_verify_stage(self) -> None:
+        """Retire the stage and its pullers (quiescent points only)."""
+        stage = self._verify_stage
+        self._verify_stage = None
+        if stage is not None:
+            stage.stop()
+
+    # ------------------------------------------------------------------
+    # The adaptive controller
+    # ------------------------------------------------------------------
+
+    def _autotune_observe(self, depth_at_start: int, outcomes,
+                          verify_times) -> None:
+        """Feed the controller one drain's telemetry; apply its resizes.
+
+        Runs at the end of the drain, while the verify stage is
+        quiescent, so a pool resize never races in-flight jobs.  Every
+        decision is recorded as ``service.autotune.resized`` *before*
+        it is applied — the audit trail is the controller's contract
+        surface, and tests replay it deterministically.
+        """
+        if self.controller is None or not outcomes:
+            return
+        solve_times = [
+            o.advice.solve_ms for o in outcomes if o.advice.solve_ms >= 0.0
+        ]
+        per_inventor: dict[str, list[float]] = {}
+        for outcome in outcomes:
+            if outcome.advice.solve_ms >= 0.0:
+                per_inventor.setdefault(
+                    outcome.advice.inventor, []
+                ).append(outcome.advice.solve_ms)
+        sample = DrainSample(
+            submissions=len(outcomes),
+            queue_depth=depth_at_start,
+            solve_ms=_mean(solve_times),
+            verify_ms=_mean(verify_times),
+            inventor_solve_ms={
+                name: _mean(times) for name, times in per_inventor.items()
+            },
+        )
+        for decision in self.controller.observe(sample):
+            self._authority.audit.record(
+                "-", self._authority.AUTHORITY_NAME, EVENT_AUTOTUNE_RESIZED,
+                **decision.as_audit_details(),
+            )
+            if decision.knob == "verify_workers":
+                self._verify_workers = decision.target
+                self._shutdown_verify_stage()  # recreated lazily, resized
+            elif decision.knob == "screening_workers":
+                inventor = self._authority.inventor_named(decision.inventor)
+                inventor.set_screening_workers(decision.target)
 
     # ------------------------------------------------------------------
     # Cache attachment
@@ -464,17 +791,14 @@ class AuthorityService:
 
         Idempotent, and — like the authority's own ``close`` — not
         final: the service stays usable and recreates its verification
-        pool lazily on the next concurrent drain.  Inventor-held pools
+        stage lazily on the next concurrent drain.  Inventor-held pools
         belong to the authority's lifecycle, not the service's.  A
         path-bound cache is persisted here (atomic replace), so a
         ``close``\\ d — or context-managed — service never forgets its
         warm state.
         """
         self.drain()
-        pool = self._verify_pool
-        self._verify_pool = None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        self._shutdown_verify_stage()
         if self._cache_owned and self.cache.path is not None \
                 and self.cache.autosave:
             entries = self.cache.save()
@@ -534,3 +858,8 @@ class AuthorityService:
     async def __aexit__(self, *exc) -> bool:
         await self.aclose()
         return False
+
+
+def _mean(values) -> float:
+    """Mean of a telemetry sample; -1.0 (unobserved) when empty."""
+    return sum(values) / len(values) if values else -1.0

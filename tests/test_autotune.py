@@ -1,0 +1,255 @@
+"""The adaptive controller: deterministic, hysteretic, bounded.
+
+The controller's contract is that a fixed telemetry trace replays to
+the identical decision sequence — no clocks, no randomness — and that
+every decision the service applies lands in the audit log *before*
+taking effect.  These tests pin the policy (grow on verify-heavy
+traces, shrink on solve-heavy ones, one step at a time, inside the
+configured bounds, never during a cooldown) and the service-side
+application (verify pool resized, inventors' screening shards resized,
+``service.autotune.resized`` audited).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actors import AuthorityAgent, BimatrixInventor
+from repro.core.audit import EVENT_AUTOTUNE_RESIZED
+from repro.core.authority import RationalityAuthority
+from repro.core.registry import standard_procedures
+from repro.errors import ProtocolError
+from repro.games.generators import random_bimatrix
+from repro.service import (
+    AdaptiveController,
+    AuthorityService,
+    AutotuneConfig,
+    DrainSample,
+    Resize,
+)
+
+
+def _sample(solve=2.0, verify=9.0, depth=0, inventors=None):
+    return DrainSample(
+        submissions=10, queue_depth=depth, solve_ms=solve, verify_ms=verify,
+        inventor_solve_ms=dict(inventors or {}),
+    )
+
+
+class TestConfigValidation:
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(min_verify_workers=4, max_verify_workers=2)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(min_shard_workers=0)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(alpha=0.0)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(grow_band=0.9)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(shrink_band=1.5)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(cooldown=-1)
+
+    def test_water_marks_validated(self):
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(high_water=0)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(low_water=5)  # low without high
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(high_water=4, low_water=4)
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(backpressure="drop")
+        with pytest.raises(ProtocolError):
+            AutotuneConfig(block_timeout=-0.1)
+
+    def test_low_water_defaults_to_half(self):
+        assert AutotuneConfig(high_water=10).resolved_low_water() == 5
+        assert AutotuneConfig(
+            high_water=10, low_water=2
+        ).resolved_low_water() == 2
+        assert AutotuneConfig().resolved_low_water() is None
+
+
+class TestControllerPolicy:
+    def test_grows_one_step_at_a_time_within_bounds(self):
+        config = AutotuneConfig(max_verify_workers=3, cooldown=0)
+        controller = AdaptiveController(config, verify_workers=1)
+        steps = []
+        for __ in range(6):
+            steps.extend(controller.observe(_sample(solve=2.0, verify=9.0)))
+        assert [(d.previous, d.target) for d in steps] == [(1, 2), (2, 3)]
+        assert controller.verify_workers == 3  # clamped at the bound
+
+    def test_shrinks_on_solve_heavy_trace(self):
+        config = AutotuneConfig(max_verify_workers=8, cooldown=0)
+        controller = AdaptiveController(config, verify_workers=5)
+        steps = []
+        for __ in range(8):
+            steps.extend(controller.observe(_sample(solve=10.0, verify=1.0)))
+        assert [(d.previous, d.target) for d in steps] == [
+            (5, 4), (4, 3), (3, 2), (2, 1)
+        ]
+
+    def test_dead_band_blocks_small_imbalance(self):
+        # verify/solve = 1.2 < grow_band 1.25: target 1, no move ever.
+        controller = AdaptiveController(AutotuneConfig(cooldown=0))
+        for __ in range(5):
+            assert controller.observe(_sample(solve=5.0, verify=6.0)) == []
+        assert controller.verify_workers == 1
+
+    def test_cooldown_spaces_decisions(self):
+        config = AutotuneConfig(max_verify_workers=8, cooldown=2)
+        controller = AdaptiveController(config, verify_workers=1)
+        moved_at = [
+            i for i in range(7)
+            if controller.observe(_sample(solve=1.0, verify=20.0))
+        ]
+        # One move, then two resting samples, then the next move.
+        assert moved_at == [0, 3, 6]
+
+    def test_queue_pressure_overrides_balance(self):
+        config = AutotuneConfig(
+            max_verify_workers=4, cooldown=0, depth_pressure=10
+        )
+        controller = AdaptiveController(config, verify_workers=1)
+        # Balanced stages, but a persistent backlog: grow anyway.
+        (decision,) = controller.observe(
+            _sample(solve=5.0, verify=5.0, depth=50)
+        )
+        assert decision.reason == "queue-pressure"
+        assert (decision.previous, decision.target) == (1, 2)
+
+    def test_unobserved_samples_leave_ewmas_alone(self):
+        controller = AdaptiveController(AutotuneConfig(cooldown=0))
+        controller.observe(_sample(solve=2.0, verify=9.0))
+        before = controller.verify_workers
+        # A drain of failures: negative means unobserved, not zero.
+        decisions = controller.observe(_sample(solve=-1.0, verify=-1.0))
+        grown = before + len(decisions)
+        assert controller.verify_workers == grown
+        assert all(d.ewma_verify_ms == 9.0 for d in decisions)
+
+    def test_shard_decisions_per_inventor_sorted_and_bounded(self):
+        config = AutotuneConfig(
+            cooldown=0, shard_solve_ms=5.0, max_shard_workers=4
+        )
+        controller = AdaptiveController(config)
+        decisions = []
+        for __ in range(10):
+            decisions.extend(
+                d for d in controller.observe(
+                    _sample(inventors={"zeta": 40.0, "alpha": 40.0})
+                )
+                if d.knob == "screening_workers"
+            )
+        by_inventor = {}
+        for d in decisions:
+            by_inventor.setdefault(d.inventor, []).append(d.target)
+        # Both inventors walk 1 -> 4 one step at a time, alpha first.
+        assert by_inventor == {"alpha": [2, 3, 4], "zeta": [2, 3, 4]}
+        assert decisions[0].inventor == "alpha"
+        assert controller.screening_workers("alpha") == 4
+        assert controller.screening_workers("unseen") == 1
+
+    def test_audit_details_round_trip(self):
+        plain = Resize(knob="verify_workers", previous=1, target=2,
+                       reason="balance")
+        assert "inventor" not in plain.as_audit_details()
+        sharded = Resize(knob="screening_workers", previous=1, target=2,
+                         reason="shard-quanta", inventor="inv")
+        assert sharded.as_audit_details()["inventor"] == "inv"
+
+
+class TestReplayDeterminism:
+    def test_fixed_trace_replays_to_identical_decisions(self):
+        """The satellite contract: same trace, same decisions, bit for bit."""
+        config = AutotuneConfig(
+            max_verify_workers=6, cooldown=1, depth_pressure=8,
+            shard_solve_ms=3.0, max_shard_workers=3,
+        )
+        trace = [
+            _sample(solve=1.0, verify=4.0, depth=2, inventors={"inv": 2.0}),
+            _sample(solve=1.5, verify=6.0, depth=12, inventors={"inv": 9.0}),
+            _sample(solve=8.0, verify=1.0, depth=0, inventors={"inv": 11.0}),
+            _sample(solve=-1.0, verify=-1.0, depth=30),
+            _sample(solve=0.5, verify=7.0, depth=9, inventors={"inv": 0.5}),
+            _sample(solve=9.0, verify=0.5, depth=0, inventors={"inv": 0.1}),
+            _sample(solve=9.0, verify=0.5, depth=0),
+            _sample(solve=9.0, verify=0.5, depth=0),
+        ]
+        runs = []
+        for __ in range(2):
+            controller = AdaptiveController(config, verify_workers=2)
+            decisions = []
+            for sample in trace:
+                decisions.extend(controller.observe(sample))
+            runs.append((decisions, controller.verify_workers,
+                         controller.screening_workers("inv")))
+        assert runs[0] == runs[1]
+        assert runs[0][0]  # the trace actually exercises the policy
+
+
+def _loaded_authority(games=3, size=3):
+    authority = RationalityAuthority(seed=11)
+    authority.register_verifiers(standard_procedures())
+    inventor = BimatrixInventor("inv", method="support-enumeration")
+    authority.register_inventor(inventor)
+    authority.register_agent(AuthorityAgent("jane", player_role=0))
+    for i in range(games):
+        authority.publish_game(
+            "inv", f"g{i}", random_bimatrix(size, size, seed=100 + i)
+        )
+    return authority, inventor
+
+
+class TestServiceApplication:
+    def test_resizes_audited_then_applied(self, monkeypatch):
+        authority, inventor = _loaded_authority()
+        controller = AdaptiveController(
+            AutotuneConfig(max_verify_workers=4, max_shard_workers=4)
+        )
+        decisions = [
+            Resize(knob="verify_workers", previous=1, target=3,
+                   reason="balance"),
+            Resize(knob="screening_workers", previous=1, target=2,
+                   reason="shard-quanta", inventor="inv"),
+        ]
+        monkeypatch.setattr(
+            controller, "observe", lambda sample: list(decisions)
+        )
+        service = AuthorityService(authority, autotune=controller)
+        service.submit("jane", "g0")
+        service.drain()
+        resized = authority.audit.events_of(EVENT_AUTOTUNE_RESIZED)
+        assert [r.details["knob"] for r in resized] == [
+            "verify_workers", "screening_workers"
+        ]
+        assert service._verify_workers == 3
+        assert inventor.screening_workers == 2
+        service.close()
+        authority.close()
+
+    def test_live_telemetry_reaches_the_controller(self):
+        authority, __ = _loaded_authority()
+        service = AuthorityService(
+            authority, autotune=AutotuneConfig(max_verify_workers=2)
+        )
+        for i in range(3):
+            service.submit("jane", f"g{i}")
+        service.drain()
+        controller = service.controller
+        assert controller is not None and controller.samples == 1
+        assert controller._solve.read() > 0.0  # real wall times flowed in
+        service.close()
+        authority.close()
+
+    def test_screening_override_survives_and_resizes_executor(self):
+        __, inventor = _loaded_authority()
+        assert inventor.set_screening_workers(3) is True
+        assert inventor.screening_workers == 3
+        assert inventor.set_screening_workers(3) is False  # no-op
+        with pytest.raises(ProtocolError):
+            inventor.set_screening_workers(0)
+        assert inventor.set_screening_workers(1) is True
+        assert inventor.screening_workers == 1
