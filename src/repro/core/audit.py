@@ -42,6 +42,9 @@ EVENT_BACKPRESSURE = "service.admission.backpressure"
 EVENT_CACHE_LOADED = "cache.load.completed"
 EVENT_CACHE_LOAD_REJECTED = "cache.load.rejected"
 EVENT_CACHE_SAVED = "cache.saved"
+EVENT_SERVER_STARTED = "server.started"
+EVENT_SERVER_SHUTDOWN = "server.shutdown.completed"
+EVENT_SERVER_PUMP_FAILED = "server.pump.failed"
 
 
 @dataclass(frozen=True)

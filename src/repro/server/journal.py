@@ -1,0 +1,402 @@
+"""Write-behind durability: the append-only journal and its flush policy.
+
+PR 5 made warm state survive a *graceful* restart — the cache is saved
+on ``close()``.  An always-on host needs the stronger discipline of a
+periodic-checkpoint pipeline: a crash (SIGKILL, OOM, power loss) should
+lose at most the configured flush interval of warm state, not the whole
+process lifetime.  Two files per state directory deliver that:
+
+* **snapshot** (``snapshot.json``) — the whole-cache document in the
+  PR 5 atomic-replace format (:mod:`repro.service.persistence`):
+  all-or-nothing, digest-protected, directory-fsynced;
+* **journal** (``journal.jsonl``) — an append-only sequence of
+  digest-framed JSON lines (:class:`CacheJournal`), one certified cache
+  update per frame, flushed every N drains or T seconds by the
+  :class:`WriteBehindPersister` and truncated whenever a fresh snapshot
+  lands (the snapshot subsumes every frame written before it).
+
+Recovery is ``load snapshot → replay journal → re-certify on serve``:
+replayed profiles and sets enter the cache's *pending* stores and pass
+the exact Lemma-1 lattice gate against the requesting caller's actual
+game before they are first served — the same tamper-rejecting path
+PR 5's loads take — so a forged or corrupted journal can cost cold
+solves, never produce unverified advice.  A bad frame (torn tail from a
+mid-write crash, flipped bit, alien format) rejects *that frame only*;
+every rejection is surfaced for the ``cache.load.rejected`` audit
+trail.
+
+Crash-safety of the flush/snapshot cycle itself:
+
+* updates are committed to the in-memory cache *before* they are queued
+  for the journal, so a snapshot always subsumes every update drained
+  before it — the snapshot → truncate window can only duplicate frames
+  (replay is idempotent), never lose them;
+* journal appends are fsynced per flush batch; the journal file's
+  creation and every truncation fsync the directory, like the
+  snapshot's atomic replace does.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import PersistenceError
+from repro.service.persistence import (
+    CacheState,
+    apply_journal_entry,
+    decode_journal_frame,
+    encode_journal_frame,
+    fsync_directory,
+)
+
+#: Default file names inside a server state directory.
+SNAPSHOT_FILENAME = "snapshot.json"
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def state_paths(state_dir) -> tuple[str, str]:
+    """``(snapshot path, journal path)`` inside a server state dir.
+
+    Creates the directory if needed — both files must live on the same
+    directory entry for the fsync discipline to cover their renames.
+    """
+    state_dir = os.fspath(state_dir)
+    os.makedirs(state_dir, exist_ok=True)
+    return (
+        os.path.join(state_dir, SNAPSHOT_FILENAME),
+        os.path.join(state_dir, JOURNAL_FILENAME),
+    )
+
+
+@dataclass
+class JournalReplayReport:
+    """What a :func:`replay_journal` pass found.
+
+    ``frames`` counts well-formed frames folded into the state;
+    ``rejections`` carries one detail dict per refused frame (for the
+    ``cache.load.rejected`` audit trail).  A missing journal file is a
+    quiet cold start: zero frames, zero rejections.
+    """
+
+    path: str
+    frames: int = 0
+    rejections: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "frames": self.frames,
+            "rejected_frames": len(self.rejections),
+        }
+
+
+def replay_journal(path) -> tuple[CacheState, JournalReplayReport]:
+    """Fold every valid frame of the journal at ``path`` into a state.
+
+    Frames are applied oldest-first, later writes winning, mirroring
+    the order the cache committed them.  Each bad frame — a torn tail
+    is the *expected* crash artifact, not an error of the format — is
+    recorded in the report and skipped; the good frames around it
+    survive.
+    """
+    path = os.fspath(path)
+    state = CacheState()
+    report = JournalReplayReport(path=path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return state, report
+    for index, line in enumerate(data.split(b"\n")):
+        if not line:
+            continue
+        try:
+            kind, key, value = decode_journal_frame(line)
+            apply_journal_entry(state, kind, key, value)
+        except PersistenceError as exc:
+            report.rejections.append(
+                {"kind": "journal-frame", "path": path, "frame": index,
+                 "reason": str(exc)}
+            )
+        else:
+            report.frames += 1
+    return state, report
+
+
+class CacheJournal:
+    """The append-only, digest-framed journal file.
+
+    Appends are buffered per :meth:`append` call and fsynced before it
+    returns — one ``write`` + one ``fsync`` per flush batch, however
+    many frames it carries.  :meth:`truncate` empties the file (the
+    snapshot that just landed subsumes it) and fsyncs the directory so
+    the truncation itself survives power loss.  Thread-safe; the
+    persister serializes flushes anyway, but an ``/admin/snapshot``
+    request may race a drain-end flush.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        #: Frames appended through this instance's lifetime (telemetry).
+        self.frames_written = 0
+
+    def _open(self):
+        if self._handle is None:
+            existed = os.path.exists(self.path)
+            self._handle = open(self.path, "ab")
+            if not existed:
+                fsync_directory(os.path.dirname(self.path) or ".")
+        return self._handle
+
+    def append(self, entries) -> int:
+        """Encode and durably append ``(kind, key, value)`` entries.
+
+        Returns the number of frames written.  The batch is one OS
+        write and one fsync; a crash mid-write tears at most the final
+        frame, which replay rejects frame-locally.
+        """
+        if not entries:
+            return 0
+        blob = b"".join(
+            encode_journal_frame(kind, key, value)
+            for kind, key, value in entries
+        )
+        with self._lock:
+            handle = self._open()
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self.frames_written += len(entries)
+        return len(entries)
+
+    def truncate(self) -> None:
+        """Empty the journal (a fresh snapshot subsumed its frames)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            handle = open(self.path, "wb")
+            try:
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                handle.close()
+            fsync_directory(os.path.dirname(self.path) or ".")
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "CacheJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class WriteBehindPersister:
+    """The checkpoint/journal policy around one cache and one state dir.
+
+    Owns the durability cadence of an always-on host:
+
+    * :meth:`recover` (once, before serving) — the cache has already
+      warm-loaded the snapshot through its own ``path=``/autoload
+      machinery; this replays the journal on top, into the same
+      pending/re-certify stores;
+    * :meth:`on_drained` (the service's drain listener) — flush the
+      dirty queue to the journal every ``flush_every_drains`` drains,
+      and cut a full snapshot every ``snapshot_every_drains`` drains;
+    * :meth:`poll` (an idle host's timer) — the same two decisions on
+      wall-clock cadence (``flush_interval`` / ``snapshot_interval``
+      seconds), so a trickle of traffic still reaches disk promptly;
+    * :meth:`snapshot` — flush-discard + atomic whole-cache save +
+      journal truncation, also the ``POST /admin/snapshot`` handler;
+    * :meth:`close` — final snapshot (graceful shutdown).
+
+    What each knob bounds: a crash loses at most the updates committed
+    since the last flush — ``flush_every_drains`` drains or
+    ``flush_interval`` seconds of them — while the snapshot cadence
+    only bounds *recovery time* (journal replay length), never data
+    loss.
+    """
+
+    def __init__(self, cache, journal: CacheJournal | str | os.PathLike,
+                 flush_every_drains: int = 1,
+                 flush_interval: float | None = 5.0,
+                 snapshot_every_drains: int | None = 256,
+                 snapshot_interval: float | None = 300.0,
+                 clock=time.monotonic):
+        if flush_every_drains < 1:
+            raise PersistenceError("flush_every_drains must be positive")
+        if snapshot_every_drains is not None and snapshot_every_drains < 1:
+            raise PersistenceError(
+                "snapshot_every_drains must be positive (or None)"
+            )
+        if cache.path is None:
+            raise PersistenceError(
+                "write-behind persistence needs a path-bound cache "
+                "(the snapshot file)"
+            )
+        self.cache = cache
+        # Arm dirty-entry tracking: from here on every committed cache
+        # update queues a journal frame until close() disarms it.
+        cache.set_update_tracking(True)
+        self.journal = (
+            journal if isinstance(journal, CacheJournal)
+            else CacheJournal(journal)
+        )
+        self.flush_every_drains = flush_every_drains
+        self.flush_interval = flush_interval
+        self.snapshot_every_drains = snapshot_every_drains
+        self.snapshot_interval = snapshot_interval
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._drains_since_flush = 0
+        self._drains_since_snapshot = 0
+        self._last_flush = clock()
+        self._last_snapshot = clock()
+        # Telemetry for /stats and the bench.
+        self.flushes = 0
+        self.snapshots = 0
+        self.frames_flushed = 0
+        self.flush_ms_total = 0.0
+        self.snapshot_ms_total = 0.0
+        self.last_replay: JournalReplayReport | None = None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> JournalReplayReport:
+        """Replay the journal into the (snapshot-warm) cache.
+
+        Returns the replay report; frame rejections are also counted
+        into the cache's ``load_rejected`` stat so ``/stats`` shows
+        them, and the caller (the server) turns them into
+        ``cache.load.rejected`` audit records.
+        """
+        state, report = replay_journal(self.journal.path)
+        if state.entry_count:
+            self.cache.merge_pending_state(state)
+        for rejection in report.rejections:
+            self.cache.note_rejection(**rejection)
+        self.last_replay = report
+        return report
+
+    # ------------------------------------------------------------------
+    # The write-behind cycle
+    # ------------------------------------------------------------------
+
+    def on_drained(self, summary=None) -> None:
+        """The service drain listener: count, then flush/snapshot as due."""
+        with self._lock:
+            self._drains_since_flush += 1
+            self._drains_since_snapshot += 1
+            snapshot_due = (
+                self.snapshot_every_drains is not None
+                and self._drains_since_snapshot >= self.snapshot_every_drains
+            )
+            flush_due = self._drains_since_flush >= self.flush_every_drains
+        if snapshot_due:
+            self.snapshot()
+        elif flush_due:
+            self.flush()
+
+    def poll(self) -> None:
+        """Timer-driven cadence: flush/snapshot when the interval lapsed."""
+        now = self._clock()
+        with self._lock:
+            snapshot_due = (
+                self.snapshot_interval is not None
+                and now - self._last_snapshot >= self.snapshot_interval
+            )
+            flush_due = (
+                self.flush_interval is not None
+                and now - self._last_flush >= self.flush_interval
+            )
+        if snapshot_due:
+            self.snapshot()
+        elif flush_due:
+            self.flush()
+
+    def flush(self) -> int:
+        """Append the cache's dirty updates to the journal; frame count."""
+        started = self._clock()
+        entries = self.cache.drain_updates()
+        frames = self.journal.append(entries)
+        with self._lock:
+            self._drains_since_flush = 0
+            self._last_flush = self._clock()
+            self.flushes += 1
+            self.frames_flushed += frames
+            self.flush_ms_total += (self._clock() - started) * 1000.0
+        return frames
+
+    def snapshot(self) -> int:
+        """Cut a full snapshot and truncate the journal; entry count.
+
+        Sequence (each step crash-safe on its own): discard the dirty
+        queue *first* — every queued update is already committed to the
+        cache stores, so the save that follows subsumes it — then the
+        atomic whole-cache save, then the truncation.  A crash between
+        save and truncate leaves frames that duplicate snapshot
+        entries; replay is idempotent, so recovery is unaffected.
+        """
+        started = self._clock()
+        self.cache.drain_updates()
+        entries = self.cache.save()
+        self.journal.truncate()
+        with self._lock:
+            self._drains_since_flush = 0
+            self._drains_since_snapshot = 0
+            now = self._clock()
+            self._last_flush = now
+            self._last_snapshot = now
+            self.snapshots += 1
+            self.snapshot_ms_total += (now - started) * 1000.0
+        return entries
+
+    def close(self) -> int:
+        """Final snapshot + journal close; returns the entry count."""
+        try:
+            entries = self.snapshot()
+        finally:
+            self.cache.set_update_tracking(False)
+            self.journal.close()
+        return entries
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters for ``/stats`` and the bench."""
+        with self._lock:
+            return {
+                "snapshot_path": self.cache.path,
+                "journal_path": self.journal.path,
+                "journal_bytes": self.journal.size_bytes(),
+                "flushes": self.flushes,
+                "frames_flushed": self.frames_flushed,
+                "snapshots": self.snapshots,
+                "flush_ms_total": self.flush_ms_total,
+                "snapshot_ms_total": self.snapshot_ms_total,
+                "flush_every_drains": self.flush_every_drains,
+                "flush_interval_s": self.flush_interval,
+                "snapshot_every_drains": self.snapshot_every_drains,
+                "snapshot_interval_s": self.snapshot_interval,
+            }

@@ -186,6 +186,12 @@ class SolveCache:
         self._max_entries = max_entries
         self._use_hints = use_hints
         self._lock = threading.Lock()
+        # Write-behind seam: with tracking on, every committed update
+        # (profile store, cold set store, hint promotion) is queued as a
+        # ``(kind, key, value)`` tuple for a journal to flush.  Off by
+        # default so a journal-less cache never grows an unbounded list.
+        self._track_updates = False
+        self._updates: list[tuple] = []
         self.stats = CacheStats()
         self.path = None if path is None else os.fspath(path)
         self._autosave = autosave
@@ -209,6 +215,40 @@ class SolveCache:
         """Record (under the lock) persisted state refused at load/serve."""
         self.stats.load_rejected += 1
         self._load_rejections.append(details)
+
+    def note_rejection(self, **details) -> None:
+        """Public face of :meth:`_note_rejection` (for journal replays)."""
+        with self._lock:
+            self._note_rejection(**details)
+
+    def _note_update(self, kind: str, key, value) -> None:
+        """Queue (under the lock) one committed update for write-behind."""
+        if self._track_updates:
+            self._updates.append((kind, key, value))
+
+    # ------------------------------------------------------------------
+    # The write-behind seam: dirty-entry tracking
+    # ------------------------------------------------------------------
+
+    def set_update_tracking(self, enabled: bool) -> None:
+        """Arm (or disarm) dirty-entry tracking for write-behind flushes.
+
+        A :class:`~repro.server.journal.WriteBehindPersister` arms this
+        and periodically :meth:`drain_updates`; disarming also discards
+        anything queued, so tracking can never leak unbounded memory
+        after its consumer goes away.
+        """
+        with self._lock:
+            self._track_updates = bool(enabled)
+            if not self._track_updates:
+                self._updates = []
+
+    def drain_updates(self) -> list[tuple]:
+        """Pop the queued ``(kind, key, value)`` updates (oldest first)."""
+        with self._lock:
+            updates = self._updates
+            self._updates = []
+        return updates
 
     # ------------------------------------------------------------------
     # Single certified solutions (the inventor's find-one path)
@@ -271,6 +311,7 @@ class SolveCache:
             self._pending_profiles.pop(key, None)
             self._profiles[key] = profile
             self._evict(self._profiles)
+            self._note_update("profile", key, profile)
 
     def note_solved(self, warm: bool) -> None:
         """Record how a non-hit solve resolved (hint-warmed or cold)."""
@@ -312,6 +353,7 @@ class SolveCache:
                 hints.remove(pair)
             hints.insert(0, pair)
             del hints[self._max_hints:]
+            self._note_update("hint", shape, pair)
 
     # ------------------------------------------------------------------
     # Certified equilibrium sets (full enumeration results)
@@ -379,6 +421,7 @@ class SolveCache:
                 self.stats.set_misses += 1
                 self._sets[key] = result
                 self._evict(self._sets)
+                self._note_update("set", key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -443,24 +486,7 @@ class SolveCache:
                 self._note_rejection(kind="file", path=target, reason=str(exc))
             self.last_load_report = report
             return report
-        with self._lock:
-            limit = self._max_entries
-            for key, profile in _newest(state.profiles, limit).items():
-                if key not in self._profiles:
-                    self._pending_profiles[key] = profile
-                    self._evict(self._pending_profiles)
-            for key, profiles in _newest(state.sets, limit).items():
-                if key not in self._sets:
-                    self._pending_sets[key] = profiles
-                    self._evict(self._pending_sets)
-            if self._use_hints:
-                for shape, pairs in _newest(state.hints, limit).items():
-                    merged = self._hints.setdefault(shape, [])
-                    for pair in pairs:
-                        if pair not in merged:
-                            merged.append(pair)
-                    del merged[self._max_hints:]
-                self._evict(self._hints)
+        self.merge_pending_state(state)
         report = CacheLoadReport(
             path=target, accepted=True,
             profiles=len(state.profiles), sets=len(state.sets),
@@ -468,6 +494,41 @@ class SolveCache:
         )
         self.last_load_report = report
         return report
+
+    def merge_pending_state(self, state: CacheState) -> int:
+        """Merge decoded warm state into the *pending* stores; entry count.
+
+        The shared back half of :meth:`load`, also the entry point for a
+        journal replay (:mod:`repro.server.journal`): profiles and sets
+        become pending — each re-certified through the Lemma-1 gate
+        against the requesting caller's actual game before first
+        serve — and hints go live directly (a stale or hostile hint can
+        only ever cost one exact re-solve).  Live entries are never
+        displaced by loaded ones.
+        """
+        merged = 0
+        with self._lock:
+            limit = self._max_entries
+            for key, profile in _newest(state.profiles, limit).items():
+                if key not in self._profiles:
+                    self._pending_profiles[key] = profile
+                    self._evict(self._pending_profiles)
+                    merged += 1
+            for key, profiles in _newest(state.sets, limit).items():
+                if key not in self._sets:
+                    self._pending_sets[key] = profiles
+                    self._evict(self._pending_sets)
+                    merged += 1
+            if self._use_hints:
+                for shape, pairs in _newest(state.hints, limit).items():
+                    merged_pairs = self._hints.setdefault(shape, [])
+                    for pair in pairs:
+                        if pair not in merged_pairs:
+                            merged_pairs.append(pair)
+                    del merged_pairs[self._max_hints:]
+                    merged += 1
+                self._evict(self._hints)
+        return merged
 
     @property
     def autosave(self) -> bool:
@@ -540,6 +601,7 @@ class SolveCache:
             self._pending_profiles.clear()
             self._pending_sets.clear()
             self._load_rejections.clear()
+            self._updates.clear()
             self.stats = CacheStats()
 
 

@@ -28,9 +28,19 @@ This module is that idea as a wire format:
   canonical form, so re-keying an object changes nothing it protects.)
 
 * **Atomic.**  :func:`write_cache_file` writes a temporary file in the
-  target directory and ``os.replace``\\ s it into place, so a reader
-  never observes a half-written document even if the writer dies
-  mid-save.
+  target directory and ``os.replace``\\ s it into place — then fsyncs
+  the *directory* as well, so the rename itself is on stable storage:
+  a reader never observes a half-written document even if the writer
+  dies mid-save, and a completed save survives power loss, not just a
+  process crash.
+
+Besides the whole-file snapshot format, this module speaks the
+**journal frame** format used by :mod:`repro.server.journal` for
+write-behind durability: one cache entry per frame, each frame a
+single JSON line carrying its own SHA-256 digest.  A snapshot is
+all-or-nothing; a journal degrades per frame — a torn tail (the normal
+crash case) or a bit-flipped line rejects *that frame only*, and every
+rejection is surfaced for the ``cache.load.rejected`` audit trail.
 
 The digest is an *integrity* line, not the soundness line: soundness is
 the Lemma-1 gate, which :class:`~repro.service.cache.SolveCache` runs
@@ -319,8 +329,174 @@ def decode_document(document: Any) -> CacheState:
 
 
 # ----------------------------------------------------------------------
+# Journal frames: one cache entry per digest-carrying JSON line
+# ----------------------------------------------------------------------
+
+#: Format tag every journal frame must carry.
+JOURNAL_FORMAT_NAME = "repro.solve-cache-journal"
+
+#: Journal frame schema version; readers reject any other value.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: The three journalable entry kinds (mirroring the cache's stores).
+JOURNAL_KINDS = ("profile", "set", "hint")
+
+
+def encode_journal_body(kind: str, key, value) -> dict[str, Any]:
+    """One cache update → the canonical frame body (no digest yet).
+
+    ``kind``/``key``/``value`` use the cache's own vocabulary: a
+    ``"profile"`` is keyed ``(fingerprint, method, mode)``, a ``"set"``
+    ``(fingerprint, equal_size_only)``, a ``"hint"`` by its shape with
+    the value being one ``(row_support, col_support)`` pair.
+    """
+    if kind == "profile":
+        fingerprint, method, mode = key
+        return {
+            "format": JOURNAL_FORMAT_NAME,
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "kind": "profile",
+            "fingerprint": fingerprint,
+            "method": method,
+            "mode": mode,
+            "profile": encode_profile(value),
+        }
+    if kind == "set":
+        fingerprint, equal_size_only = key
+        return {
+            "format": JOURNAL_FORMAT_NAME,
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "kind": "set",
+            "fingerprint": fingerprint,
+            "equal_size_only": bool(equal_size_only),
+            "profiles": [encode_profile(p) for p in value],
+        }
+    if kind == "hint":
+        return {
+            "format": JOURNAL_FORMAT_NAME,
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "kind": "hint",
+            "shape": [int(key[0]), int(key[1])],
+            "pair": [list(value[0]), list(value[1])],
+        }
+    raise PersistenceError(f"unknown journal entry kind {kind!r}")
+
+
+def encode_journal_frame(kind: str, key, value) -> bytes:
+    """One cache update → one self-digesting JSON line (with newline)."""
+    body = encode_journal_body(kind, key, value)
+    frame = {"digest": payload_digest(body), "body": body}
+    return _canonical_payload_bytes(frame) + b"\n"
+
+
+def decode_journal_frame(line: bytes):
+    """Strict inverse of :func:`encode_journal_frame`.
+
+    Returns ``(kind, key, value)`` in the cache's vocabulary.  Raises
+    :class:`PersistenceError` on *anything* wrong with the frame —
+    torn/non-JSON line, missing or mismatching digest, wrong format tag
+    or schema, malformed entry — so a journal replay can reject the one
+    frame and keep the rest.
+    """
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"journal frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise PersistenceError("journal frame is not an object")
+    digest = frame.get("digest")
+    body = frame.get("body")
+    if not isinstance(body, dict) or not isinstance(digest, str):
+        raise PersistenceError("journal frame lacks a body or digest")
+    if digest != payload_digest(body):
+        raise PersistenceError("journal frame digest mismatch: torn or tampered")
+    if body.get("format") != JOURNAL_FORMAT_NAME:
+        raise PersistenceError(
+            f"not a journal frame (format={body.get('format')!r})"
+        )
+    if body.get("schema") != JOURNAL_SCHEMA_VERSION:
+        raise PersistenceError(
+            f"unsupported journal schema {body.get('schema')!r} "
+            f"(this reader speaks {JOURNAL_SCHEMA_VERSION})"
+        )
+    kind = body.get("kind")
+    try:
+        if kind == "profile":
+            key = (body["fingerprint"], body["method"], body["mode"])
+            if not all(isinstance(part, str) for part in key):
+                raise PersistenceError(
+                    f"profile frame key is not three strings: {key!r}"
+                )
+            return "profile", key, decode_profile(body["profile"])
+        if kind == "set":
+            fingerprint = body["fingerprint"]
+            if not isinstance(fingerprint, str):
+                raise PersistenceError(
+                    f"set frame fingerprint is not a string: {fingerprint!r}"
+                )
+            key = (fingerprint, bool(body["equal_size_only"]))
+            return "set", key, tuple(
+                decode_profile(p) for p in body["profiles"]
+            )
+        if kind == "hint":
+            shape = body["shape"]
+            if (
+                not isinstance(shape, list)
+                or len(shape) != 2
+                or not all(isinstance(n, int) and n > 0 for n in shape)
+            ):
+                raise PersistenceError(f"hint frame shape is malformed: {shape!r}")
+            return "hint", (shape[0], shape[1]), _decode_support_pair(
+                body["pair"]
+            )
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"malformed journal frame: {exc!r}") from exc
+    raise PersistenceError(f"unknown journal frame kind {kind!r}")
+
+
+def apply_journal_entry(state: CacheState, kind: str, key, value) -> None:
+    """Fold one decoded frame into a :class:`CacheState` (latest wins).
+
+    Hint frames append one pair to the shape's list (most recent last —
+    the cache's merge reverses recency on load, matching snapshots).
+    """
+    if kind == "profile":
+        state.profiles[key] = value
+    elif kind == "set":
+        state.sets[key] = value
+    elif kind == "hint":
+        pairs = state.hints.setdefault(key, [])
+        if value in pairs:
+            pairs.remove(value)
+        pairs.append(value)
+    else:  # pragma: no cover - decode_journal_frame already refused it
+        raise PersistenceError(f"unknown journal entry kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # Atomic file I/O
 # ----------------------------------------------------------------------
+
+def fsync_directory(directory) -> None:
+    """fsync a directory so a rename/create inside it survives power loss.
+
+    Platforms without directory fds (Windows) simply skip — the
+    ``os.replace`` there is still atomic against process crashes, which
+    is the strongest guarantee the OS offers us.
+    """
+    try:
+        fd = os.open(os.fspath(directory) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
 
 def write_cache_file(path, state: CacheState) -> int:
     """Atomically write ``state`` to ``path``; returns bytes written.
@@ -328,7 +504,11 @@ def write_cache_file(path, state: CacheState) -> int:
     The document lands via temp-file-in-the-same-directory +
     ``os.replace`` (with an fsync in between), so concurrent readers —
     and a reader after a mid-save crash — see either the old complete
-    file or the new complete file, never a torn one.
+    file or the new complete file, never a torn one.  The containing
+    directory is fsynced after the replace: the data was already on
+    stable storage, but the *rename* lives in the directory, and an
+    unsynced directory entry can vanish on power loss, silently
+    resurrecting the old file.
     """
     path = os.fspath(path)
     text = json.dumps(encode_document(state), sort_keys=True, indent=1) + "\n"
@@ -358,6 +538,7 @@ def write_cache_file(path, state: CacheState) -> int:
         except OSError:
             pass
         raise
+    fsync_directory(directory)
     return len(data)
 
 

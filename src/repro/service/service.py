@@ -261,6 +261,7 @@ class AuthorityService:
         self._verify_pool_broken = False
         self._submission_counter = 0
         self._completed = 0
+        self._drain_listeners: list = []
         if isinstance(autotune, AdaptiveController):
             self.controller: AdaptiveController | None = autotune
             self._verify_workers = autotune.verify_workers
@@ -294,6 +295,24 @@ class AuthorityService:
                 "-", self._authority.AUTHORITY_NAME, EVENT_CACHE_LOADED,
                 **report.as_dict(),
             )
+        self._flush_cache_rejections()
+
+    @property
+    def authority(self):
+        """The underlying :class:`~repro.core.authority.RationalityAuthority`.
+
+        Hosts above the service (the HTTP front-end) need the audit log
+        and the registered parties without growing parallel plumbing.
+        """
+        return self._authority
+
+    def flush_cache_rejections(self) -> None:
+        """Publish queued cache load/serve rejections into the audit log.
+
+        Normally the drain loop does this; a host that loads warm state
+        outside a drain (journal replay at server startup) calls it
+        directly so tampered frames are audited before the first drain.
+        """
         self._flush_cache_rejections()
 
     # ------------------------------------------------------------------
@@ -453,7 +472,7 @@ class AuthorityService:
     # Draining
     # ------------------------------------------------------------------
 
-    def drain(self) -> int:
+    def drain(self, max_batches: int | None = None) -> int:
         """Process the admission queue to empty; returns completions.
 
         One drainer runs at a time; concurrent callers block on the
@@ -461,6 +480,14 @@ class AuthorityService:
         (usually nothing — their futures were resolved by the first
         drainer).  The verify stage is joined before the drain returns,
         so every future admitted before the call is resolved afterwards.
+
+        ``max_batches`` bounds how many admission batches this call
+        pops (``None`` drains to empty).  An unbounded drain keeps
+        popping batches admitted *while it runs*, so under continuous
+        load one "drain" can stretch over many submissions — fine for
+        throughput, but it stretches the write-behind flush interval
+        with it.  The HTTP server's pump drains one batch at a time so
+        a crash can lose at most one batch of journal frames.
         """
         with self._drain_lock:
             self._attach_cache()  # pick up inventors registered since
@@ -472,13 +499,15 @@ class AuthorityService:
             ]
             stage = self._verification_stage()
             processed: list[ConsultationFuture] = []
+            popped = 0
             try:
-                while True:
+                while max_batches is None or popped < max_batches:
                     with self._headroom:
                         if not self._queue:
                             break
                         batch = self._queue.popleft()
                         self._note_drained_submissions(len(batch.submissions))
+                    popped += 1
                     self._process_batch(batch, stage, processed)
                 if stage is not None:
                     stage.join()  # per-drain barrier of the verify stage
@@ -516,7 +545,39 @@ class AuthorityService:
                 **self._cache_deltas(snapshots),
             )
             self._autotune_observe(depth_at_start, outcomes, verify_times)
+            self._notify_drained(len(processed), depth_at_start)
             return len(processed)
+
+    # ------------------------------------------------------------------
+    # Drain listeners (the write-behind persistence seam)
+    # ------------------------------------------------------------------
+
+    def add_drain_listener(self, listener) -> None:
+        """Call ``listener(summary)`` at the end of every non-empty drain.
+
+        The listener runs on the draining thread at a quiescent point —
+        the verify stage is joined, every admitted future resolved, the
+        autotuner applied — with a small summary dict (``submissions``,
+        ``queue_depth``).  This is the hook a write-behind persister
+        uses to flush journal frames every N drains and cut periodic
+        snapshots without racing in-flight solves: all cache writes
+        happen *during* drains, so at this point the dirty queue is
+        stable.  A raising listener propagates (durability failures —
+        a full disk — must not be silent).
+        """
+        self._drain_listeners.append(listener)
+
+    def remove_drain_listener(self, listener) -> None:
+        """Detach a drain listener (no-op when not attached)."""
+        try:
+            self._drain_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_drained(self, submissions: int, queue_depth: int) -> None:
+        summary = {"submissions": submissions, "queue_depth": queue_depth}
+        for listener in tuple(self._drain_listeners):
+            listener(summary)
 
     def _abort_outstanding(self, exc: BaseException, processed: list) -> None:
         """Fail every unresolved future this drain was responsible for."""

@@ -582,3 +582,33 @@ class TestAutosaveSemantics:
         # constant must be a conscious schema bump, not an accident.
         assert FORMAT_NAME == "repro.solve-cache"
         assert SCHEMA_VERSION == 1
+
+
+class TestDurability:
+    """The save path's crash-safety: fsync data, replace, fsync dir."""
+
+    def test_atomic_save_fsyncs_the_containing_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression guard: write_cache_file used to stop at the
+        # os.replace — the data was on stable storage but the *rename*
+        # lived only in the unsynced directory entry, so a power loss
+        # right after a "successful" save could resurrect the old file.
+        import stat
+
+        from repro.service.persistence import CacheState, write_cache_file
+
+        synced_dirs = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced_dirs.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        write_cache_file(tmp_path / "cache.json", CacheState())
+        assert False in synced_dirs, "the temp file's data must be fsynced"
+        assert True in synced_dirs, "the directory entry must be fsynced"
+        # Ordering matters: the rename's durability (directory) comes
+        # after the data's, never before.
+        assert synced_dirs[-1] is True

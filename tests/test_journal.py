@@ -1,0 +1,315 @@
+"""Write-behind durability: journal frames, replay, persister cadence.
+
+The contract mirrors the snapshot file's (test_cache_persistence):
+exact ``num/den`` round trips, digest-protected frames, and a replay
+path that rejects *per frame* — a torn tail from a mid-write crash
+costs that frame only — while everything replayed re-enters the cache
+through the pending stores and the Lemma-1 re-certification gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.core.actors import AuthorityAgent, BimatrixInventor
+from repro.core.audit import EVENT_CACHE_LOAD_REJECTED
+from repro.core.authority import RationalityAuthority
+from repro.core.registry import standard_procedures
+from repro.errors import PersistenceError
+from repro.games.bimatrix import BimatrixGame
+from repro.games.generators import random_bimatrix
+from repro.games.profiles import MixedProfile
+from repro.server.journal import (
+    CacheJournal,
+    WriteBehindPersister,
+    replay_journal,
+    state_paths,
+)
+from repro.service import AuthorityService, SolveCache
+from repro.service.persistence import (
+    CacheState,
+    apply_journal_entry,
+    decode_journal_frame,
+    encode_journal_frame,
+)
+
+
+def _profile() -> MixedProfile:
+    return MixedProfile.from_rows(
+        [[Fraction(1, 3), Fraction(2, 3)], [Fraction(1), Fraction(0)]]
+    )
+
+
+def _authority(prefix: str, games: int = 3) -> RationalityAuthority:
+    authority = RationalityAuthority(seed=19)
+    authority.register_verifiers(standard_procedures())
+    authority.register_inventor(
+        BimatrixInventor("inv", method="support-enumeration", backend="auto")
+    )
+    authority.register_agent(AuthorityAgent("jane", player_role=0))
+    for i in range(games):
+        base = random_bimatrix(3, 3, seed=7100 + i)
+        authority.publish_game(
+            "inv", f"{prefix}{i}",
+            BimatrixGame(base.row_matrix, base.column_matrix),
+        )
+    return authority
+
+
+class TestJournalFrames:
+    """The digest-framed line codec (persistence.py's journal half)."""
+
+    def test_profile_frame_round_trip_is_exact(self):
+        key = ("fp", "support-enumeration", "exact")
+        line = encode_journal_frame("profile", key, _profile())
+        kind, got_key, got = decode_journal_frame(line.rstrip(b"\n"))
+        assert (kind, got_key) == ("profile", key)
+        assert got.distributions == _profile().distributions
+        assert all(
+            type(v) is Fraction for d in got.distributions for v in d
+        )
+
+    def test_set_and_hint_frames_round_trip(self):
+        line = encode_journal_frame(
+            "set", ("fp", True), (_profile(), _profile())
+        )
+        kind, key, value = decode_journal_frame(line.rstrip(b"\n"))
+        assert kind == "set" and key == ("fp", True) and len(value) == 2
+        line = encode_journal_frame("hint", (2, 2), ((0, 1), (1,)))
+        kind, key, value = decode_journal_frame(line.rstrip(b"\n"))
+        assert kind == "hint" and key == (2, 2)
+        assert value == ((0, 1), (1,))
+
+    def test_tampered_frame_is_rejected(self):
+        line = encode_journal_frame(
+            "profile", ("fp", "m", "exact"), _profile()
+        )
+        frame = json.loads(line)
+        frame["body"]["fingerprint"] = "forged"
+        forged = json.dumps(frame).encode()
+        with pytest.raises(PersistenceError, match="digest"):
+            decode_journal_frame(forged)
+
+    def test_torn_frame_is_rejected(self):
+        line = encode_journal_frame(
+            "profile", ("fp", "m", "exact"), _profile()
+        )
+        with pytest.raises(PersistenceError):
+            decode_journal_frame(line[: len(line) // 2])
+
+    def test_alien_format_and_schema_are_rejected(self):
+        from repro.service.persistence import payload_digest
+
+        for body in (
+            {"format": "something-else", "schema": 1, "kind": "profile"},
+            {"format": "repro.solve-cache-journal", "schema": 99,
+             "kind": "profile"},
+        ):
+            blob = json.dumps(
+                {"digest": payload_digest(body), "body": body}
+            ).encode()
+            with pytest.raises(PersistenceError):
+                decode_journal_frame(blob)
+
+    def test_apply_latest_wins(self):
+        state = CacheState()
+        first = _profile()
+        second = MixedProfile.from_rows(
+            [[Fraction(1), Fraction(0)], [Fraction(0), Fraction(1)]]
+        )
+        key = ("fp", "m", "exact")
+        apply_journal_entry(state, "profile", key, first)
+        apply_journal_entry(state, "profile", key, second)
+        assert state.profiles[key].distributions == second.distributions
+
+
+class TestReplay:
+    def test_replay_skips_torn_tail_keeps_good_frames(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = [
+            encode_journal_frame(
+                "profile", (f"fp{i}", "m", "exact"), _profile()
+            )
+            for i in range(3)
+        ]
+        torn = encode_journal_frame(
+            "profile", ("fpX", "m", "exact"), _profile()
+        )[:-25]
+        path.write_bytes(b"".join(good) + torn)
+        state, report = replay_journal(path)
+        assert report.frames == 3
+        assert len(report.rejections) == 1
+        assert report.rejections[0]["frame"] == 3
+        assert len(state.profiles) == 3
+
+    def test_missing_journal_is_a_quiet_cold_start(self, tmp_path):
+        state, report = replay_journal(tmp_path / "absent.jsonl")
+        assert report.frames == 0 and not report.rejections
+        assert state.entry_count == 0
+
+    def test_journal_append_and_truncate(self, tmp_path):
+        journal = CacheJournal(tmp_path / "j.jsonl")
+        wrote = journal.append(
+            [("profile", ("fp", "m", "exact"), _profile())]
+        )
+        assert wrote == 1 and journal.size_bytes() > 0
+        journal.truncate()
+        assert journal.size_bytes() == 0
+        journal.close()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestWriteBehindPersister:
+    def _cache(self, tmp_path) -> SolveCache:
+        snapshot, _journal = state_paths(tmp_path / "state")
+        return SolveCache(path=snapshot)
+
+    def test_flush_cadence_by_drains(self, tmp_path):
+        snapshot, journal = state_paths(tmp_path / "state")
+        cache = SolveCache(path=snapshot)
+        persister = WriteBehindPersister(
+            cache, journal, flush_every_drains=2,
+            snapshot_every_drains=None, snapshot_interval=None,
+        )
+        cache.store_profile("fp", "m", "exact", _profile())
+        persister.on_drained()
+        assert persister.flushes == 0  # one drain: not yet due
+        persister.on_drained()
+        assert persister.flushes == 1 and persister.frames_flushed == 1
+        assert persister.journal.size_bytes() > 0
+
+    def test_flush_cadence_by_clock(self, tmp_path):
+        clock = FakeClock()
+        snapshot, journal = state_paths(tmp_path / "state")
+        cache = SolveCache(path=snapshot)
+        persister = WriteBehindPersister(
+            cache, journal, flush_every_drains=10**6,
+            flush_interval=5.0, snapshot_every_drains=None,
+            snapshot_interval=None, clock=clock,
+        )
+        cache.store_profile("fp", "m", "exact", _profile())
+        persister.poll()
+        assert persister.flushes == 0
+        clock.now = 6.0
+        persister.poll()
+        assert persister.flushes == 1
+
+    def test_snapshot_truncates_journal_and_saves(self, tmp_path):
+        snapshot, journal = state_paths(tmp_path / "state")
+        cache = SolveCache(path=snapshot)
+        persister = WriteBehindPersister(
+            cache, journal, snapshot_every_drains=None,
+            snapshot_interval=None,
+        )
+        cache.store_profile("fp", "m", "exact", _profile())
+        persister.flush()
+        assert persister.journal.size_bytes() > 0
+        entries = persister.snapshot()
+        assert entries == 1
+        assert persister.journal.size_bytes() == 0
+        assert os.path.exists(snapshot)
+
+    def test_close_disarms_tracking(self, tmp_path):
+        snapshot, journal = state_paths(tmp_path / "state")
+        cache = SolveCache(path=snapshot)
+        persister = WriteBehindPersister(cache, journal)
+        persister.close()
+        cache.store_profile("fp", "m", "exact", _profile())
+        assert cache.drain_updates() == []  # tracking is off again
+
+    def test_pathless_cache_is_refused(self, tmp_path):
+        with pytest.raises(PersistenceError, match="path-bound"):
+            WriteBehindPersister(SolveCache(), tmp_path / "j.jsonl")
+
+
+class TestCrashRecoveryInProcess:
+    """Journal-only recovery (no snapshot): the SIGKILL shape, in-process."""
+
+    def test_replayed_entries_serve_bit_identical_hits(self, tmp_path):
+        snapshot, journal_path = state_paths(tmp_path / "state")
+        cache = SolveCache(path=snapshot)
+        authority = _authority("g")
+        service = AuthorityService(authority, solve_cache=cache)
+        persister = WriteBehindPersister(
+            cache, journal_path, flush_every_drains=1,
+            snapshot_every_drains=None, snapshot_interval=None,
+        )
+        service.add_drain_listener(persister.on_drained)
+        futures = [service.submit("jane", f"g{i}") for i in range(3)]
+        service.drain()
+        cold = [
+            [str(p) for p in f.result().advice.suggestion] for f in futures
+        ]
+        # Simulate SIGKILL: no snapshot(), no close() — only the journal
+        # frames flushed at drain-end survive.
+        persister.journal.close()
+        assert not os.path.exists(snapshot)
+
+        fresh_cache = SolveCache(path=snapshot)
+        fresh_authority = _authority("h")  # same payoffs, new game ids
+        fresh_service = AuthorityService(
+            fresh_authority, solve_cache=fresh_cache
+        )
+        fresh_persister = WriteBehindPersister(
+            fresh_cache, journal_path, flush_every_drains=1,
+            snapshot_every_drains=None, snapshot_interval=None,
+        )
+        report = fresh_persister.recover()
+        assert report.frames > 0 and not report.rejections
+        futures = [fresh_service.submit("jane", f"h{i}") for i in range(3)]
+        fresh_service.drain()
+        outcomes = [f.result() for f in futures]
+        assert all(o.advice.cache == "hit" for o in outcomes)
+        warm = [[str(p) for p in o.advice.suggestion] for o in outcomes]
+        assert warm == cold
+
+    def test_tampered_journal_frame_is_audited_not_served(self, tmp_path):
+        snapshot, journal_path = state_paths(tmp_path / "state")
+        cache = SolveCache(path=snapshot)
+        authority = _authority("g", games=1)
+        service = AuthorityService(authority, solve_cache=cache)
+        persister = WriteBehindPersister(
+            cache, journal_path, flush_every_drains=1,
+            snapshot_every_drains=None, snapshot_interval=None,
+        )
+        service.add_drain_listener(persister.on_drained)
+        service.submit("jane", "g0")
+        service.drain()
+        persister.journal.close()
+        # Flip one byte inside the first frame's body: the digest no
+        # longer matches, so replay must reject exactly that frame.
+        lines = open(journal_path, "rb").read().splitlines(keepends=True)
+        lines[0] = lines[0][:20] + b"X" + lines[0][21:]
+        open(journal_path, "wb").write(b"".join(lines))
+
+        fresh_cache = SolveCache(path=snapshot)
+        fresh_authority = _authority("h", games=1)
+        fresh_service = AuthorityService(
+            fresh_authority, solve_cache=fresh_cache
+        )
+        fresh_persister = WriteBehindPersister(
+            fresh_cache, journal_path, flush_every_drains=1,
+            snapshot_every_drains=None, snapshot_interval=None,
+        )
+        report = fresh_persister.recover()
+        assert len(report.rejections) >= 1
+        fresh_service.flush_cache_rejections()
+        rejected = fresh_authority.audit.events_of(EVENT_CACHE_LOAD_REJECTED)
+        assert rejected and rejected[0].details["kind"] == "journal-frame"
+        # The consultation still succeeds — as a cold solve, never as
+        # unverified warm advice.
+        future = fresh_service.submit("jane", "h0")
+        fresh_service.drain()
+        outcome = future.result()
+        assert outcome.majority.accepted
