@@ -111,6 +111,18 @@ class GameInventor(abc.ABC):
         """
         return False
 
+    def drain_pool_events(self) -> "list[dict]":
+        """Pop this inventor's screening-pool supervision events.
+
+        Empty by default: only inventors that fan screening across a
+        process pool (see :meth:`BimatrixInventor.drain_pool_events`)
+        have mid-run rebuilds or serial degradations to report.  The
+        consultation service drains these at the end of every drain and
+        turns them into ``service.pool.rebuilt`` /
+        ``service.pool.degraded`` audit records.
+        """
+        return []
+
     @property
     def solve_cache(self):
         """The cross-run solve cache this inventor uses, if any.
@@ -303,6 +315,12 @@ class BimatrixInventor(GameInventor):
 
             self._executor = make_executor(self.screening_workers)
         return self._executor
+
+    def drain_pool_events(self) -> "list[dict]":
+        """Pop the screening executor's rebuild/degrade events."""
+        executor = self._executor
+        drain = getattr(executor, "drain_events", None)
+        return drain() if drain is not None else []
 
     def close(self) -> None:
         """Release the shared screening pool, if one was started."""

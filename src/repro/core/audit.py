@@ -45,6 +45,11 @@ EVENT_CACHE_SAVED = "cache.saved"
 EVENT_SERVER_STARTED = "server.started"
 EVENT_SERVER_SHUTDOWN = "server.shutdown.completed"
 EVENT_SERVER_PUMP_FAILED = "server.pump.failed"
+EVENT_DEADLINE_EXCEEDED = "service.deadline.exceeded"
+EVENT_VERIFY_RESPAWNED = "service.verify.respawned"
+EVENT_POOL_REBUILT = "service.pool.rebuilt"
+EVENT_POOL_DEGRADED = "service.pool.degraded"
+EVENT_DURABILITY_DEGRADED = "server.durability.degraded"
 
 
 @dataclass(frozen=True)

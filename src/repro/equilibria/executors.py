@@ -26,6 +26,22 @@ from __future__ import annotations
 import os
 from typing import Callable, Sequence
 
+# Lazily bound fault-injection module (repro.service.faults).  Lazy
+# because this module is imported *by* repro.service during its package
+# init — a top-level import here would close the cycle against a
+# partially initialized package.  After the first call the cost is one
+# global load per hit; disarmed, faults.check is itself a no-op test.
+_faults = None
+
+
+def _fault_check(point: str) -> None:
+    global _faults
+    if _faults is None:
+        from repro.service import faults
+
+        _faults = faults
+    _faults.check(point)
+
 
 def pools_disabled() -> bool:
     """True when ``REPRO_FORCE_SERIAL`` forces all fan-out in process.
@@ -82,6 +98,15 @@ class ShardedExecutor:
         self._pool = None
         self.fell_back = False
         self._serial = SerialExecutor()
+        #: Lifetime count of successful mid-run pool rebuilds.
+        self.rebuilds = 0
+        # One-fresh-chance latch: a pool that breaks mid-run is rebuilt
+        # once; a rebuilt pool that finishes a run cleanly re-earns the
+        # chance, a rebuilt pool that breaks again degrades to serial.
+        self._rebuild_attempted = False
+        #: Supervision events (dicts with a ``kind`` of ``rebuilt`` or
+        #: ``degraded``) for the owner to drain into its audit log.
+        self.events: list[dict] = []
 
     @property
     def effective_name(self) -> str:
@@ -111,23 +136,71 @@ class ShardedExecutor:
         pool = self._ensure_pool()
         if pool is None:
             return self._serial.map_chunks(fn, chunks)
-        futures = []
         try:
-            for chunk in chunks:
-                futures.append(pool.submit(fn, chunk))
-            return [future.result() for future in futures]
+            results = self._run_on_pool(pool, fn, chunks)
         except BaseException as exc:
             # A broken pool (killed worker, unpicklable payload, sandbox
-            # revoking forks mid-run) must not lose the enumeration:
-            # rerun the whole batch serially.  Worker screening has no
-            # side effects, so a clean restart is safe.
+            # revoking forks mid-run) must not lose the enumeration.
+            # Worker screening has no side effects, so a clean restart
+            # is safe: give the pool ONE fresh chance (rebuild and rerun
+            # the whole batch); a rebuilt pool that breaks again — or a
+            # rebuild that cannot start — degrades to the serial path.
             from concurrent.futures.process import BrokenProcessPool
 
             if not isinstance(exc, (BrokenProcessPool, OSError, PermissionError)):
                 raise
-            self.fell_back = True
             self.close()
-            return self._serial.map_chunks(fn, chunks)
+            if not self._rebuild_attempted:
+                self._rebuild_attempted = True
+                retry = self._ensure_pool()
+                if retry is not None:
+                    try:
+                        results = self._run_on_pool(retry, fn, chunks)
+                    except BaseException as again:
+                        if not isinstance(
+                            again,
+                            (BrokenProcessPool, OSError, PermissionError),
+                        ):
+                            raise
+                        self.close()
+                        return self._degrade(again, fn, chunks)
+                    else:
+                        self.rebuilds += 1
+                        self.events.append({
+                            "kind": "rebuilt",
+                            "workers": self.workers,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        })
+                        # A clean run on the rebuilt pool re-earns the
+                        # fresh chance for the next mid-run break.
+                        self._rebuild_attempted = False
+                        return results
+            return self._degrade(exc, fn, chunks)
+        else:
+            self._rebuild_attempted = False
+            return results
+
+    def _run_on_pool(self, pool, fn: Callable, chunks: Sequence) -> list:
+        futures = []
+        for chunk in chunks:
+            _fault_check("pool.chunk")
+            futures.append(pool.submit(fn, chunk))
+        return [future.result() for future in futures]
+
+    def _degrade(self, exc: BaseException, fn: Callable,
+                 chunks: Sequence) -> list:
+        """Latch the serial fallback; finish the batch in process."""
+        self.fell_back = True
+        self.events.append({
+            "kind": "degraded",
+            "error": f"{type(exc).__name__}: {exc}",
+        })
+        return self._serial.map_chunks(fn, chunks)
+
+    def drain_events(self) -> list[dict]:
+        """Pop queued supervision events (rebuilds / degradations)."""
+        events, self.events = self.events, []
+        return events
 
     def resize(self, workers: int) -> bool:
         """Change the shard count; returns True when it actually changed.
@@ -147,6 +220,7 @@ class ShardedExecutor:
         self.close()
         self.workers = workers
         self.fell_back = False
+        self._rebuild_attempted = False
         return True
 
     def close(self) -> None:

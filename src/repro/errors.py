@@ -93,6 +93,37 @@ class AdmissionError(ProtocolError):
     an accountable act, not a silent drop."""
 
 
+class DeadlineExceeded(ReproError):
+    """A consultation ran past its caller-supplied deadline.
+
+    The typed *outcome* of an expired submission: the drain resolves the
+    consultation's future with this exception — at admission-queue exit
+    when the deadline lapsed while queued, or after abandoning a solve
+    that outran its budget — audits ``service.deadline.exceeded`` and
+    moves on to the next submission, so one wedged (or adversarially
+    expensive) game can never head-of-line-block the pump for everyone
+    else.  The HTTP front-end maps it to **504** plus a ``Retry-After``
+    hint.  ``deadline_ms`` carries the budget that was exceeded.
+    """
+
+    def __init__(self, message: str, deadline_ms: float | None = None):
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+
+
+class FaultInjected(ReproError):
+    """The default error thrown by an armed fault-injection plan.
+
+    Deliberately a :class:`ReproError` subclass so chaos tests can
+    assert "every future resolved to advice or a *typed* error" with
+    one catch, and deliberately its own leaf so production code never
+    handles it specially by accident — resilience paths must react to
+    the *native* failure dialects (``OSError``,
+    :class:`PersistenceError`, ``BrokenProcessPool``), which a
+    :class:`~repro.service.faults.FaultSpec` can also speak.
+    """
+
+
 class PersistenceError(ReproError):
     """A persisted solve-cache document could not be trusted or decoded.
 

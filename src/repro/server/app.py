@@ -21,15 +21,23 @@ surface:
     one atomic batch, same two modes;
 ``GET /futures/<id>``
     poll (or ``?wait=<s>`` long-poll) an outstanding future;
-``GET /audit`` / ``GET /stats`` / ``GET /healthz``
+``GET /audit`` / ``GET /stats`` / ``GET /healthz`` / ``GET /readyz``
     observability; the audit endpoint tails the authority's log
-    (``?event=``, ``?since=<clock>``, ``?limit=``);
+    (``?event=``, ``?since=<clock>``, ``?limit=``); ``/healthz`` is
+    pure *liveness* (200 whenever the loop answers) while ``/readyz``
+    is *readiness* (503 + ``Retry-After`` during the recovery replay
+    and the shutdown drain);
 ``POST /admin/snapshot`` / ``POST /admin/flush``
     force the write-behind persister's hand.
 
-Backpressure maps onto status codes: an :class:`AdmissionError` from
-the service's high-water mark is a **429** with a ``Retry-After`` hint,
-and a draining (stopping) server answers admissions with **503**.
+Failure semantics map onto status codes: an
+:class:`AdmissionError` from the service's high-water mark is a
+**429** with a ``Retry-After`` hint; a starting-or-stopping server
+answers admissions with **503**; a consultation that outran its
+``deadline_ms`` (accepted per-request in ``/consult`` bodies, or set
+service-wide) resolves to a typed
+:class:`~repro.errors.DeadlineExceeded` and maps to **504** +
+``Retry-After``.
 
 Durability is delegated to a
 :class:`~repro.server.journal.WriteBehindPersister` when one is
@@ -52,11 +60,12 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.audit import (
     EVENT_CACHE_LOADED,
+    EVENT_DURABILITY_DEGRADED,
     EVENT_SERVER_PUMP_FAILED,
     EVENT_SERVER_SHUTDOWN,
     EVENT_SERVER_STARTED,
 )
-from repro.errors import AdmissionError, ProtocolError
+from repro.errors import AdmissionError, DeadlineExceeded, ProtocolError
 from repro.server.wire import (
     audit_payload,
     error_payload,
@@ -66,6 +75,7 @@ from repro.server.wire import (
     outcome_payload,
     pending_payload,
 )
+from repro.service import faults
 
 #: Reason phrases for the handful of statuses the server emits.
 _REASONS = {
@@ -73,7 +83,7 @@ _REASONS = {
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 431: "Request Header Fields Too Large",
     500: "Internal Server Error", 501: "Not Implemented",
-    503: "Service Unavailable",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
@@ -155,24 +165,43 @@ class AuthorityHTTPServer:
         self._stopped = asyncio.Event()
         self._closing = False
         self._stop_started = False
+        # Liveness vs readiness: the socket binds before recovery
+        # replay, so /healthz answers 200 (the loop runs) while
+        # /readyz answers 503 until _ready flips — and again during
+        # the shutdown drain.
+        self._ready = False
         self._connections = 0
         self._started_at: float | None = None
         self._futures: dict[str, Any] = {}
         self.request_count = 0
+        #: Lifetime pump/durability failure counts, by site (for /stats).
+        self.pump_failures: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> "AuthorityHTTPServer":
-        """Recover durable state, bind the socket, start the pump."""
+        """Bind the socket, recover durable state, start the pump.
+
+        The socket binds *before* recovery so liveness (``/healthz``)
+        answers immediately; readiness (``/readyz``) — and admissions —
+        stay 503 until the journal replay lands and the pump starts.
+        """
         if self._server is not None:
             return self
         loop = asyncio.get_running_loop()
         self._loop = loop
         audit = self._service.authority.audit
         name = self._service.authority.AUTHORITY_NAME
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = loop.time()
         if self._persister is not None:
+            if not self._persister.has_event_handler:
+                self._persister.set_event_handler(self._on_durability_event)
             replay = await loop.run_in_executor(None, self._persister.recover)
             details: dict[str, Any] = {
                 "journal_path": replay.path,
@@ -190,14 +219,10 @@ class AuthorityHTTPServer:
             # *now*, before the first drain would publish them.
             self._service.flush_cache_rejections()
             self._service.add_drain_listener(self._persister.on_drained)
-        self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-        self._started_at = loop.time()
         self._pump_task = loop.create_task(self._pump())
         if self._persister is not None and self._poll_interval:
             self._timer_task = loop.create_task(self._durability_timer())
+        self._ready = True
         audit.record(
             "-", name, EVENT_SERVER_STARTED,
             host=self.host, port=self.port,
@@ -246,6 +271,7 @@ class AuthorityHTTPServer:
             return
         self._stop_started = True
         self._closing = True
+        self._ready = False
         loop = asyncio.get_running_loop()
         if self._server is not None:
             self._server.close()
@@ -294,22 +320,33 @@ class AuthorityHTTPServer:
 
         This is what makes the server *always-on*: clients never pump
         (``future.result()``) — they submit and passively await, and
-        this task does every drain off-loop.  A drain that raises is
-        audited and the pump keeps going; the service has already
-        failed the affected futures.
+        this task does every drain off-loop.  A drain iteration that
+        raises is audited and counted, then retried after a short
+        (growing, capped) backoff — the pump never abandons pending
+        futures on a transient failure; a healthy iteration resets the
+        backoff.
         """
         loop = asyncio.get_running_loop()
         while True:
             await self._work.wait()
             self._work.clear()
+            failures = 0
             while self._service.pending_count:
                 try:
-                    await loop.run_in_executor(
-                        None, self._service.drain, self._drain_batch_limit
-                    )
+                    await loop.run_in_executor(None, self._pump_once)
                 except Exception as exc:
                     self._audit_pump_failure("pump", exc)
-                    break
+                    failures += 1
+                    await asyncio.sleep(
+                        min(0.5, 0.02 * (2 ** min(failures, 8)))
+                    )
+                else:
+                    failures = 0
+
+    def _pump_once(self) -> None:
+        """One pump iteration (executor thread): hook, then drain."""
+        faults.check("pump.iteration")
+        self._service.drain(self._drain_batch_limit)
 
     async def _durability_timer(self) -> None:
         """Idle-time persistence: poll the write-behind cadence so a
@@ -323,10 +360,18 @@ class AuthorityHTTPServer:
                 self._audit_pump_failure("durability-timer", exc)
 
     def _audit_pump_failure(self, where: str, exc: Exception) -> None:
+        self.pump_failures[where] = self.pump_failures.get(where, 0) + 1
         self._service.authority.audit.record(
             "-", self._service.authority.AUTHORITY_NAME,
             EVENT_SERVER_PUMP_FAILED,
             where=where, error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _on_durability_event(self, event: dict) -> None:
+        """The persister's degradation observer → the audit trail."""
+        self._service.authority.audit.record(
+            "-", self._service.authority.AUTHORITY_NAME,
+            EVENT_DURABILITY_DEGRADED, **event,
         )
 
     def _kick(self) -> None:
@@ -498,6 +543,9 @@ class AuthorityHTTPServer:
         if path == "/healthz":
             self._need(method, "GET")
             return self._healthz()
+        if path == "/readyz":
+            self._need(method, "GET")
+            return self._readyz()
         if path == "/stats":
             self._need(method, "GET")
             return _Response(200, self._stats_payload())
@@ -526,8 +574,8 @@ class AuthorityHTTPServer:
                 "endpoints": [
                     "POST /consult", "POST /consult_many",
                     "GET /futures/<id>", "GET /audit", "GET /stats",
-                    "GET /healthz", "POST /admin/snapshot",
-                    "POST /admin/flush",
+                    "GET /healthz", "GET /readyz",
+                    "POST /admin/snapshot", "POST /admin/flush",
                 ],
             })
         raise _HTTPError(404, f"no route for {path}")
@@ -556,13 +604,34 @@ class AuthorityHTTPServer:
     # ------------------------------------------------------------------
 
     def _healthz(self) -> _Response:
-        status = "stopping" if self._closing else "ok"
-        payload = {
+        """Liveness: 200 whenever the loop answers, even while
+        recovering or draining for shutdown — restart-deciders
+        (a process supervisor) belong here, traffic-routers on
+        :meth:`_readyz`."""
+        if self._closing:
+            status = "stopping"
+        elif not self._ready:
+            status = "starting"
+        else:
+            status = "ok"
+        return _Response(200, {
             "status": status,
+            "ready": self._ready,
             "pending": self._service.pending_count,
             "completed": self._service.completed_count,
+        })
+
+    def _readyz(self) -> _Response:
+        """Readiness: 503 + Retry-After during recovery replay and the
+        shutdown drain; 200 only while admissions are being accepted."""
+        payload = {
+            "status": "ready" if self._ready else (
+                "stopping" if self._closing else "starting"
+            ),
+            "ready": self._ready,
+            "pending": self._service.pending_count,
         }
-        if self._closing:
+        if not self._ready:
             return _Response(503, payload, headers={"Retry-After": "2"})
         return _Response(200, payload)
 
@@ -586,12 +655,27 @@ class AuthorityHTTPServer:
                 "pending": self._service.pending_count,
                 "completed": self._service.completed_count,
             },
+            "failures": self._failure_stats(),
             "cache": cache.stats.as_dict(),
             "persistence": (
                 None if self._persister is None else self._persister.stats()
             ),
         }
         return jsonable(payload)
+
+    def _failure_stats(self) -> dict:
+        """The supervision/degradation block of ``/stats``."""
+        counters = getattr(self._service, "failure_counters", None)
+        failures: dict[str, Any] = dict(counters()) if counters else {}
+        failures["pump_failures"] = dict(self.pump_failures)
+        if self._persister is not None:
+            failures["durability_degraded"] = self._persister.degraded
+            failures["durability_degraded_reason"] = (
+                self._persister.degraded_reason
+            )
+            failures["flush_failures"] = self._persister.flush_failures
+            failures["snapshot_failures"] = self._persister.snapshot_failures
+        return failures
 
     def _audit(self, query: dict[str, str]) -> _Response:
         since = limit = None
@@ -616,6 +700,11 @@ class AuthorityHTTPServer:
                 503, "server is shutting down",
                 headers={"Retry-After": "2"}, retry_after_s=2.0,
             )
+        if not self._ready:
+            raise _HTTPError(
+                503, "server is starting (recovery replay in progress)",
+                headers={"Retry-After": "2"}, retry_after_s=2.0,
+            )
 
     def _register(self, future) -> None:
         if len(self._futures) >= self._max_futures:
@@ -626,18 +715,30 @@ class AuthorityHTTPServer:
                     break
         self._futures[future_id(future)] = future
 
+    @staticmethod
+    def _deadline_param(params: dict) -> float | None:
+        """Parse an optional ``deadline_ms`` body field (None = default)."""
+        raw = params.get("deadline_ms")
+        if raw is None:
+            return None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) \
+                or raw <= 0:
+            raise _HTTPError(400, "deadline_ms must be a positive number")
+        return float(raw)
+
     def _submit(self, kind: str, params: dict):
         agent = params.get("agent")
         privacy = params.get("privacy", "open")
         if not isinstance(agent, str):
             raise _HTTPError(400, "agent must be a string")
+        deadline_ms = self._deadline_param(params)
         try:
             if kind == "one":
                 game_id = params.get("game_id")
                 if not isinstance(game_id, str):
                     raise _HTTPError(400, "game_id must be a string")
                 futures = (self._service.submit(
-                    agent, game_id, privacy=privacy
+                    agent, game_id, privacy=privacy, deadline_ms=deadline_ms
                 ),)
             else:
                 game_ids = params.get("game_ids")
@@ -650,7 +751,7 @@ class AuthorityHTTPServer:
                         400, "game_ids must be a non-empty list of strings"
                     )
                 futures = self._service.submit_many(
-                    agent, game_ids, privacy=privacy
+                    agent, game_ids, privacy=privacy, deadline_ms=deadline_ms
                 )
         except AdmissionError as exc:
             raise _HTTPError(
@@ -672,14 +773,19 @@ class AuthorityHTTPServer:
             raise _HTTPError(400, f"{key} must be a number") from None
         return max(0.0, min(timeout, self._long_poll_timeout))
 
-    def _terminal_payload(self, future) -> tuple[int, dict]:
-        """A resolved future → (status, body), dropping it from the
-        registry; 500 carries a failed session's error body."""
+    def _terminal_payload(self, future) -> tuple[int, dict, dict]:
+        """A resolved future → (status, body, headers), dropping it
+        from the registry; 500 carries a failed session's error body,
+        a :class:`DeadlineExceeded` outcome maps to **504** with a
+        ``Retry-After`` hint (the work was abandoned, not the server —
+        a fresh submission with a bigger budget may well succeed)."""
         self._futures.pop(future_id(future), None)
         exc = future.inner.exception()
-        if exc is not None:
-            return 500, failure_payload(future, exc)
-        return 200, outcome_payload(future, future.peek_outcome())
+        if exc is None:
+            return 200, outcome_payload(future, future.peek_outcome()), {}
+        if isinstance(exc, DeadlineExceeded):
+            return 504, failure_payload(future, exc), {"Retry-After": "1"}
+        return 500, failure_payload(future, exc), {}
 
     async def _consult(self, body: bytes) -> _Response:
         self._refuse_if_stopping()
@@ -691,8 +797,8 @@ class AuthorityHTTPServer:
         if mode == "future":
             return _Response(202, pending_payload(future))
         if await self._wait_future(future, self._wait_budget(params)):
-            status, payload = self._terminal_payload(future)
-            return _Response(status, payload)
+            status, payload, headers = self._terminal_payload(future)
+            return _Response(status, payload, headers=headers)
         return _Response(202, pending_payload(future))
 
     async def _consult_many(self, body: bytes) -> _Response:
@@ -717,7 +823,7 @@ class AuthorityHTTPServer:
         all_done = True
         for future in futures:
             if future.done():
-                __, payload = self._terminal_payload(future)
+                __, payload, __headers = self._terminal_payload(future)
                 results.append(payload)
             else:
                 all_done = False
@@ -736,8 +842,8 @@ class AuthorityHTTPServer:
         if wait > 0:
             await self._wait_future(future, wait)
         if future.done():
-            status, payload = self._terminal_payload(future)
-            return _Response(status, payload)
+            status, payload, headers = self._terminal_payload(future)
+            return _Response(status, payload, headers=headers)
         return _Response(202, pending_payload(future))
 
     async def _admin_persist(self, action: str) -> _Response:

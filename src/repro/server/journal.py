@@ -43,7 +43,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import PersistenceError
+from repro.errors import FaultInjected, PersistenceError
+from repro.service import faults
 from repro.service.persistence import (
     CacheState,
     apply_journal_entry,
@@ -51,6 +52,10 @@ from repro.service.persistence import (
     encode_journal_frame,
     fsync_directory,
 )
+
+#: The failure dialect the durability layer retries and degrades on: a
+#: refusing disk, a malformed frame, or an injected chaos fault.
+DURABILITY_ERRORS = (OSError, PersistenceError, FaultInjected)
 
 #: Default file names inside a server state directory.
 SNAPSHOT_FILENAME = "snapshot.json"
@@ -166,6 +171,7 @@ class CacheJournal:
             encode_journal_frame(kind, key, value)
             for kind, key, value in entries
         )
+        blob = faults.filter_bytes("journal.append", blob)
         with self._lock:
             handle = self._open()
             handle.write(blob)
@@ -232,6 +238,19 @@ class WriteBehindPersister:
     ``flush_interval`` seconds of them — while the snapshot cadence
     only bounds *recovery time* (journal replay length), never data
     loss.
+
+    **Degradation.**  A journal append that keeps failing (a refusing
+    or corrupting disk) is retried up to ``flush_retries`` times with
+    capped exponential backoff (``backoff_base_s`` doubling up to
+    ``backoff_cap_s``); past that the persister enters sticky
+    **snapshot-only mode**: journaling stops, every flush cadence
+    attempts a full snapshot instead (the snapshot subsumes every
+    committed update, so nothing is lost while snapshots still land),
+    and the ``on_event`` callback — the server wires it into the audit
+    log as ``server.durability.degraded`` — plus the :meth:`stats`
+    ``degraded``/``degraded_reason`` fields surface the mode.  Failed
+    snapshots are counted (``snapshot_failures``), never raised into
+    the serving path: durability degrades, service does not.
     """
 
     def __init__(self, cache, journal: CacheJournal | str | os.PathLike,
@@ -239,9 +258,17 @@ class WriteBehindPersister:
                  flush_interval: float | None = 5.0,
                  snapshot_every_drains: int | None = 256,
                  snapshot_interval: float | None = 300.0,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 flush_retries: int = 3,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 1.0,
+                 on_event=None):
         if flush_every_drains < 1:
             raise PersistenceError("flush_every_drains must be positive")
+        if flush_retries < 0:
+            raise PersistenceError("flush_retries must be non-negative")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise PersistenceError("backoff bounds must be non-negative")
         if snapshot_every_drains is not None and snapshot_every_drains < 1:
             raise PersistenceError(
                 "snapshot_every_drains must be positive (or None)"
@@ -269,6 +296,10 @@ class WriteBehindPersister:
         self._drains_since_snapshot = 0
         self._last_flush = clock()
         self._last_snapshot = clock()
+        self.flush_retries = flush_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._on_event = on_event
         # Telemetry for /stats and the bench.
         self.flushes = 0
         self.snapshots = 0
@@ -276,6 +307,12 @@ class WriteBehindPersister:
         self.flush_ms_total = 0.0
         self.snapshot_ms_total = 0.0
         self.last_replay: JournalReplayReport | None = None
+        # Degradation telemetry.
+        self.degraded = False
+        self.degraded_reason: str | None = None
+        self.flush_failures = 0
+        self.snapshot_failures = 0
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
     # Recovery
@@ -312,7 +349,7 @@ class WriteBehindPersister:
             )
             flush_due = self._drains_since_flush >= self.flush_every_drains
         if snapshot_due:
-            self.snapshot()
+            self.guarded_snapshot()
         elif flush_due:
             self.flush()
 
@@ -329,15 +366,33 @@ class WriteBehindPersister:
                 and now - self._last_flush >= self.flush_interval
             )
         if snapshot_due:
-            self.snapshot()
+            self.guarded_snapshot()
         elif flush_due:
             self.flush()
 
     def flush(self) -> int:
-        """Append the cache's dirty updates to the journal; frame count."""
+        """Append the cache's dirty updates to the journal; frame count.
+
+        Never raises into the serving path: a persistently failing
+        append (after the retry/backoff ladder) flips the persister
+        into snapshot-only mode and attempts an immediate snapshot so
+        the frames the journal refused still reach disk.  Degraded,
+        every flush cadence *is* a (guarded) snapshot attempt.
+        """
+        if self.degraded:
+            self.guarded_snapshot()
+            return 0
         started = self._clock()
         entries = self.cache.drain_updates()
-        frames = self.journal.append(entries)
+        try:
+            frames = self._append_with_retry(entries)
+        except DURABILITY_ERRORS as exc:
+            # The drained entries are still committed in the cache
+            # stores; a snapshot subsumes them, so degrading loses
+            # nothing while snapshots still land.
+            self._enter_degraded(exc)
+            self.guarded_snapshot()
+            return 0
         with self._lock:
             self._drains_since_flush = 0
             self._last_flush = self._clock()
@@ -345,6 +400,79 @@ class WriteBehindPersister:
             self.frames_flushed += frames
             self.flush_ms_total += (self._clock() - started) * 1000.0
         return frames
+
+    def _append_with_retry(self, entries) -> int:
+        """One journal append, retried on the durability error dialect.
+
+        ``flush_retries`` bounds the retries (not the attempts); the
+        sleep between them doubles from ``backoff_base_s`` up to
+        ``backoff_cap_s``.  The final failure propagates to the caller,
+        which degrades.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.journal.append(entries)
+            except DURABILITY_ERRORS:
+                attempt += 1
+                if attempt > self.flush_retries:
+                    raise
+                with self._lock:
+                    self.retries_used += 1
+                delay = min(
+                    self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** (attempt - 1)),
+                )
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _enter_degraded(self, exc: BaseException) -> None:
+        with self._lock:
+            already = self.degraded
+            self.degraded = True
+            self.degraded_reason = f"{type(exc).__name__}: {exc}"
+            self.flush_failures += 1
+        if not already:
+            self._emit({
+                "kind": "degraded",
+                "mode": "snapshot-only",
+                "reason": f"{type(exc).__name__}: {exc}",
+                "retries": self.flush_retries,
+            })
+
+    def guarded_snapshot(self) -> int | None:
+        """A snapshot attempt that degrades instead of raising.
+
+        Returns the entry count, or ``None`` when the snapshot failed
+        (counted in ``snapshot_failures``; the committed state stays in
+        memory for the next attempt).
+        """
+        try:
+            return self.snapshot()
+        except DURABILITY_ERRORS as exc:
+            with self._lock:
+                self.snapshot_failures += 1
+            self._emit({
+                "kind": "snapshot-failed",
+                "reason": f"{type(exc).__name__}: {exc}",
+            })
+            return None
+
+    def set_event_handler(self, handler) -> None:
+        """Install the degradation-event observer (``on_event``)."""
+        self._on_event = handler
+
+    @property
+    def has_event_handler(self) -> bool:
+        return self._on_event is not None
+
+    def _emit(self, event: dict) -> None:
+        if self._on_event is None:
+            return
+        try:
+            self._on_event(dict(event))
+        except Exception:  # pragma: no cover - observer must not wedge us
+            pass
 
     def snapshot(self) -> int:
         """Cut a full snapshot and truncate the journal; entry count.
@@ -371,13 +499,18 @@ class WriteBehindPersister:
         return entries
 
     def close(self) -> int:
-        """Final snapshot + journal close; returns the entry count."""
+        """Final (guarded) snapshot + journal close; entry count.
+
+        A dead disk at shutdown is counted and reported like any other
+        snapshot failure — it must not wedge the server's stop
+        sequence; the warm state it could not save is simply lost.
+        """
         try:
-            entries = self.snapshot()
+            entries = self.guarded_snapshot()
         finally:
             self.cache.set_update_tracking(False)
             self.journal.close()
-        return entries
+        return 0 if entries is None else entries
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -399,4 +532,10 @@ class WriteBehindPersister:
                 "flush_interval_s": self.flush_interval,
                 "snapshot_every_drains": self.snapshot_every_drains,
                 "snapshot_interval_s": self.snapshot_interval,
+                "degraded": self.degraded,
+                "degraded_reason": self.degraded_reason,
+                "flush_failures": self.flush_failures,
+                "snapshot_failures": self.snapshot_failures,
+                "flush_retries": self.flush_retries,
+                "retries_used": self.retries_used,
             }

@@ -95,14 +95,25 @@ def pending_payload(future: ConsultationFuture) -> dict[str, Any]:
 
 def failure_payload(future: ConsultationFuture,
                     exc: BaseException) -> dict[str, Any]:
-    """The body for a consultation whose session raised."""
-    return {
+    """The body for a consultation whose session raised.
+
+    ``error_type`` carries the exception class name alone so clients
+    can switch on the typed outcome (``DeadlineExceeded``,
+    ``ProofRejected``, ...) without parsing the message; a future that
+    carried a deadline also reports it.
+    """
+    payload = {
         "future_id": future_id(future),
         "state": "failed",
         "agent": future.agent,
         "game_id": future.game_id,
         "error": f"{type(exc).__name__}: {exc}",
+        "error_type": type(exc).__name__,
     }
+    deadline_ms = getattr(future, "deadline_ms", None)
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
 
 
 def error_payload(message: str, **extra: Any) -> dict[str, Any]:

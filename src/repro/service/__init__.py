@@ -23,6 +23,14 @@ from repro.service.autotune import (
     Resize,
 )
 from repro.service.cache import CacheStats, SolveCache, game_fingerprint
+from repro.service.faults import (
+    FaultPlan,
+    FaultSpec,
+    arm_fault_plan,
+    armed_faults,
+    disarm_fault_plan,
+    parse_fault_plan,
+)
 from repro.service.futures import ConsultationFuture
 from repro.service.load import (
     ArrivalSchedule,
@@ -51,6 +59,12 @@ from repro.service.service import AuthorityService
 __all__ = [
     "AuthorityService",
     "ConsultationFuture",
+    "FaultPlan",
+    "FaultSpec",
+    "arm_fault_plan",
+    "armed_faults",
+    "disarm_fault_plan",
+    "parse_fault_plan",
     "SolveCache",
     "CacheStats",
     "game_fingerprint",

@@ -27,12 +27,18 @@ class ConsultationFuture:
     """One pending consultation: resolves to its session outcome."""
 
     def __init__(self, submission_id: int, agent: str, game_id: str,
-                 service, queue_depth: int):
+                 service, queue_depth: int,
+                 deadline_ms: float | None = None):
         self.submission_id = submission_id
         self.agent = agent
         self.game_id = game_id
         #: Pending submissions ahead of this one at admission time.
         self.queue_depth = queue_depth
+        #: The effective wall-clock budget (request's own, or the
+        #: service default), for the wire payloads; ``None`` = none.
+        #: An expired submission resolves to
+        #: :class:`~repro.errors.DeadlineExceeded`.
+        self.deadline_ms = deadline_ms
         self._service = service
         self._inner: concurrent.futures.Future = concurrent.futures.Future()
         self._submitted_at = time.perf_counter()

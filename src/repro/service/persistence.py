@@ -65,6 +65,7 @@ from typing import Any
 
 from repro.errors import PersistenceError
 from repro.games.profiles import MixedProfile
+from repro.service import faults
 
 #: Format tag every cache document must carry.
 FORMAT_NAME = "repro.solve-cache"
@@ -512,7 +513,7 @@ def write_cache_file(path, state: CacheState) -> int:
     """
     path = os.fspath(path)
     text = json.dumps(encode_document(state), sort_keys=True, indent=1) + "\n"
-    data = text.encode("utf-8")
+    data = faults.filter_bytes("snapshot.write", text.encode("utf-8"))
     directory = os.path.dirname(path) or "."
     fd, tmp_path = tempfile.mkstemp(
         prefix=".solve-cache-", suffix=".tmp", dir=directory
@@ -553,6 +554,7 @@ def read_cache_file(path) -> CacheState:
     """
     with open(os.fspath(path), "rb") as handle:
         data = handle.read()
+    data = faults.filter_bytes("cache.load", data)
     try:
         document = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -69,13 +69,18 @@ from repro.core.audit import (
     EVENT_CACHE_LOADED,
     EVENT_CACHE_SAVED,
     EVENT_CALLBACK_FAILED,
+    EVENT_DEADLINE_EXCEEDED,
+    EVENT_POOL_DEGRADED,
+    EVENT_POOL_REBUILT,
     EVENT_SERVICE_COMPLETED,
     EVENT_SERVICE_DRAINED,
+    EVENT_VERIFY_RESPAWNED,
 )
 from repro.core.session import ConsultationSession, SessionOutcome
 from repro.equilibria.executors import pools_disabled
-from repro.errors import AdmissionError, ProtocolError
+from repro.errors import AdmissionError, DeadlineExceeded, ProtocolError
 from repro.games.base import Game
+from repro.service import faults
 from repro.service.autotune import (
     BACKPRESSURE_BLOCK,
     BACKPRESSURE_RAISE,
@@ -89,12 +94,19 @@ from repro.service.futures import ConsultationFuture
 
 @dataclass
 class _Submission:
-    """One admitted consultation request."""
+    """One admitted consultation request.
+
+    ``deadline`` is the absolute ``time.monotonic()`` instant by which
+    the consultation must resolve (``None`` = unbounded); past it the
+    drain resolves the future to
+    :class:`~repro.errors.DeadlineExceeded` instead of working on it.
+    """
 
     agent: str
     game_id: str
     privacy: str
     future: ConsultationFuture
+    deadline: float | None = None
 
 
 @dataclass
@@ -137,20 +149,27 @@ class _VerifyStage:
         self._idle = threading.Condition(self._lock)
         self._outstanding = 0
         self._pullers = []
+        self._stopping = False
+        self._spawned = 0
+        self._crashes: list[dict] = []
         try:
-            for index in range(workers):
-                puller = threading.Thread(
-                    target=self._pull,
-                    name=f"repro-verify-{index}",
-                    daemon=True,
-                )
-                puller.start()
-                self._pullers.append(puller)
+            for __ in range(workers):
+                self._spawn_puller()
         except (RuntimeError, OSError):
             # Restricted interpreter: retire whatever did start and
             # let the caller fall back to inline verification.
             self.stop()
             raise
+
+    def _spawn_puller(self) -> None:
+        self._spawned += 1
+        puller = threading.Thread(
+            target=self._pull,
+            name=f"repro-verify-{self._spawned - 1}",
+            daemon=True,
+        )
+        puller.start()
+        self._pullers.append(puller)
 
     def dispatch(self, job) -> None:
         """Enqueue one verify/conclude job (a no-arg callable)."""
@@ -165,11 +184,44 @@ class _VerifyStage:
                 return
             try:
                 job()  # routes its own failures into the future
+            except BaseException as exc:
+                # A job that escapes its own error routing (the jobs
+                # catch Exception; a SystemExit/MemoryError-class crash
+                # does not) has killed this puller.  Supervise: record
+                # the crash, spawn a replacement *before* dying so a
+                # mid-drain crash can never strand queued jobs, and let
+                # the drain audit the respawn at its quiescent end.
+                self._supervise_crash(exc)
+                return
             finally:
                 with self._idle:
                     self._outstanding -= 1
                     if self._outstanding == 0:
                         self._idle.notify_all()
+
+    def _supervise_crash(self, exc: BaseException) -> None:
+        me = threading.current_thread()
+        with self._lock:
+            self._crashes.append({
+                "worker": me.name,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            if self._stopping:
+                return
+            try:
+                self._spawn_puller()
+            except (RuntimeError, OSError):  # pragma: no cover
+                pass  # interpreter refuses threads: degrade silently
+            try:
+                self._pullers.remove(me)
+            except ValueError:  # pragma: no cover - already retired
+                pass
+
+    def drain_crashes(self) -> list[dict]:
+        """Pop recorded puller crashes (each one means a respawn)."""
+        with self._lock:
+            crashes, self._crashes = self._crashes, []
+        return crashes
 
     def join(self) -> None:
         """Block until every dispatched job has completed."""
@@ -179,11 +231,148 @@ class _VerifyStage:
 
     def stop(self) -> None:
         """Retire the pullers (after a :meth:`join`; idempotent)."""
-        for __ in self._pullers:
+        with self._lock:
+            self._stopping = True
+            pullers, self._pullers = self._pullers, []
+        for __ in pullers:
             self._queue.put(None)
-        for puller in self._pullers:
+        for puller in pullers:
             puller.join()
-        self._pullers = []
+        with self._lock:
+            self._stopping = False
+
+
+class _DeadlineRunner:
+    """Bounded-wait execution of solves that carry a deadline.
+
+    Python cannot interrupt a compute-bound solve, so a deadline is
+    enforced by *abandonment*: the solve runs on a reusable worker
+    thread while the drain waits at most ``timeout`` seconds; on
+    expiry the drain walks away (resolving the consultation to
+    :class:`~repro.errors.DeadlineExceeded`) and the worker finishes
+    in the background, discards its result into the already-resolved
+    future, and rejoins the idle pool.  Submissions *without* a
+    deadline never come here — they take the exact inline path the
+    service always had, so the no-deadline stream stays bit-identical.
+
+    Workers are recycled (checkout from an idle stack, spawn when
+    empty, cap the idle stack at :data:`_MAX_IDLE`) so a deadline-heavy
+    stream pays thread startup rarely, and an abandoned worker — still
+    busy past its drain — simply is not in the idle stack until its
+    task completes.
+    """
+
+    _MAX_IDLE = 4
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._idle: list[_DeadlineWorker] = []
+        self._spawned = 0
+        self._closed = False
+
+    def execute(self, fn, timeout: float):
+        """Run ``fn()`` with a wall-clock bound; (done, result, error).
+
+        ``done`` False means the budget lapsed and the worker was
+        abandoned (it keeps running; its result is discarded).
+        """
+        with self._lock:
+            if self._closed:
+                raise ProtocolError("deadline runner is closed")
+            worker = self._idle.pop() if self._idle else None
+            if worker is None:
+                self._spawned += 1
+                worker = _DeadlineWorker(self, self._spawned)
+        return worker.run(fn, timeout)
+
+    def _recycle(self, worker: "_DeadlineWorker") -> bool:
+        """Return a finished worker to the idle stack; False = retire."""
+        with self._lock:
+            if self._closed or len(self._idle) >= self._MAX_IDLE:
+                return False
+            self._idle.append(worker)
+            return True
+
+    def close(self) -> None:
+        """Retire the idle workers (abandoned ones die on completion)."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            worker.retire()
+
+
+class _DeadlineTask:
+    """One solve handed to a deadline worker.
+
+    The ``claim`` lock arbitrates the timeout race atomically: exactly
+    one side — the waiting drain (completion in time) or the worker
+    (completion after abandonment) — owns the post-task handoff, so a
+    solve finishing in the same instant the wait expires is still
+    delivered, never dropped *and* recycled twice.
+    """
+
+    __slots__ = ("fn", "done", "result", "error", "claim", "abandoned")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.claim = threading.Lock()
+        self.abandoned = False
+
+
+class _DeadlineWorker:
+    """One reusable thread of the :class:`_DeadlineRunner`."""
+
+    def __init__(self, runner: _DeadlineRunner, index: int):
+        self._runner = runner
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"repro-deadline-{index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def run(self, fn, timeout: float):
+        """(done, result, error); done False = abandoned past budget."""
+        task = _DeadlineTask(fn)
+        self._tasks.put(task)
+        if not task.done.wait(timeout):
+            with task.claim:
+                if not task.done.is_set():
+                    # The worker is still solving: walk away.  It will
+                    # see ``abandoned`` and recycle itself on finish.
+                    task.abandoned = True
+                    return False, None, None
+            # Finished in the same instant the wait expired — a result
+            # we already paid for; deliver it.
+        if not self._runner._recycle(self):
+            self.retire()
+        return True, task.result, task.error
+
+    def retire(self) -> None:
+        self._tasks.put(None)
+
+    def _loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            try:
+                task.result = task.fn()
+            except BaseException as exc:
+                task.error = exc
+            with task.claim:
+                task.done.set()
+                abandoned = task.abandoned
+            if abandoned:
+                # Nobody is waiting; the result is discarded.  Rejoin
+                # the idle pool (or retire when it is full/closed).
+                if not self._runner._recycle(self):
+                    return
 
 
 class AuthorityService:
@@ -221,6 +410,17 @@ class AuthorityService:
     the mark; blocking needs some *other* thread draining, e.g. the
     load harness's).  An autotune config's own ``high_water`` arms the
     same mechanism; an explicit ``max_pending`` overrides it.
+
+    ``default_deadline_ms`` arms per-request deadlines service-wide:
+    every submission without an explicit ``deadline_ms`` inherits it.
+    An expired submission resolves to
+    :class:`~repro.errors.DeadlineExceeded` (audited
+    ``service.deadline.exceeded``) — immediately when the deadline
+    lapsed in the queue, or after the drain abandons a solve that
+    outran its budget on a watchdog thread — and the drain moves on,
+    so a wedged solve cannot head-of-line-block the service.
+    Submissions without any deadline take the exact inline solve path
+    the service always had.
     """
 
     def __init__(self, authority, solve_cache: SolveCache | None = None,
@@ -229,9 +429,12 @@ class AuthorityService:
                  autotune: AutotuneConfig | AdaptiveController | None = None,
                  max_pending: int | None = None,
                  backpressure: str = BACKPRESSURE_RAISE,
-                 block_timeout: float | None = None):
+                 block_timeout: float | None = None,
+                 default_deadline_ms: float | None = None):
         if verify_workers < 0:
             raise ProtocolError("verify_workers must be non-negative")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ProtocolError("default_deadline_ms must be positive")
         if solve_cache is not None and cache_path is not None:
             raise ProtocolError(
                 "pass either solve_cache or cache_path, not both"
@@ -262,6 +465,15 @@ class AuthorityService:
         self._submission_counter = 0
         self._completed = 0
         self._drain_listeners: list = []
+        #: Service-wide wall-clock budget applied to submissions that
+        #: carry no deadline of their own (None = unbounded).
+        self.default_deadline_ms = default_deadline_ms
+        self._deadline_runner: _DeadlineRunner | None = None
+        # Failure telemetry (surfaced via failure_counters / GET /stats).
+        self._deadlines_exceeded = 0
+        self._verify_respawns = 0
+        self._pool_rebuilds = 0
+        self._pool_degradations = 0
         if isinstance(autotune, AdaptiveController):
             self.controller: AdaptiveController | None = autotune
             self._verify_workers = autotune.verify_workers
@@ -320,18 +532,24 @@ class AuthorityService:
     # ------------------------------------------------------------------
 
     def submit(self, agent_name: str, game_id: str,
-               privacy: str = "open") -> ConsultationFuture:
+               privacy: str = "open",
+               deadline_ms: float | None = None) -> ConsultationFuture:
         """Admit one consultation; returns its future immediately.
 
         The request is validated eagerly (unknown agents and games are
         rejected here, not at drain time); the hard work happens when
         the queue drains.  Past the backpressure high-water mark the
         admission is refused or blocked per the configured policy.
+        ``deadline_ms`` bounds this consultation's wall clock (falling
+        back to the service default); past it the future resolves to
+        :class:`~repro.errors.DeadlineExceeded`.
         """
-        (future,) = self._admit(agent_name, [game_id], privacy, batched=False)
+        (future,) = self._admit(agent_name, [game_id], privacy,
+                                batched=False, deadline_ms=deadline_ms)
         return future
 
     def submit_many(self, agent_name: str, game_ids, privacy: str = "open",
+                    deadline_ms: float | None = None,
                     ) -> tuple[ConsultationFuture, ...]:
         """Admit a stream of consultations as one atomic batch.
 
@@ -341,17 +559,30 @@ class AuthorityService:
         ``prepare_games`` pre-solve per group, then the individual
         sessions in submission order.  Backpressure treats the batch
         atomically: it is admitted whole or refused whole.
+        ``deadline_ms`` applies per submission, not to the batch as a
+        whole.
         """
         if not game_ids:
             return ()
-        return self._admit(agent_name, list(game_ids), privacy, batched=True)
+        return self._admit(agent_name, list(game_ids), privacy,
+                           batched=True, deadline_ms=deadline_ms)
 
     def _admit(self, agent_name: str, game_ids, privacy: str,
-               batched: bool) -> tuple[ConsultationFuture, ...]:
+               batched: bool,
+               deadline_ms: float | None = None,
+               ) -> tuple[ConsultationFuture, ...]:
         authority = self._authority
         authority.agent(agent_name)  # raises on unknown agents
         for game_id in game_ids:
             authority.inventor_of(game_id)  # raises on unknown games
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ProtocolError("deadline_ms must be positive")
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        deadline = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1000.0
+        )
         batch = _Batch(batched=batched)
         shed = None
         blocked = None
@@ -381,9 +612,11 @@ class AuthorityService:
                         game_id=game_id,
                         service=self,
                         queue_depth=depth + len(futures),
+                        deadline_ms=deadline_ms,
                     )
                     batch.submissions.append(
-                        _Submission(agent_name, game_id, privacy, future)
+                        _Submission(agent_name, game_id, privacy, future,
+                                    deadline=deadline)
                     )
                     futures.append(future)
                 self._queue.append(batch)
@@ -521,6 +754,7 @@ class AuthorityService:
                 raise
             self._completed += len(processed)
             self._flush_cache_rejections()
+            self._flush_failure_events(stage)
             latencies = [f.latency_ms for f in processed if f.latency_ms is not None]
             outcomes = [
                 outcome
@@ -627,6 +861,46 @@ class AuthorityService:
                     EVENT_CACHE_LOAD_REJECTED, **details,
                 )
 
+    def _flush_failure_events(self, stage: _VerifyStage | None) -> None:
+        """Audit supervision events collected during this drain.
+
+        Runs at the drain's quiescent end: verify-puller crashes (each
+        one already respawned a replacement mid-drain) become
+        ``service.verify.respawned`` records, and the inventors'
+        screening-executor events — a mid-run pool rebuilt on its one
+        fresh chance, or degraded to the serial path — become
+        ``service.pool.rebuilt`` / ``service.pool.degraded`` records.
+        """
+        audit = self._authority.audit
+        name = self._authority.AUTHORITY_NAME
+        if stage is not None:
+            for crash in stage.drain_crashes():
+                self._verify_respawns += 1
+                audit.record("-", name, EVENT_VERIFY_RESPAWNED, **crash)
+        for inventor in self._authority.inventors:
+            drain = getattr(inventor, "drain_pool_events", None)
+            if drain is None:
+                continue
+            for event in drain():
+                details = dict(event)
+                kind = details.pop("kind", "degraded")
+                details.setdefault("inventor", inventor.name)
+                if kind == "rebuilt":
+                    self._pool_rebuilds += 1
+                    audit.record("-", name, EVENT_POOL_REBUILT, **details)
+                else:
+                    self._pool_degradations += 1
+                    audit.record("-", name, EVENT_POOL_DEGRADED, **details)
+
+    def failure_counters(self) -> dict:
+        """Lifetime supervision counters (the ``/stats`` failure block)."""
+        return {
+            "deadlines_exceeded": self._deadlines_exceeded,
+            "verify_respawns": self._verify_respawns,
+            "pool_rebuilds": self._pool_rebuilds,
+            "pool_degradations": self._pool_degradations,
+        }
+
     def _record_callback_failure(self, future, exc: BaseException) -> None:
         """Audit a raising done-callback (see ConsultationFuture)."""
         self._authority.audit.record(
@@ -674,10 +948,23 @@ class AuthorityService:
         for submission in batch.submissions:
             future = submission.future
             processed.append(future)
+            if self._expired(submission):
+                self._deadline_fail(submission, phase="queued")
+                continue
             try:
-                session = self._stage_solve(submission)
+                if submission.deadline is None:
+                    session = self._stage_solve(submission)
+                else:
+                    session = self._stage_solve_deadlined(submission)
+                    if session is None:  # abandoned past its budget
+                        continue
             except Exception as exc:
                 future._fail(exc)
+                continue
+            if self._expired(submission):
+                # Solved, but past the promise: the caller has already
+                # been told 504-land — do not spend verify time on it.
+                self._deadline_fail(submission, phase="solved")
                 continue
             if stage is None:
                 self._verify_and_conclude(session, future)
@@ -685,6 +972,56 @@ class AuthorityService:
                 stage.dispatch(
                     lambda s=session, f=future: self._verify_and_conclude(s, f)
                 )
+
+    @staticmethod
+    def _expired(submission: _Submission) -> bool:
+        return (
+            submission.deadline is not None
+            and time.monotonic() >= submission.deadline
+        )
+
+    def _deadline_fail(self, submission: _Submission, phase: str) -> None:
+        """Resolve an expired submission to DeadlineExceeded; audit."""
+        future = submission.future
+        budget = future.deadline_ms
+        future._fail(DeadlineExceeded(
+            f"consultation for {submission.game_id!r} exceeded its "
+            f"{budget:g} ms deadline ({phase})",
+            deadline_ms=budget,
+        ))
+        self._deadlines_exceeded += 1
+        self._authority.audit.record(
+            "-", self._authority.AUTHORITY_NAME, EVENT_DEADLINE_EXCEEDED,
+            game_id=submission.game_id,
+            agent=submission.agent,
+            deadline_ms=budget,
+            phase=phase,
+        )
+
+    def _stage_solve_deadlined(self, submission: _Submission):
+        """Stage 1 under a wall-clock budget (watchdog thread).
+
+        Returns the solved session, ``None`` when the solve outran its
+        budget and was abandoned (the future is already resolved to
+        :class:`~repro.errors.DeadlineExceeded`), or raises what the
+        solve raised.  The abandoned solve keeps running on its worker
+        thread and discards its result into the resolved future.
+        """
+        remaining = submission.deadline - time.monotonic()
+        if remaining <= 0:
+            self._deadline_fail(submission, phase="queued")
+            return None
+        if self._deadline_runner is None:
+            self._deadline_runner = _DeadlineRunner()
+        done, session, error = self._deadline_runner.execute(
+            lambda: self._stage_solve(submission), remaining
+        )
+        if not done:
+            self._deadline_fail(submission, phase="solve")
+            return None
+        if error is not None:
+            raise error
+        return session
 
     def _stage_prepare(self, batch: _Batch, processed: list) -> bool:
         """Stage 0: the batched pre-solve (``consult_many`` semantics).
@@ -724,6 +1061,7 @@ class AuthorityService:
 
     def _stage_solve(self, submission: _Submission) -> ConsultationSession:
         """Stage 1: session open + advice (cache lookup / search)."""
+        faults.check("solve")
         authority = self._authority
         session = authority.open_session(
             submission.agent, submission.game_id
@@ -737,6 +1075,7 @@ class AuthorityService:
         """Stage 2: verify, conclude, resolve, audit."""
         outcome: SessionOutcome | None = None
         try:
+            faults.check("verify.conclude")
             session.verify()
             outcome = session.conclude()
         except Exception as exc:
@@ -860,6 +1199,9 @@ class AuthorityService:
         """
         self.drain()
         self._shutdown_verify_stage()
+        runner, self._deadline_runner = self._deadline_runner, None
+        if runner is not None:
+            runner.close()
         if self._cache_owned and self.cache.path is not None \
                 and self.cache.autosave:
             entries = self.cache.save()

@@ -157,3 +157,62 @@ class TestShardedEnumerationDeterminism:
         assert {p.distributions for p in sharded} == {
             p.distributions for p in exact
         }
+
+
+class TestRebuildLatch:
+    """Mid-run pool breakage: one fresh chance, then serial for good.
+
+    The ``pool.chunk`` injection point fires in the parent on submit,
+    so a real (healthy) pool can be made to *look* broken on exact
+    call indices — which is precisely what the one-fresh-chance latch
+    has to arbitrate.
+    """
+
+    pytestmark = pytest.mark.skipif(
+        pools_disabled(), reason="process pools disabled in this run"
+    )
+
+    def test_single_break_rebuilds_once_and_answers(self):
+        from repro.service import faults
+
+        chunks = [[1, 2], [3, 4]]
+        with faults.armed("pool.chunk:raise:broken-pool@1"):
+            with ShardedExecutor(workers=2) as executor:
+                out = executor.map_chunks(_double, chunks)
+                assert out == [_double(c) for c in chunks]
+                assert executor.rebuilds == 1
+                assert not executor.fell_back
+                events = executor.drain_events()
+        assert [e["kind"] for e in events] == ["rebuilt"]
+        assert "BrokenProcessPool" in events[0]["error"]
+        assert executor.drain_events() == []  # drained means drained
+
+    def test_second_break_degrades_to_serial(self):
+        from repro.service import faults
+
+        chunks = [[5], [6]]
+        with faults.armed("pool.chunk:raise:broken-pool@1x2"):
+            with ShardedExecutor(workers=2) as executor:
+                out = executor.map_chunks(_double, chunks)
+                assert out == [_double(c) for c in chunks]  # serial rerun
+                assert executor.fell_back
+                assert executor.effective_name == "serial"
+                assert executor.rebuilds == 0  # the fresh chance failed
+                events = executor.drain_events()
+        assert [e["kind"] for e in events] == ["degraded"]
+
+    def test_clean_run_re_earns_the_fresh_chance(self):
+        from repro.service import faults
+
+        plan = ("pool.chunk:raise:broken-pool@1;"
+                "pool.chunk:raise:broken-pool@4")
+        with faults.armed(plan):
+            with ShardedExecutor(workers=2) as executor:
+                # Run 1: submit 1 breaks, rebuild, submits 2-3 clean.
+                executor.map_chunks(_double, [[1], [2]])
+                # Run 2: submit 4 breaks again — but the clean rebuilt
+                # run re-earned the chance, so it rebuilds again.
+                out = executor.map_chunks(_double, [[3], [4]])
+                assert out == [[6], [8]]
+                assert executor.rebuilds == 2
+                assert not executor.fell_back

@@ -86,8 +86,25 @@ class TestEndpoints:
     def test_healthz_and_index(self, client):
         status, body, _ = client.request("GET", "/healthz")
         assert status == 200 and body["status"] == "ok"
+        assert body["ready"] is True
         status, body, _ = client.request("GET", "/")
         assert status == 200 and "POST /consult" in body["endpoints"]
+        assert "GET /readyz" in body["endpoints"]
+
+    def test_readyz_reports_ready_when_serving(self, client, server):
+        status, body, _ = client.request("GET", "/readyz")
+        assert status == 200 and body["ready"] is True
+        # Liveness and readiness split: flipping readiness off turns
+        # /readyz into a 503 with a retry hint while /healthz stays 200.
+        server.server._ready = False
+        try:
+            status, body, headers = client.request("GET", "/readyz")
+            assert status == 503 and body["ready"] is False
+            assert headers.get("Retry-After") == "2"
+            status, body, _ = client.request("GET", "/healthz")
+            assert status == 200
+        finally:
+            server.server._ready = True
 
     def test_consult_wait_returns_exact_advice(self, client):
         status, body, _ = client.request(
@@ -151,6 +168,13 @@ class TestEndpoints:
         assert body["server"]["requests"] >= 1
         assert "hits" in body["cache"]
         assert body["persistence"] is None  # no persister in this fixture
+        # The supervision/degradation block is always present.
+        failures = body["failures"]
+        assert failures["deadlines_exceeded"] == 0
+        assert failures["verify_respawns"] == 0
+        assert failures["pool_rebuilds"] == 0
+        assert failures["pool_degradations"] == 0
+        assert failures["pump_failures"] == {}
 
 
 class TestErrorMapping:
