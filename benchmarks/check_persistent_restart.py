@@ -37,7 +37,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor  # noqa: E402
-from repro.core.audit import (  # noqa: E402
+from repro.core.audit_events import (  # noqa: E402
     EVENT_CACHE_LOAD_REJECTED,
     EVENT_CACHE_LOADED,
 )

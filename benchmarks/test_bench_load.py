@@ -33,7 +33,7 @@ import time
 
 from repro.analysis import PaperComparison, TextTable
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_AUTOTUNE_RESIZED, EVENT_SERVICE_COMPLETED
+from repro.core.audit_events import EVENT_AUTOTUNE_RESIZED, EVENT_SERVICE_COMPLETED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.linalg.backend import MODE_NUMPY, BackendPolicy

@@ -29,7 +29,7 @@ from fractions import Fraction
 
 from repro.analysis import PaperComparison, TextTable
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_CACHE_LOADED
+from repro.core.audit_events import EVENT_CACHE_LOADED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.games.bimatrix import BimatrixGame

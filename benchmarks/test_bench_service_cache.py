@@ -25,7 +25,7 @@ from fractions import Fraction
 
 from repro.analysis import PaperComparison, TextTable
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_SERVICE_DRAINED
+from repro.core.audit_events import EVENT_SERVICE_DRAINED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.games.bimatrix import BimatrixGame

@@ -33,7 +33,7 @@ from repro.core import (
     RationalityAuthority,
     standard_procedures,
 )
-from repro.core.audit import EVENT_CACHE_LOAD_REJECTED, EVENT_CACHE_LOADED
+from repro.core.audit_events import EVENT_CACHE_LOAD_REJECTED, EVENT_CACHE_LOADED
 from repro.games import ROW
 from repro.games.bimatrix import BimatrixGame
 from repro.games.generators import random_bimatrix

@@ -25,13 +25,8 @@ from typing import Any, Sequence
 from repro.core.advice import Advice, ProofFormat, SolutionConcept
 from repro.errors import EquilibriumError, ProtocolError
 from repro.games.base import Game
-from repro.linalg.backend import (
-    MODE_EXACT,
-    MODE_FLOAT_CERTIFY,
-    BackendPolicy,
-    resolve_policy,
-)
-from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.linalg.backend import BackendPolicy, resolve_policy
+from repro.games.bimatrix import BimatrixGame
 from repro.games.participation import ParticipationGame
 from repro.games.profiles import MixedProfile
 from repro.equilibria.lemke_howson import lemke_howson

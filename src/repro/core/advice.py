@@ -13,12 +13,10 @@ verifier procedure).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from fractions import Fraction
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ProtocolError
-from repro.games.profiles import MixedProfile
 from repro.linalg.backend import (
     EXECUTOR_NAMES,
     MODE_EXACT,

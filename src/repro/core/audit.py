@@ -19,37 +19,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
-# Event tags used across the framework.
-EVENT_GAME_PUBLISHED = "game.published"
-EVENT_ADVICE_REQUESTED = "advice.requested"
-EVENT_ADVICE_DELIVERED = "advice.delivered"
-EVENT_VERDICT = "verification.verdict"
-EVENT_MAJORITY = "verification.majority"
-EVENT_ADVICE_ADOPTED = "advice.adopted"
-EVENT_ADVICE_REJECTED = "advice.rejected"
-EVENT_INVENTOR_BLAMED = "blame.inventor"
-EVENT_VERIFIER_BLAMED = "blame.verifier"
-EVENT_AGENT_BLAMED = "blame.agent"
-EVENT_RULE_VIOLATION = "gameauthority.violation"
-EVENT_CROSS_CHECK = "advice.cross-check"
-EVENT_STATISTICS_AUDIT = "statistics.audit"
-EVENT_BATCH_CONSULTATION = "consultation.batch"
-EVENT_SERVICE_COMPLETED = "service.consultation.completed"
-EVENT_SERVICE_DRAINED = "service.queue.drained"
-EVENT_CALLBACK_FAILED = "service.callback.failed"
-EVENT_AUTOTUNE_RESIZED = "service.autotune.resized"
-EVENT_BACKPRESSURE = "service.admission.backpressure"
-EVENT_CACHE_LOADED = "cache.load.completed"
-EVENT_CACHE_LOAD_REJECTED = "cache.load.rejected"
-EVENT_CACHE_SAVED = "cache.saved"
-EVENT_SERVER_STARTED = "server.started"
-EVENT_SERVER_SHUTDOWN = "server.shutdown.completed"
-EVENT_SERVER_PUMP_FAILED = "server.pump.failed"
-EVENT_DEADLINE_EXCEEDED = "service.deadline.exceeded"
-EVENT_VERIFY_RESPAWNED = "service.verify.respawned"
-EVENT_POOL_REBUILT = "service.pool.rebuilt"
-EVENT_POOL_DEGRADED = "service.pool.degraded"
-EVENT_DURABILITY_DEGRADED = "server.durability.degraded"
+# Event tags live in the machine-checked registry (audit_events.py);
+# the blame helpers below consume these three.
+from repro.core.audit_events import (
+    EVENT_AGENT_BLAMED,
+    EVENT_INVENTOR_BLAMED,
+    EVENT_VERIFIER_BLAMED,
+)
 
 
 @dataclass(frozen=True)

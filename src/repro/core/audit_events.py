@@ -1,0 +1,164 @@
+"""The audit-event registry: every event name, in one place, documented.
+
+The audit log is the accountability spine of the whole system — the
+paper's discussion section makes "report ... to a reputation system that
+audits their actions" a first-class feature — which means the *names* of
+audit events are part of the public contract: tests assert on them,
+operators filter ``GET /audit?event=`` by them, and the blame queries
+aggregate over them.  Scattering those names as string literals across
+nine PRs' worth of modules made typos undetectable (a misspelled event
+silently records under a name nobody queries).
+
+This module is the single source of truth.  Each event is declared once
+as an ``EVENT_*`` constant and registered in :data:`REGISTRY` with a
+one-line description of when it fires.  The static linter
+(``python -m repro.devtools.lint``, rule R3) machine-checks the rest of
+the tree against it: ``record(...)`` call sites must use these constants
+(never raw literals), and every constant must be registered and
+documented here.
+
+Adding an event is a three-line change in this file: define the
+constant, add the REGISTRY entry, and the linter keeps everyone honest
+from then on.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Consultation protocol (the paper's gamesman/inventor/verifier loop)
+# ----------------------------------------------------------------------
+EVENT_GAME_PUBLISHED = "game.published"
+EVENT_ADVICE_REQUESTED = "advice.requested"
+EVENT_ADVICE_DELIVERED = "advice.delivered"
+EVENT_VERDICT = "verification.verdict"
+EVENT_MAJORITY = "verification.majority"
+EVENT_ADVICE_ADOPTED = "advice.adopted"
+EVENT_ADVICE_REJECTED = "advice.rejected"
+EVENT_CROSS_CHECK = "advice.cross-check"
+EVENT_BATCH_CONSULTATION = "consultation.batch"
+
+# ----------------------------------------------------------------------
+# Blame and statistics (the Ron/Norton accountability trail)
+# ----------------------------------------------------------------------
+EVENT_INVENTOR_BLAMED = "blame.inventor"
+EVENT_VERIFIER_BLAMED = "blame.verifier"
+EVENT_AGENT_BLAMED = "blame.agent"
+EVENT_RULE_VIOLATION = "gameauthority.violation"
+EVENT_STATISTICS_AUDIT = "statistics.audit"
+
+# ----------------------------------------------------------------------
+# Service core (admission, drain, autotune, deadlines, supervision)
+# ----------------------------------------------------------------------
+EVENT_SERVICE_COMPLETED = "service.consultation.completed"
+EVENT_SERVICE_DRAINED = "service.queue.drained"
+EVENT_CALLBACK_FAILED = "service.callback.failed"
+EVENT_AUTOTUNE_RESIZED = "service.autotune.resized"
+EVENT_BACKPRESSURE = "service.admission.backpressure"
+EVENT_DEADLINE_EXCEEDED = "service.deadline.exceeded"
+EVENT_VERIFY_RESPAWNED = "service.verify.respawned"
+EVENT_POOL_REBUILT = "service.pool.rebuilt"
+EVENT_POOL_DEGRADED = "service.pool.degraded"
+
+# ----------------------------------------------------------------------
+# Persistent cache (warm state on disk)
+# ----------------------------------------------------------------------
+EVENT_CACHE_LOADED = "cache.load.completed"
+EVENT_CACHE_LOAD_REJECTED = "cache.load.rejected"
+EVENT_CACHE_SAVED = "cache.saved"
+
+# ----------------------------------------------------------------------
+# HTTP server (front-end lifecycle and durability)
+# ----------------------------------------------------------------------
+EVENT_SERVER_STARTED = "server.started"
+EVENT_SERVER_SHUTDOWN = "server.shutdown.completed"
+EVENT_SERVER_PUMP_FAILED = "server.pump.failed"
+EVENT_DURABILITY_DEGRADED = "server.durability.degraded"
+
+
+#: The machine-checked catalogue: event name -> when it fires.  The
+#: linter's R3 rule requires every ``EVENT_*`` constant in this module
+#: to appear here with a non-empty description, and every audit-log
+#: ``record(...)`` call site in ``src/`` to spell its event via one of
+#: these constants.
+REGISTRY: dict[str, str] = {
+    EVENT_GAME_PUBLISHED:
+        "An inventor registered a game with the authority.",
+    EVENT_ADVICE_REQUESTED:
+        "An agent opened a consultation session for a game.",
+    EVENT_ADVICE_DELIVERED:
+        "The inventor's advice (with proof obligations) reached the agent.",
+    EVENT_VERDICT:
+        "One verifier's accept/reject verdict on a piece of advice.",
+    EVENT_MAJORITY:
+        "The verifier panel's majority decision (carries verify_ms).",
+    EVENT_ADVICE_ADOPTED:
+        "The agent acted on verified advice.",
+    EVENT_ADVICE_REJECTED:
+        "The agent declined advice (or verification failed it).",
+    EVENT_CROSS_CHECK:
+        "A second-opinion consultation compared two inventors' advice.",
+    EVENT_BATCH_CONSULTATION:
+        "A consult_many/submit_many batch drained as one group.",
+    EVENT_INVENTOR_BLAMED:
+        "A rejected proof marked the inventor for blame.",
+    EVENT_VERIFIER_BLAMED:
+        "A dissenting verifier was out-voted by the majority.",
+    EVENT_AGENT_BLAMED:
+        "The Norton case: an agent ignored verified rational advice.",
+    EVENT_RULE_VIOLATION:
+        "The game authority caught a rule violation in play.",
+    EVENT_STATISTICS_AUDIT:
+        "A statistical audit of an inventor's advice stream ran.",
+    EVENT_SERVICE_COMPLETED:
+        "One consultation future resolved (latency + cache state).",
+    EVENT_SERVICE_DRAINED:
+        "One admission-queue drain finished (depth, hit rate, "
+        "latency percentiles).",
+    EVENT_CALLBACK_FAILED:
+        "A future's done-callback raised; surfaced instead of swallowed.",
+    EVENT_AUTOTUNE_RESIZED:
+        "The EWMA autotuner resized verify workers or screening shards.",
+    EVENT_BACKPRESSURE:
+        "An admission was shed, blocked, or timed out at the "
+        "high-water mark.",
+    EVENT_DEADLINE_EXCEEDED:
+        "A consultation's wall-clock budget lapsed; the solve was "
+        "abandoned.",
+    EVENT_VERIFY_RESPAWNED:
+        "A verify-stage puller crashed and a replacement was spawned.",
+    EVENT_POOL_REBUILT:
+        "A broken screening process pool got its one fresh rebuild.",
+    EVENT_POOL_DEGRADED:
+        "A screening pool broke again post-rebuild; sticky serial "
+        "degrade.",
+    EVENT_CACHE_LOADED:
+        "A persistent cache file passed the tamper checks and loaded.",
+    EVENT_CACHE_LOAD_REJECTED:
+        "A cache file or journal frame failed a tamper/lattice check.",
+    EVENT_CACHE_SAVED:
+        "The cache's certified state was written to disk.",
+    EVENT_SERVER_STARTED:
+        "The HTTP front-end bound its port and started serving.",
+    EVENT_SERVER_SHUTDOWN:
+        "A graceful shutdown drained, flushed, and cut a snapshot.",
+    EVENT_SERVER_PUMP_FAILED:
+        "One background pump iteration failed (counted, backed off).",
+    EVENT_DURABILITY_DEGRADED:
+        "Journal flushes kept failing; write-behind fell back to "
+        "snapshot-only.",
+}
+
+
+def is_registered(event: str) -> bool:
+    """Whether ``event`` is a known, documented audit event name."""
+    return event in REGISTRY
+
+
+def describe(event: str) -> str:
+    """The one-line description of a registered event name."""
+    return REGISTRY[event]
+
+
+def all_events() -> tuple[str, ...]:
+    """Every registered event name, in declaration order."""
+    return tuple(REGISTRY)

@@ -18,7 +18,6 @@ the statistics audit hook of footnote 3.
 
 from __future__ import annotations
 
-import random
 import threading
 from dataclasses import dataclass
 from fractions import Fraction
@@ -26,11 +25,11 @@ from typing import Sequence
 
 from repro.core.actors import AuthorityAgent, GameInventor
 from repro.core.advice import Advice
-from repro.core.audit import (
+from repro.core.audit import AuditLog
+from repro.core.audit_events import (
     EVENT_CROSS_CHECK,
     EVENT_GAME_PUBLISHED,
     EVENT_STATISTICS_AUDIT,
-    AuditLog,
 )
 from repro.core.bus import MessageBus
 from repro.core.registry import VerificationProcedure, VerifierRegistry

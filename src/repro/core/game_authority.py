@@ -16,10 +16,10 @@ rebuilds a consistent view from subsequent observations alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Any
 
-from repro.core.audit import EVENT_RULE_VIOLATION, AuditLog
+from repro.core.audit import AuditLog
+from repro.core.audit_events import EVENT_RULE_VIOLATION
 from repro.errors import ProtocolError
 from repro.games.base import Game
 from repro.games.profiles import MixedProfile

@@ -9,7 +9,7 @@ communication overhead exactly (experiment E10).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ProtocolError

@@ -16,7 +16,6 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Any, Sequence
 
 from repro.core.advice import Advice, ProofFormat, SolutionConcept

@@ -17,19 +17,18 @@ import dataclasses
 import random
 import time
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Any
 
 from repro.core.actors import AdvicePackage, AuthorityAgent, GameInventor
 from repro.core.advice import Advice, describe_advice
-from repro.core.audit import (
+from repro.core.audit import AuditLog
+from repro.core.audit_events import (
     EVENT_ADVICE_ADOPTED,
     EVENT_ADVICE_DELIVERED,
     EVENT_ADVICE_REJECTED,
     EVENT_ADVICE_REQUESTED,
     EVENT_MAJORITY,
     EVENT_VERDICT,
-    AuditLog,
 )
 from repro.core.bus import MessageBus
 from repro.core.registry import (
@@ -219,7 +218,7 @@ class ConsultationSession:
             self._bus.send(
                 name,
                 self._agent.name,
-                "verification.verdict",
+                EVENT_VERDICT,
                 {"accepted": verdict.accepted, "reason": verdict.reason},
             )
             self._audit.record(

@@ -1,0 +1,39 @@
+"""Developer tooling: the invariant linter.
+
+The repository's correctness story rests on disciplines that runtime
+tests can only sample — "floats search, ints certify, Fractions only at
+the boundary", bit-identical replay, every decision audited, a strict
+lock order in the threaded service core.  ``repro.devtools`` turns each
+discipline into a machine-checked rule over the AST:
+
+* ``python -m repro.devtools.lint`` — run the invariant linter;
+* :mod:`repro.devtools.engine` — the visitor-based rule engine
+  (findings, suppressions, severities);
+* :mod:`repro.devtools.baseline` — the committed-baseline store that
+  lets pre-existing findings ride while new ones fail CI;
+* ``repro.devtools.rules_*`` — the repo-specific rules R1–R5.
+
+Everything here is stdlib-only and import-light: the linter must run on
+the barest CI interpreter, before any optional dependency exists.
+"""
+
+from repro.devtools.engine import (
+    Finding,
+    LintEngine,
+    ParsedModule,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
+from repro.devtools.config import LintConfig, default_config
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "ParsedModule",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "default_config",
+]

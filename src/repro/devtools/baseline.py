@@ -1,0 +1,115 @@
+"""The committed lint baseline: old findings ride, new ones fail.
+
+A fresh static-analysis pass over a nine-PR-old tree will surface
+pre-existing findings that are not this change's fault.  The baseline
+file (committed at the repo root as ``lint-baseline.json``) records
+their fingerprints so CI can hold the line — anything *not* in the
+baseline fails — without demanding a big-bang cleanup.
+
+Semantics:
+
+* **match** — a finding whose fingerprint appears in the baseline is
+  reported as "baselined" and does not fail ``--check``;
+* **add** — ``--update-baseline`` rewrites the file with exactly the
+  currently-visible findings (so the baseline only ever shrinks or
+  records a deliberate, reviewed addition);
+* **expire** — entries that no longer match any finding are dropped on
+  update and reported as stale on ``--check``; a stale entry means the
+  underlying code was fixed and the exemption is dead weight.
+
+Fingerprints hash the rule, file and offending source text, not line
+numbers, so unrelated edits do not churn the file (see
+:meth:`repro.devtools.engine.Finding.fingerprint`).
+
+Duplicate fingerprints are legal (two identical offending lines in one
+file) and are matched count-for-count.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.devtools.engine import Finding
+
+FORMAT = "repro-lint-baseline"
+VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: list[dict]):
+        self.entries = entries
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls.empty()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("format") != FORMAT or data.get("version") != VERSION:
+            raise ValueError(
+                f"{path} is not a {FORMAT} v{VERSION} file"
+            )
+        return cls(list(data.get("entries", [])))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls([
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "fingerprint": f.fingerprint(),
+            }
+            for f in findings
+        ])
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "format": FORMAT,
+            "version": VERSION,
+            "entries": self.entries,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- reconciliation ------------------------------------------------
+
+    def reconcile(self, findings: list[Finding]):
+        """Split ``findings`` against the baseline.
+
+        Returns ``(matched, fresh, stale)``: findings covered by the
+        baseline, findings that are new, and baseline entries whose
+        fingerprint matched nothing (expired).
+        """
+        budget = Counter(e["fingerprint"] for e in self.entries)
+        matched: list[Finding] = []
+        fresh: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                matched.append(finding)
+            else:
+                fresh.append(finding)
+        stale = []
+        remaining = dict(budget)
+        for entry in self.entries:
+            fp = entry["fingerprint"]
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                stale.append(dict(entry))
+        return matched, fresh, stale

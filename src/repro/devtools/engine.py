@@ -1,0 +1,334 @@
+"""The lint engine: modules in, rule visitors over them, findings out.
+
+Verification must be cheap and unconditional — that is the paper's
+premise, and it applies to the repo's own disciplines as much as to the
+advice it serves.  The engine is deliberately small: parse every module
+once, hand each :class:`Rule` the parsed module (rules may also hold
+cross-module state and emit more findings from :meth:`Rule.finalize`),
+then subtract inline suppressions and the committed baseline.
+
+**Suppressions.**  A finding is silenced by an inline comment on (or
+immediately above) the offending line::
+
+    x = 0.5  # repro: allow[R1] -- screening threshold, never certified
+
+The justification text after ``--`` is *required*: an allow with no
+reason is itself an error (rule ``R0``), because an unexplained
+exemption is exactly the undocumented discipline this tool exists to
+kill.  Unused allows are flagged too, so stale exemptions cannot
+accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: The meta-rule for suppression hygiene (malformed / unused allows).
+RULE_SUPPRESSION = "R0"
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]\s*(?:--\s*(.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str  # posix path relative to the scan root
+    line: int
+    col: int
+    message: str
+    snippet: str = ""  # the stripped source line, for stable fingerprints
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity for baseline matching.
+
+        Hashing the rule, file and *source text* (not the line number)
+        keeps a baselined finding matched when unrelated edits shift
+        the file, while any edit to the offending line itself retires
+        the entry.
+        """
+        payload = f"{self.rule}|{self.path}|{self.message}|{self.snippet}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int  # the line the allow covers (the comment's own line, or
+    # the next line for a comment-only line)
+    rules: tuple[str, ...]
+    justification: str
+    comment_line: int
+    used: bool = False
+
+
+class ParsedModule:
+    """One source file: text, AST, and its inline suppressions."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions: list[Suppression] = []
+        self.malformed_allows: list[tuple[int, str]] = []
+        self._scan_suppressions()
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "ParsedModule":
+        return cls(path, relpath, path.read_text(encoding="utf-8"))
+
+    def _string_spans(self) -> dict[int, list[tuple[int, int]]]:
+        """Column ranges occupied by string constants, per line.
+
+        A ``# repro: allow`` that *starts* inside one of these spans is
+        string content (a docstring example, an error-message template),
+        not a comment — comments cannot occur inside string literals.
+        """
+        spans: dict[int, list[tuple[int, int]]] = {}
+        for node in ast.walk(self.tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, (str, bytes))):
+                continue
+            start = node.lineno
+            end = node.end_lineno or start
+            for line in range(start, end + 1):
+                col0 = node.col_offset if line == start else 0
+                if line == end and node.end_col_offset is not None:
+                    col1 = node.end_col_offset
+                else:
+                    col1 = len(self.lines[line - 1]) if line <= len(
+                        self.lines) else 0
+                spans.setdefault(line, []).append((col0, col1))
+        return spans
+
+    def _scan_suppressions(self) -> None:
+        string_spans = self._string_spans()
+
+        def in_string(line: int, col: int) -> bool:
+            return any(
+                lo <= col < hi for lo, hi in string_spans.get(line, ())
+            )
+
+        for index, text in enumerate(self.lines, start=1):
+            if "repro:" not in text or "allow" not in text:
+                continue
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                partial = re.search(r"#\s*repro:\s*allow", text)
+                if partial and not in_string(index, partial.start()):
+                    self.malformed_allows.append(
+                        (index, "malformed allow comment (expected "
+                                "# repro: allow[RULE] -- justification)")
+                    )
+                continue
+            if in_string(index, match.start()):
+                continue
+            rules = tuple(
+                r.strip() for r in match.group(1).split(",") if r.strip()
+            )
+            justification = (match.group(2) or "").strip()
+            covered = index
+            if text.lstrip().startswith("#"):
+                covered = index + 1  # a comment-only line covers the next
+            if not justification:
+                self.malformed_allows.append(
+                    (index, f"allow[{','.join(rules)}] without a "
+                            "justification (add `-- why`)")
+                )
+                continue
+            self.suppressions.append(
+                Suppression(covered, rules, justification, index)
+            )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, severity: str, node_or_line, message: str,
+                col: int | None = None) -> Finding:
+        """Build a finding anchored at an AST node or a line number."""
+        if isinstance(node_or_line, int):
+            line, column = node_or_line, col or 0
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            column = getattr(node_or_line, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            severity=severity,
+            path=self.relpath,
+            line=line,
+            col=column,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    ``visit_module`` runs once per file and may return findings;
+    ``finalize`` runs once after every file has been visited, for rules
+    that need whole-tree state (registry coverage, the lock graph).
+    """
+
+    rule_id = "R?"
+    name = "unnamed"
+    #: What discipline the rule encodes, one line (shown by --list-rules).
+    rationale = ""
+    severity = SEVERITY_ERROR
+
+    def visit_module(self, module: ParsedModule) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, pre-sorted for stable output."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+    def as_dict(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.new],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+            "counts": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+class LintEngine:
+    """Run a set of rules over a tree and reconcile the results."""
+
+    def __init__(self, rules: Iterable[Rule]):
+        self.rules = list(rules)
+
+    # -- module collection -------------------------------------------
+
+    @staticmethod
+    def collect(root: Path) -> list[ParsedModule]:
+        """Parse every ``*.py`` under ``root`` (or the single file)."""
+        root = root.resolve()
+        if root.is_file():
+            return [ParsedModule.parse(root, root.name)]
+        modules = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            relpath = path.relative_to(root).as_posix()
+            modules.append(ParsedModule.parse(path, relpath))
+        return modules
+
+    # -- the run ------------------------------------------------------
+
+    def run(self, modules: Iterable[ParsedModule],
+            baseline: "Baseline | None" = None) -> LintResult:
+        from repro.devtools.baseline import Baseline  # local: no cycle
+
+        modules = list(modules)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            for module in modules:
+                raw.extend(rule.visit_module(module))
+            raw.extend(rule.finalize())
+
+        by_path = {m.relpath: m for m in modules}
+        result = LintResult(files_scanned=len(modules))
+
+        # Inline suppressions first: a suppressed finding never reaches
+        # the baseline, so allows and the baseline cannot shadow each
+        # other.
+        visible: list[Finding] = []
+        for finding in sorted(raw, key=_sort_key):
+            module = by_path.get(finding.path)
+            suppression = None
+            if module is not None and finding.rule != RULE_SUPPRESSION:
+                for candidate in module.suppressions:
+                    if (candidate.line == finding.line
+                            and finding.rule in candidate.rules):
+                        suppression = candidate
+                        break
+            if suppression is not None:
+                suppression.used = True
+                result.suppressed.append(finding)
+            else:
+                visible.append(finding)
+
+        # Suppression hygiene: malformed allows and allows that no
+        # longer silence anything are themselves findings.
+        for module in modules:
+            for line, message in module.malformed_allows:
+                visible.append(module.finding(
+                    RULE_SUPPRESSION, SEVERITY_ERROR, line, message))
+            for suppression in module.suppressions:
+                if not suppression.used:
+                    visible.append(module.finding(
+                        RULE_SUPPRESSION, SEVERITY_WARNING,
+                        suppression.comment_line,
+                        f"unused allow[{','.join(suppression.rules)}] "
+                        "(nothing on the covered line trips it)",
+                    ))
+
+        visible.sort(key=_sort_key)
+        if baseline is None:
+            baseline = Baseline.empty()
+        matched, fresh, stale = baseline.reconcile(visible)
+        result.baselined = matched
+        result.new = fresh
+        result.stale_baseline = stale
+        return result

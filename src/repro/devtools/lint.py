@@ -1,0 +1,133 @@
+"""Command-line front end: ``python -m repro.devtools.lint``.
+
+Typical invocations, from the repo root::
+
+    PYTHONPATH=src python -m repro.devtools.lint            # report
+    PYTHONPATH=src python -m repro.devtools.lint --check    # CI gate
+    PYTHONPATH=src python -m repro.devtools.lint --json
+    PYTHONPATH=src python -m repro.devtools.lint --update-baseline
+    PYTHONPATH=src python -m repro.devtools.lint --list-rules
+
+Exit status is 0 when no *new* findings exist (baselined and
+inline-suppressed ones do not count); ``--check`` additionally fails on
+stale baseline entries, so a fixed finding must also retire its
+exemption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.config import default_config
+from repro.devtools.engine import LintEngine
+from repro.devtools.rules_determinism import DeterminismRule
+from repro.devtools.rules_exactness import ExactnessRule
+from repro.devtools.rules_locks import LockDisciplineRule
+from repro.devtools.rules_registry import (
+    AuditEventRegistryRule,
+    FaultPointRegistryRule,
+)
+
+#: src/repro/devtools/lint.py -> the repo checkout root.
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_ROOT = _REPO_ROOT / "src"
+DEFAULT_BASELINE = _REPO_ROOT / "lint-baseline.json"
+
+
+def build_rules(config=None):
+    """The repo's rule set, in rule-id order."""
+    if config is None:
+        config = default_config()
+    return [
+        ExactnessRule(config),
+        DeterminismRule(config),
+        AuditEventRegistryRule(config),
+        FaultPointRegistryRule(config),
+        LockDisciplineRule(config),
+    ]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Repo-specific AST lint for the repro tree.",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=DEFAULT_ROOT,
+        help="directory to scan (default: the repo's src/)")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline file (default: lint-baseline.json at repo root)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: also fail on stale baseline entries")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of human-readable lines")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to exactly the visible findings")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    rules = build_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name}: {rule.rationale}")
+        return 0
+
+    try:
+        baseline = Baseline.load(args.baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(rules)
+    modules = engine.collect(args.root)
+    result = engine.run(modules, baseline)
+
+    if args.update_baseline:
+        refreshed = Baseline.from_findings(result.new + result.baselined)
+        refreshed.save(args.baseline)
+        print(f"baseline rewritten: {len(refreshed.entries)} entries "
+              f"-> {args.baseline}")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.new:
+            print(finding.render())
+        if args.check:
+            for entry in result.stale_baseline:
+                print(f"{entry['path']}: stale baseline entry "
+                      f"{entry['fingerprint']} ({entry['rule']}: "
+                      f"{entry['message']}) — remove it")
+        summary = (
+            f"{result.files_scanned} files, "
+            f"{len(result.new)} new, "
+            f"{len(result.baselined)} baselined, "
+            f"{len(result.suppressed)} suppressed, "
+            f"{len(result.stale_baseline)} stale baseline"
+        )
+        print(("FAIL: " if not result.clean else "ok: ") + summary)
+
+    if not result.clean:
+        return 1
+    if args.check and result.stale_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""R1 — the exactness discipline on the certify path.
+
+The integer-lattice rule ("floats search, ints certify, Fractions only
+at the boundary") is the repo's soundness backbone: every verdict the
+authority signs is recomputed in exact arithmetic, so the certify-path
+modules must be *incapable* of producing a float.  R1 makes that
+mechanical:
+
+* no float (or complex) literals;
+* no calls to the ``float`` builtin;
+* no use or import of ``math`` (every ``math.*`` function returns
+  floats or approximations);
+* inside the integer kernels, additionally no true division ``/`` —
+  exactness there rests on checked integer division (``//`` with
+  divisibility asserts) and any quotient that must leave the lattice
+  does so as a ``Fraction(num, den)`` built without dividing.
+
+Annotations are exempt (``x: float`` documents a boundary type, it
+cannot compute one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.config import LintConfig
+from repro.devtools.engine import Finding, ParsedModule, Rule, SEVERITY_ERROR
+
+
+class ExactnessRule(Rule):
+    rule_id = "R1"
+    name = "exactness"
+    rationale = (
+        "certify-path modules must be incapable of producing a float "
+        "(the integer-lattice rule)"
+    )
+    severity = SEVERITY_ERROR
+
+    def __init__(self, config: LintConfig):
+        self.config = config
+
+    def visit_module(self, module: ParsedModule) -> Iterable[Finding]:
+        if not self.config.in_certify_path(module.relpath):
+            return []
+        findings: list[Finding] = []
+        integer_kernel = self.config.in_integer_kernel(module.relpath)
+        annotation_nodes = _annotation_nodes(module.tree)
+
+        for node in ast.walk(module.tree):
+            if node in annotation_nodes:
+                continue
+            if isinstance(node, ast.Constant):
+                if isinstance(node.value, float):
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        f"float literal {node.value!r} on the certify "
+                        "path"))
+                elif isinstance(node.value, complex):
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        f"complex literal {node.value!r} on the certify "
+                        "path"))
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "float":
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        "float() call on the certify path"))
+                elif (isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "math"):
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        f"math.{node.func.attr}() call on the certify "
+                        "path"))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "math" or alias.name.startswith("math."):
+                        findings.append(module.finding(
+                            self.rule_id, self.severity, node,
+                            "import of math on the certify path"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "math":
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        "import from math on the certify path"))
+            elif integer_kernel and isinstance(node, ast.BinOp):
+                if isinstance(node.op, ast.Div):
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        "true division `/` inside an integer kernel "
+                        "(use checked exact division)"))
+            elif integer_kernel and isinstance(node, ast.AugAssign):
+                if isinstance(node.op, ast.Div):
+                    findings.append(module.finding(
+                        self.rule_id, self.severity, node,
+                        "true division `/=` inside an integer kernel "
+                        "(use checked exact division)"))
+        return findings
+
+
+def _annotation_nodes(tree: ast.Module) -> set[ast.AST]:
+    """Every node appearing inside a type annotation (exempt from R1)."""
+    nodes: set[ast.AST] = set()
+
+    def mark(node: ast.AST | None) -> None:
+        if node is None:
+            return
+        for child in ast.walk(node):
+            nodes.add(child)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mark(node.returns)
+            for arg in (list(node.args.posonlyargs) + list(node.args.args)
+                        + list(node.args.kwonlyargs)):
+                mark(arg.annotation)
+            if node.args.vararg is not None:
+                mark(node.args.vararg.annotation)
+            if node.args.kwarg is not None:
+                mark(node.args.kwarg.annotation)
+        elif isinstance(node, ast.AnnAssign):
+            mark(node.annotation)
+    return nodes

@@ -9,7 +9,6 @@ compute and check that, exactly, for pure and mixed play.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
 
 from repro.errors import GameError
 from repro.games.base import Game

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import weakref
 from fractions import Fraction
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.errors import EquilibriumError
 from repro.fractions_util import to_fraction

@@ -23,9 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from fractions import Fraction
 
-from repro.errors import EquilibriumError
 from repro.games.base import Game
 from repro.games.profiles import PureProfile
 

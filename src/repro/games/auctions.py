@@ -27,7 +27,6 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.errors import GameError
-from repro.fractions_util import to_fraction
 from repro.games.bayesian import BayesianGame
 from repro.games.strategic import StrategicGame
 

@@ -14,7 +14,6 @@ from fractions import Fraction
 from typing import Iterator, Sequence
 
 from repro.errors import GameError
-from repro.fractions_util import dot
 from repro.games.profiles import (
     MixedProfile,
     PureProfile,

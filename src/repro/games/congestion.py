@@ -18,7 +18,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import networkx as nx
 

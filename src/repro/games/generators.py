@@ -7,7 +7,6 @@ generators feed the property-based tests and the scaling benchmarks
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Sequence
 
 from repro.errors import GameError
@@ -115,7 +114,6 @@ def random_strategic(
 ) -> StrategicGame:
     """A random n-player strategic game with integer payoffs."""
     counts = tuple(int(c) for c in action_counts)
-    rng = make_rng(seed, f"strategic:{counts}")
 
     def payoff(player: int, profile) -> int:
         # Draw lazily but deterministically per (player, profile).

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 
-from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
+from repro.games.bimatrix import BimatrixGame
 from repro.games.profiles import MixedProfile
 from repro.interactive.p2 import P2Disclosure, P2Prover
 from repro.interactive.transcripts import PROVER, Transcript

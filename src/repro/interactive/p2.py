@@ -35,7 +35,7 @@ any probability of the other agent — that is Remark 2, demonstrated in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.crypto.commitments import Commitment, Opening, commit
@@ -103,7 +103,7 @@ class P2Prover:
         self._agent = agent
         self._other = COLUMN if agent == ROW else ROW
         self._use_commitments = use_commitments
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random()  # repro: allow[R2] -- interactive-demo entropy; replayable runs pass an explicit seeded rng
         self._openings: dict[int, Opening] = {}
 
     @property

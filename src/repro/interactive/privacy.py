@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
-from repro.fractions_util import dot, fraction_vector
+from repro.fractions_util import fraction_vector
 from repro.games.bimatrix import COLUMN, ROW, BimatrixGame
 from repro.games.profiles import MixedProfile
 from repro.equilibria.mixed import is_mixed_nash

@@ -29,7 +29,6 @@ like a certification failure and fall back to the exact path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Sequence
 
 from repro.errors import BackendError, LinearAlgebraError

@@ -117,7 +117,6 @@ def solve_linear_system(matrix: Sequence[Sequence], rhs: Sequence):
         raise LinearAlgebraError("rhs length does not match matrix")
     ncols = len(a[0]) if a else 0
     rref, rhs_rref, pivots = gaussian_elimination(a, [[x] for x in b])
-    pivot_set = set(pivots)
     # Inconsistency: a zero row of the matrix with nonzero rhs.
     for i in range(nrows):
         if all(x == 0 for x in rref[i]) and rhs_rref[i][0] != 0:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass
 from fractions import Fraction
-from math import lcm
+from math import lcm  # repro: allow[R1] -- lcm is exact integer arithmetic; no float can leave it
 from typing import Sequence
 
 from repro.errors import LinearAlgebraError

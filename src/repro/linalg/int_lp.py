@@ -48,7 +48,7 @@ reference semantics for the parity tests; every hot path routes here.
 from __future__ import annotations
 
 from fractions import Fraction
-from math import lcm
+from math import lcm  # repro: allow[R1] -- lcm is exact integer arithmetic; no float can leave it
 from typing import Sequence
 
 from repro.errors import LinearAlgebraError

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from fractions import Fraction
 
 try:
     import numpy as np

@@ -20,7 +20,7 @@ inventor blame instead of costing the agent makespan.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.audit import AuditLog
@@ -34,7 +34,6 @@ from repro.online.inventor_stats import (
 from repro.online.parallel_links import (
     argmin_link,
     inventor_suggestion,
-    verify_suggestion,
     verify_suggestions,
 )
 

@@ -180,7 +180,6 @@ def audit_statistics(
     findings; an empty result exonerates the inventor.
     """
     findings: list[AuditFinding] = []
-    running_total = 0.0
     for record in records:
         payload = {"round": record.round_index, "average": record.average_load}
         if not registry.verify(record.signature, payload):

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from repro.errors import ProofError
 from repro.games.base import Game
-from repro.games.profiles import PureProfile, change
+from repro.games.profiles import PureProfile
 from repro.equilibria.pure import (
     incomparability_witness,
     is_pure_nash,
-    pure_nash_equilibria,
     refute_pure_nash,
 )
 from repro.proofs.certificates import (

@@ -29,7 +29,7 @@ Certificate forms:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Sequence
 
 from repro.errors import ProofError

@@ -24,7 +24,6 @@ oracle, at a fraction of the arithmetic cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 
 from repro.errors import ProofRejected
 from repro.games.base import Game

@@ -58,7 +58,7 @@ import threading
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_CACHE_LOADED,
     EVENT_DURABILITY_DEGRADED,
     EVENT_SERVER_PUMP_FAILED,

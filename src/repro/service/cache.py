@@ -213,7 +213,7 @@ class SolveCache:
 
     def _note_rejection(self, **details) -> None:
         """Record (under the lock) persisted state refused at load/serve."""
-        self.stats.load_rejected += 1
+        self.stats.load_rejected += 1  # repro: allow[R5] -- private helper: every caller holds _lock
         self._load_rejections.append(details)
 
     def note_rejection(self, **details) -> None:

@@ -54,7 +54,7 @@ import os
 import random
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import FaultInjected, PersistenceError, ProtocolError
 

@@ -152,13 +152,26 @@ class ConsultationFuture:
         if self._inner.done():
             return
         self.latency = time.perf_counter() - self._submitted_at
+        self._note_completed()
         self._inner.set_result(outcome)
 
     def _fail(self, exc: BaseException) -> None:
         if self._inner.done():
             return
         self.latency = time.perf_counter() - self._submitted_at
+        self._note_completed()
         self._inner.set_exception(exc)
+
+    def _note_completed(self) -> None:
+        # Count the completion at the instant the future resolves, not
+        # at the end of the enclosing drain: an HTTP client that gets
+        # its advice and immediately asks GET /stats must see itself
+        # counted.  Counting *before* set_result keeps the counter
+        # ahead of any caller the resolution unblocks.  The service
+        # seam is duck-typed (BurstLinkAdviser keeps its own tallies).
+        note = getattr(self._service, "_note_completed", None)
+        if note is not None:
+            note()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done() else "pending"

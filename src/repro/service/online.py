@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.audit import EVENT_BACKPRESSURE, AuditLog
+from repro.core.audit import AuditLog
+from repro.core.audit_events import EVENT_BACKPRESSURE
 from repro.errors import AdmissionError, GameError
 from repro.online.consultation import (
     LinkAdvice,

@@ -61,7 +61,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.analysis.stats import latency_summary
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_AUTOTUNE_RESIZED,
     EVENT_BACKPRESSURE,
     EVENT_BATCH_CONSULTATION,
@@ -463,6 +463,10 @@ class AuthorityService:
         self._verify_stage: _VerifyStage | None = None
         self._verify_pool_broken = False
         self._submission_counter = 0
+        # Resolved-future counter: bumped by each future at resolution
+        # (drain thread, verify puller, or deadline worker), so it gets
+        # its own lock rather than riding the admission or drain lock.
+        self._stats_lock = threading.Lock()
         self._completed = 0
         self._drain_listeners: list = []
         #: Service-wide wall-clock budget applied to submissions that
@@ -683,7 +687,7 @@ class AuthorityService:
 
     def _note_drained_submissions(self, count: int) -> None:
         """O(1) pending bookkeeping for a batch leaving the queue."""
-        self._pending_total -= count
+        self._pending_total -= count  # repro: allow[R5] -- both drain sites call this holding _headroom (the admission lock)
         if (
             self._high_water is None
             or self._pending_total <= (self._low_water or 0)
@@ -699,7 +703,18 @@ class AuthorityService:
 
     @property
     def completed_count(self) -> int:
-        return self._completed
+        """Futures resolved so far (advice, failure, or deadline).
+
+        Counted at resolution time — the moment a caller can observe
+        the result — not at the end of the drain that produced it, so
+        ``GET /stats`` issued right after a response already sees it.
+        """
+        with self._stats_lock:
+            return self._completed
+
+    def _note_completed(self) -> None:
+        with self._stats_lock:
+            self._completed += 1
 
     # ------------------------------------------------------------------
     # Draining
@@ -752,7 +767,8 @@ class AuthorityService:
                 # on work that will never run.
                 self._abort_outstanding(exc, processed)
                 raise
-            self._completed += len(processed)
+            # Completions are counted by the futures themselves as they
+            # resolve (see _note_completed) — nothing to tally here.
             self._flush_cache_rejections()
             self._flush_failure_events(stage)
             latencies = [f.latency_ms for f in processed if f.latency_ms is not None]

@@ -34,9 +34,11 @@ if os.environ.get("REPRO_NO_NUMPY"):
 import pytest
 
 try:
-    import numpy  # noqa: F401
+    # A plain import (not find_spec) so the blocker above applies.
+    import numpy as _numpy_probe
 
     HAVE_NUMPY = True
+    del _numpy_probe
 except ImportError:
     HAVE_NUMPY = False
 

@@ -19,7 +19,7 @@ from repro.core import (
     standard_procedures,
 )
 from repro.errors import EquilibriumError, ProtocolError
-from repro.games import BimatrixGame, ParticipationGame, ROW
+from repro.games import ParticipationGame, ROW
 from repro.games.generators import matching_pennies, random_bimatrix
 from repro.interactive import P1Announcement
 

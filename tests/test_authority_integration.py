@@ -1,7 +1,6 @@
 """Integration tests: full consultation sessions through the authority,
 dishonest parties, cross-checks, reputation dynamics and the bus trail."""
 
-import random
 from fractions import Fraction
 
 import pytest
@@ -13,8 +12,11 @@ from repro.core import (
     ComplianceExpectation,
     EmptyProofProcedure,
     EVENT_ADVICE_ADOPTED,
+    EVENT_ADVICE_DELIVERED,
+    EVENT_ADVICE_REQUESTED,
     EVENT_CROSS_CHECK,
     EVENT_INVENTOR_BLAMED,
+    EVENT_MAJORITY,
     EVENT_VERIFIER_BLAMED,
     GameAuthorityMonitor,
     MisadvisingInventor,
@@ -27,7 +29,7 @@ from repro.core import (
 )
 from repro.core.actors import AgentPolicy
 from repro.errors import ProtocolError
-from repro.games import BimatrixGame, ParticipationGame, ROW
+from repro.games import ParticipationGame, ROW
 from repro.games.generators import battle_of_sexes, random_bimatrix
 from repro.online import DynamicAverageStatistics, StatisticsPublisher, CheatingPublisher
 
@@ -103,9 +105,9 @@ class TestConsultationFlow:
         outcome = authority.consult("joe", "bos")
         session_events = authority.audit.session(outcome.session_id)
         events = [r.event for r in session_events]
-        assert "advice.requested" in events
-        assert "advice.delivered" in events
-        assert "verification.majority" in events
+        assert EVENT_ADVICE_REQUESTED in events
+        assert EVENT_ADVICE_DELIVERED in events
+        assert EVENT_MAJORITY in events
         assert EVENT_ADVICE_ADOPTED in events
 
     def test_unknown_agent_or_game(self):
@@ -188,7 +190,6 @@ class TestDishonesty:
         authority.register_verifier(
             ByzantineProcedure("byzantine", EmptyProofProcedure("inner"))
         )
-        inventor = PureNashInventor("acme", maximal=False, explicit=False)
         # Use the empty-proof format so all three procedures apply.
         from repro.core import Advice, ProofFormat, SolutionConcept
         from repro.core.actors import AdvicePackage, GameInventor

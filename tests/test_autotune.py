@@ -15,7 +15,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_AUTOTUNE_RESIZED
+from repro.core.audit_events import EVENT_AUTOTUNE_RESIZED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.errors import ProtocolError

@@ -12,7 +12,6 @@ from repro.linalg import (
     FLOAT_BACKEND,
     BackendPolicy,
     ExactBackend,
-    FloatBackend,
     resolve_policy,
     solve_square,
 )

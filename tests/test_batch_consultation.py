@@ -8,11 +8,13 @@ from repro.core import AuditLog
 from repro.core.actors import (
     AuthorityAgent,
     BimatrixInventor,
-    GameInventor,
     PureNashInventor,
 )
 from repro.core.advice import Advice, ProofFormat, SolutionConcept
-from repro.core.audit import EVENT_BATCH_CONSULTATION
+from repro.core.audit_events import (
+    EVENT_ADVICE_DELIVERED,
+    EVENT_BATCH_CONSULTATION,
+)
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import VerificationContext, standard_procedures
 from repro.core.session import advice_wire_summary
@@ -89,7 +91,7 @@ class TestConsultMany:
             assert summary["executor"] == outcome.advice.executor
         batch_events = authority.audit.events_of(EVENT_BATCH_CONSULTATION)
         assert len(batch_events) == 1
-        delivered = authority.audit.events_of("advice.delivered")
+        delivered = authority.audit.events_of(EVENT_ADVICE_DELIVERED)
         assert delivered
         assert all("executor" in event.details for event in delivered)
 

@@ -18,7 +18,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_CACHE_LOAD_REJECTED,
     EVENT_CACHE_LOADED,
     EVENT_CACHE_SAVED,

@@ -16,7 +16,7 @@ import os
 import time
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_DEADLINE_EXCEEDED,
     EVENT_DURABILITY_DEGRADED,
 )

@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.core.advice import CONCEPT_LIBRARY
 from repro.errors import ProtocolError
-from repro.games import BimatrixGame, MixedProfile, ParticipationGame, ROW
+from repro.games import MixedProfile, ParticipationGame, ROW
 from repro.games.generators import battle_of_sexes, prisoners_dilemma, random_bimatrix
 from repro.equilibria import lemke_howson
 from repro.interactive import P2Prover

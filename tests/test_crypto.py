@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto import KeyRegistry, commit, open_commitment
-from repro.crypto.commitments import Commitment, Opening
+from repro.crypto.commitments import Opening
 from repro.errors import CommitmentError, SignatureError
 
 json_values = st.recursive(

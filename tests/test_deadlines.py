@@ -13,7 +13,7 @@ import time
 import pytest
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_DEADLINE_EXCEEDED
+from repro.core.audit_events import EVENT_DEADLINE_EXCEEDED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.errors import DeadlineExceeded, ProtocolError

@@ -1,0 +1,579 @@
+"""The lint framework: each rule trips on a fixture, and the tree is clean.
+
+Fixture modules are built in memory (``ParsedModule`` takes source
+text), so every rule is pinned by a minimal program that violates it —
+plus the meta-test at the bottom: the live ``src/`` tree, scanned with
+the repo config, must produce no findings beyond the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.config import LintConfig, default_config
+from repro.devtools.engine import (
+    Finding,
+    LintEngine,
+    ParsedModule,
+    RULE_SUPPRESSION,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
+from repro.devtools.rules_determinism import DeterminismRule
+from repro.devtools.rules_exactness import ExactnessRule
+from repro.devtools.rules_locks import LockDisciplineRule
+from repro.devtools.rules_registry import (
+    AuditEventRegistryRule,
+    FaultPointRegistryRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_module(relpath: str, source: str) -> ParsedModule:
+    return ParsedModule(
+        Path("/fixture") / relpath, relpath, textwrap.dedent(source))
+
+
+FIXTURE_CONFIG = LintConfig(
+    certify_modules=("pkg/certify.py", "pkg/kernel.py"),
+    integer_kernel_modules=("pkg/kernel.py",),
+    determinism_exempt=("pkg/telemetry.py",),
+    audit_registry_module="pkg/audit_events.py",
+    fault_registry_module="pkg/faults.py",
+    lock_scope=("pkg/",),
+    guarded_classes=("Svc",),
+)
+
+
+def run_rules(rules, *modules, baseline=None):
+    return LintEngine(rules).run(list(modules), baseline)
+
+
+def messages(result):
+    return [f.message for f in result.new]
+
+
+# ---------------------------------------------------------------------------
+# R1 — exactness
+# ---------------------------------------------------------------------------
+
+
+class TestExactness:
+    def rule(self):
+        return ExactnessRule(FIXTURE_CONFIG)
+
+    def test_float_literal_float_call_and_math_trip(self):
+        module = make_module("pkg/certify.py", """\
+            import math
+            X = 0.5
+            def f(v):
+                return float(v) + math.sqrt(2)
+        """)
+        result = run_rules([self.rule()], module)
+        found = " ".join(messages(result))
+        assert "float literal" in found
+        assert "float() call" in found
+        assert "math.sqrt" in found
+        assert "import of math" in found
+
+    def test_true_division_flagged_only_in_integer_kernel(self):
+        kernel = make_module("pkg/kernel.py", "def f(a, b):\n    return a / b\n")
+        certify = make_module("pkg/certify.py", "def f(a, b):\n    return a / b\n")
+        result = run_rules([self.rule()], kernel, certify)
+        div = [f for f in result.new if "true division" in f.message]
+        assert len(div) == 1
+        assert div[0].path == "pkg/kernel.py"
+
+    def test_floor_division_and_fractions_pass(self):
+        module = make_module("pkg/kernel.py", """\
+            from fractions import Fraction
+            def f(a, b):
+                return a // b, Fraction(a, b)
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_annotations_are_exempt(self):
+        module = make_module("pkg/certify.py", """\
+            def f(x: float) -> float:
+                y: float = x
+                return y
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_out_of_scope_module_ignored(self):
+        module = make_module("pkg/search.py", "X = 0.5\n")
+        assert run_rules([self.rule()], module).clean
+
+
+# ---------------------------------------------------------------------------
+# R2 — determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def rule(self):
+        return DeterminismRule(FIXTURE_CONFIG)
+
+    def test_wall_clock_flagged_outside_whitelist(self):
+        module = make_module("pkg/logic.py", """\
+            import time
+            def f():
+                return time.time()
+        """)
+        assert "wall-clock read time.time()" in " ".join(
+            messages(run_rules([self.rule()], module)))
+
+    def test_wall_clock_allowed_in_telemetry(self):
+        module = make_module("pkg/telemetry.py", """\
+            import time
+            def f():
+                return time.time()
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_monotonic_allowed_everywhere(self):
+        module = make_module("pkg/logic.py", """\
+            import time
+            def f():
+                return time.monotonic(), time.perf_counter()
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_ambient_randomness_flagged(self):
+        module = make_module("pkg/logic.py", """\
+            import random
+            def f(xs):
+                return random.choice(xs)
+        """)
+        assert "ambient randomness" in " ".join(
+            messages(run_rules([self.rule()], module)))
+
+    def test_unseeded_random_flagged_even_in_exempt_module(self):
+        module = make_module("pkg/telemetry.py", """\
+            import random
+            R = random.Random()
+        """)
+        assert "unseeded random.Random()" in " ".join(
+            messages(run_rules([self.rule()], module)))
+
+    def test_seeded_random_passes(self):
+        module = make_module("pkg/logic.py", """\
+            import random
+            R = random.Random(42)
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_set_iteration_flagged(self):
+        module = make_module("pkg/logic.py", """\
+            def f(xs):
+                for x in set(xs):
+                    yield x
+                return [y for y in {1, 2, 3}]
+        """)
+        found = messages(run_rules([self.rule()], module))
+        assert len(found) == 2
+        assert all("salted order" in m for m in found)
+
+    def test_sorted_set_iteration_passes(self):
+        module = make_module("pkg/logic.py", """\
+            def f(xs):
+                for x in sorted(set(xs)):
+                    yield x
+        """)
+        assert run_rules([self.rule()], module).clean
+
+
+# ---------------------------------------------------------------------------
+# R3 — audit-event registry
+# ---------------------------------------------------------------------------
+
+R3_CONSTANTS = {"EVENT_AB": "a.b"}
+R3_REGISTRY = {"a.b": "the a.b event"}
+
+
+class TestAuditEventRegistry:
+    def rule(self):
+        return AuditEventRegistryRule(
+            FIXTURE_CONFIG, constants=dict(R3_CONSTANTS),
+            registry=dict(R3_REGISTRY))
+
+    def test_raw_literal_event_flagged(self):
+        module = make_module("pkg/svc.py", """\
+            def f(audit, sid):
+                audit.record(sid, "actor", "a.b")
+        """)
+        assert "use the audit_events constant" in " ".join(
+            messages(run_rules([self.rule()], module)))
+
+    def test_unknown_literal_event_flagged(self):
+        module = make_module("pkg/svc.py", """\
+            def f(audit, sid):
+                audit.record(sid, "actor", "no.such.event")
+        """)
+        assert "unknown audit event" in " ".join(
+            messages(run_rules([self.rule()], module)))
+
+    def test_constant_event_passes(self):
+        module = make_module("pkg/svc.py", """\
+            from pkg.audit_events import EVENT_AB
+            def f(audit, sid):
+                audit.record(sid, "actor", EVENT_AB)
+                return audit.events_of(EVENT_AB)
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_registry_value_as_stray_literal_flagged(self):
+        module = make_module("pkg/svc.py", 'KIND = "a.b"\n')
+        assert "spelled as a raw literal" in " ".join(
+            messages(run_rules([self.rule()], module)))
+
+    def test_unregistered_constant_flagged_in_finalize(self):
+        rule = AuditEventRegistryRule(
+            FIXTURE_CONFIG,
+            constants={"EVENT_AB": "a.b", "EVENT_GHOST": "ghost.event"},
+            registry=dict(R3_REGISTRY))
+        module = make_module("pkg/svc.py", "x = 1\n")
+        found = " ".join(messages(run_rules([rule], module)))
+        assert "EVENT_GHOST" in found and "not documented in REGISTRY" in found
+
+    def test_registry_module_own_literals_exempt(self):
+        module = make_module("pkg/audit_events.py", 'EVENT_AB = "a.b"\n')
+        result = run_rules([self.rule()], module)
+        assert not any("raw literal" in m for m in messages(result))
+
+
+# ---------------------------------------------------------------------------
+# R4 — fault-point registry
+# ---------------------------------------------------------------------------
+
+R4_CATALOGUE = ("solve", "dead.point")
+
+
+class TestFaultPointRegistry:
+    def rule(self):
+        return FaultPointRegistryRule(FIXTURE_CONFIG, catalogue=R4_CATALOGUE)
+
+    def test_unknown_point_flagged(self):
+        module = make_module("pkg/svc.py", """\
+            def f(faults):
+                faults.check("typo.point")
+                faults.check("solve")
+                x = "dead.point"
+        """)
+        found = messages(run_rules([self.rule()], module))
+        assert any("'typo.point' is not in the" in m for m in found)
+
+    def test_uncovered_catalogue_point_flagged(self):
+        module = make_module("pkg/svc.py", """\
+            def f(faults):
+                faults.check("solve")
+        """)
+        found = " ".join(messages(run_rules([self.rule()], module)))
+        assert "'dead.point' has no call site" in found
+
+    def test_registry_module_literals_do_not_count_as_coverage(self):
+        registry = make_module(
+            "pkg/faults.py", 'INJECTION_POINTS = ("solve", "dead.point")\n')
+        found = " ".join(messages(run_rules([self.rule()], registry)))
+        assert "no call site" in found
+
+    def test_fault_spec_and_wrapper_literals_count(self):
+        module = make_module("pkg/svc.py", """\
+            def f(faults):
+                spec = FaultSpec("solve")
+                point = "dead.point"
+                return spec, point
+        """)
+        assert run_rules([self.rule()], module).clean
+
+
+# ---------------------------------------------------------------------------
+# R5 — lock discipline
+# ---------------------------------------------------------------------------
+
+R5_SOURCE = """\
+    import threading
+
+    class Svc:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+            self._cond = threading.Condition(self._a)
+            self.count = 0
+
+        def ab(self):
+            with self._a:
+                with self._b:
+                    self.count += 1
+
+        def ba(self):
+            with self._b:
+                with self._a:
+                    pass
+
+        def reenter(self):
+            with self._a:
+                with self._cond:
+                    pass
+
+        def unlocked_write(self):
+            self.count = 5
+"""
+
+
+class TestLockDiscipline:
+    def rule(self):
+        return LockDisciplineRule(FIXTURE_CONFIG)
+
+    def result(self):
+        return run_rules([self.rule()], make_module("pkg/svc.py", R5_SOURCE))
+
+    def test_abba_order_violation_flagged_once(self):
+        abba = [m for m in messages(self.result()) if "ABBA" in m]
+        assert len(abba) == 1
+        assert "_a" in abba[0] and "_b" in abba[0]
+
+    def test_condition_alias_reentry_flagged(self):
+        found = messages(self.result())
+        assert any("already held" in m and "'_a'" in m for m in found)
+
+    def test_unlocked_write_to_guarded_attr_flagged(self):
+        found = [f for f in self.result().new
+                 if "written without holding a lock" in f.message]
+        assert len(found) == 1
+        assert found[0].snippet == "self.count = 5"  # unlocked_write()
+
+    def test_consistent_order_is_clean(self):
+        module = make_module("pkg/svc.py", """\
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self.count = 0
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            self.count += 1
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            self.count -= 1
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_rlock_reentry_allowed(self):
+        module = make_module("pkg/svc.py", """\
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._a = threading.RLock()
+
+                def f(self):
+                    with self._a:
+                        with self._a:
+                            pass
+        """)
+        assert run_rules([self.rule()], module).clean
+
+    def test_unguarded_class_writes_ignored(self):
+        module = make_module("pkg/svc.py", """\
+            import threading
+
+            class Other:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self.count = 0
+
+                def f(self):
+                    with self._a:
+                        self.count += 1
+
+                def g(self):
+                    self.count = 0
+        """)
+        assert run_rules([self.rule()], module).clean
+
+
+# ---------------------------------------------------------------------------
+# Suppressions (R0)
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_justified_allow_silences_finding(self):
+        module = make_module(
+            "pkg/certify.py",
+            "X = 0.5  # repro: allow[R1] -- screening threshold\n")
+        result = run_rules([ExactnessRule(FIXTURE_CONFIG)], module)
+        assert result.clean
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "R1"
+
+    def test_comment_only_allow_covers_next_line(self):
+        module = make_module("pkg/certify.py", """\
+            # repro: allow[R1] -- screening threshold
+            X = 0.5
+        """)
+        result = run_rules([ExactnessRule(FIXTURE_CONFIG)], module)
+        assert result.clean and len(result.suppressed) == 1
+
+    def test_allow_without_justification_is_an_error(self):
+        module = make_module(
+            "pkg/certify.py", "X = 0.5  # repro: allow[R1]\n")
+        result = run_rules([ExactnessRule(FIXTURE_CONFIG)], module)
+        r0 = [f for f in result.new if f.rule == RULE_SUPPRESSION]
+        assert len(r0) == 1 and r0[0].severity == SEVERITY_ERROR
+        assert "justification" in r0[0].message
+        # The underlying R1 finding is NOT silenced.
+        assert any(f.rule == "R1" for f in result.new)
+
+    def test_unused_allow_is_a_warning(self):
+        module = make_module(
+            "pkg/certify.py", "X = 1  # repro: allow[R1] -- no reason\n")
+        result = run_rules([ExactnessRule(FIXTURE_CONFIG)], module)
+        r0 = [f for f in result.new if f.rule == RULE_SUPPRESSION]
+        assert len(r0) == 1 and r0[0].severity == SEVERITY_WARNING
+        assert "unused" in r0[0].message
+
+    def test_wrong_rule_id_does_not_silence(self):
+        module = make_module(
+            "pkg/certify.py",
+            "X = 0.5  # repro: allow[R2] -- wrong rule\n")
+        result = run_rules([ExactnessRule(FIXTURE_CONFIG)], module)
+        assert any(f.rule == "R1" for f in result.new)
+
+    def test_allow_text_inside_string_is_ignored(self):
+        module = make_module("pkg/certify.py", '''\
+            DOC = """
+            example:  x = 0.5  # repro: allow[R1] -- doc example
+            bad:  # repro: allow
+            """
+        ''')
+        result = run_rules([ExactnessRule(FIXTURE_CONFIG)], module)
+        assert not module.suppressions
+        assert not module.malformed_allows
+        assert not any(f.rule == RULE_SUPPRESSION for f in result.new)
+
+
+# ---------------------------------------------------------------------------
+# Baseline add / expire
+# ---------------------------------------------------------------------------
+
+
+def _finding(message: str, snippet: str = "x = 0.5") -> Finding:
+    return Finding(rule="R1", severity=SEVERITY_ERROR, path="pkg/m.py",
+                   line=3, col=0, message=message, snippet=snippet)
+
+
+class TestBaseline:
+    def test_reconcile_matches_fresh_and_stale(self):
+        known = _finding("old finding")
+        new = _finding("new finding")
+        gone = _finding("fixed finding")
+        baseline = Baseline.from_findings([known, gone])
+        matched, fresh, stale = baseline.reconcile([known, new])
+        assert matched == [known]
+        assert fresh == [new]
+        assert [e["message"] for e in stale] == ["fixed finding"]
+
+    def test_fingerprint_is_line_number_independent(self):
+        moved = Finding(rule="R1", severity=SEVERITY_ERROR, path="pkg/m.py",
+                        line=90, col=0, message="old finding",
+                        snippet="x = 0.5")
+        baseline = Baseline.from_findings([_finding("old finding")])
+        matched, fresh, _ = baseline.reconcile([moved])
+        assert matched and not fresh
+
+    def test_editing_the_offending_line_retires_the_entry(self):
+        edited = _finding("old finding", snippet="x = 0.75")
+        baseline = Baseline.from_findings([_finding("old finding")])
+        matched, fresh, stale = baseline.reconcile([edited])
+        assert not matched and fresh == [edited] and len(stale) == 1
+
+    def test_duplicates_match_count_for_count(self):
+        f = _finding("dup")
+        baseline = Baseline.from_findings([f])
+        matched, fresh, _ = baseline.reconcile([f, f])
+        assert len(matched) == 1 and len(fresh) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding("kept")]).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded.entries) == 1
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-lint-baseline"
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_engine_run_with_baseline_splits_findings(self):
+        module = make_module("pkg/certify.py", "X = 0.5\nY = 1.5\n")
+        engine = LintEngine([ExactnessRule(FIXTURE_CONFIG)])
+        first = engine.run([module])
+        assert len(first.new) == 2
+        baseline = Baseline.from_findings(first.new[:1])
+        # Re-parse: rules are stateless per run, modules are not.
+        module = make_module("pkg/certify.py", "X = 0.5\nY = 1.5\n")
+        second = engine.run([module], baseline)
+        assert len(second.baselined) == 1
+        assert len(second.new) == 1
+        assert not second.stale_baseline
+
+
+# ---------------------------------------------------------------------------
+# The CLI and the live tree
+# ---------------------------------------------------------------------------
+
+
+class TestLiveTree:
+    def test_cli_list_rules(self, capsys):
+        from repro.devtools.lint import main
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+            assert rule_id in out
+
+    def test_live_tree_is_clean_modulo_baseline(self):
+        """The committed tree lints clean against the committed baseline."""
+        from repro.devtools.lint import build_rules
+
+        src = REPO_ROOT / "src"
+        baseline_path = REPO_ROOT / "lint-baseline.json"
+        engine = LintEngine(build_rules(default_config()))
+        result = engine.run(
+            engine.collect(src), Baseline.load(baseline_path))
+        assert result.clean, "\n".join(f.render() for f in result.new)
+        # And the baseline carries no dead entries.
+        assert not result.stale_baseline
+
+    def test_default_config_scopes_exist(self):
+        """Every path the repo config names exists (no silent no-op scoping)."""
+        config = default_config()
+        src = REPO_ROOT / "src"
+        named = (config.certify_modules + config.integer_kernel_modules
+                 + config.determinism_exempt + config.lock_scope
+                 + (config.audit_registry_module,
+                    config.fault_registry_module))
+        for entry in named:
+            target = src / entry.rstrip("/")
+            assert target.exists(), f"lint config names missing path {entry}"

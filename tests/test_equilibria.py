@@ -8,23 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import EquilibriumError, GameError
-from repro.games import (
-    BimatrixGame,
-    MixedProfile,
-    ParticipationGame,
-    StrategicGame,
-    SymmetricTwoActionGame,
-)
+from repro.games import MixedProfile, ParticipationGame, SymmetricTwoActionGame
 from repro.games.generators import (
-    battle_of_sexes,
     coordination_game,
-    matching_pennies,
-    prisoners_dilemma,
     pure_dominance_game,
     random_bimatrix,
-    random_coordination,
     random_zero_sum,
-    rock_paper_scissors,
     stag_hunt,
 )
 from repro.equilibria import (

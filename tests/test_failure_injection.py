@@ -13,7 +13,6 @@ from repro.core import (
     AuthorityAgent,
     EmptyProofProcedure,
     ProofFormat,
-    PureNashInventor,
     RationalityAuthority,
     SolutionConcept,
     VerificationContext,

@@ -4,7 +4,7 @@ participation and congestion games."""
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import GameError, ProfileError

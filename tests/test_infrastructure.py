@@ -4,7 +4,7 @@ messages, and the advice wire summaries for every suggestion shape."""
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import Advice, ProofFormat, SolutionConcept, advice_wire_summary

@@ -10,12 +10,7 @@ from hypothesis import strategies as st
 
 from repro.errors import TranscriptError
 from repro.games import BimatrixGame, COLUMN, MixedProfile, ROW
-from repro.games.generators import (
-    battle_of_sexes,
-    matching_pennies,
-    random_bimatrix,
-    rock_paper_scissors,
-)
+from repro.games.generators import random_bimatrix, rock_paper_scissors
 from repro.equilibria import is_mixed_nash, lemke_howson, support_enumeration
 from repro.interactive import (
     AdaptiveMembershipProver,

@@ -16,7 +16,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_CACHE_LOAD_REJECTED
+from repro.core.audit_events import EVENT_CACHE_LOAD_REJECTED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.errors import PersistenceError

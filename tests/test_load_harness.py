@@ -26,7 +26,7 @@ import time
 import pytest
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import EVENT_BACKPRESSURE, EVENT_SERVICE_DRAINED
+from repro.core.audit_events import EVENT_BACKPRESSURE, EVENT_SERVICE_DRAINED
 from repro.core.authority import RationalityAuthority
 from repro.core.registry import standard_procedures
 from repro.equilibria.executors import pools_disabled

@@ -48,7 +48,6 @@ SEEDS = tuple(range(12))
 
 def _rational_strategic(counts, seed):
     """A strategic game with genuinely rational (non-integer) payoffs."""
-    rng = make_rng(seed, f"nplayer-cert:{counts}")
 
     def payoff(player, profile):
         local = make_rng(seed, f"nplayer-cert:{counts}:{player}:{profile}")
@@ -63,7 +62,6 @@ def _rational_strategic(counts, seed):
 
 def _degenerate_strategic(counts, seed):
     """Massive payoff ties: every lattice comparison is a near-tie."""
-    rng = make_rng(seed, f"nplayer-degenerate:{counts}")
 
     def payoff(player, profile):
         local = make_rng(seed, f"nplayer-degenerate:{counts}:{player}:{profile}")
@@ -319,7 +317,7 @@ class TestCorrelatedLatticeParity:
     @pytest.mark.parametrize("seed", SEEDS[:4])
     def test_tampered_device_rejected_identically(self, seed):
         game = random_strategic((2, 2), seed=seed)
-        ce = correlated_equilibrium_lp(game)
+        correlated_equilibrium_lp(game)  # untampered CE must exist
         profiles = list(game.enumerate_profiles())
         # Move all mass onto the first profile while keeping a valid
         # distribution — obedience must now be re-decided from scratch.

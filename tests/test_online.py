@@ -31,7 +31,6 @@ from repro.online import (
     audit_statistics,
     diamond_network,
     draw_load_sequence,
-    greedy_assign,
     greedy_path_strategy,
     greedy_schedule,
     inventor_suggestion,

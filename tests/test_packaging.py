@@ -1,0 +1,50 @@
+"""Package discovery: setup.py's explicit list matches the tree.
+
+The declaration is explicit so that adding a package is a conscious,
+reviewed act — this test is what makes forgetting it impossible.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_setup_module():
+    """Import setup.py as a module without running setup()."""
+    spec = importlib.util.spec_from_file_location(
+        "repro_setup", REPO_ROOT / "setup.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_declared_packages_match_discovered():
+    setup_module = _load_setup_module()
+    declared = sorted(setup_module.PACKAGES)
+    discovered = sorted(setup_module.discover_packages())
+    assert declared == discovered, (
+        "setup.py PACKAGES is out of sync with src/: "
+        f"missing={sorted(set(discovered) - set(declared))} "
+        f"spurious={sorted(set(declared) - set(discovered))}"
+    )
+
+
+def test_every_declared_package_imports():
+    setup_module = _load_setup_module()
+    for name in setup_module.PACKAGES:
+        importlib.import_module(name)
+        assert name in sys.modules
+
+
+def test_setup_import_has_no_side_effects():
+    """Importing setup.py (PEP 517 does) must not invoke setup()."""
+    module = _load_setup_module()
+    # If setup() had run at import time it would have raised (no args
+    # on the command line it expects); reaching here plus having the
+    # helper is the contract.
+    assert callable(module.discover_packages)

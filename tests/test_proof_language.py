@@ -1,6 +1,5 @@
 """Unit tests for the Fig. 2 primitive evaluators and the counting oracle."""
 
-from fractions import Fraction
 
 import pytest
 

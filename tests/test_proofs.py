@@ -1,7 +1,6 @@
 """Tests for the Fig. 2 proof system: builder, kernel, serialization,
 and — critically — rejection of tampered certificates."""
 
-from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings

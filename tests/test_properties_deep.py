@@ -13,7 +13,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.games import MixedProfile
 from repro.games.extensive import (
     backward_induction,
     continuation_payoffs,
@@ -23,13 +22,11 @@ from repro.games.extensive import (
 from repro.games.generators import random_bimatrix, random_coordination
 from repro.equilibria import (
     check_mixed_nash,
-    is_mixed_nash,
     lemke_howson,
     maximal_pure_nash,
-    pure_nash_equilibria,
     support_enumeration,
 )
-from repro.interactive import P1Prover, P1Verifier, run_p1_exchange
+from repro.interactive import run_p1_exchange
 from repro.proofs import (
     build_max_nash_certificate,
     certificate_from_json,

@@ -15,7 +15,7 @@ import os
 import pytest
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_BACKPRESSURE,
     EVENT_SERVER_SHUTDOWN,
     EVENT_SERVER_STARTED,

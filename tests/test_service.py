@@ -14,7 +14,7 @@ import pytest
 
 from repro.core import AuditLog
 from repro.core.actors import AuthorityAgent, BimatrixInventor, PureNashInventor
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_BATCH_CONSULTATION,
     EVENT_SERVICE_COMPLETED,
     EVENT_SERVICE_DRAINED,
@@ -139,7 +139,7 @@ class TestSubmitAndFutures:
         # and log a raising callback invisibly; the fix records it as
         # an audit warning, and this pins that the drain completes and
         # every queued submission still resolves.
-        from repro.core.audit import EVENT_CALLBACK_FAILED
+        from repro.core.audit_events import EVENT_CALLBACK_FAILED
 
         inventor = PureNashInventor("pure")
         authority = _authority(inventor, [("pd", prisoners_dilemma())])
@@ -161,7 +161,7 @@ class TestSubmitAndFutures:
         future = authority.service.submit("jane", "pd")
         future.result()
         future.add_done_callback(lambda f: 1 / 0)  # fires immediately
-        from repro.core.audit import EVENT_CALLBACK_FAILED
+        from repro.core.audit_events import EVENT_CALLBACK_FAILED
 
         assert authority.audit.events_of(EVENT_CALLBACK_FAILED)
         authority.close()

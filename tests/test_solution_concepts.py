@@ -25,7 +25,6 @@ from repro.games.generators import (
     matching_pennies,
     prisoners_dilemma,
     random_bimatrix,
-    rock_paper_scissors,
     stag_hunt,
 )
 from repro.equilibria import (
@@ -33,7 +32,6 @@ from repro.equilibria import (
     dominant_strategy_equilibrium,
     is_correlated_equilibrium,
     is_dominant_action,
-    is_mixed_nash,
     is_pure_nash,
     iterated_elimination,
     lemke_howson,

@@ -9,7 +9,7 @@ and the wire-determinism rule that keeps every wall time off the bus.
 from __future__ import annotations
 
 from repro.core.actors import AuthorityAgent, BimatrixInventor, PureNashInventor
-from repro.core.audit import (
+from repro.core.audit_events import (
     EVENT_MAJORITY,
     EVENT_SERVICE_COMPLETED,
     EVENT_SERVICE_DRAINED,
